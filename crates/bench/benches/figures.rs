@@ -1,0 +1,9 @@
+//! `cargo bench --bench figures` regenerates every table and figure of
+//! the paper and prints them to stdout (harness = false: this is a
+//! report generator, not a statistical micro-benchmark).
+//!
+//! Set `SCALERPC_FULL=1` for the paper-length parameter sweeps.
+
+fn main() {
+    scalerpc_bench::figures::all_figures();
+}

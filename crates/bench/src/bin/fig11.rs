@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig11 output.
+//!
+//! Set `SCALERPC_FULL=1` for the paper-length parameter sweeps.
+
+fn main() {
+    scalerpc_bench::figures::fig11a();
+    scalerpc_bench::figures::fig11b();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig12 output.
+//!
+//! Set `SCALERPC_FULL=1` for the paper-length parameter sweeps.
+
+fn main() {
+    scalerpc_bench::figures::fig12();
+}

@@ -1,0 +1,780 @@
+//! One function per paper table/figure.
+//!
+//! Each function prints the same rows/series the paper reports and saves
+//! a CSV under `target/figures/`. Absolute values are simulated; see
+//! `EXPERIMENTS.md` for the paper-vs-measured shape record.
+
+use crate::rawverbs::{run_raw_verbs, RawVerbConfig, RawVerbKind};
+use crate::report::{mops, us, Table};
+use crate::rpcbench::{run_rpc, RpcRunConfig, TransportKind};
+use crate::runner::{full_sweeps, parallel_map};
+use octofs::{run_mdtest, FsOp, MdsTransport, MdtestRun};
+use rpc_baselines::UdChunk;
+use rpc_core::workload::ThinkTime;
+use scalerpc::ScaleRpcConfig;
+use scaletx::sim::run_scalerpc_tx;
+use scaletx::workload::TxWorkload;
+use scaletx::TxConfig;
+use simcore::{DetRng, SimDuration};
+
+fn client_counts() -> Vec<usize> {
+    if full_sweeps() {
+        vec![40, 80, 120, 160, 200, 240, 320, 400]
+    } else {
+        vec![40, 120, 240, 400]
+    }
+}
+
+/// Table 1: verbs and MTU per transport mode (validated against the
+/// fabric's capability checks).
+pub fn table1() {
+    use rdma_fabric::Transport::{Rc, Uc, Ud};
+    let mut t = Table::new(
+        "Table 1: RDMA verbs and MTU sizes in different modes",
+        &["mode", "send/recv", "write/imm", "read/atomic", "MTU"],
+    );
+    for (m, mtu) in [(Rc, "2 GB"), (Uc, "2 GB"), (Ud, "4 KB")] {
+        t.row(vec![
+            m.name().to_string(),
+            tick(m.supports_send()),
+            tick(m.supports_write()),
+            tick(m.supports_read_atomic()),
+            mtu.to_string(),
+        ]);
+    }
+    t.print();
+    t.save_csv("table1");
+}
+
+fn tick(b: bool) -> String {
+    if b { "yes" } else { "no" }.to_string()
+}
+
+/// Fig. 1(a): Octopus metadata throughput over self-identified RPC as
+/// clients grow — the motivating collapse.
+pub fn fig01a() {
+    let clients = [40usize, 80, 120];
+    let ops = FsOp::all();
+    let results = parallel_map(
+        clients
+            .iter()
+            .flat_map(|&c| ops.iter().map(move |&op| (c, op)))
+            .collect(),
+        |(c, op)| {
+            let r = run_mdtest(&MdtestRun {
+                clients: c,
+                op,
+                transport: MdsTransport::SelfRpc,
+                ..Default::default()
+            });
+            (c, op, r.ops_per_sec / 1e3)
+        },
+    );
+    let mut t = Table::new(
+        "Fig 1(a): Octopus metadata throughput (selfRPC), Kops/s",
+        &["clients", "Mknod", "Rmnod", "Stat", "ReadDir"],
+    );
+    for &c in &clients {
+        let mut row = vec![c.to_string()];
+        for op in ops {
+            let v = results
+                .iter()
+                .find(|(rc, rop, _)| *rc == c && *rop == op)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0.0);
+            row.push(format!("{v:.0}"));
+        }
+        t.row(row);
+    }
+    t.print();
+    t.save_csv("fig01a");
+}
+
+/// Fig. 1(b): raw verb throughput vs. number of clients.
+pub fn fig01b() {
+    let clients: Vec<usize> = if full_sweeps() {
+        vec![10, 20, 40, 80, 150, 200, 400, 800]
+    } else {
+        vec![10, 40, 150, 400, 800]
+    };
+    let kinds = [
+        RawVerbKind::OutboundWrite,
+        RawVerbKind::InboundWrite,
+        RawVerbKind::UdSend,
+    ];
+    let results = parallel_map(
+        clients
+            .iter()
+            .flat_map(|&c| kinds.iter().map(move |&k| (c, k)))
+            .collect(),
+        |(c, k)| {
+            let r = run_raw_verbs(RawVerbConfig {
+                kind: k,
+                clients: c,
+                ..Default::default()
+            });
+            (c, k, r.mops)
+        },
+    );
+    let mut t = Table::new(
+        "Fig 1(b): raw RDMA verb throughput, Mops/s",
+        &["clients", "outbound write", "inbound write", "UD send"],
+    );
+    for &c in &clients {
+        let get = |k: RawVerbKind| {
+            results
+                .iter()
+                .find(|(rc, rk, _)| *rc == c && *rk == k)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0.0)
+        };
+        t.row(vec![
+            c.to_string(),
+            mops(get(RawVerbKind::OutboundWrite)),
+            mops(get(RawVerbKind::InboundWrite)),
+            mops(get(RawVerbKind::UdSend)),
+        ]);
+    }
+    t.print();
+    t.save_csv("fig01b");
+}
+
+/// Fig. 3(a): in/outbound RC write throughput and the PCIe read rate.
+pub fn fig03a() {
+    let clients: Vec<usize> = if full_sweeps() {
+        vec![10, 20, 40, 80, 150, 200, 400, 800]
+    } else {
+        vec![10, 40, 150, 400]
+    };
+    let results = parallel_map(
+        clients
+            .iter()
+            .flat_map(|&c| {
+                [RawVerbKind::OutboundWrite, RawVerbKind::InboundWrite]
+                    .into_iter()
+                    .map(move |k| (c, k))
+            })
+            .collect(),
+        |(c, k)| {
+            let r = run_raw_verbs(RawVerbConfig {
+                kind: k,
+                clients: c,
+                ..Default::default()
+            });
+            (c, k, r)
+        },
+    );
+    let mut t = Table::new(
+        "Fig 3(a): RC write throughput vs PCIe read rate, Mops/s",
+        &[
+            "clients",
+            "outbound",
+            "outbound PCIeRdCur",
+            "inbound",
+            "inbound PCIeRdCur",
+        ],
+    );
+    for &c in &clients {
+        let get = |k: RawVerbKind| {
+            results
+                .iter()
+                .find(|(rc, rk, _)| *rc == c && *rk == k)
+                .map(|(_, _, r)| *r)
+                .unwrap()
+        };
+        let o = get(RawVerbKind::OutboundWrite);
+        let i = get(RawVerbKind::InboundWrite);
+        t.row(vec![
+            c.to_string(),
+            mops(o.mops),
+            mops(o.pcie_rd_mops),
+            mops(i.mops),
+            mops(i.pcie_rd_mops),
+        ]);
+    }
+    t.print();
+    t.save_csv("fig03a");
+}
+
+/// Fig. 3(b): inbound RC write throughput and L3 miss rate vs message
+/// block size (400 clients × 20 blocks).
+pub fn fig03b() {
+    let blocks: Vec<usize> = if full_sweeps() {
+        vec![128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+    } else {
+        vec![128, 512, 2048, 8192]
+    };
+    let results = parallel_map(blocks.clone(), |b| {
+        let r = run_raw_verbs(RawVerbConfig {
+            kind: RawVerbKind::InboundWrite,
+            clients: 400,
+            block_size: b,
+            ..Default::default()
+        });
+        (b, r)
+    });
+    let mut t = Table::new(
+        "Fig 3(b): inbound RC write vs block size (400 clients x 20 blocks)",
+        &["block", "Mops/s", "L3 miss rate", "PCIeItoM Mops/s"],
+    );
+    for (b, r) in results {
+        t.row(vec![
+            format!("{b}B"),
+            mops(r.mops),
+            format!("{:.2}", r.l3_miss_rate),
+            mops(r.pcie_itom_mops),
+        ]);
+    }
+    t.print();
+    t.save_csv("fig03b");
+}
+
+/// Fig. 8 (left): throughput vs clients for all transports, batch 1/8.
+pub fn fig08_clients() {
+    for batch in [1usize, 8] {
+        let kinds = TransportKind::fig8_set();
+        let points: Vec<(usize, TransportKind)> = client_counts()
+            .into_iter()
+            .flat_map(|c| kinds.iter().cloned().map(move |k| (c, k)))
+            .collect();
+        let results = parallel_map(points, |(c, k)| {
+            let name = k.name();
+            let r = run_rpc(RpcRunConfig {
+                kind: k,
+                clients: c,
+                batch,
+                ..Default::default()
+            });
+            (c, name, r.mops)
+        });
+        let mut t = Table::new(
+            &format!("Fig 8 (left, batch {batch}): throughput vs clients, Mops/s"),
+            &["clients", "ScaleRPC", "RawWrite", "HERD", "FaSST"],
+        );
+        for c in client_counts() {
+            let get = |n: &str| {
+                results
+                    .iter()
+                    .find(|(rc, rn, _)| *rc == c && *rn == n)
+                    .map(|(_, _, v)| *v)
+                    .unwrap_or(0.0)
+            };
+            t.row(vec![
+                c.to_string(),
+                mops(get("ScaleRPC")),
+                mops(get("RawWrite")),
+                mops(get("HERD")),
+                mops(get("FaSST")),
+            ]);
+        }
+        t.print();
+        t.save_csv(&format!("fig08_clients_batch{batch}"));
+    }
+}
+
+/// Fig. 8 (right): throughput vs number of physical client machines with
+/// 40 client threads total.
+pub fn fig08_machines() {
+    for batch in [1usize, 8] {
+        let kinds = TransportKind::fig8_set();
+        let points: Vec<(usize, TransportKind)> = (1..=5usize)
+            .flat_map(|m| kinds.iter().cloned().map(move |k| (m, k)))
+            .collect();
+        let results = parallel_map(points, |(m, k)| {
+            let name = k.name();
+            let r = run_rpc(RpcRunConfig {
+                kind: k,
+                clients: 40,
+                machines: m,
+                threads_per_machine: 40usize.div_ceil(m),
+                batch,
+                ..Default::default()
+            });
+            (m, name, r.mops)
+        });
+        let mut t = Table::new(
+            &format!("Fig 8 (right, batch {batch}): 40 client threads over N machines, Mops/s"),
+            &["machines", "ScaleRPC", "RawWrite", "HERD", "FaSST"],
+        );
+        for m in 1..=5usize {
+            let get = |n: &str| {
+                results
+                    .iter()
+                    .find(|(rm, rn, _)| *rm == m && *rn == n)
+                    .map(|(_, _, v)| *v)
+                    .unwrap_or(0.0)
+            };
+            t.row(vec![
+                m.to_string(),
+                mops(get("ScaleRPC")),
+                mops(get("RawWrite")),
+                mops(get("HERD")),
+                mops(get("FaSST")),
+            ]);
+        }
+        t.print();
+        t.save_csv(&format!("fig08_machines_batch{batch}"));
+    }
+}
+
+/// Fig. 9: latency distribution at 120 clients (batch 1 and 8).
+pub fn fig09() {
+    for batch in [1usize, 8] {
+        let kinds = TransportKind::fig8_set();
+        let results = parallel_map(kinds, |k| {
+            let name = k.name();
+            let r = run_rpc(RpcRunConfig {
+                kind: k,
+                clients: 120,
+                batch,
+                ..Default::default()
+            });
+            (name, r)
+        });
+        let mut t = Table::new(
+            &format!("Fig 9 (batch {batch}, 120 clients): latency and throughput"),
+            &[
+                "RPC", "median us", "avg us", "p99 us", "max us", "Mops/s",
+            ],
+        );
+        for (name, r) in &results {
+            t.row(vec![
+                name.to_string(),
+                us(r.median_us),
+                us(r.mean_us),
+                us(r.p99_us),
+                us(r.max_us),
+                mops(r.mops),
+            ]);
+        }
+        t.print();
+        t.save_csv(&format!("fig09_batch{batch}"));
+        // CDF curves (a few representative points per transport).
+        let mut cdf_t = Table::new(
+            &format!("Fig 9 CDF (batch {batch}): latency us at fraction"),
+            &["RPC", "p10", "p50", "p90", "p99", "p999"],
+        );
+        for (name, r) in &results {
+            let q = |frac: f64| {
+                r.cdf
+                    .iter()
+                    .find(|p| p.fraction >= frac)
+                    .map(|p| p.value as f64 / 1e3)
+                    .unwrap_or(0.0)
+            };
+            cdf_t.row(vec![
+                name.to_string(),
+                us(q(0.10)),
+                us(q(0.50)),
+                us(q(0.90)),
+                us(q(0.99)),
+                us(q(0.999)),
+            ]);
+        }
+        cdf_t.print();
+        cdf_t.save_csv(&format!("fig09_cdf_batch{batch}"));
+    }
+}
+
+/// Fig. 10: hardware counters, RawWrite vs ScaleRPC.
+pub fn fig10() {
+    let clients: Vec<usize> = if full_sweeps() {
+        vec![40, 80, 120, 160, 240, 320, 400]
+    } else {
+        vec![40, 120, 240, 400]
+    };
+    let points: Vec<(usize, bool)> = clients
+        .iter()
+        .flat_map(|&c| [(c, false), (c, true)])
+        .collect();
+    let results = parallel_map(points, |(c, scale)| {
+        let kind = if scale {
+            TransportKind::ScaleRpc(ScaleRpcConfig::default())
+        } else {
+            TransportKind::RawWrite
+        };
+        let r = run_rpc(RpcRunConfig {
+            kind,
+            clients: c,
+            batch: 1,
+            ..Default::default()
+        });
+        (c, scale, r)
+    });
+    let mut t = Table::new(
+        "Fig 10: throughput and PCIe counters, RawWrite vs ScaleRPC (Mops/s)",
+        &[
+            "clients",
+            "Raw tput",
+            "Raw PCIeRdCur",
+            "Raw PCIeItoM",
+            "Scale tput",
+            "Scale PCIeRdCur",
+            "Scale PCIeItoM",
+        ],
+    );
+    for &c in &clients {
+        let get = |scale: bool| {
+            results
+                .iter()
+                .find(|(rc, rs, _)| *rc == c && *rs == scale)
+                .map(|(_, _, r)| r.clone())
+                .unwrap()
+        };
+        let raw = get(false);
+        let sc = get(true);
+        t.row(vec![
+            c.to_string(),
+            mops(raw.mops),
+            mops(raw.pcie_rd_mops),
+            mops(raw.pcie_itom_mops),
+            mops(sc.mops),
+            mops(sc.pcie_rd_mops),
+            mops(sc.pcie_itom_mops),
+        ]);
+    }
+    t.print();
+    t.save_csv("fig10");
+}
+
+/// Fig. 11(a): sensitivity to the time-slice length (80 clients, group
+/// 40, batch 1).
+pub fn fig11a() {
+    let slices: Vec<u64> = if full_sweeps() {
+        vec![30, 50, 75, 100, 150, 200, 250]
+    } else {
+        vec![30, 60, 100, 180, 250]
+    };
+    let results = parallel_map(slices.clone(), |slice_us| {
+        let r = run_rpc(RpcRunConfig {
+            kind: TransportKind::ScaleRpc(ScaleRpcConfig {
+                time_slice: SimDuration::micros(slice_us),
+                ..Default::default()
+            }),
+            clients: 80,
+            batch: 1,
+            ..Default::default()
+        });
+        (slice_us, r)
+    });
+    let mut t = Table::new(
+        "Fig 11(a): time-slice sensitivity (80 clients, group 40)",
+        &["slice us", "Mops/s", "max latency us"],
+    );
+    for (s, r) in results {
+        t.row(vec![s.to_string(), mops(r.mops), us(r.max_us)]);
+    }
+    t.print();
+    t.save_csv("fig11a");
+}
+
+/// Fig. 11(b): sensitivity to the group size (two groups of clients).
+pub fn fig11b() {
+    let groups: Vec<usize> = if full_sweeps() {
+        vec![10, 20, 30, 40, 50, 60, 70]
+    } else {
+        vec![10, 20, 40, 55, 70]
+    };
+    let results = parallel_map(groups.clone(), |g| {
+        let r = run_rpc(RpcRunConfig {
+            kind: TransportKind::ScaleRpc(ScaleRpcConfig {
+                group_size: g,
+                ..Default::default()
+            }),
+            clients: 2 * g, // two groups, as in the paper
+            batch: 8,
+            ..Default::default()
+        });
+        (g, r)
+    });
+    let mut t = Table::new(
+        "Fig 11(b): group-size sensitivity (two groups)",
+        &["group", "Mops/s"],
+    );
+    for (g, r) in results {
+        t.row(vec![g.to_string(), mops(r.mops)]);
+    }
+    t.print();
+    t.save_csv("fig11b");
+}
+
+/// Fig. 12: dynamic vs static scheduling under skewed client behaviour.
+pub fn fig12() {
+    let sigmas = [0.8f64, 1.0];
+    let points: Vec<(f64, bool)> = sigmas
+        .iter()
+        .flat_map(|&s| [(s, false), (s, true)])
+        .collect();
+    let results = parallel_map(points, |(sigma, dynamic)| {
+        let mut rng = DetRng::new(99);
+        let think = ThinkTime::gaussian_mix(120, SimDuration::micros(150), sigma, &mut rng);
+        let r = run_rpc(RpcRunConfig {
+            kind: TransportKind::ScaleRpc(ScaleRpcConfig {
+                dynamic_scheduling: dynamic,
+                regroup_rotations: 2,
+                ..Default::default()
+            }),
+            clients: 120,
+            batch: 4,
+            think,
+            run: SimDuration::millis(10),
+            ..Default::default()
+        });
+        (sigma, dynamic, r.mops)
+    });
+    let mut t = Table::new(
+        "Fig 12: priority scheduling under Gaussian access-frequency skew",
+        &["sigma", "Static Mops/s", "Dynamic Mops/s", "gain"],
+    );
+    for &sigma in &sigmas {
+        let get = |d: bool| {
+            results
+                .iter()
+                .find(|(rs, rd, _)| *rs == sigma && *rd == d)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0.0)
+        };
+        let st = get(false);
+        let dy = get(true);
+        t.row(vec![
+            format!("{sigma:.1}"),
+            mops(st),
+            mops(dy),
+            format!("{:+.1}%", (dy / st - 1.0) * 100.0),
+        ]);
+    }
+    t.print();
+    t.save_csv("fig12");
+}
+
+/// Fig. 13: DFS metadata performance, selfRPC vs ScaleRPC.
+pub fn fig13() {
+    let clients = [40usize, 80, 120];
+    let ops = FsOp::all();
+    let points: Vec<(usize, FsOp, MdsTransport)> = clients
+        .iter()
+        .flat_map(|&c| {
+            ops.iter().flat_map(move |&op| {
+                [MdsTransport::SelfRpc, MdsTransport::ScaleRpc]
+                    .into_iter()
+                    .map(move |t| (c, op, t))
+            })
+        })
+        .collect();
+    let results = parallel_map(points, |(c, op, transport)| {
+        let r = run_mdtest(&MdtestRun {
+            clients: c,
+            op,
+            transport,
+            ..Default::default()
+        });
+        (c, op, transport, r.ops_per_sec / 1e3)
+    });
+    for op in ops {
+        let mut t = Table::new(
+            &format!("Fig 13 ({}): metadata throughput, Kops/s", op.name()),
+            &["clients", "selfRPC", "ScaleRPC", "gain"],
+        );
+        for &c in &clients {
+            let get = |tr: MdsTransport| {
+                results
+                    .iter()
+                    .find(|(rc, rop, rt, _)| *rc == c && *rop == op && *rt == tr)
+                    .map(|(_, _, _, v)| *v)
+                    .unwrap_or(0.0)
+            };
+            let s = get(MdsTransport::SelfRpc);
+            let sc = get(MdsTransport::ScaleRpc);
+            t.row(vec![
+                c.to_string(),
+                format!("{s:.0}"),
+                format!("{sc:.0}"),
+                format!("{:+.0}%", (sc / s - 1.0) * 100.0),
+            ]);
+        }
+        t.print();
+        t.save_csv(&format!("fig13_{}", op.name().to_lowercase()));
+    }
+}
+
+/// The five transaction systems of Fig. 16.
+fn tx_systems() -> Vec<(&'static str, &'static str, bool)> {
+    // (label, transport, one_sided)
+    vec![
+        ("RawWrite", "rawwrite", true),
+        ("HERD", "herd", false),
+        ("FaSST", "fasst", false),
+        ("ScaleTX-O", "scalerpc", false),
+        ("ScaleTX", "scalerpc", true),
+    ]
+}
+
+fn run_tx_system(
+    label: &str,
+    transport: &str,
+    one_sided: bool,
+    workload: TxWorkload,
+    coordinators: usize,
+) -> f64 {
+    let keys = match &workload {
+        TxWorkload::ObjectStore {
+            keys_per_server, ..
+        } => *keys_per_server,
+        TxWorkload::SmallBank {
+            accounts_per_server,
+            servers,
+            ..
+        } => accounts_per_server * 2 * servers / 3 + 2,
+    };
+    let value_size = match &workload {
+        TxWorkload::ObjectStore { .. } => 40,
+        TxWorkload::SmallBank { .. } => 8,
+    };
+    let cfg = TxConfig {
+        coordinators,
+        servers: 3,
+        client_machines: 8,
+        workload,
+        one_sided,
+        value_size,
+        keys_per_server: keys,
+        initial_balance: 1_000,
+        warmup: SimDuration::millis(2),
+        run: SimDuration::millis(6),
+        coord_cpu_mult: 8,
+        seed: 31,
+    };
+    let _ = label;
+    match transport {
+        "scalerpc" => run_scalerpc_tx(cfg, ScaleRpcConfig::default(), SimDuration::ZERO)
+            .logic
+            .metrics
+            .tps(),
+        "rawwrite" => {
+            let mut fabric = rdma_fabric::Fabric::new(rdma_fabric::FabricParams::default());
+            let tx = scaletx::TxSim::build(&mut fabric, cfg, |f, cl, part, _| {
+                rpc_baselines::RawWrite::new(f, cl, 8, 4096, part)
+            });
+            let stop = tx.stop_at();
+            let mut sim = rpc_core::Sim::new(fabric, tx);
+            sim.run_until(stop + SimDuration::millis(3));
+            sim.logic.metrics.tps()
+        }
+        "herd" => {
+            let mut fabric = rdma_fabric::Fabric::new(rdma_fabric::FabricParams::default());
+            let tx = scaletx::TxSim::build(&mut fabric, cfg, |f, cl, part, _| {
+                rpc_baselines::Herd::new(f, cl, 8, 4096, part)
+            });
+            let stop = tx.stop_at();
+            let mut sim = rpc_core::Sim::new(fabric, tx);
+            sim.run_until(stop + SimDuration::millis(3));
+            sim.logic.metrics.tps()
+        }
+        "fasst" => {
+            let mut fabric = rdma_fabric::Fabric::new(rdma_fabric::FabricParams::default());
+            let tx = scaletx::TxSim::build(&mut fabric, cfg, |f, cl, part, _| {
+                rpc_baselines::Fasst::new(f, cl, 4096, part)
+            });
+            let stop = tx.stop_at();
+            let mut sim = rpc_core::Sim::new(fabric, tx);
+            sim.run_until(stop + SimDuration::millis(3));
+            sim.logic.metrics.tps()
+        }
+        other => panic!("unknown transport {other}"),
+    }
+}
+
+/// Fig. 16: transaction throughput — object store (read-only and
+/// read-write) and SmallBank, 80 and 160 coordinators.
+pub fn fig16() {
+    let scenarios: Vec<(&str, TxWorkload)> = vec![
+        (
+            "object store r=4 w=0 (read-only)",
+            TxWorkload::ObjectStore {
+                reads: 4,
+                writes: 0,
+                keys_per_server: 20_000,
+                servers: 3,
+            },
+        ),
+        (
+            "object store r=3 w=1",
+            TxWorkload::ObjectStore {
+                reads: 3,
+                writes: 1,
+                keys_per_server: 20_000,
+                servers: 3,
+            },
+        ),
+        (
+            "SmallBank (85% updates, 4%/60% hot)",
+            TxWorkload::smallbank(if full_sweeps() { 1_000_000 } else { 50_000 }, 3),
+        ),
+    ];
+    for (name, workload) in scenarios {
+        let points: Vec<(&'static str, &'static str, bool, usize)> = tx_systems()
+            .into_iter()
+            .flat_map(|(l, t, o)| [80usize, 160].map(move |c| (l, t, o, c)))
+            .collect();
+        let w = workload.clone();
+        let results = parallel_map(points, |(label, transport, one_sided, coords)| {
+            let tps = run_tx_system(label, transport, one_sided, w.clone(), coords);
+            (label, coords, tps / 1e3)
+        });
+        let mut t = Table::new(
+            &format!("Fig 16: {name}, Ktx/s"),
+            &["system", "80 coords", "160 coords"],
+        );
+        for (label, _, _) in tx_systems() {
+            let get = |c: usize| {
+                results
+                    .iter()
+                    .find(|(l, rc, _)| *l == label && *rc == c)
+                    .map(|(_, _, v)| *v)
+                    .unwrap_or(0.0)
+            };
+            t.row(vec![
+                label.to_string(),
+                format!("{:.0}", get(80)),
+                format!("{:.0}", get(160)),
+            ]);
+        }
+        t.print();
+        t.save_csv(&format!(
+            "fig16_{}",
+            name.split(' ').next().unwrap_or("x").to_lowercase()
+        ));
+    }
+}
+
+/// §5.1: ordered large-transfer bandwidth, UD 4 KB chunking vs RC.
+pub fn fig_ud_bw() {
+    let (ud, rc) = UdChunk::compare(4 << 20);
+    let mut t = Table::new(
+        "Sec 5.1: single-thread ordered 4 MB transfer bandwidth",
+        &["scheme", "GB/s", "fraction of RC"],
+    );
+    t.row(vec!["UD 4KB chunked".into(), format!("{ud:.2}"), format!("{:.1}%", ud / rc * 100.0)]);
+    t.row(vec!["RC single write".into(), format!("{rc:.2}"), "100%".into()]);
+    t.print();
+    t.save_csv("fig_ud_bw");
+}
+
+/// Runs every figure in order.
+pub fn all_figures() {
+    table1();
+    fig01a();
+    fig01b();
+    fig03a();
+    fig03b();
+    fig08_clients();
+    fig08_machines();
+    fig09();
+    fig10();
+    fig11a();
+    fig11b();
+    fig12();
+    fig13();
+    fig16();
+    fig_ud_bw();
+}

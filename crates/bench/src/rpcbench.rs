@@ -1,0 +1,207 @@
+//! Shared RPC benchmark runner for Fig. 8–12.
+
+use rdma_fabric::{Fabric, FabricParams};
+use rpc_baselines::{Fasst, Herd, RawWrite, SelfRpc};
+use rpc_core::cluster::{Cluster, ClusterSpec};
+use rpc_core::driver::Sim;
+use rpc_core::harness::{Harness, HarnessConfig};
+use rpc_core::transport::EchoHandler;
+use rpc_core::workload::ThinkTime;
+use scalerpc::{ScaleRpc, ScaleRpcConfig};
+use simcore::stats::CdfPoint;
+use simcore::{SimDuration, SimTime};
+
+/// Which RPC implementation to benchmark.
+#[derive(Clone, Debug)]
+pub enum TransportKind {
+    /// ScaleRPC with the given configuration.
+    ScaleRpc(ScaleRpcConfig),
+    /// RawWrite baseline.
+    RawWrite,
+    /// HERD baseline.
+    Herd,
+    /// FaSST baseline.
+    Fasst,
+    /// Octopus' self-identified RPC.
+    SelfRpc,
+}
+
+impl TransportKind {
+    /// Display name as used in the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::ScaleRpc(_) => "ScaleRPC",
+            TransportKind::RawWrite => "RawWrite",
+            TransportKind::Herd => "HERD",
+            TransportKind::Fasst => "FaSST",
+            TransportKind::SelfRpc => "SelfRPC",
+        }
+    }
+
+    /// The four transports of Fig. 8/9 (Table 2 plus ScaleRPC).
+    pub fn fig8_set() -> Vec<TransportKind> {
+        vec![
+            TransportKind::ScaleRpc(ScaleRpcConfig::default()),
+            TransportKind::RawWrite,
+            TransportKind::Herd,
+            TransportKind::Fasst,
+        ]
+    }
+}
+
+/// One benchmark point.
+#[derive(Clone, Debug)]
+pub struct RpcRunConfig {
+    /// The transport.
+    pub kind: TransportKind,
+    /// Number of coroutine clients.
+    pub clients: usize,
+    /// Physical client machines.
+    pub machines: usize,
+    /// Threads per client machine.
+    pub threads_per_machine: usize,
+    /// Server worker threads.
+    pub server_threads: usize,
+    /// Requests per batch.
+    pub batch: usize,
+    /// Per-client think times.
+    pub think: Vec<ThinkTime>,
+    /// Warmup.
+    pub warmup: SimDuration,
+    /// Measured run.
+    pub run: SimDuration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RpcRunConfig {
+    fn default() -> Self {
+        RpcRunConfig {
+            kind: TransportKind::ScaleRpc(ScaleRpcConfig::default()),
+            clients: 40,
+            machines: 11,
+            threads_per_machine: 8,
+            server_threads: 10,
+            batch: 1,
+            think: vec![ThinkTime::None],
+            warmup: SimDuration::millis(2),
+            run: SimDuration::millis(6),
+            seed: 42,
+        }
+    }
+}
+
+/// Measured outcome of one point.
+#[derive(Clone, Debug)]
+pub struct RpcRunResult {
+    /// Throughput in Mops/s.
+    pub mops: f64,
+    /// Median batch latency (µs).
+    pub median_us: f64,
+    /// Mean batch latency (µs).
+    pub mean_us: f64,
+    /// Maximum batch latency (µs).
+    pub max_us: f64,
+    /// 99th percentile latency (µs).
+    pub p99_us: f64,
+    /// Latency CDF (values in ns).
+    pub cdf: Vec<CdfPoint>,
+    /// Server `PCIeRdCur` rate over the window (Mops/s).
+    pub pcie_rd_mops: f64,
+    /// Server `PCIeItoM` rate over the window (Mops/s).
+    pub pcie_itom_mops: f64,
+}
+
+/// Runs one benchmark point.
+pub fn run_rpc(cfg: RpcRunConfig) -> RpcRunResult {
+    let mut fabric = Fabric::new(FabricParams::default());
+    let cluster = Cluster::build(
+        &mut fabric,
+        ClusterSpec {
+            server_threads: cfg.server_threads,
+            client_machines: cfg.machines,
+            threads_per_machine: cfg.threads_per_machine,
+            clients: cfg.clients,
+        },
+    );
+    let server = cluster.server;
+    let hcfg = HarnessConfig {
+        batch_size: cfg.batch,
+        request_size: 32,
+        warmup: cfg.warmup,
+        run: cfg.run,
+        think: cfg.think.clone(),
+        seed: cfg.seed,
+    };
+    macro_rules! drive {
+        ($t:expr) => {{
+            let h = Harness::new($t, cluster, hcfg);
+            let stop = h.stop_at();
+            let mut sim = Sim::new(fabric, h);
+            // Let things settle, snapshot counters at window start by
+            // running to it first.
+            sim.run_until(SimTime::ZERO + cfg.warmup);
+            let snap = sim.fabric.counters(server).expect("server").snapshot();
+            sim.run_until(stop);
+            let delta = sim
+                .fabric
+                .counters(server)
+                .expect("server")
+                .delta_since(&snap);
+            sim.run_until(stop + SimDuration::millis(3));
+            let m = &sim.logic.metrics;
+            let secs = cfg.run.as_secs_f64();
+            RpcRunResult {
+                mops: m.mops(),
+                median_us: m.median_us(),
+                mean_us: m.mean_us(),
+                max_us: m.max_us(),
+                p99_us: m.quantile_us(0.99),
+                cdf: m.latency_cdf(),
+                pcie_rd_mops: delta.get("PCIeRdCur") as f64 / secs / 1e6,
+                pcie_itom_mops: delta.get("PCIeItoM") as f64 / secs / 1e6,
+            }
+        }};
+    }
+    match cfg.kind.clone() {
+        TransportKind::ScaleRpc(sc) => {
+            let t = ScaleRpc::new(&mut fabric, &cluster, sc, EchoHandler::default());
+            drive!(t)
+        }
+        TransportKind::RawWrite => {
+            let t = RawWrite::new(&mut fabric, &cluster, 8, 4096, EchoHandler::default());
+            drive!(t)
+        }
+        TransportKind::Herd => {
+            let t = Herd::new(&mut fabric, &cluster, 8, 4096, EchoHandler::default());
+            drive!(t)
+        }
+        TransportKind::Fasst => {
+            let t = Fasst::new(&mut fabric, &cluster, 4096, EchoHandler::default());
+            drive!(t)
+        }
+        TransportKind::SelfRpc => {
+            let t = SelfRpc::new(&mut fabric, &cluster, 8, 4096, EchoHandler::default());
+            drive!(t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_produces_sane_numbers() {
+        let r = run_rpc(RpcRunConfig {
+            clients: 16,
+            machines: 2,
+            warmup: SimDuration::micros(300),
+            run: SimDuration::millis(1),
+            ..Default::default()
+        });
+        assert!(r.mops > 0.5, "{:?}", r.mops);
+        assert!(r.median_us > 1.0 && r.median_us < 1_000.0);
+        assert!(!r.cdf.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Parallel sweep execution.
+//!
+//! Every figure is a sweep of independent, deterministic simulations, so
+//! points run on a thread pool. Determinism is preserved: each point is
+//! seeded independently and results are returned in input order.
+
+use crossbeam::thread;
+
+/// Maps `f` over `inputs` in parallel, preserving order.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(inputs.len().max(1));
+    let n = inputs.len();
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let jobs: Vec<(usize, I)> = inputs.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(jobs);
+    let results = parking_lot::Mutex::new(Vec::<(usize, O)>::new());
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let job = queue.lock().pop();
+                match job {
+                    Some((i, input)) => {
+                        let out = f(input);
+                        results.lock().push((i, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    for (i, o) in results.into_inner() {
+        slots[i] = Some(o);
+    }
+    slots.into_iter().map(|s| s.expect("all jobs ran")).collect()
+}
+
+/// Whether the full (paper-length) parameter sweeps were requested via
+/// the `SCALERPC_FULL` environment variable; the default keeps `cargo
+/// bench` runs short.
+pub fn full_sweeps() -> bool {
+    std::env::var("SCALERPC_FULL").map(|v| v != "0").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * x);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

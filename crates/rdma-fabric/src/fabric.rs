@@ -1,0 +1,1089 @@
+//! The fabric: nodes, verbs posting, and the event-driven data path.
+//!
+//! Every verb travels the pipeline
+//!
+//! ```text
+//! poster CPU ──doorbell──▶ tx NIC engine ──wire──▶ rx NIC engine ──DMA──▶
+//!   (MMIO cost)   (QP/WQE cache, payload DMA)  (DDIO/LLC)    memory + CQE
+//! ```
+//!
+//! Each stage is a FIFO queueing resource, so saturation and queueing
+//! delay emerge from load. The NIC cache and LLC models are consulted on
+//! the way through and feed the simulated PCM counters.
+//!
+//! The fabric schedules its own [`FabricEvent`]s through a caller-supplied
+//! callback and reports application-visible effects as [`Upcall`]s, so it
+//! stays decoupled from whatever RPC layer runs above it.
+
+use crate::cq::{CompletionQueue, Wc, WcOpcode, WcStatus};
+use crate::error::{VerbError, VerbResult};
+use crate::llc::LlcModel;
+use crate::mr::MemoryRegion;
+use crate::niccache::NicCache;
+use crate::params::FabricParams;
+use crate::qp::{QpState, QueuePair, RecvWqe, Transport};
+use crate::types::{CqId, MrId, NodeId, QpId, RemoteAddr, WrId};
+use crate::verbs::{AtomicOp, WorkRequest};
+use bytes::Bytes;
+use simcore::stats::CounterSet;
+use simcore::{FifoResource, SimDuration, SimTime, SkewedClock};
+
+/// Callback used by the fabric to schedule its internal events.
+pub type Sched<'a> = dyn FnMut(SimTime, FabricEvent) + 'a;
+
+/// What the application gets back from a successful post.
+#[derive(Clone, Copy, Debug)]
+pub struct PostInfo {
+    /// Identifier echoed in the eventual completion.
+    pub wr_id: WrId,
+    /// CPU time the posting thread spent (WQE build + MMIO doorbell).
+    /// The caller owns its own timeline and must account for this.
+    pub cpu: SimDuration,
+}
+
+/// Application-visible effects emitted while handling fabric events.
+#[derive(Clone, Debug)]
+pub enum Upcall {
+    /// A work completion was pushed to `cq` on `node`.
+    Completion {
+        /// Node owning the CQ.
+        node: NodeId,
+        /// The completion queue.
+        cq: CqId,
+        /// The completion entry (also retrievable via `poll_cq`).
+        wc: Wc,
+    },
+    /// One-sided data landed in `mr` at `[offset, offset+len)` on `node`.
+    ///
+    /// Real hardware gives no such notification — servers discover
+    /// messages by polling. The upcall is a *scheduling hint* that lets
+    /// the simulation wake a polling actor at the right instant; the
+    /// actor still pays the modelled polling and LLC costs to observe the
+    /// data.
+    MemWrite {
+        /// Node owning the region.
+        node: NodeId,
+        /// The region written.
+        mr: MrId,
+        /// First byte written.
+        offset: usize,
+        /// Number of bytes written.
+        len: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum PacketKind {
+    Send {
+        data: Bytes,
+        imm: Option<u32>,
+    },
+    Write {
+        data: Bytes,
+        remote: RemoteAddr,
+        imm: Option<u32>,
+    },
+    ReadReq {
+        remote: RemoteAddr,
+        len: usize,
+        local_mr: MrId,
+        local_offset: usize,
+    },
+    ReadResp {
+        data: Bytes,
+        local_mr: MrId,
+        local_offset: usize,
+    },
+    AtomicReq {
+        op: AtomicOp,
+        remote: RemoteAddr,
+        local_mr: MrId,
+        local_offset: usize,
+    },
+    AtomicResp {
+        old: u64,
+        local_mr: MrId,
+        local_offset: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Packet {
+    src_qp: QpId,
+    dst_qp: QpId,
+    wr_id: WrId,
+    signaled: bool,
+    kind: PacketKind,
+}
+
+#[derive(Debug)]
+enum Inner {
+    /// The tx NIC engine picks up a posted WQE.
+    TxProcess { pkt: Packet, slot: u32 },
+    /// A packet reaches the destination NIC.
+    RxProcess { pkt: Packet },
+    /// Responder-side memory/CQE effects materialize after the DMA write.
+    Deliver {
+        node: NodeId,
+        writes: Vec<(MrId, usize, Bytes)>,
+        mem_hint: Option<(MrId, usize, usize)>,
+        wc: Option<(CqId, Wc)>,
+    },
+    /// Requester-side completion (ack arrival or local completion).
+    Complete {
+        qp: QpId,
+        wc: Option<Wc>,
+    },
+}
+
+/// An internal fabric event. Opaque to applications: they only move these
+/// between the scheduler callback and [`Fabric::handle`].
+#[derive(Debug)]
+pub struct FabricEvent(Inner);
+
+#[derive(Debug)]
+struct Node {
+    #[allow(dead_code)]
+    name: String,
+    nic: NicCache,
+    llc: LlcModel,
+    tx: FifoResource,
+    rx: FifoResource,
+    counters: CounterSet,
+    clock: SkewedClock,
+}
+
+/// The simulated RDMA fabric: all nodes, regions, queue pairs and
+/// completion queues, plus the models that price every operation.
+#[derive(Debug)]
+pub struct Fabric {
+    params: FabricParams,
+    nodes: Vec<Node>,
+    mrs: Vec<MemoryRegion>,
+    mr_owner: Vec<NodeId>,
+    qps: Vec<QueuePair>,
+    qp_slot: Vec<u32>,
+    cqs: Vec<CompletionQueue>,
+    cq_owner: Vec<NodeId>,
+    next_wr: WrId,
+}
+
+impl Fabric {
+    /// Creates an empty fabric with the given model parameters.
+    pub fn new(params: FabricParams) -> Self {
+        Fabric {
+            params,
+            nodes: Vec::new(),
+            mrs: Vec::new(),
+            mr_owner: Vec::new(),
+            qps: Vec::new(),
+            qp_slot: Vec::new(),
+            cqs: Vec::new(),
+            cq_owner: Vec::new(),
+            next_wr: 1,
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    // ---- topology -------------------------------------------------------
+
+    /// Adds a machine with a perfect local clock.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        self.add_node_with_clock(name, SkewedClock::ideal())
+    }
+
+    /// Adds a machine with the given local clock (offset + drift), used by
+    /// the global-synchronization experiments.
+    pub fn add_node_with_clock(&mut self, name: &str, clock: SkewedClock) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            nic: NicCache::new(
+                self.params.nic_qp_cache_entries,
+                self.params.nic_wqe_cache_entries,
+            ),
+            llc: LlcModel::new(self.params.llc_bytes, self.params.ddio_fraction),
+            tx: FifoResource::new(),
+            rx: FifoResource::new(),
+            counters: CounterSet::new(),
+            clock,
+        });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self, id: NodeId) -> VerbResult<&Node> {
+        self.nodes.get(id.index()).ok_or(VerbError::UnknownNode(id))
+    }
+
+    /// Registers a zero-filled memory region of `len` bytes on `node`.
+    pub fn register_mr(&mut self, node: NodeId, len: usize) -> VerbResult<MrId> {
+        self.node(node)?;
+        let id = MrId(self.mrs.len() as u32);
+        self.mrs.push(MemoryRegion::new(id, len));
+        self.mr_owner.push(node);
+        Ok(id)
+    }
+
+    /// Creates a completion queue on `node`.
+    pub fn create_cq(&mut self, node: NodeId) -> VerbResult<CqId> {
+        self.node(node)?;
+        let id = CqId(self.cqs.len() as u32);
+        self.cqs.push(CompletionQueue::new(id));
+        self.cq_owner.push(node);
+        Ok(id)
+    }
+
+    /// Creates a queue pair on `node` with the given transport and CQs.
+    pub fn create_qp(
+        &mut self,
+        node: NodeId,
+        transport: Transport,
+        send_cq: CqId,
+        recv_cq: CqId,
+    ) -> VerbResult<QpId> {
+        self.node(node)?;
+        self.cq(send_cq)?;
+        self.cq(recv_cq)?;
+        let id = QpId(self.qps.len() as u32);
+        self.qps
+            .push(QueuePair::new(id, node, transport, send_cq, recv_cq));
+        self.qp_slot.push(0);
+        Ok(id)
+    }
+
+    /// Connects two RC/UC queue pairs (both directions).
+    pub fn connect(&mut self, a: QpId, b: QpId) -> VerbResult<()> {
+        let ta = self.qp(a)?.transport();
+        let tb = self.qp(b)?.transport();
+        if ta != tb || !ta.is_connected() || a == b {
+            return Err(VerbError::ConnectionMismatch(a, b));
+        }
+        // Validate both before mutating either, so failure leaves no
+        // half-connected pair.
+        if self.qp(a)?.state() != QpState::Reset || self.qp(b)?.state() != QpState::Reset {
+            return Err(VerbError::ConnectionMismatch(a, b));
+        }
+        self.qp_mut(a)?.connect_to(b)?;
+        self.qp_mut(b)?.connect_to(a)?;
+        Ok(())
+    }
+
+    /// Tears a queue pair down; in-flight packets toward it are dropped.
+    pub fn destroy_qp(&mut self, qp: QpId) -> VerbResult<()> {
+        self.qp_mut(qp)?.tear_down();
+        Ok(())
+    }
+
+    fn qp(&self, id: QpId) -> VerbResult<&QueuePair> {
+        self.qps.get(id.index()).ok_or(VerbError::UnknownQp(id))
+    }
+
+    fn qp_mut(&mut self, id: QpId) -> VerbResult<&mut QueuePair> {
+        self.qps.get_mut(id.index()).ok_or(VerbError::UnknownQp(id))
+    }
+
+    fn cq(&self, id: CqId) -> VerbResult<&CompletionQueue> {
+        self.cqs.get(id.index()).ok_or(VerbError::UnknownCq(id))
+    }
+
+    /// Looks up a queue pair's owning node.
+    pub fn qp_node(&self, id: QpId) -> VerbResult<NodeId> {
+        Ok(self.qp(id)?.node())
+    }
+
+    /// Looks up a queue pair's transport.
+    pub fn qp_transport(&self, id: QpId) -> VerbResult<Transport> {
+        Ok(self.qp(id)?.transport())
+    }
+
+    /// Number of receives currently posted on a queue pair.
+    pub fn posted_recvs(&self, id: QpId) -> VerbResult<usize> {
+        Ok(self.qp(id)?.posted_recvs())
+    }
+
+    // ---- memory access --------------------------------------------------
+
+    /// Immutable view of a region's bytes (no cost model — pair with
+    /// [`cpu_access`](Self::cpu_access) when the read is on a timed path).
+    pub fn mr(&self, id: MrId) -> VerbResult<&MemoryRegion> {
+        self.mrs.get(id.index()).ok_or(VerbError::UnknownMr(id))
+    }
+
+    /// Mutable view of a region's bytes (local CPU stores).
+    pub fn mr_mut(&mut self, id: MrId) -> VerbResult<&mut MemoryRegion> {
+        self.mrs.get_mut(id.index()).ok_or(VerbError::UnknownMr(id))
+    }
+
+    /// The node owning a region.
+    pub fn mr_node(&self, id: MrId) -> VerbResult<NodeId> {
+        self.mr_owner
+            .get(id.index())
+            .copied()
+            .ok_or(VerbError::UnknownMr(id))
+    }
+
+    /// Charges the LLC model for a CPU access to `[offset, offset+len)`
+    /// of `mr` and returns the time it took. Use for every timed poll or
+    /// handler touch of message-pool memory.
+    pub fn cpu_access(&mut self, mr: MrId, offset: usize, len: usize) -> VerbResult<SimDuration> {
+        let node = self.mr_node(mr)?;
+        let out = self.nodes[node.index()].llc.cpu_access(mr, offset, len);
+        Ok(self.params.cpu_read_hit * out.hits + self.params.cpu_read_miss * out.misses)
+    }
+
+    /// The L3 miss rate observed by CPU accesses on `node` so far.
+    pub fn llc_miss_rate(&self, node: NodeId) -> VerbResult<f64> {
+        Ok(self.node(node)?.llc.miss_rate())
+    }
+
+    /// Resets a node's LLC hit/miss statistics (for steady-state windows).
+    pub fn reset_llc_stats(&mut self, node: NodeId) -> VerbResult<()> {
+        self.nodes
+            .get_mut(node.index())
+            .ok_or(VerbError::UnknownNode(node))?
+            .llc
+            .reset_stats();
+        Ok(())
+    }
+
+    /// A node's counter set (PCM-style PCIe counters plus fabric events).
+    pub fn counters(&self, node: NodeId) -> VerbResult<&CounterSet> {
+        Ok(&self.node(node)?.counters)
+    }
+
+    /// A node's local clock.
+    pub fn clock(&self, node: NodeId) -> VerbResult<&SkewedClock> {
+        Ok(&self.node(node)?.clock)
+    }
+
+    /// Mutable access to a node's local clock (NTP adjustments).
+    pub fn clock_mut(&mut self, node: NodeId) -> VerbResult<&mut SkewedClock> {
+        Ok(&mut self
+            .nodes
+            .get_mut(node.index())
+            .ok_or(VerbError::UnknownNode(node))?
+            .clock)
+    }
+
+    /// NIC QP-context cache hit rate on `node`.
+    pub fn nic_hit_rate(&self, node: NodeId) -> VerbResult<f64> {
+        Ok(self.node(node)?.nic.hit_rate())
+    }
+
+    /// Cumulative busy time of a node's NIC engines `(tx, rx)`, for
+    /// utilization analysis.
+    pub fn nic_busy(&self, node: NodeId) -> VerbResult<(SimDuration, SimDuration)> {
+        let n = self.node(node)?;
+        Ok((n.tx.busy_time(), n.rx.busy_time()))
+    }
+
+    // ---- completion queues ----------------------------------------------
+
+    /// Drains up to `max` completions from `cq`. The caller charges itself
+    /// [`FabricParams::cq_poll_cpu`] per call.
+    pub fn poll_cq(&mut self, cq: CqId, max: usize) -> VerbResult<Vec<Wc>> {
+        self.cqs
+            .get_mut(cq.index())
+            .ok_or(VerbError::UnknownCq(cq))
+            .map(|q| q.poll(max))
+    }
+
+    /// Pending completions on `cq` without draining.
+    pub fn cq_depth(&self, cq: CqId) -> VerbResult<usize> {
+        Ok(self.cq(cq)?.len())
+    }
+
+    // ---- posting --------------------------------------------------------
+
+    /// Posts a receive buffer on `qp`.
+    pub fn post_recv(
+        &mut self,
+        qp: QpId,
+        mr: MrId,
+        offset: usize,
+        len: usize,
+    ) -> VerbResult<PostInfo> {
+        self.mr(mr)?.check(offset, len)?;
+        let wr_id = self.next_wr;
+        self.next_wr += 1;
+        let cpu = self.params.post_recv_cpu;
+        self.qp_mut(qp)?.post_recv(RecvWqe {
+            wr_id,
+            mr,
+            offset,
+            len,
+        })?;
+        Ok(PostInfo { wr_id, cpu })
+    }
+
+    /// Posts a send-side work request on `qp`.
+    ///
+    /// `dst` addresses the destination QP for UD sends (the address
+    /// handle); it must be `None` for connected transports, whose peer is
+    /// fixed at connect time. `signaled` controls whether a send-side
+    /// completion is generated.
+    pub fn post(
+        &mut self,
+        now: SimTime,
+        qp_id: QpId,
+        wr: WorkRequest,
+        signaled: bool,
+        dst: Option<QpId>,
+        sched: &mut Sched<'_>,
+    ) -> VerbResult<PostInfo> {
+        let (transport, node) = {
+            let qp = self.qp(qp_id)?;
+            qp.ensure_ready()?;
+            (qp.transport(), qp.node())
+        };
+        // Capability checks (Table 1).
+        match &wr {
+            WorkRequest::Send { data, .. } => {
+                if transport == Transport::Ud && data.len() > self.params.ud_mtu {
+                    return Err(VerbError::MtuExceeded {
+                        len: data.len(),
+                        mtu: self.params.ud_mtu,
+                    });
+                }
+                if data.len() > self.params.rc_max_msg {
+                    return Err(VerbError::MtuExceeded {
+                        len: data.len(),
+                        mtu: self.params.rc_max_msg,
+                    });
+                }
+            }
+            WorkRequest::Write { data, .. } => {
+                if !transport.supports_write() {
+                    return Err(VerbError::UnsupportedVerb {
+                        transport: transport.name(),
+                        verb: wr.verb_name(),
+                    });
+                }
+                if data.len() > self.params.rc_max_msg {
+                    return Err(VerbError::MtuExceeded {
+                        len: data.len(),
+                        mtu: self.params.rc_max_msg,
+                    });
+                }
+            }
+            WorkRequest::Read {
+                local_mr,
+                local_offset,
+                len,
+                ..
+            } => {
+                if !transport.supports_read_atomic() {
+                    return Err(VerbError::UnsupportedVerb {
+                        transport: transport.name(),
+                        verb: wr.verb_name(),
+                    });
+                }
+                self.mr(*local_mr)?.check(*local_offset, *len)?;
+            }
+            WorkRequest::Atomic {
+                local_mr,
+                local_offset,
+                remote,
+                ..
+            } => {
+                if !transport.supports_read_atomic() {
+                    return Err(VerbError::UnsupportedVerb {
+                        transport: transport.name(),
+                        verb: wr.verb_name(),
+                    });
+                }
+                if local_offset % 8 != 0 || remote.offset % 8 != 0 {
+                    return Err(VerbError::BadAtomicTarget);
+                }
+                self.mr(*local_mr)?.check(*local_offset, 8)?;
+            }
+        }
+        // Destination resolution.
+        let dst_qp = if transport.is_connected() {
+            self.qp(qp_id)?.peer().ok_or(VerbError::InvalidQpState {
+                qp: qp_id,
+                state: "unconnected",
+            })?
+        } else {
+            match &wr {
+                WorkRequest::Send { .. } => dst.ok_or(VerbError::MissingDestination)?,
+                _ => {
+                    return Err(VerbError::UnsupportedVerb {
+                        transport: transport.name(),
+                        verb: wr.verb_name(),
+                    })
+                }
+            }
+        };
+        self.qp(dst_qp)?; // must exist
+
+        let wr_id = self.next_wr;
+        self.next_wr += 1;
+        let kind = match wr {
+            WorkRequest::Send { data, imm } => PacketKind::Send { data, imm },
+            WorkRequest::Write { data, remote, imm } => PacketKind::Write { data, remote, imm },
+            WorkRequest::Read {
+                local_mr,
+                local_offset,
+                remote,
+                len,
+            } => PacketKind::ReadReq {
+                remote,
+                len,
+                local_mr,
+                local_offset,
+            },
+            WorkRequest::Atomic {
+                op,
+                remote,
+                local_mr,
+                local_offset,
+            } => PacketKind::AtomicReq {
+                op,
+                remote,
+                local_mr,
+                local_offset,
+            },
+        };
+        let slot = {
+            let s = &mut self.qp_slot[qp_id.index()];
+            *s = s.wrapping_add(1);
+            *s % 128
+        };
+        self.qp_mut(qp_id)?.wqe_posted();
+        self.nodes[node.index()].counters.inc("TxVerbs");
+        let pkt = Packet {
+            src_qp: qp_id,
+            dst_qp,
+            wr_id,
+            signaled,
+            kind,
+        };
+        sched(
+            now + self.params.doorbell_latency,
+            FabricEvent(Inner::TxProcess { pkt, slot }),
+        );
+        Ok(PostInfo {
+            wr_id,
+            cpu: self.params.post_cpu,
+        })
+    }
+
+    // ---- event handling --------------------------------------------------
+
+    /// Advances the fabric over one event, scheduling follow-ups through
+    /// `sched` and appending application-visible effects to `upcalls`.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        ev: FabricEvent,
+        sched: &mut Sched<'_>,
+        upcalls: &mut Vec<Upcall>,
+    ) {
+        match ev.0 {
+            Inner::TxProcess { pkt, slot } => self.tx_process(now, pkt, slot, sched),
+            Inner::RxProcess { pkt } => self.rx_process(now, pkt, sched),
+            Inner::Deliver {
+                node,
+                writes,
+                mem_hint,
+                wc,
+            } => {
+                for (mr, offset, data) in writes {
+                    // In-flight packets toward destroyed regions cannot
+                    // exist: regions are never deregistered. Bounds were
+                    // checked at rx time.
+                    self.mrs[mr.index()]
+                        .write(offset, &data)
+                        .expect("bounds checked at rx");
+                }
+                if let Some((cq, wc)) = wc {
+                    self.cqs[cq.index()].push(wc.clone());
+                    upcalls.push(Upcall::Completion { node, cq, wc });
+                }
+                if let Some((mr, offset, len)) = mem_hint {
+                    upcalls.push(Upcall::MemWrite {
+                        node,
+                        mr,
+                        offset,
+                        len,
+                    });
+                }
+            }
+            Inner::Complete { qp, wc } => {
+                let (node, cq) = {
+                    let q = &mut self.qps[qp.index()];
+                    q.wqe_retired();
+                    (q.node(), q.send_cq())
+                };
+                if let Some(wc) = wc {
+                    self.cqs[cq.index()].push(wc.clone());
+                    upcalls.push(Upcall::Completion { node, cq, wc });
+                }
+            }
+        }
+    }
+
+    fn tx_process(&mut self, now: SimTime, pkt: Packet, slot: u32, sched: &mut Sched<'_>) {
+        let src_node = self.qps[pkt.src_qp.index()].node();
+        let transport = self.qps[pkt.src_qp.index()].transport();
+        let payload = match &pkt.kind {
+            PacketKind::Send { data, .. } | PacketKind::Write { data, .. } => data.len(),
+            PacketKind::ReadReq { .. } => 16,
+            PacketKind::AtomicReq { .. } => 24,
+            PacketKind::ReadResp { data, .. } => data.len(),
+            PacketKind::AtomicResp { .. } => 8,
+        };
+        let p = &self.params;
+        let lines = FabricParams::lines(payload) as u64;
+        let node = &mut self.nodes[src_node.index()];
+        let access = node.nic.access(pkt.src_qp, slot);
+        // Payload DMA read from host memory, plus re-fetch of evicted
+        // QP context / WQE state.
+        node.counters
+            .add("PCIeRdCur", lines + access.extra_pcie_reads());
+        if access.qp_miss {
+            node.counters.inc("NicQpMiss");
+        }
+        let mut occupancy = p.nic_tx_base + p.dma_read_per_line * lines;
+        if access.qp_miss {
+            occupancy += p.qp_ctx_miss_penalty;
+        }
+        if access.wqe_miss {
+            occupancy += p.wqe_miss_penalty;
+        }
+        let ud_extra = if transport == Transport::Ud {
+            occupancy += p.ud_tx_extra;
+            p.ud_grh_bytes
+        } else {
+            0
+        };
+        let serialize = p.serialize(payload + ud_extra);
+        occupancy = occupancy.max(serialize);
+        let grant = node.tx.acquire(now, occupancy);
+        let arrival = grant.complete + p.wire_latency();
+
+        // Unreliable transports complete locally once the NIC has sent
+        // the message; reliable ones wait for the ack (scheduled at rx).
+        if !transport.is_reliable() {
+            let wc = pkt.signaled.then(|| Wc {
+                wr_id: pkt.wr_id,
+                opcode: match pkt.kind {
+                    PacketKind::Send { .. } => WcOpcode::Send,
+                    _ => WcOpcode::RdmaWrite,
+                },
+                status: WcStatus::Success,
+                byte_len: payload,
+                qp: pkt.src_qp,
+                imm: None,
+                src_qp: None,
+            });
+            sched(
+                grant.complete + p.dma_write_latency,
+                FabricEvent(Inner::Complete {
+                    qp: pkt.src_qp,
+                    wc,
+                }),
+            );
+        }
+        sched(arrival, FabricEvent(Inner::RxProcess { pkt }));
+    }
+
+    fn requester_completion(
+        &mut self,
+        at: SimTime,
+        pkt: &Packet,
+        status: WcStatus,
+        opcode: WcOpcode,
+        byte_len: usize,
+        sched: &mut Sched<'_>,
+    ) {
+        let wc = (pkt.signaled || status != WcStatus::Success).then_some(Wc {
+            wr_id: pkt.wr_id,
+            opcode,
+            status,
+            byte_len,
+            qp: pkt.src_qp,
+            imm: None,
+            src_qp: None,
+        });
+        sched(at, FabricEvent(Inner::Complete { qp: pkt.src_qp, wc }));
+    }
+
+    fn rx_process(&mut self, now: SimTime, pkt: Packet, sched: &mut Sched<'_>) {
+        let dst_qp = &self.qps[pkt.dst_qp.index()];
+        let dst_node_id = dst_qp.node();
+        let dst_transport = dst_qp.transport();
+        let dst_state = dst_qp.state();
+        let reliable = self.qps[pkt.src_qp.index()].transport().is_reliable();
+        let p_ack = self.params.ack_latency;
+        let p_dma = self.params.dma_write_latency;
+
+        if dst_state == QpState::Error {
+            // Packets toward a torn-down QP vanish; reliable requesters
+            // eventually see an error completion.
+            self.nodes[dst_node_id.index()].counters.inc("DroppedAtRx");
+            if reliable {
+                self.requester_completion(
+                    now + p_ack,
+                    &pkt,
+                    WcStatus::RemoteAccessError,
+                    WcOpcode::Send,
+                    0,
+                    sched,
+                );
+            }
+            return;
+        }
+
+        match pkt.kind.clone() {
+            PacketKind::Send { data, imm } => {
+                self.nodes[dst_node_id.index()].nic.touch_rx(pkt.dst_qp);
+                let recv = self.qps[pkt.dst_qp.index()].take_recv();
+                match recv {
+                    Some(r) if r.len >= data.len() => {
+                        let node = &mut self.nodes[dst_node_id.index()];
+                        let dma = node.llc.dma_write(r.mr, r.offset, data.len());
+                        node.counters.add("ItoM", dma.full_lines);
+                        node.counters.add("RFO", dma.partial_lines);
+                        node.counters.add("PCIeItoM", dma.allocated);
+                        node.counters.inc("RxMsgs");
+                        let occ = self.params.nic_rx_base
+                            + self.params.ddio_cost(dma.allocated);
+                        let grant = node.rx.acquire(now, occ);
+                        let wc = Wc {
+                            wr_id: r.wr_id,
+                            opcode: WcOpcode::Recv,
+                            status: WcStatus::Success,
+                            byte_len: data.len(),
+                            qp: pkt.dst_qp,
+                            imm,
+                            src_qp: Some(pkt.src_qp),
+                        };
+                        let len = data.len();
+                        sched(
+                            grant.complete + p_dma,
+                            FabricEvent(Inner::Deliver {
+                                node: dst_node_id,
+                                writes: vec![(r.mr, r.offset, data)],
+                                mem_hint: Some((r.mr, r.offset, len)),
+                                wc: Some((self.qps[pkt.dst_qp.index()].recv_cq(), wc)),
+                            }),
+                        );
+                        if reliable {
+                            self.requester_completion(
+                                grant.complete + p_ack,
+                                &pkt,
+                                WcStatus::Success,
+                                WcOpcode::Send,
+                                0,
+                                sched,
+                            );
+                        }
+                    }
+                    _ => {
+                        // No receive posted (or too small): UD drops,
+                        // RC errors back to the requester.
+                        let node = &mut self.nodes[dst_node_id.index()];
+                        node.counters.inc(if dst_transport == Transport::Ud {
+                            "UdDrops"
+                        } else {
+                            "RnrDrops"
+                        });
+                        if reliable {
+                            self.requester_completion(
+                                now + p_ack,
+                                &pkt,
+                                WcStatus::RnrRetryExceeded,
+                                WcOpcode::Send,
+                                0,
+                                sched,
+                            );
+                        }
+                    }
+                }
+            }
+            PacketKind::Write { data, remote, imm } => {
+                self.nodes[dst_node_id.index()].nic.touch_rx(pkt.dst_qp);
+                let in_bounds = self
+                    .mr(remote.mr)
+                    .and_then(|mr| mr.check(remote.offset, data.len()))
+                    .is_ok()
+                    && self.mr_node(remote.mr) == Ok(dst_node_id);
+                if !in_bounds {
+                    self.nodes[dst_node_id.index()]
+                        .counters
+                        .inc("RemoteAccessErrors");
+                    if reliable {
+                        self.requester_completion(
+                            now + p_ack,
+                            &pkt,
+                            WcStatus::RemoteAccessError,
+                            WcOpcode::RdmaWrite,
+                            0,
+                            sched,
+                        );
+                    }
+                    return;
+                }
+                let node = &mut self.nodes[dst_node_id.index()];
+                let dma = node.llc.dma_write(remote.mr, remote.offset, data.len());
+                node.counters.add("ItoM", dma.full_lines);
+                node.counters.add("RFO", dma.partial_lines);
+                node.counters.add("PCIeItoM", dma.allocated);
+                node.counters.add("DmaHitMain", dma.hit_main);
+                node.counters.add("DmaHitDdio", dma.hit_ddio);
+                node.counters.inc("RxMsgs");
+                let occ =
+                    self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
+                let grant = node.rx.acquire(now, occ);
+                // write_imm additionally consumes a receive and yields a
+                // receive-side completion carrying the immediate.
+                let wc = if let Some(imm_v) = imm {
+                    match self.qps[pkt.dst_qp.index()].take_recv() {
+                        Some(r) => Some((
+                            self.qps[pkt.dst_qp.index()].recv_cq(),
+                            Wc {
+                                wr_id: r.wr_id,
+                                opcode: WcOpcode::RecvRdmaWithImm,
+                                status: WcStatus::Success,
+                                byte_len: data.len(),
+                                qp: pkt.dst_qp,
+                                imm: Some(imm_v),
+                                src_qp: Some(pkt.src_qp),
+                            },
+                        )),
+                        None => {
+                            self.nodes[dst_node_id.index()].counters.inc("RnrDrops");
+                            if reliable {
+                                self.requester_completion(
+                                    now + p_ack,
+                                    &pkt,
+                                    WcStatus::RnrRetryExceeded,
+                                    WcOpcode::RdmaWrite,
+                                    0,
+                                    sched,
+                                );
+                            }
+                            return;
+                        }
+                    }
+                } else {
+                    None
+                };
+                let len = data.len();
+                sched(
+                    grant.complete + p_dma,
+                    FabricEvent(Inner::Deliver {
+                        node: dst_node_id,
+                        writes: vec![(remote.mr, remote.offset, data)],
+                        mem_hint: Some((remote.mr, remote.offset, len)),
+                        wc,
+                    }),
+                );
+                if reliable {
+                    self.requester_completion(
+                        grant.complete + p_ack,
+                        &pkt,
+                        WcStatus::Success,
+                        WcOpcode::RdmaWrite,
+                        0,
+                        sched,
+                    );
+                }
+            }
+            PacketKind::ReadReq {
+                remote,
+                len,
+                local_mr,
+                local_offset,
+            } => {
+                let ok = self
+                    .mr(remote.mr)
+                    .and_then(|mr| mr.check(remote.offset, len))
+                    .is_ok()
+                    && self.mr_node(remote.mr) == Ok(dst_node_id);
+                if !ok {
+                    self.nodes[dst_node_id.index()]
+                        .counters
+                        .inc("RemoteAccessErrors");
+                    self.requester_completion(
+                        now + p_ack,
+                        &pkt,
+                        WcStatus::RemoteAccessError,
+                        WcOpcode::RdmaRead,
+                        0,
+                        sched,
+                    );
+                    return;
+                }
+                // Responder NIC DMA-reads the payload from host memory.
+                let lines = FabricParams::lines(len) as u64;
+                let node = &mut self.nodes[dst_node_id.index()];
+                node.counters.add("PCIeRdCur", lines);
+                node.counters.inc("RxMsgs");
+                let occ = (self.params.nic_rx_base + self.params.dma_read_per_line * lines)
+                    .max(self.params.serialize(len));
+                let grant = node.rx.acquire(now, occ);
+                let data = Bytes::copy_from_slice(
+                    self.mrs[remote.mr.index()]
+                        .read(remote.offset, len)
+                        .expect("bounds checked above"),
+                );
+                let resp = Packet {
+                    src_qp: pkt.src_qp,
+                    dst_qp: pkt.dst_qp,
+                    wr_id: pkt.wr_id,
+                    signaled: pkt.signaled,
+                    kind: PacketKind::ReadResp {
+                        data,
+                        local_mr,
+                        local_offset,
+                    },
+                };
+                sched(
+                    grant.complete + self.params.wire_latency(),
+                    FabricEvent(Inner::RxProcess { pkt: resp }),
+                );
+            }
+            PacketKind::ReadResp {
+                data,
+                local_mr,
+                local_offset,
+            } => {
+                // Arriving back at the *requester*: land the data locally.
+                let req_node_id = self.qps[pkt.src_qp.index()].node();
+                let node = &mut self.nodes[req_node_id.index()];
+                let dma = node.llc.dma_write(local_mr, local_offset, data.len());
+                node.counters.add("ItoM", dma.full_lines);
+                node.counters.add("RFO", dma.partial_lines);
+                node.counters.add("PCIeItoM", dma.allocated);
+                let occ =
+                    self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
+                let grant = node.rx.acquire(now, occ);
+                let len = data.len();
+                sched(
+                    grant.complete + p_dma,
+                    FabricEvent(Inner::Deliver {
+                        node: req_node_id,
+                        writes: vec![(local_mr, local_offset, data)],
+                        mem_hint: None,
+                        wc: None,
+                    }),
+                );
+                self.requester_completion(
+                    grant.complete + p_dma,
+                    &pkt,
+                    WcStatus::Success,
+                    WcOpcode::RdmaRead,
+                    len,
+                    sched,
+                );
+            }
+            PacketKind::AtomicReq {
+                op,
+                remote,
+                local_mr,
+                local_offset,
+            } => {
+                let valid = self.mr_node(remote.mr) == Ok(dst_node_id)
+                    && self
+                        .mrs
+                        .get(remote.mr.index())
+                        .map(|m| m.read_u64(remote.offset).is_ok())
+                        .unwrap_or(false);
+                if !valid {
+                    self.nodes[dst_node_id.index()]
+                        .counters
+                        .inc("RemoteAccessErrors");
+                    self.requester_completion(
+                        now + p_ack,
+                        &pkt,
+                        WcStatus::RemoteAccessError,
+                        WcOpcode::Atomic,
+                        0,
+                        sched,
+                    );
+                    return;
+                }
+                // Atomics execute serialized at the responder NIC; the
+                // read-modify-write happens "now" in simulation time.
+                let old = self.mrs[remote.mr.index()]
+                    .read_u64(remote.offset)
+                    .expect("validated");
+                let new = match op {
+                    AtomicOp::CompareSwap { compare, swap } => {
+                        if old == compare {
+                            swap
+                        } else {
+                            old
+                        }
+                    }
+                    AtomicOp::FetchAdd { add } => old.wrapping_add(add),
+                };
+                self.mrs[remote.mr.index()]
+                    .write_u64(remote.offset, new)
+                    .expect("validated");
+                let node = &mut self.nodes[dst_node_id.index()];
+                node.counters.inc("Atomics");
+                // Atomic RMW occupies the rx engine noticeably longer.
+                let occ = self.params.nic_rx_base * 3;
+                let grant = node.rx.acquire(now, occ);
+                let resp = Packet {
+                    src_qp: pkt.src_qp,
+                    dst_qp: pkt.dst_qp,
+                    wr_id: pkt.wr_id,
+                    signaled: pkt.signaled,
+                    kind: PacketKind::AtomicResp {
+                        old,
+                        local_mr,
+                        local_offset,
+                    },
+                };
+                sched(
+                    grant.complete + self.params.wire_latency(),
+                    FabricEvent(Inner::RxProcess { pkt: resp }),
+                );
+            }
+            PacketKind::AtomicResp {
+                old,
+                local_mr,
+                local_offset,
+            } => {
+                let req_node_id = self.qps[pkt.src_qp.index()].node();
+                let node = &mut self.nodes[req_node_id.index()];
+                let grant = node.rx.acquire(now, self.params.nic_rx_base);
+                sched(
+                    grant.complete + p_dma,
+                    FabricEvent(Inner::Deliver {
+                        node: req_node_id,
+                        writes: vec![(
+                            local_mr,
+                            local_offset,
+                            Bytes::copy_from_slice(&old.to_le_bytes()),
+                        )],
+                        mem_hint: None,
+                        wc: None,
+                    }),
+                );
+                self.requester_completion(
+                    grant.complete + p_dma,
+                    &pkt,
+                    WcStatus::Success,
+                    WcOpcode::Atomic,
+                    8,
+                    sched,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! CPU last-level cache with DDIO.
+//!
+//! With Intel DDIO the NIC writes inbound payloads directly into the LLC.
+//! If the target line is already resident anywhere in the LLC the write is
+//! an in-place *Write Update*; otherwise the NIC must *Write Allocate*,
+//! and allocating writes are restricted to ~10 % of the LLC (§2.3 of the
+//! paper). When the RPC message pools outgrow the LLC, both the NIC (extra
+//! allocate/evict work, counted as `PCIeItoM`) and the polling CPU (L3
+//! misses) slow down — the inbound half of the scalability collapse.
+//!
+//! The model tracks 64-byte lines in two domains — the general LLC and
+//! the DDIO allocate partition — identified by `(MrId, line#)`. Both use
+//! *random replacement*: real LLCs are set-associative, so a working set
+//! near or above capacity degrades gradually (conflict misses appear well
+//! before full-capacity thrash), which is exactly the regime the paper's
+//! Fig. 3(b) exercises ("comparable to the LLC size"). A fully
+//! associative strict-LRU model would hold such marginal working sets
+//! perfectly and miss the effect entirely.
+
+use crate::lru::RandomSet;
+use crate::types::MrId;
+
+/// Result of a NIC DMA write through the LLC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DmaWriteOutcome {
+    /// Full-line writes performed (`ItoM` events).
+    pub full_lines: u64,
+    /// Partial-line writes performed (`RFO` events).
+    pub partial_lines: u64,
+    /// Lines that missed the LLC and ran in Write-Allocate mode
+    /// (`PCIeItoM` events).
+    pub allocated: u64,
+    /// Lines that Write-Updated in the general LLC domain.
+    pub hit_main: u64,
+    /// Lines that Write-Updated in the DDIO partition.
+    pub hit_ddio: u64,
+}
+
+/// Result of a CPU access through the LLC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuAccessOutcome {
+    /// Lines found in the LLC.
+    pub hits: u64,
+    /// Lines fetched from DRAM.
+    pub misses: u64,
+}
+
+/// The LLC + DDIO model for one node.
+#[derive(Debug)]
+pub struct LlcModel {
+    /// General LLC lines (CPU-allocated + promoted DDIO lines).
+    main: RandomSet<(MrId, u64)>,
+    /// DDIO Write-Allocate partition.
+    ddio: RandomSet<(MrId, u64)>,
+    cpu_hits: u64,
+    cpu_misses: u64,
+}
+
+fn line_range(offset: usize, len: usize) -> std::ops::RangeInclusive<u64> {
+    let first = (offset / 64) as u64;
+    let last = if len == 0 {
+        first
+    } else {
+        ((offset + len - 1) / 64) as u64
+    };
+    first..=last
+}
+
+impl LlcModel {
+    /// Creates an LLC of `llc_bytes` total with `ddio_fraction` reserved
+    /// for allocating writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero lines in either domain.
+    pub fn new(llc_bytes: usize, ddio_fraction: f64) -> Self {
+        let total_lines = llc_bytes / 64;
+        let ddio_lines = ((total_lines as f64) * ddio_fraction) as usize;
+        let main_lines = total_lines - ddio_lines;
+        assert!(
+            main_lines > 0 && ddio_lines > 0,
+            "LLC configuration must leave lines in both domains"
+        );
+        LlcModel {
+            main: RandomSet::new(main_lines),
+            ddio: RandomSet::new(ddio_lines),
+            cpu_hits: 0,
+            cpu_misses: 0,
+        }
+    }
+
+    /// Models the NIC DMA-writing `len` bytes at `offset` in region `mr`.
+    pub fn dma_write(&mut self, mr: MrId, offset: usize, len: usize) -> DmaWriteOutcome {
+        let mut out = DmaWriteOutcome::default();
+        for line in line_range(offset, len) {
+            // Classify full vs partial line coverage.
+            let line_start = line as usize * 64;
+            let covered_start = offset.max(line_start);
+            let covered_end = (offset + len).min(line_start + 64);
+            if covered_end - covered_start == 64 {
+                out.full_lines += 1;
+            } else {
+                out.partial_lines += 1;
+            }
+            let key = (mr, line);
+            if self.main.contains(&key) {
+                // Write Update in place; refresh recency.
+                self.main.touch(key);
+                out.hit_main += 1;
+            } else if self.ddio.contains(&key) {
+                self.ddio.touch(key);
+                out.hit_ddio += 1;
+            } else {
+                // Write Allocate into the restricted partition.
+                self.ddio.touch(key);
+                out.allocated += 1;
+            }
+        }
+        out
+    }
+
+    /// Models the CPU reading (or writing) `len` bytes at `offset`.
+    /// Misses allocate into the general LLC domain.
+    pub fn cpu_access(&mut self, mr: MrId, offset: usize, len: usize) -> CpuAccessOutcome {
+        let mut out = CpuAccessOutcome::default();
+        for line in line_range(offset, len) {
+            let key = (mr, line);
+            if self.main.contains(&key) {
+                self.main.touch(key);
+                out.hits += 1;
+            } else if self.ddio.remove(&key) {
+                // CPU touch promotes a DDIO-resident line into the general
+                // domain (it hits in L3).
+                self.main.touch(key);
+                out.hits += 1;
+            } else {
+                self.main.touch(key);
+                out.misses += 1;
+            }
+        }
+        self.cpu_hits += out.hits;
+        self.cpu_misses += out.misses;
+        out
+    }
+
+    /// Cumulative CPU-side L3 miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.cpu_hits + self.cpu_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cpu_misses as f64 / total as f64
+        }
+    }
+
+    /// Cumulative CPU hits.
+    pub fn cpu_hits(&self) -> u64 {
+        self.cpu_hits
+    }
+
+    /// Cumulative CPU misses.
+    pub fn cpu_misses(&self) -> u64 {
+        self.cpu_misses
+    }
+
+    /// Resets the hit/miss statistics (not the cache contents), so
+    /// experiments can measure steady-state miss rates after warmup.
+    pub fn reset_stats(&mut self) {
+        self.cpu_hits = 0;
+        self.cpu_misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_llc() -> LlcModel {
+        // 64 KB LLC, 25% DDIO => 768 main lines, 256 DDIO lines.
+        LlcModel::new(64 * 1024, 0.25)
+    }
+
+    #[test]
+    fn line_range_covers_straddles() {
+        assert_eq!(line_range(0, 32).clone().count(), 1);
+        assert_eq!(line_range(0, 64).clone().count(), 1);
+        assert_eq!(line_range(32, 64).clone().count(), 2);
+        assert_eq!(line_range(0, 0).clone().count(), 1);
+        assert_eq!(line_range(128, 256).clone().count(), 4);
+    }
+
+    #[test]
+    fn dma_write_classifies_full_vs_partial() {
+        let mut llc = small_llc();
+        let o = llc.dma_write(MrId(0), 0, 64);
+        assert_eq!((o.full_lines, o.partial_lines), (1, 0));
+        let o = llc.dma_write(MrId(0), 64, 32);
+        assert_eq!((o.full_lines, o.partial_lines), (0, 1));
+        let o = llc.dma_write(MrId(0), 128, 96); // one full + one partial
+        assert_eq!((o.full_lines, o.partial_lines), (1, 1));
+    }
+
+    #[test]
+    fn first_write_allocates_second_updates() {
+        let mut llc = small_llc();
+        let first = llc.dma_write(MrId(0), 0, 32);
+        assert_eq!(first.allocated, 1);
+        let second = llc.dma_write(MrId(0), 0, 32);
+        assert_eq!(second.allocated, 0, "resident line must Write Update");
+    }
+
+    #[test]
+    fn cpu_read_promotes_ddio_line() {
+        let mut llc = small_llc();
+        llc.dma_write(MrId(0), 0, 64);
+        let r = llc.cpu_access(MrId(0), 0, 64);
+        assert_eq!((r.hits, r.misses), (1, 0));
+        // Line now lives in main; another DMA write is an update.
+        let o = llc.dma_write(MrId(0), 0, 64);
+        assert_eq!(o.allocated, 0);
+    }
+
+    #[test]
+    fn working_set_larger_than_llc_misses() {
+        let mut llc = small_llc(); // 1024 lines total
+        // Touch 4096 distinct lines round-robin, twice. With random
+        // replacement a 4x-capacity cyclic working set misses heavily
+        // (h = exp(-4(1-h)) ≈ 0.02) though not on every single access.
+        for _ in 0..2 {
+            for line in 0..4096usize {
+                llc.cpu_access(MrId(1), line * 64, 64);
+            }
+        }
+        assert!(llc.miss_rate() > 0.9, "miss rate {}", llc.miss_rate());
+    }
+
+    #[test]
+    fn small_working_set_stays_hot() {
+        let mut llc = small_llc();
+        for _ in 0..10 {
+            for line in 0..100usize {
+                llc.cpu_access(MrId(2), line * 64, 64);
+            }
+        }
+        // 100 cold misses out of 1000 accesses.
+        assert!(llc.miss_rate() < 0.11);
+        llc.reset_stats();
+        llc.cpu_access(MrId(2), 0, 64);
+        assert_eq!(llc.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn ddio_partition_thrashes_independently() {
+        let mut llc = small_llc(); // 256 DDIO lines
+        // Stream DMA writes over 1024 distinct lines repeatedly: nearly
+        // every write allocates because the partition holds a quarter of
+        // the working set (random replacement keeps a small residue).
+        let mut allocated = 0;
+        for _ in 0..2 {
+            for line in 0..1024usize {
+                allocated += llc.dma_write(MrId(3), line * 64, 64).allocated;
+            }
+        }
+        assert!(allocated > 1800, "allocated {allocated}");
+    }
+
+    #[test]
+    #[should_panic(expected = "both domains")]
+    fn degenerate_config_rejected() {
+        let _ = LlcModel::new(64, 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Registered memory regions.
+//!
+//! A [`MemoryRegion`] is the simulated analogue of an `ibv_reg_mr`'d
+//! buffer: a real byte buffer that one-sided verbs read and write and that
+//! the local CPU polls. Keeping actual bytes here (rather than abstract
+//! tokens) means the RPC layers above execute their real wire formats —
+//! the right-aligned `Data | MsgLen | Valid` layout of §3.1, endpoint
+//! entries, log records — and tests can assert on them.
+
+use crate::error::{VerbError, VerbResult};
+use crate::types::MrId;
+
+/// A registered memory region on one node.
+#[derive(Clone, Debug)]
+pub struct MemoryRegion {
+    id: MrId,
+    buf: Vec<u8>,
+}
+
+impl MemoryRegion {
+    /// Creates a zero-filled region of `len` bytes.
+    pub fn new(id: MrId, len: usize) -> Self {
+        MemoryRegion {
+            id,
+            buf: vec![0; len],
+        }
+    }
+
+    /// The region id.
+    pub fn id(&self) -> MrId {
+        self.id
+    }
+
+    /// Region size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True for zero-length regions (never produced by `register_mr`, but
+    /// kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bounds-checks an access.
+    pub fn check(&self, offset: usize, len: usize) -> VerbResult<()> {
+        if offset.checked_add(len).map_or(true, |end| end > self.buf.len()) {
+            Err(VerbError::OutOfBounds {
+                mr: self.id,
+                offset,
+                len,
+                size: self.buf.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads `len` bytes at `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> VerbResult<&[u8]> {
+        self.check(offset, len)?;
+        Ok(&self.buf[offset..offset + len])
+    }
+
+    /// Writes `data` at `offset`.
+    pub fn write(&mut self, offset: usize, data: &[u8]) -> VerbResult<()> {
+        self.check(offset, data.len())?;
+        self.buf[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads an aligned little-endian `u64` (used by atomics and lock
+    /// words).
+    pub fn read_u64(&self, offset: usize) -> VerbResult<u64> {
+        if offset % 8 != 0 {
+            return Err(VerbError::BadAtomicTarget);
+        }
+        let bytes = self.read(offset, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("length checked")))
+    }
+
+    /// Writes an aligned little-endian `u64`.
+    pub fn write_u64(&mut self, offset: usize, value: u64) -> VerbResult<()> {
+        if offset % 8 != 0 {
+            return Err(VerbError::BadAtomicTarget);
+        }
+        self.write(offset, &value.to_le_bytes())
+    }
+
+    /// Zeroes the whole region (used by tests; the ScaleRPC message pool
+    /// explicitly does *not* need this between group switches — that is
+    /// the point of the stateless-pool design).
+    pub fn clear(&mut self) {
+        self.buf.fill(0);
+    }
+
+    /// Raw view of the whole buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Mutable raw view (local CPU access by the owning server, e.g. a
+    /// KV store laid out inside the region).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mr = MemoryRegion::new(MrId(0), 128);
+        mr.write(10, b"hello").unwrap();
+        assert_eq!(mr.read(10, 5).unwrap(), b"hello");
+        assert_eq!(mr.read(0, 5).unwrap(), &[0; 5]);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut mr = MemoryRegion::new(MrId(1), 16);
+        assert!(mr.write(12, b"xxxxx").is_err());
+        assert!(mr.read(16, 1).is_err());
+        assert!(mr.read(0, 17).is_err());
+        assert!(mr.read(usize::MAX, 2).is_err()); // overflow-safe
+        assert!(mr.read(16, 0).is_ok()); // empty access at end is fine
+    }
+
+    #[test]
+    fn u64_requires_alignment() {
+        let mut mr = MemoryRegion::new(MrId(2), 64);
+        mr.write_u64(8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(mr.read_u64(8).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(mr.read_u64(4), Err(VerbError::BadAtomicTarget));
+        assert_eq!(mr.write_u64(3, 1), Err(VerbError::BadAtomicTarget));
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut mr = MemoryRegion::new(MrId(3), 8);
+        mr.write(0, &[1; 8]).unwrap();
+        mr.clear();
+        assert_eq!(mr.as_slice(), &[0; 8]);
+    }
+}

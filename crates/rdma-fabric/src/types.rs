@@ -1,0 +1,103 @@
+//! Identifier newtypes shared across the fabric.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A machine in the simulated cluster.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// A queue pair, unique fabric-wide.
+    QpId,
+    "qp"
+);
+id_type!(
+    /// A registered memory region, unique fabric-wide.
+    MrId,
+    "mr"
+);
+id_type!(
+    /// A completion queue, unique fabric-wide.
+    CqId,
+    "cq"
+);
+
+/// A work-request identifier, returned by every post and echoed in the
+/// matching completion.
+pub type WrId = u64;
+
+/// A remote memory location addressable by one-sided verbs.
+///
+/// The simulated analogue of `(raddr, rkey)`: the region id plus a byte
+/// offset into it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RemoteAddr {
+    /// Target memory region.
+    pub mr: MrId,
+    /// Byte offset within the region.
+    pub offset: usize,
+}
+
+impl RemoteAddr {
+    /// Builds a remote address.
+    pub const fn new(mr: MrId, offset: usize) -> Self {
+        RemoteAddr { mr, offset }
+    }
+
+    /// Returns the address advanced by `delta` bytes.
+    pub const fn at(self, delta: usize) -> Self {
+        RemoteAddr {
+            mr: self.mr,
+            offset: self.offset + delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", NodeId(3)), "node3");
+        assert_eq!(format!("{:?}", QpId(7)), "qp7");
+        assert_eq!(format!("{}", MrId(0)), "mr0");
+        assert_eq!(format!("{}", CqId(12)), "cq12");
+    }
+
+    #[test]
+    fn remote_addr_advance() {
+        let a = RemoteAddr::new(MrId(1), 100);
+        assert_eq!(a.at(28).offset, 128);
+        assert_eq!(a.at(0), a);
+    }
+}

@@ -1,0 +1,139 @@
+//! Work-request types for the verbs API.
+
+use crate::types::{MrId, RemoteAddr};
+use bytes::Bytes;
+
+/// An atomic operation on 8 remote bytes (RC only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// Compare-and-swap: if the target equals `compare`, replace it with
+    /// `swap`; the old value is returned either way.
+    CompareSwap {
+        /// Expected current value.
+        compare: u64,
+        /// Replacement value.
+        swap: u64,
+    },
+    /// Fetch-and-add: add `add` to the target; the old value is returned.
+    FetchAdd {
+        /// Addend.
+        add: u64,
+    },
+}
+
+/// A send-side work request.
+///
+/// Payloads are captured by value at post time ([`Bytes`] is cheaply
+/// clonable), which mirrors the verbs contract that the application must
+/// not reuse the buffer before the completion anyway.
+#[derive(Clone, Debug)]
+pub enum WorkRequest {
+    /// Two-sided send; consumes a posted receive at the destination.
+    Send {
+        /// Message payload.
+        data: Bytes,
+        /// Optional immediate value delivered in the receive completion.
+        imm: Option<u32>,
+    },
+    /// One-sided RDMA write into remote memory (RC/UC).
+    Write {
+        /// Payload to place remotely.
+        data: Bytes,
+        /// Destination address.
+        remote: RemoteAddr,
+        /// When set, the write becomes `write_imm`: it additionally
+        /// consumes a posted receive at the destination and generates a
+        /// receive completion carrying this value (used by Octopus'
+        /// self-identified RPC).
+        imm: Option<u32>,
+    },
+    /// One-sided RDMA read from remote memory (RC only).
+    Read {
+        /// Local region and offset receiving the data.
+        local_mr: MrId,
+        /// Offset in the local region.
+        local_offset: usize,
+        /// Remote source address.
+        remote: RemoteAddr,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Remote atomic (RC only). The old value is written to the local
+    /// address as 8 little-endian bytes.
+    Atomic {
+        /// The operation.
+        op: AtomicOp,
+        /// Remote target (8 aligned bytes).
+        remote: RemoteAddr,
+        /// Local region receiving the old value.
+        local_mr: MrId,
+        /// Offset in the local region (8-byte aligned).
+        local_offset: usize,
+    },
+}
+
+impl WorkRequest {
+    /// Short verb name for diagnostics and error messages.
+    pub fn verb_name(&self) -> &'static str {
+        match self {
+            WorkRequest::Send { .. } => "send",
+            WorkRequest::Write { imm: None, .. } => "rdma write",
+            WorkRequest::Write { imm: Some(_), .. } => "rdma write_imm",
+            WorkRequest::Read { .. } => "rdma read",
+            WorkRequest::Atomic { .. } => "rdma atomic",
+        }
+    }
+
+    /// Payload length carried on the wire toward the responder.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            WorkRequest::Send { data, .. } | WorkRequest::Write { data, .. } => data.len(),
+            WorkRequest::Read { .. } => 16, // request descriptor only
+            WorkRequest::Atomic { .. } => 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verb_names() {
+        let w = WorkRequest::Write {
+            data: Bytes::from_static(b"x"),
+            remote: RemoteAddr::new(MrId(0), 0),
+            imm: None,
+        };
+        assert_eq!(w.verb_name(), "rdma write");
+        let wi = WorkRequest::Write {
+            data: Bytes::new(),
+            remote: RemoteAddr::new(MrId(0), 0),
+            imm: Some(7),
+        };
+        assert_eq!(wi.verb_name(), "rdma write_imm");
+        let r = WorkRequest::Read {
+            local_mr: MrId(0),
+            local_offset: 0,
+            remote: RemoteAddr::new(MrId(1), 0),
+            len: 64,
+        };
+        assert_eq!(r.verb_name(), "rdma read");
+    }
+
+    #[test]
+    fn payload_lengths() {
+        let s = WorkRequest::Send {
+            data: Bytes::from_static(b"hello"),
+            imm: None,
+        };
+        assert_eq!(s.payload_len(), 5);
+        let r = WorkRequest::Read {
+            local_mr: MrId(0),
+            local_offset: 0,
+            remote: RemoteAddr::new(MrId(1), 0),
+            len: 4096,
+        };
+        assert_eq!(r.payload_len(), 16);
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline RDMA RPC implementations from the paper's evaluation
+//! (Table 2), plus Octopus' self-identified RPC and the UD large-message
+//! chunking prototype discussed in §5.1.
+//!
+//! | RPC        | Request path            | Response path        | Notes |
+//! |------------|-------------------------|----------------------|-------|
+//! | `RawWrite` | RC write into a static per-client pool | RC write | FaRM-style; ScaleRPC with every optimization disabled |
+//! | `Herd`     | UC write into a static per-client pool | UD send  | per Kalia et al. (SIGCOMM '14) |
+//! | `Fasst`    | UD send                 | UD send              | per Kalia et al. (OSDI '16), asymmetric configuration |
+//! | `SelfRpc`  | RC write-with-immediate | RC write             | Octopus' self-identified RPC: the server locates messages from the CQ instead of scanning the pool |
+//! | `UdChunk`  | UD send, 4 KB slices with per-slice ack | —    | the §5.1 strawman for large transfers on UD |
+//!
+//! All implement [`rpc_core::RpcTransport`], so the harness and the
+//! downstream systems swap them freely.
+
+pub mod fasst;
+pub mod herd;
+pub mod pool;
+pub mod rawwrite;
+pub mod selfrpc;
+pub mod udchunk;
+
+
+pub use fasst::Fasst;
+pub use herd::Herd;
+pub use pool::StaticPool;
+pub use rawwrite::RawWrite;
+pub use selfrpc::SelfRpc;
+pub use udchunk::UdChunk;
+pub use rpc_core::workers::WorkerPool;

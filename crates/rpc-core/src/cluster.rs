@@ -1,0 +1,212 @@
+//! Cluster topology builder.
+//!
+//! Reproduces the paper's testbed shape: one `RPCServer` machine plus a
+//! set of physical client machines, each running a fixed number of worker
+//! threads that multiplex coroutine-like clients (§3.6.1). Clients are
+//! distributed evenly across machines, and within a machine across
+//! threads, exactly as the evaluation distributes them.
+
+use rdma_fabric::{Fabric, NodeId};
+
+/// Index of a simulated RPC client (a coroutine in the paper's harness).
+pub type ClientId = usize;
+
+/// Shape of the simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Worker threads at the RPC server (the paper uses 10).
+    pub server_threads: usize,
+    /// Number of physical client machines (the paper has 11 available).
+    pub client_machines: usize,
+    /// Worker threads per client machine that coroutine clients share
+    /// (two 12-core Xeons ⇒ up to 24; the harness pins fewer by default).
+    pub threads_per_machine: usize,
+    /// Total number of coroutine clients.
+    pub clients: usize,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            server_threads: 10,
+            client_machines: 11,
+            threads_per_machine: 8,
+            clients: 80,
+        }
+    }
+}
+
+/// A built cluster: node ids plus the client→(machine, thread) map.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// The server machine.
+    pub server: NodeId,
+    /// The client machines.
+    pub machines: Vec<NodeId>,
+    spec: ClusterSpec,
+}
+
+impl Cluster {
+    /// Adds the nodes described by `spec` to `fabric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no machines or no clients.
+    pub fn build(fabric: &mut Fabric, spec: ClusterSpec) -> Cluster {
+        assert!(spec.client_machines > 0, "need at least one client machine");
+        assert!(spec.threads_per_machine > 0, "need at least one thread");
+        assert!(spec.server_threads > 0, "need at least one server thread");
+        let server = fabric.add_node("rpcserver");
+        let machines = (0..spec.client_machines)
+            .map(|i| fabric.add_node(&format!("client-machine-{i}")))
+            .collect();
+        Cluster {
+            server,
+            machines,
+            spec,
+        }
+    }
+
+    /// Builds a cluster whose client machines are shared with other
+    /// clusters (multi-server deployments like ScaleTX: several servers,
+    /// one set of client machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines.len()` does not match the spec.
+    pub fn build_shared(
+        fabric: &mut Fabric,
+        spec: ClusterSpec,
+        machines: Vec<NodeId>,
+        server_name: &str,
+    ) -> Cluster {
+        assert_eq!(
+            machines.len(),
+            spec.client_machines,
+            "machine list must match the spec"
+        );
+        assert!(spec.threads_per_machine > 0 && spec.server_threads > 0);
+        let server = fabric.add_node(server_name);
+        Cluster {
+            server,
+            machines,
+            spec,
+        }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Total clients.
+    pub fn clients(&self) -> usize {
+        self.spec.clients
+    }
+
+    /// The machine hosting client `c` (round-robin distribution, matching
+    /// "distributed evenly to the physical client servers").
+    pub fn machine_of(&self, c: ClientId) -> usize {
+        c % self.machines.len()
+    }
+
+    /// The node hosting client `c`.
+    pub fn node_of(&self, c: ClientId) -> NodeId {
+        self.machines[self.machine_of(c)]
+    }
+
+    /// The global thread index (across all machines) whose CPU client `c`
+    /// shares. Clients on one machine round-robin over its threads.
+    pub fn thread_of(&self, c: ClientId) -> usize {
+        let machine = self.machine_of(c);
+        let slot_on_machine = c / self.machines.len();
+        let thread_on_machine = slot_on_machine % self.spec.threads_per_machine;
+        machine * self.spec.threads_per_machine + thread_on_machine
+    }
+
+    /// Total client-side threads across all machines.
+    pub fn total_client_threads(&self) -> usize {
+        self.machines.len() * self.spec.threads_per_machine
+    }
+
+    /// Number of clients sharing the thread of client `c` (for sanity
+    /// checks and per-thread pacing).
+    pub fn clients_on_thread(&self, thread: usize) -> usize {
+        (0..self.spec.clients)
+            .filter(|&c| self.thread_of(c) == thread)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_fabric::FabricParams;
+
+    fn cluster(machines: usize, threads: usize, clients: usize) -> Cluster {
+        let mut fabric = Fabric::new(FabricParams::default());
+        Cluster::build(
+            &mut fabric,
+            ClusterSpec {
+                server_threads: 10,
+                client_machines: machines,
+                threads_per_machine: threads,
+                clients,
+            },
+        )
+    }
+
+    #[test]
+    fn nodes_are_created() {
+        let mut fabric = Fabric::new(FabricParams::default());
+        let c = Cluster::build(
+            &mut fabric,
+            ClusterSpec {
+                client_machines: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(fabric.node_count(), 4); // 1 server + 3 machines
+        assert_eq!(c.machines.len(), 3);
+    }
+
+    #[test]
+    fn clients_spread_evenly_over_machines() {
+        let c = cluster(11, 8, 120);
+        let mut per_machine = vec![0usize; 11];
+        for cl in 0..120 {
+            per_machine[c.machine_of(cl)] += 1;
+        }
+        let min = per_machine.iter().min().unwrap();
+        let max = per_machine.iter().max().unwrap();
+        assert!(max - min <= 1, "imbalanced: {per_machine:?}");
+    }
+
+    #[test]
+    fn threads_spread_within_machine() {
+        let c = cluster(2, 4, 32);
+        // 16 clients per machine over 4 threads => 4 per thread.
+        for t in 0..c.total_client_threads() {
+            assert_eq!(c.clients_on_thread(t), 4);
+        }
+    }
+
+    #[test]
+    fn thread_indices_are_global_and_bounded() {
+        let c = cluster(5, 8, 40);
+        for cl in 0..40 {
+            assert!(c.thread_of(cl) < c.total_client_threads());
+            assert_eq!(c.node_of(cl), c.machines[c.machine_of(cl)]);
+        }
+        // 40 clients over 5 machines × 8 threads: exactly one per thread.
+        for t in 0..40 {
+            assert_eq!(c.clients_on_thread(t), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client machine")]
+    fn zero_machines_rejected() {
+        cluster(0, 1, 1);
+    }
+}

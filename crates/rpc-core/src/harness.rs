@@ -1,0 +1,277 @@
+//! Closed-loop benchmark harness.
+//!
+//! Plays the role of the paper's coroutine-based client loops (§3.6.1):
+//! each client posts a batch of requests through the transport's
+//! asynchronous interface, waits for all responses, optionally sleeps a
+//! think time, and repeats. Client CPUs are modelled: all coroutines on
+//! one machine thread share that thread's time, charged per post and per
+//! response according to the transport's [`ClientOverhead`] — this is
+//! what lets UD transports' higher per-op client cost show up as the
+//! saturation behaviour of Fig. 8's right half.
+
+use crate::cluster::{ClientId, Cluster};
+use crate::driver::{Cx, Logic};
+use crate::metrics::RpcMetrics;
+use crate::transport::{Response, RpcTransport};
+use crate::workload::ThinkTime;
+use bytes::Bytes;
+use rdma_fabric::Upcall;
+use simcore::{DetRng, FifoResource, SimDuration, SimTime};
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Requests per batch ("batch size" in Fig. 8/9).
+    pub batch_size: usize,
+    /// Request payload size in bytes (32 in the paper's microbenchmarks).
+    pub request_size: usize,
+    /// Warmup to exclude from measurement.
+    pub warmup: SimDuration,
+    /// Measured run length (after warmup).
+    pub run: SimDuration,
+    /// Per-client think time models; either one entry used for everyone
+    /// or exactly one per client.
+    pub think: Vec<ThinkTime>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            batch_size: 1,
+            request_size: 32,
+            warmup: SimDuration::millis(2),
+            run: SimDuration::millis(8),
+            think: vec![ThinkTime::None],
+            seed: 42,
+        }
+    }
+}
+
+struct ClientState {
+    next_seq: u64,
+    inflight: usize,
+    batch_started: SimTime,
+    think: ThinkTime,
+    rng: DetRng,
+    stopped: bool,
+}
+
+/// Harness events.
+pub enum HarnessEv<TEv> {
+    /// Transport-internal event, forwarded.
+    Transport(TEv),
+    /// A client is ready to think about its next batch.
+    Wake(ClientId),
+    /// A client's thread got around to actually posting the batch.
+    Post(ClientId),
+}
+
+/// Produces the request payload for `(client, seq)`. The default
+/// generator emits fixed-size tagged payloads (the paper's 32-byte
+/// microbenchmark messages); application workloads (mdtest, transactions)
+/// plug their own.
+pub trait RequestGen {
+    /// Builds one request payload.
+    fn gen(&mut self, client: ClientId, seq: u64) -> Bytes;
+}
+
+/// Fixed-size generator used by the raw RPC microbenchmarks.
+pub struct FixedSizeGen {
+    /// Payload size in bytes.
+    pub size: usize,
+}
+
+impl RequestGen for FixedSizeGen {
+    fn gen(&mut self, client: ClientId, seq: u64) -> Bytes {
+        let mut payload = vec![0u8; self.size];
+        let tag = (client as u64) << 16 | (seq & 0xFFFF);
+        let n = payload.len().min(8);
+        payload[..n].copy_from_slice(&tag.to_le_bytes()[..n]);
+        Bytes::from(payload)
+    }
+}
+
+/// The closed-loop harness: owns the transport, the client set and the
+/// metrics, and implements [`Logic`] so it can be driven by
+/// [`Sim`](crate::driver::Sim).
+pub struct Harness<T: RpcTransport> {
+    /// The transport under test.
+    pub transport: T,
+    cluster: Cluster,
+    cfg: HarnessConfig,
+    clients: Vec<ClientState>,
+    threads: Vec<FifoResource>,
+    gen: Box<dyn RequestGen>,
+    /// Collected results.
+    pub metrics: RpcMetrics,
+    stop_at: SimTime,
+    responses: Vec<Response>,
+}
+
+impl<T: RpcTransport> Harness<T> {
+    /// Builds a harness around `transport` for the given cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.think` is neither a single entry nor one per
+    /// client, or if `batch_size` is zero.
+    pub fn new(transport: T, cluster: Cluster, cfg: HarnessConfig) -> Self {
+        let size = cfg.request_size;
+        Self::with_generator(transport, cluster, cfg, Box::new(FixedSizeGen { size }))
+    }
+
+    /// Builds a harness with a custom request generator (application
+    /// workloads like mdtest or the transaction drivers).
+    pub fn with_generator(
+        transport: T,
+        cluster: Cluster,
+        cfg: HarnessConfig,
+        gen: Box<dyn RequestGen>,
+    ) -> Self {
+        assert!(cfg.batch_size > 0, "batch size must be positive");
+        let n = cluster.clients();
+        assert!(
+            cfg.think.len() == 1 || cfg.think.len() == n,
+            "think-time list must have 1 or {n} entries"
+        );
+        let rng = DetRng::new(cfg.seed);
+        let clients = (0..n)
+            .map(|c| ClientState {
+                next_seq: 0,
+                inflight: 0,
+                batch_started: SimTime::ZERO,
+                think: cfg.think[c % cfg.think.len()].clone(),
+                rng: rng.split(c as u64),
+                stopped: false,
+            })
+            .collect();
+        let threads = vec![FifoResource::new(); cluster.total_client_threads()];
+        let window_start = SimTime::ZERO + cfg.warmup;
+        let window_end = window_start + cfg.run;
+        Harness {
+            transport,
+            cluster,
+            cfg,
+            clients,
+            threads,
+            gen,
+            metrics: RpcMetrics::new(window_start, window_end),
+            stop_at: window_end,
+            responses: Vec::new(),
+        }
+    }
+
+    /// When the measurement window (and client posting) ends.
+    pub fn stop_at(&self) -> SimTime {
+        self.stop_at
+    }
+
+    /// The cluster this harness runs on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn schedule_post(&mut self, client: ClientId, cx: &mut Cx<'_, HarnessEv<T::Ev>>) {
+        // Claim the client thread for the whole batch's posting cost.
+        let overhead = self.transport.client_overhead();
+        let cost = overhead.per_post * self.cfg.batch_size as u64;
+        let thread = self.cluster.thread_of(client);
+        let grant = self.threads[thread].acquire(cx.now, cost);
+        cx.at(grant.begin, HarnessEv::Post(client));
+    }
+
+    fn drain_responses(&mut self, cx: &mut Cx<'_, HarnessEv<T::Ev>>) {
+        // Charge response-processing CPU and complete batches.
+        let responses = std::mem::take(&mut self.responses);
+        for resp in responses {
+            let c = resp.client;
+            let overhead = self.transport.client_overhead();
+            let thread = self.cluster.thread_of(c);
+            self.threads[thread].acquire(cx.now, overhead.per_response);
+            let st = &mut self.clients[c];
+            if st.inflight == 0 {
+                // Response after the batch already accounted (e.g. a
+                // duplicate context-switch notification) — ignore.
+                continue;
+            }
+            st.inflight -= 1;
+            if st.inflight == 0 {
+                let latency = cx.now.saturating_since(st.batch_started);
+                self.metrics
+                    .record_batch(cx.now, self.cfg.batch_size as u64, latency);
+                if cx.now < self.stop_at && !st.stopped {
+                    let think = st.think.sample(&mut st.rng);
+                    cx.at(cx.now + think, HarnessEv::Wake(c));
+                } else {
+                    st.stopped = true;
+                }
+            }
+        }
+    }
+}
+
+impl<T: RpcTransport> Logic for Harness<T> {
+    type Ev = HarnessEv<T::Ev>;
+
+    fn init(&mut self, cx: &mut Cx<'_, Self::Ev>) {
+        // Adapt the Cx event type for the transport's init.
+        with_transport_cx(cx, |tcx| self.transport.init(tcx));
+        // Stagger client start to avoid a thundering herd at t=0.
+        for c in 0..self.clients.len() {
+            let jitter = self.clients[c].rng.below(2_000);
+            cx.at(SimTime(jitter), HarnessEv::Wake(c));
+        }
+    }
+
+    fn on_upcall(&mut self, up: Upcall, cx: &mut Cx<'_, Self::Ev>) {
+        let mut out = Vec::new();
+        with_transport_cx(cx, |tcx| self.transport.on_upcall(up, tcx, &mut out));
+        self.responses.extend(out);
+        self.drain_responses(cx);
+    }
+
+    fn on_app(&mut self, ev: Self::Ev, cx: &mut Cx<'_, Self::Ev>) {
+        match ev {
+            HarnessEv::Transport(tev) => {
+                let mut out = Vec::new();
+                with_transport_cx(cx, |tcx| self.transport.on_app(tev, tcx, &mut out));
+                self.responses.extend(out);
+                self.drain_responses(cx);
+            }
+            HarnessEv::Wake(c) => {
+                if cx.now >= self.stop_at {
+                    self.clients[c].stopped = true;
+                    return;
+                }
+                self.schedule_post(c, cx);
+            }
+            HarnessEv::Post(c) => {
+                let batch = self.cfg.batch_size;
+                self.clients[c].batch_started = cx.now;
+                self.clients[c].inflight = batch;
+                let mut out = Vec::new();
+                for _ in 0..batch {
+                    let seq = self.clients[c].next_seq;
+                    self.clients[c].next_seq += 1;
+                    let payload = self.gen.gen(c, seq);
+                    with_transport_cx(cx, |tcx| {
+                        self.transport.submit(c, seq, payload, tcx, &mut out)
+                    });
+                }
+                self.responses.extend(out);
+                self.drain_responses(cx);
+            }
+        }
+    }
+}
+
+/// Runs `f` with a `Cx` whose app-event type is the transport's, wrapping
+/// any events the transport schedules back into [`HarnessEv::Transport`].
+fn with_transport_cx<TEv, R>(
+    cx: &mut Cx<'_, HarnessEv<TEv>>,
+    f: impl FnOnce(&mut Cx<'_, TEv>) -> R,
+) -> R {
+    cx.scoped(HarnessEv::Transport, f)
+}

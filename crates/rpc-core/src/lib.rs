@@ -1,0 +1,34 @@
+//! Shared plumbing for every RPC implementation in the workspace.
+//!
+//! - [`message`]: the right-aligned `Data | MsgLen | Valid` message layout
+//!   of §3.1 of the paper, plus the RPC header all transports share.
+//! - [`driver`]: the generic simulation driver wiring a
+//!   [`rdma_fabric::Fabric`] to application logic.
+//! - [`transport`]: the [`RpcTransport`](transport::RpcTransport) trait
+//!   every RPC implementation (ScaleRPC and the baselines) provides.
+//! - [`cluster`]: topology builder for the paper's testbed shape (one
+//!   server, N client machines with worker threads multiplexing
+//!   coroutine-like clients).
+//! - [`harness`]: the closed-loop benchmark driver that plays the role of
+//!   the paper's coroutine client loops and records throughput/latency.
+//! - [`workload`]: think-time distributions (uniform and the Gaussian
+//!   skew of Fig. 12) and request-size generators.
+//! - [`metrics`]: per-experiment result collection.
+
+pub mod cluster;
+pub mod driver;
+pub mod harness;
+pub mod message;
+pub mod metrics;
+pub mod transport;
+pub mod workers;
+pub mod workload;
+
+pub use cluster::{ClientId, Cluster, ClusterSpec};
+pub use driver::{Cx, Logic, Sim};
+pub use harness::{Harness, HarnessConfig};
+pub use message::{MsgBuf, RpcHeader};
+pub use metrics::RpcMetrics;
+pub use transport::{ClientOverhead, Response, RpcTransport, ServerHandler};
+pub use workers::WorkerPool;
+pub use workload::ThinkTime;

@@ -1,0 +1,225 @@
+//! Wire format of pool-based RPC messages.
+//!
+//! §3.1 of the paper: RDMA updates memory in increasing address order, so
+//! each message block uses a *right-aligned* layout with three fields —
+//! `Data`, `MsgLen`, `Valid` — where the `Valid` byte sits at the very end
+//! of the block. Once `Valid` is observed set, the preceding fields are
+//! guaranteed complete, so the server detects new requests by polling a
+//! single byte per block.
+//!
+//! Because ScaleRPC's physical pool is re-used by successive groups
+//! *without resetting*, a consumer must clear the `Valid` byte after
+//! processing a message; otherwise a stale message from the previous
+//! occupant would be mistaken for a fresh one.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Trailer size: 4-byte little-endian `MsgLen` + 1-byte `Valid`.
+pub const TRAILER: usize = 5;
+
+/// Value of a set `Valid` byte.
+pub const VALID: u8 = 0x7E;
+
+/// Fixed RPC header carried at the front of `Data` by every transport in
+/// this workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RpcHeader {
+    /// Dispatch key selecting the server-side handler.
+    pub call_type: u16,
+    /// Flags; bit 0 is the piggybacked `context_switch_event` of §3.3.
+    pub flags: u16,
+    /// The issuing client.
+    pub client_id: u32,
+    /// Client-assigned sequence number matching responses to calls.
+    pub seq: u64,
+}
+
+/// Flag bit: the response carries a `context_switch_event`.
+pub const FLAG_CTX_SWITCH: u16 = 1 << 0;
+/// Flag bit: the request asks for legacy-mode (long-running) execution
+/// (§3.5 of the paper).
+pub const FLAG_LEGACY: u16 = 1 << 1;
+
+/// Encoded header size in bytes.
+pub const HEADER: usize = 16;
+
+impl RpcHeader {
+    /// Serializes the header.
+    pub fn encode(&self) -> [u8; HEADER] {
+        let mut out = [0u8; HEADER];
+        out[0..2].copy_from_slice(&self.call_type.to_le_bytes());
+        out[2..4].copy_from_slice(&self.flags.to_le_bytes());
+        out[4..8].copy_from_slice(&self.client_id.to_le_bytes());
+        out[8..16].copy_from_slice(&self.seq.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a header from the front of `data`.
+    ///
+    /// Returns `None` when `data` is too short.
+    pub fn decode(data: &[u8]) -> Option<(RpcHeader, &[u8])> {
+        if data.len() < HEADER {
+            return None;
+        }
+        let h = RpcHeader {
+            call_type: u16::from_le_bytes(data[0..2].try_into().ok()?),
+            flags: u16::from_le_bytes(data[2..4].try_into().ok()?),
+            client_id: u32::from_le_bytes(data[4..8].try_into().ok()?),
+            seq: u64::from_le_bytes(data[8..16].try_into().ok()?),
+        };
+        Some((h, &data[HEADER..]))
+    }
+
+    /// Whether the context-switch flag is set.
+    pub fn is_ctx_switch(&self) -> bool {
+        self.flags & FLAG_CTX_SWITCH != 0
+    }
+
+    /// Whether the legacy-mode flag is set.
+    pub fn is_legacy(&self) -> bool {
+        self.flags & FLAG_LEGACY != 0
+    }
+}
+
+/// Helpers for reading and writing right-aligned messages in fixed-size
+/// blocks.
+pub struct MsgBuf;
+
+impl MsgBuf {
+    /// Largest message payload a block of `block_size` bytes can carry.
+    pub const fn capacity(block_size: usize) -> usize {
+        block_size.saturating_sub(TRAILER)
+    }
+
+    /// Encodes `payload` right-aligned for a block of `block_size` bytes.
+    ///
+    /// Returns `(offset_in_block, bytes)`: writing `bytes` at
+    /// `block_start + offset_in_block` places `Data`, `MsgLen` and `Valid`
+    /// flush against the end of the block. A single RDMA write of this
+    /// buffer is all a client needs.
+    ///
+    /// Returns `None` when the payload does not fit.
+    pub fn encode(payload: &[u8], block_size: usize) -> Option<(usize, Bytes)> {
+        if payload.len() > Self::capacity(block_size) {
+            return None;
+        }
+        let mut buf = BytesMut::with_capacity(payload.len() + TRAILER);
+        buf.put_slice(payload);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_u8(VALID);
+        let offset = block_size - buf.len();
+        Some((offset, buf.freeze()))
+    }
+
+    /// Offset of the `Valid` byte within a block.
+    pub const fn valid_offset(block_size: usize) -> usize {
+        block_size - 1
+    }
+
+    /// Checks whether `block` (the full block bytes) holds a valid
+    /// message and returns its payload slice.
+    ///
+    /// Returns `None` when `Valid` is clear or `MsgLen` is inconsistent
+    /// (e.g. torn remnants from a previous pool occupant).
+    pub fn decode(block: &[u8]) -> Option<&[u8]> {
+        if block.len() < TRAILER || block[block.len() - 1] != VALID {
+            return None;
+        }
+        let len_start = block.len() - TRAILER;
+        let msg_len =
+            u32::from_le_bytes(block[len_start..len_start + 4].try_into().ok()?) as usize;
+        if msg_len > len_start {
+            return None;
+        }
+        Some(&block[len_start - msg_len..len_start])
+    }
+
+    /// Quick check of the `Valid` byte alone (what the polling loop
+    /// reads before paying for the full message).
+    pub fn is_valid(block: &[u8]) -> bool {
+        block.last().copied() == Some(VALID)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let h = RpcHeader {
+            call_type: 7,
+            flags: FLAG_CTX_SWITCH,
+            client_id: 42,
+            seq: 0xDEAD_BEEF_0123,
+        };
+        let enc = h.encode();
+        let (dec, rest) = RpcHeader::decode(&enc).unwrap();
+        assert_eq!(dec, h);
+        assert!(rest.is_empty());
+        assert!(dec.is_ctx_switch());
+        assert!(!dec.is_legacy());
+    }
+
+    #[test]
+    fn header_decode_rejects_short_input() {
+        assert!(RpcHeader::decode(&[0u8; 15]).is_none());
+    }
+
+    #[test]
+    fn message_round_trips_right_aligned() {
+        let block_size = 128;
+        let payload = b"metadata-lookup:/a/b/c";
+        let (offset, bytes) = MsgBuf::encode(payload, block_size).unwrap();
+        assert_eq!(offset + bytes.len(), block_size, "must end flush");
+        let mut block = vec![0u8; block_size];
+        block[offset..].copy_from_slice(&bytes);
+        assert!(MsgBuf::is_valid(&block));
+        assert_eq!(MsgBuf::decode(&block).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let (offset, bytes) = MsgBuf::encode(b"", 64).unwrap();
+        assert_eq!(bytes.len(), TRAILER);
+        assert_eq!(offset, 64 - TRAILER);
+        let mut block = vec![0u8; 64];
+        block[offset..].copy_from_slice(&bytes);
+        assert_eq!(MsgBuf::decode(&block).unwrap(), b"");
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        assert!(MsgBuf::encode(&[0u8; 59], 64).is_some());
+        assert!(MsgBuf::encode(&[0u8; 60], 64).is_none());
+        assert_eq!(MsgBuf::capacity(64), 59);
+    }
+
+    #[test]
+    fn invalid_block_not_decoded() {
+        let block = vec![0u8; 64];
+        assert!(!MsgBuf::is_valid(&block));
+        assert!(MsgBuf::decode(&block).is_none());
+    }
+
+    #[test]
+    fn clearing_valid_invalidates() {
+        let (offset, bytes) = MsgBuf::encode(b"x", 32).unwrap();
+        let mut block = vec![0u8; 32];
+        block[offset..].copy_from_slice(&bytes);
+        assert!(MsgBuf::decode(&block).is_some());
+        block[MsgBuf::valid_offset(32)] = 0;
+        assert!(MsgBuf::decode(&block).is_none());
+    }
+
+    #[test]
+    fn corrupt_len_rejected() {
+        let (offset, bytes) = MsgBuf::encode(b"abc", 32).unwrap();
+        let mut block = vec![0u8; 32];
+        block[offset..].copy_from_slice(&bytes);
+        // Claim a length larger than the space before the trailer.
+        let len_start = 32 - TRAILER;
+        block[len_start..len_start + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(MsgBuf::decode(&block).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Experiment result collection.
+
+use simcore::stats::{CdfPoint, Histogram, Throughput};
+use simcore::{SimDuration, SimTime};
+
+/// Width of the throughput-over-time buckets kept alongside the
+/// aggregates (fine enough to resolve individual time slices).
+const SERIES_WINDOW: SimDuration = SimDuration::micros(20);
+
+/// Throughput and latency results of one RPC benchmark run.
+#[derive(Clone, Debug)]
+pub struct RpcMetrics {
+    /// Completed operations inside the measurement window.
+    pub ops: u64,
+    /// Completed batches inside the measurement window.
+    pub batches: u64,
+    /// Batch latency histogram (nanoseconds), as defined by the paper:
+    /// `T2 - T1` from posting a batch to its last response.
+    pub batch_latency: Histogram,
+    /// Completion-time series (20 µs buckets) for time-resolved plots.
+    pub series: Throughput,
+    /// Measurement window start.
+    pub window_start: SimTime,
+    /// Measurement window end.
+    pub window_end: SimTime,
+}
+
+impl Default for RpcMetrics {
+    fn default() -> Self {
+        RpcMetrics {
+            ops: 0,
+            batches: 0,
+            batch_latency: Histogram::new(),
+            series: Throughput::new(SERIES_WINDOW),
+            window_start: SimTime::ZERO,
+            window_end: SimTime::ZERO,
+        }
+    }
+}
+
+impl RpcMetrics {
+    /// Creates an empty collection for the given measurement window.
+    pub fn new(window_start: SimTime, window_end: SimTime) -> Self {
+        RpcMetrics {
+            window_start,
+            window_end,
+            ..Default::default()
+        }
+    }
+
+    /// Records a completed batch of `ops` requests with the given batch
+    /// latency, if it completed inside the window.
+    pub fn record_batch(&mut self, completed_at: SimTime, ops: u64, latency: SimDuration) {
+        if completed_at < self.window_start || completed_at > self.window_end {
+            return;
+        }
+        self.ops += ops;
+        self.batches += 1;
+        self.batch_latency.record_duration(latency);
+        self.series.record_many(completed_at, ops);
+    }
+
+    /// The measurement window length.
+    pub fn window(&self) -> SimDuration {
+        self.window_end.saturating_since(self.window_start)
+    }
+
+    /// Overall throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.window().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Overall throughput in millions of operations per second.
+    pub fn mops(&self) -> f64 {
+        self.ops_per_sec() / 1e6
+    }
+
+    /// Median batch latency in microseconds.
+    pub fn median_us(&self) -> f64 {
+        self.batch_latency.median() as f64 / 1e3
+    }
+
+    /// Mean batch latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.batch_latency.mean() / 1e3
+    }
+
+    /// Maximum batch latency in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.batch_latency.max() as f64 / 1e3
+    }
+
+    /// Latency at a quantile, in microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.batch_latency.quantile(q) as f64 / 1e3
+    }
+
+    /// The latency CDF (values in nanoseconds).
+    pub fn latency_cdf(&self) -> Vec<CdfPoint> {
+        self.batch_latency.cdf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_filtering() {
+        let mut m = RpcMetrics::new(SimTime(1_000), SimTime(2_000));
+        m.record_batch(SimTime(500), 8, SimDuration(100)); // before window
+        m.record_batch(SimTime(1_500), 8, SimDuration(100)); // inside
+        m.record_batch(SimTime(2_500), 8, SimDuration(100)); // after
+        assert_eq!(m.ops, 8);
+        assert_eq!(m.batches, 1);
+    }
+
+    #[test]
+    fn rates_and_latencies() {
+        let mut m = RpcMetrics::new(SimTime::ZERO, SimTime(1_000_000_000)); // 1s window
+        for i in 0..1000 {
+            m.record_batch(SimTime(i * 1_000_000), 10, SimDuration::micros(15));
+        }
+        assert_eq!(m.ops, 10_000);
+        assert!((m.ops_per_sec() - 10_000.0).abs() < 1.0);
+        assert!((m.mops() - 0.01).abs() < 1e-6);
+        assert!((m.median_us() - 15.0).abs() < 1.0);
+        assert!((m.mean_us() - 15.0).abs() < 0.01);
+        assert!((m.max_us() - 15.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RpcMetrics::new(SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(m.mops(), 0.0);
+        assert_eq!(m.median_us(), 0.0);
+        assert!(m.latency_cdf().is_empty());
+    }
+}

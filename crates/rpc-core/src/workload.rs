@@ -1,0 +1,126 @@
+//! Client behaviour models.
+//!
+//! Uniform workloads (§3.6.4 of the paper) use no think time: every
+//! client re-posts as soon as its batch completes. Non-uniform workloads
+//! (§3.6.5, Fig. 12) inject a per-client delay before the next batch,
+//! with the per-client delays drawn from a Gaussian distribution.
+
+use simcore::{DetRng, SimDuration};
+
+/// Think-time model applied between a batch completing and the next one
+/// being posted.
+#[derive(Clone, Debug)]
+pub enum ThinkTime {
+    /// No delay: the closed loop re-posts immediately.
+    None,
+    /// A fixed delay.
+    Fixed(SimDuration),
+    /// A delay resampled uniformly in `[lo, hi]` before every batch.
+    Uniform {
+        /// Lower bound.
+        lo: SimDuration,
+        /// Upper bound.
+        hi: SimDuration,
+    },
+}
+
+impl ThinkTime {
+    /// Samples the next delay.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match self {
+            ThinkTime::None => SimDuration::ZERO,
+            ThinkTime::Fixed(d) => *d,
+            ThinkTime::Uniform { lo, hi } => {
+                SimDuration::nanos(rng.between(lo.as_nanos(), hi.as_nanos().max(lo.as_nanos())))
+            }
+        }
+    }
+
+    /// Builds the Fig. 12 per-client assignment: each client gets a
+    /// *fixed* think time whose value is drawn from a Gaussian with the
+    /// given mean and relative sigma (σ of 0.8 or 1.0 in the paper),
+    /// truncated at zero. Returns one `ThinkTime` per client.
+    pub fn gaussian_mix(
+        clients: usize,
+        mean: SimDuration,
+        sigma: f64,
+        rng: &mut DetRng,
+    ) -> Vec<ThinkTime> {
+        (0..clients)
+            .map(|_| {
+                let v = rng.normal(mean.as_nanos() as f64, sigma * mean.as_nanos() as f64);
+                if v <= 0.0 {
+                    ThinkTime::None
+                } else {
+                    ThinkTime::Fixed(SimDuration::nanos(v as u64))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero() {
+        let mut rng = DetRng::new(1);
+        assert_eq!(ThinkTime::None.sample(&mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = DetRng::new(1);
+        let t = ThinkTime::Fixed(SimDuration::micros(3));
+        assert_eq!(t.sample(&mut rng), SimDuration::micros(3));
+        assert_eq!(t.sample(&mut rng), SimDuration::micros(3));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = DetRng::new(2);
+        let t = ThinkTime::Uniform {
+            lo: SimDuration::nanos(100),
+            hi: SimDuration::nanos(200),
+        };
+        for _ in 0..1000 {
+            let d = t.sample(&mut rng).as_nanos();
+            assert!((100..=200).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gaussian_mix_spreads_clients() {
+        let mut rng = DetRng::new(3);
+        let mix = ThinkTime::gaussian_mix(200, SimDuration::micros(10), 0.8, &mut rng);
+        assert_eq!(mix.len(), 200);
+        let values: Vec<u64> = mix
+            .iter()
+            .map(|t| match t {
+                ThinkTime::Fixed(d) => d.as_nanos(),
+                ThinkTime::None => 0,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        assert!((mean - 10_000.0).abs() < 2_000.0, "mean={mean}");
+        // With sigma=0.8 some clients must differ wildly.
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        assert!(max > 2 * min.max(1), "no spread: min={min} max={max}");
+    }
+
+    #[test]
+    fn gaussian_mix_is_deterministic_per_seed() {
+        let a = ThinkTime::gaussian_mix(10, SimDuration::micros(5), 1.0, &mut DetRng::new(7));
+        let b = ThinkTime::gaussian_mix(10, SimDuration::micros(5), 1.0, &mut DetRng::new(7));
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (ThinkTime::Fixed(dx), ThinkTime::Fixed(dy)) => assert_eq!(dx, dy),
+                (ThinkTime::None, ThinkTime::None) => {}
+                _ => panic!("mismatched variants"),
+            }
+        }
+    }
+}

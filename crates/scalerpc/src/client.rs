@@ -1,0 +1,152 @@
+//! The client state machine of Fig. 7.
+//!
+//! ```text
+//!        stage requests + write endpoint entry
+//!  IDLE ──────────────────────────────────────▶ WARMUP
+//!    ▲                                             │ first response
+//!    │        response with context_switch_event   ▼
+//!    └───────────────────────────────────────── PROCESS
+//! ```
+//!
+//! - **IDLE**: the client is not being served. New requests are staged in
+//!   local memory; the first staged batch triggers an endpoint-entry
+//!   write and the move to WARMUP.
+//! - **WARMUP**: the entry is published; the server will fetch the staged
+//!   batch with an RDMA read when this client's group is warmed. The
+//!   first response signals the group is now being served.
+//! - **PROCESS**: the client writes new requests *directly* into the
+//!   processing pool. A response carrying `context_switch_event` (or an
+//!   explicit notification) sends it back to IDLE.
+
+/// Client states (Fig. 7 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientState {
+    /// Not currently served; requests are staged locally.
+    Idle,
+    /// Endpoint entry published; waiting to be warmed up and served.
+    Warmup,
+    /// Group is being served; requests go straight to the pool.
+    Process,
+}
+
+/// What a client should do with a new request, as decided by the FSM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitAction {
+    /// Stage locally and publish the endpoint entry (IDLE → WARMUP).
+    StageAndPublish,
+    /// Stage locally; the entry is already published.
+    StageOnly,
+    /// RDMA-write directly into the processing pool.
+    DirectWrite,
+}
+
+/// The per-client state machine.
+#[derive(Clone, Debug)]
+pub struct ClientFsm {
+    state: ClientState,
+}
+
+impl Default for ClientFsm {
+    fn default() -> Self {
+        ClientFsm {
+            state: ClientState::Idle,
+        }
+    }
+}
+
+impl ClientFsm {
+    /// Creates a client in IDLE.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// Decides how to submit a new request, advancing IDLE → WARMUP when
+    /// this is the first staged request of a cycle.
+    pub fn on_submit(&mut self) -> SubmitAction {
+        match self.state {
+            ClientState::Idle => {
+                self.state = ClientState::Warmup;
+                SubmitAction::StageAndPublish
+            }
+            ClientState::Warmup => SubmitAction::StageOnly,
+            ClientState::Process => SubmitAction::DirectWrite,
+        }
+    }
+
+    /// Handles a response from the server. `ctx_switch` is the
+    /// piggybacked `context_switch_event` flag.
+    pub fn on_response(&mut self, ctx_switch: bool) {
+        if ctx_switch {
+            self.state = ClientState::Idle;
+        } else if self.state == ClientState::Warmup {
+            // First response: the group is being served now.
+            self.state = ClientState::Process;
+        }
+    }
+
+    /// Handles an explicit context-switch notification (the extra RDMA
+    /// write the server issues to clients with no in-flight responses).
+    pub fn on_ctx_notify(&mut self) {
+        self.state = ClientState::Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_happy_path() {
+        let mut fsm = ClientFsm::new();
+        assert_eq!(fsm.state(), ClientState::Idle);
+        // Step 1-2: initialize requests locally, write endpoint entry.
+        assert_eq!(fsm.on_submit(), SubmitAction::StageAndPublish);
+        assert_eq!(fsm.state(), ClientState::Warmup);
+        // More requests before being served just stage.
+        assert_eq!(fsm.on_submit(), SubmitAction::StageOnly);
+        // First response moves to PROCESS.
+        fsm.on_response(false);
+        assert_eq!(fsm.state(), ClientState::Process);
+        // Now requests go straight to the pool.
+        assert_eq!(fsm.on_submit(), SubmitAction::DirectWrite);
+        // Context-switch response: back to IDLE; cycle restarts.
+        fsm.on_response(true);
+        assert_eq!(fsm.state(), ClientState::Idle);
+        assert_eq!(fsm.on_submit(), SubmitAction::StageAndPublish);
+    }
+
+    #[test]
+    fn explicit_notify_from_process() {
+        let mut fsm = ClientFsm::new();
+        fsm.on_submit();
+        fsm.on_response(false);
+        assert_eq!(fsm.state(), ClientState::Process);
+        fsm.on_ctx_notify();
+        assert_eq!(fsm.state(), ClientState::Idle);
+    }
+
+    #[test]
+    fn response_in_process_keeps_state() {
+        let mut fsm = ClientFsm::new();
+        fsm.on_submit();
+        fsm.on_response(false);
+        fsm.on_response(false);
+        assert_eq!(fsm.state(), ClientState::Process);
+    }
+
+    #[test]
+    fn ctx_switch_during_warmup_returns_to_idle() {
+        // A client whose batch was fetched and answered right at the end
+        // of a slice can see its first response already carrying the
+        // switch event; it must go IDLE, not PROCESS.
+        let mut fsm = ClientFsm::new();
+        fsm.on_submit();
+        fsm.on_response(true);
+        assert_eq!(fsm.state(), ClientState::Idle);
+    }
+}

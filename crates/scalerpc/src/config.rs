@@ -1,0 +1,98 @@
+//! ScaleRPC configuration.
+
+use simcore::SimDuration;
+
+/// Tunable parameters of a ScaleRPC server.
+#[derive(Clone, Debug)]
+pub struct ScaleRpcConfig {
+    /// Default connection-group size. The paper's evaluation settles on
+    /// 40 for its hardware (Fig. 11(b)): small groups cannot saturate the
+    /// NIC, large ones re-introduce cache contention.
+    pub group_size: usize,
+    /// Default time-slice length; 100 µs balances throughput against the
+    /// tail latency added by waiting for one's group (Fig. 11(a)).
+    pub time_slice: SimDuration,
+    /// Message blocks per client zone (bounds per-client in-flight
+    /// requests).
+    pub slots: usize,
+    /// Message block size in bytes; 4 KB by default to match the largest
+    /// message UD-based RPCs can carry (footnote 2 of the paper).
+    pub block_size: usize,
+    /// Enable the priority-based dynamic scheduler (§3.2). When false the
+    /// server behaves like the *Static* mode of Fig. 12: fixed groups,
+    /// fixed slices.
+    pub dynamic_scheduling: bool,
+    /// Re-evaluate groups after this many complete rotations (the paper's
+    /// scheduler adjusts lazily).
+    pub regroup_rotations: u32,
+    /// Offset of the first context switch. Multi-server deployments keep
+    /// this identical (global synchronization, §4.2); the misalignment
+    /// ablation staggers it per server to show why that matters.
+    pub first_slice_offset: simcore::SimDuration,
+}
+
+impl Default for ScaleRpcConfig {
+    fn default() -> Self {
+        ScaleRpcConfig {
+            group_size: 40,
+            time_slice: SimDuration::micros(100),
+            slots: 8,
+            block_size: 4096,
+            dynamic_scheduling: true,
+            regroup_rotations: 4,
+            first_slice_offset: SimDuration::ZERO,
+        }
+    }
+}
+
+impl ScaleRpcConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate settings, with a message naming the field.
+    pub fn validate(&self) {
+        assert!(self.group_size > 0, "group_size must be positive");
+        assert!(
+            self.time_slice > SimDuration::ZERO,
+            "time_slice must be positive"
+        );
+        assert!(self.slots > 0 && self.slots < 256, "slots must be in 1..256");
+        assert!(self.block_size >= 64, "block_size must hold a message");
+        assert!(self.regroup_rotations > 0, "regroup_rotations must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = ScaleRpcConfig::default();
+        assert_eq!(c.group_size, 40);
+        assert_eq!(c.time_slice, SimDuration::micros(100));
+        assert_eq!(c.block_size, 4096);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "group_size")]
+    fn zero_group_rejected() {
+        ScaleRpcConfig {
+            group_size: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slots")]
+    fn huge_slots_rejected() {
+        ScaleRpcConfig {
+            slots: 256,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

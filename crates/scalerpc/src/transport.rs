@@ -1,0 +1,913 @@
+//! The ScaleRPC server/client transport (§3 of the paper, end to end).
+//!
+//! One [`ScaleRpc`] value embodies both sides of the protocol — the
+//! `RPCServer` (pools, scheduler, workers, warmup engine) and every
+//! `RPCClient` state machine — wired to the simulated fabric. All
+//! *timing* flows through the fabric (RDMA verbs, NIC/LLC models, worker
+//! CPU resources); shared Rust state is used only for metadata a real
+//! deployment exchanges at connection setup (region ids, zone
+//! assignments).
+//!
+//! Data path summary:
+//!
+//! - **Direct requests** (client in PROCESS): RC write into the
+//!   processing pool zone; the polling worker decodes, executes the
+//!   handler, and RC-writes the response into the client's response
+//!   block.
+//! - **Warmup requests** (client in IDLE/WARMUP): staged in client-local
+//!   memory and advertised through an endpoint-entry RDMA write; the
+//!   server fetches the whole staged zone with one RDMA read into the
+//!   warmup pool, so the moment the context switch happens the new
+//!   processing pool is already full of work.
+//! - **Context switch**: on the slice timer, clients of the outgoing
+//!   group are told via a piggybacked `context_switch_event` on their
+//!   next response, or an explicit notification write when nothing is in
+//!   flight (§3.3).
+//! - **Legacy mode** (§3.5): requests flagged long-running execute on a
+//!   dedicated thread so a context switch cannot cut them off.
+
+use bytes::{Bytes, BytesMut};
+use rdma_fabric::{
+    CqId, Fabric, MrId, QpId, RemoteAddr, Transport, Upcall, WcOpcode, WorkRequest, WrId,
+};
+use rpc_core::cluster::{ClientId, Cluster};
+use rpc_core::driver::Cx;
+use rpc_core::message::{MsgBuf, RpcHeader, FLAG_CTX_SWITCH, FLAG_LEGACY, HEADER};
+use rpc_core::transport::{ClientOverhead, Response, RpcTransport, ServerHandler};
+use rpc_core::workers::WorkerPool;
+use simcore::{FifoResource, SimDuration};
+use std::collections::HashMap;
+
+use crate::client::{ClientFsm, SubmitAction};
+use crate::config::ScaleRpcConfig;
+use crate::scheduler::{ClientStats, GroupPlan, Scheduler};
+use crate::vpool::{PoolPair, VirtualPool};
+
+/// Endpoint-entry stride in the endpoint region (per client).
+const ENTRY: usize = 32;
+/// Sequence number that marks a pure context-switch notification.
+const NOTIFY_SEQ: u64 = u64::MAX;
+
+/// Transport-internal events.
+pub enum ScaleEv {
+    /// The current time slice expired.
+    SliceEnd {
+        /// Guards against stale timers after external switches.
+        epoch: u64,
+    },
+    /// A worker finished a request; post the response write.
+    SendResponse {
+        /// Destination client.
+        client: ClientId,
+        /// Echoed sequence number.
+        seq: u64,
+        /// Response payload.
+        payload: Bytes,
+    },
+    /// A staggered warmup fetch is due (fetches are spread across the
+    /// slice so the read posts do not evict the serving group's QP
+    /// contexts all at once).
+    Fetch {
+        /// Client whose staged batch to pull.
+        client: ClientId,
+        /// Pool the batch lands in.
+        pool_idx: usize,
+        /// Slice epoch the fetch was planned in; stale fetches are
+        /// dropped.
+        epoch: u64,
+    },
+}
+
+struct PerClient {
+    server_qp: QpId,
+    client_qp: QpId,
+    /// Client-local region: `slots` staging blocks, then `slots + 1`
+    /// response blocks (the last is the control block for explicit
+    /// notifications).
+    local_mr: MrId,
+    fsm: ClientFsm,
+    /// Responses not yet posted for this client (piggyback bookkeeping).
+    inflight_responses: usize,
+    /// Set at a context switch; the next response carries the event.
+    needs_ctx: bool,
+    /// Server-side mirror of the endpoint entry's Valid flag.
+    entry_valid: bool,
+    /// An endpoint-entry write is on the wire (suppresses duplicates).
+    publish_inflight: bool,
+    /// Slice epoch of the last warmup fetch (suppresses duplicate
+    /// fetches within one slice).
+    last_fetch_epoch: u64,
+    /// Whether the server answered this client during the current slice.
+    served_this_slice: bool,
+    /// Highest request sequence executed for this client.
+    seq_high: u64,
+    /// Bitmap over `seq_high - i` (bit i) of recently executed sequences,
+    /// used to drop duplicate executions when a warmup re-fetch copies a
+    /// staged request whose response is still in flight. Handlers with
+    /// side effects (locks, transactions) need exactly-once execution.
+    seq_window: u128,
+}
+
+/// The ScaleRPC transport.
+pub struct ScaleRpc<H: ServerHandler> {
+    cfg: ScaleRpcConfig,
+    geom: VirtualPool,
+    /// The two physical pools (processing/warmup roles swap).
+    pools: [MrId; 2],
+    pool_pair: PoolPair,
+    endpoint_mr: MrId,
+    clients: Vec<PerClient>,
+    local_index: HashMap<MrId, ClientId>,
+    server_cq: CqId,
+    plan: GroupPlan,
+    /// Index of the group currently being processed.
+    cur: usize,
+    slice_epoch: u64,
+    rotations: u32,
+    scheduler: Scheduler,
+    stats_cur: Vec<ClientStats>,
+    stats_last: Vec<ClientStats>,
+    /// Outstanding warmup RDMA reads:
+    /// wr_id → (client, pool index, zone, slice epoch at post).
+    pending_reads: HashMap<WrId, (ClientId, usize, usize, u64)>,
+    /// Slice epoch at which each (pool, zone) was last used as a fetch
+    /// target. A group replan can map two clients onto one zone across
+    /// plan versions; fetching both in close succession would overwrite
+    /// the first client's staged requests before the switch scan reads
+    /// them. A reservation blocks the second fetch (which simply retries
+    /// at the client's next warm phase, its endpoint entry intact).
+    zone_reserved: [Vec<u64>; 2],
+    workers: WorkerPool,
+    /// Dedicated thread for legacy-mode (long-running) requests.
+    legacy_thread: FifoResource,
+    /// Call types observed to run longer than half a slice; §3.5 routes
+    /// their subsequent invocations to the legacy thread.
+    legacy_types: std::collections::HashSet<u16>,
+    handler: H,
+    overhead: ClientOverhead,
+    post_cpu: SimDuration,
+    pool_check: SimDuration,
+    /// Explicit context notifications posted (observability).
+    pub ctx_notifies: u64,
+    /// Warmup RDMA reads posted (observability).
+    pub warmup_fetches: u64,
+    /// Requests executed in legacy mode (observability).
+    pub legacy_requests: u64,
+    /// Requests found by the post-switch zone scan (observability).
+    pub scan_requests: u64,
+    /// Requests that arrived as direct writes (observability).
+    pub direct_requests: u64,
+    /// Duplicate request executions suppressed (observability).
+    pub dup_drops: u64,
+}
+
+impl<H: ServerHandler> ScaleRpc<H> {
+    /// Builds the transport: two group-sized physical pools, the endpoint
+    /// region, and one RC connection per client.
+    pub fn new(fabric: &mut Fabric, cluster: &Cluster, cfg: ScaleRpcConfig, handler: H) -> Self {
+        cfg.validate();
+        let n = cluster.clients();
+        // Zones must fit the largest group the split/merge band allows.
+        let zones = (cfg.group_size * 3 / 2 + 2).min(n.max(1) + 1);
+        let geom = VirtualPool::new(zones, cfg.slots, cfg.block_size);
+        let pools = [
+            fabric
+                .register_mr(cluster.server, geom.bytes())
+                .expect("pool 0"),
+            fabric
+                .register_mr(cluster.server, geom.bytes())
+                .expect("pool 1"),
+        ];
+        let endpoint_mr = fabric
+            .register_mr(cluster.server, n * ENTRY)
+            .expect("endpoint region");
+        let server_cq = fabric.create_cq(cluster.server).expect("server cq");
+        let scheduler = Scheduler::new(cfg.group_size, cfg.time_slice, cfg.dynamic_scheduling);
+        let plan = scheduler.initial_plan(n);
+        let mut clients = Vec::with_capacity(n);
+        let mut local_index = HashMap::new();
+        for c in 0..n {
+            let cnode = cluster.node_of(c);
+            let local_mr = fabric
+                .register_mr(cnode, (2 * cfg.slots + 1) * cfg.block_size)
+                .expect("client region");
+            let ccq = fabric.create_cq(cnode).expect("client cq");
+            let server_qp = fabric
+                .create_qp(cluster.server, Transport::Rc, server_cq, server_cq)
+                .expect("server qp");
+            let client_qp = fabric
+                .create_qp(cnode, Transport::Rc, ccq, ccq)
+                .expect("client qp");
+            fabric.connect(server_qp, client_qp).expect("connect");
+            local_index.insert(local_mr, c);
+            clients.push(PerClient {
+                server_qp,
+                client_qp,
+                local_mr,
+                fsm: ClientFsm::new(),
+                inflight_responses: 0,
+                needs_ctx: false,
+                entry_valid: false,
+                publish_inflight: false,
+                last_fetch_epoch: u64::MAX,
+                served_this_slice: false,
+                seq_high: 0,
+                seq_window: 0,
+            });
+        }
+        let p = fabric.params();
+        ScaleRpc {
+            geom,
+            pools,
+            pool_pair: PoolPair::new(),
+            endpoint_mr,
+            clients,
+            local_index,
+            server_cq,
+            plan,
+            cur: 0,
+            slice_epoch: 0,
+            rotations: 0,
+            scheduler,
+            stats_cur: vec![ClientStats::default(); n],
+            stats_last: vec![ClientStats::default(); n],
+            pending_reads: HashMap::new(),
+            zone_reserved: [vec![u64::MAX; geom.zones], vec![u64::MAX; geom.zones]],
+            workers: WorkerPool::new(cluster.spec().server_threads),
+            legacy_thread: FifoResource::new(),
+            legacy_types: std::collections::HashSet::new(),
+            handler,
+            overhead: ClientOverhead {
+                per_post: p.post_cpu + SimDuration::nanos(25),
+                per_response: p.pool_check_cpu + SimDuration::nanos(10),
+            },
+            post_cpu: p.post_cpu,
+            pool_check: p.pool_check_cpu,
+            ctx_notifies: 0,
+            warmup_fetches: 0,
+            legacy_requests: 0,
+            scan_requests: 0,
+            direct_requests: 0,
+            dup_drops: 0,
+            cfg,
+        }
+    }
+
+    /// The currently active group plan (for tests and experiments).
+    pub fn plan(&self) -> &GroupPlan {
+        &self.plan
+    }
+
+    /// Completed full rotations over all groups.
+    pub fn rotations(&self) -> u32 {
+        self.rotations
+    }
+
+    // ---- geometry helpers -------------------------------------------------
+
+    /// Offset of a client's staging block `slot` in its local region.
+    fn staging_off(&self, slot: usize) -> usize {
+        slot * self.cfg.block_size
+    }
+
+    /// Offset of a client's response block `slot` (control block when
+    /// `slot == slots`).
+    fn resp_off(&self, slot: usize) -> usize {
+        (self.cfg.slots + slot) * self.cfg.block_size
+    }
+
+    fn zone_of(&self, client: ClientId) -> Option<(usize /*group*/, usize /*zone*/)> {
+        let g = self.plan.group_of(client)?;
+        let z = self.plan.groups[g].iter().position(|&c| c == client)?;
+        Some((g, z))
+    }
+
+    fn group_of_pool(&self, pool_idx: usize) -> usize {
+        if pool_idx == self.pool_pair.processing() {
+            self.cur
+        } else {
+            (self.cur + 1) % self.plan.groups.len()
+        }
+    }
+
+    // ---- framing ----------------------------------------------------------
+
+    fn frame(client: ClientId, seq: u64, flags: u16, payload: &[u8]) -> BytesMut {
+        let header = RpcHeader {
+            call_type: 0,
+            flags,
+            client_id: client as u32,
+            seq,
+        };
+        let mut buf = BytesMut::with_capacity(HEADER + payload.len());
+        buf.extend_from_slice(&header.encode());
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    // ---- client side -------------------------------------------------------
+
+    fn stage_request(&mut self, client: ClientId, seq: u64, payload: &[u8], cx: &mut Cx<'_, ScaleEv>) {
+        // Compose the message into the local staging block: an ordinary
+        // CPU store, no verbs.
+        let slot = self.geom.slot_of_seq(seq);
+        let buf = Self::frame(client, seq, 0, payload);
+        let (enc_off, bytes) =
+            MsgBuf::encode(&buf, self.cfg.block_size).expect("request fits block");
+        let off = self.staging_off(slot) + enc_off;
+        cx.fabric
+            .mr_mut(self.clients[client].local_mr)
+            .expect("local mr")
+            .write(off, &bytes)
+            .expect("staging write");
+    }
+
+    fn publish_entry(&mut self, client: ClientId, cx: &mut Cx<'_, ScaleEv>) {
+        self.clients[client].publish_inflight = true;
+        // <req_addr, batch_size> tuple, Valid last (RDMA writes land in
+        // increasing address order).
+        let mut entry = [0u8; 24];
+        entry[0..8].copy_from_slice(&0u64.to_le_bytes()); // staging offset
+        entry[8..12].copy_from_slice(&(self.cfg.slots as u32).to_le_bytes());
+        entry[16..24].copy_from_slice(&1u64.to_le_bytes()); // valid
+        cx.post(
+            self.clients[client].client_qp,
+            WorkRequest::Write {
+                data: Bytes::copy_from_slice(&entry),
+                remote: RemoteAddr::new(self.endpoint_mr, client * ENTRY),
+                imm: None,
+            },
+            false,
+            None,
+        )
+        .expect("endpoint write");
+    }
+
+    fn direct_write(&mut self, client: ClientId, seq: u64, payload: &[u8], cx: &mut Cx<'_, ScaleEv>) {
+        let Some((_, zone)) = self.zone_of(client) else {
+            return;
+        };
+        let zone = zone.min(self.geom.zones - 1);
+        let slot = self.geom.slot_of_seq(seq);
+        let buf = Self::frame(client, seq, 0, payload);
+        let (enc_off, bytes) =
+            MsgBuf::encode(&buf, self.cfg.block_size).expect("request fits block");
+        let pool = self.pools[self.pool_pair.processing()];
+        let remote = RemoteAddr::new(pool, self.geom.offset(zone, slot) + enc_off);
+        cx.post(
+            self.clients[client].client_qp,
+            WorkRequest::Write {
+                data: bytes,
+                remote,
+                imm: None,
+            },
+            false,
+            None,
+        )
+        .expect("direct request write");
+    }
+
+    // ---- server side: warmup ----------------------------------------------
+
+    /// Fetches a client's staged batch with an RDMA read into `pool_idx`'s
+    /// zone for that client.
+    fn fetch_client(&mut self, client: ClientId, pool_idx: usize, cx: &mut Cx<'_, ScaleEv>) {
+        let Some((_, zone)) = self.zone_of(client) else {
+            return;
+        };
+        let zone = zone.min(self.geom.zones - 1);
+        if self.clients[client].last_fetch_epoch == self.slice_epoch {
+            return; // already fetched this slice
+        }
+        // Deferred-scan fetches (into the warmup pool) park data in the
+        // zone until the context switch; a second fetch into the same
+        // zone before that scan (possible across group replans) would
+        // overwrite the first client's staged requests. Block it — the
+        // entry stays valid and the client is fetched at its next warm
+        // phase instead. Eager fetches into the processing pool are
+        // consumed on completion and need no reservation.
+        if pool_idx == self.pool_pair.warmup() {
+            if self.zone_reserved[pool_idx][zone] != u64::MAX {
+                return;
+            }
+            self.zone_reserved[pool_idx][zone] = self.slice_epoch;
+        }
+        self.clients[client].last_fetch_epoch = self.slice_epoch;
+        self.clients[client].entry_valid = false;
+        // Clear the entry's Valid flag in server memory.
+        cx.fabric
+            .mr_mut(self.endpoint_mr)
+            .expect("endpoint mr")
+            .write(client * ENTRY + 16, &0u64.to_le_bytes())
+            .expect("entry clear");
+        let info = cx
+            .post(
+                self.clients[client].server_qp,
+                WorkRequest::Read {
+                    local_mr: self.pools[pool_idx],
+                    local_offset: self.geom.zone_offset(zone),
+                    remote: RemoteAddr::new(self.clients[client].local_mr, 0),
+                    len: self.geom.zone_bytes(),
+                },
+                true,
+                None,
+            )
+            .expect("warmup read");
+        self.warmup_fetches += 1;
+        self.pending_reads
+            .insert(info.wr_id, (client, pool_idx, zone, self.slice_epoch));
+    }
+
+    /// Starts warming every member of the group owning `pool_idx` whose
+    /// endpoint entry is valid. Fetch posts are staggered over the first
+    /// 60 % of the slice: bursting them would momentarily flood the NIC
+    /// cache with the warm group's QP contexts and evict the serving
+    /// group's, stalling the very responses the slice exists to send.
+    fn warm_group(&mut self, pool_idx: usize, cx: &mut Cx<'_, ScaleEv>) {
+        let group = self.group_of_pool(pool_idx);
+        let members = self.plan.groups[group].clone();
+        let slice = self.plan.slices[self.cur.min(self.plan.slices.len() - 1)];
+        let span = SimDuration::nanos(slice.as_nanos() * 6 / 10);
+        let n = members.len().max(1) as u64;
+        for (i, c) in members.into_iter().enumerate() {
+            if self.clients[c].entry_valid {
+                let delay = SimDuration::nanos(span.as_nanos() * i as u64 / n);
+                cx.after(
+                    delay,
+                    ScaleEv::Fetch {
+                        client: c,
+                        pool_idx,
+                        epoch: self.slice_epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- server side: request execution -------------------------------------
+
+    /// Decodes and executes the message in `(pool_mr, block_start)`,
+    /// charging the owning worker. `touched` is the byte range the DMA
+    /// write covered (for LLC accounting on direct arrivals).
+    fn execute_block(
+        &mut self,
+        pool_mr: MrId,
+        zone: usize,
+        block_start: usize,
+        touched: Option<(usize, usize)>,
+        cx: &mut Cx<'_, ScaleEv>,
+    ) {
+        let decoded = {
+            let mr = cx.fabric.mr(pool_mr).expect("pool mr");
+            let block = mr
+                .read(block_start, self.cfg.block_size)
+                .expect("block bounds");
+            MsgBuf::decode(block).and_then(|m| RpcHeader::decode(m).map(|(h, p)| (h, p.to_vec())))
+        };
+        let Some((header, payload)) = decoded else {
+            return;
+        };
+        let client = header.client_id as usize;
+        if client >= self.clients.len() {
+            return;
+        }
+        // Exactly-once guard: a warmup re-fetch can deliver a staged
+        // request a second time; executing it again would repeat handler
+        // side effects (§3.5's re-execution hazard).
+        if header.seq != NOTIFY_SEQ && !self.record_seq(client, header.seq) {
+            self.dup_drops += 1;
+            // Still clear the duplicate's Valid byte so the scan moves on.
+            cx.fabric
+                .mr_mut(pool_mr)
+                .expect("pool mr")
+                .write(MsgBuf::valid_offset(self.cfg.block_size) + block_start, &[0])
+                .expect("valid clear");
+            return;
+        }
+        // Consume the message (stateless pool: clearing Valid is the only
+        // write needed; the next occupant simply overwrites).
+        cx.fabric
+            .mr_mut(pool_mr)
+            .expect("pool mr")
+            .write(MsgBuf::valid_offset(self.cfg.block_size) + block_start, &[0])
+            .expect("valid clear");
+        let (touch_off, touch_len) = touched.unwrap_or((
+            block_start,
+            (HEADER + payload.len() + rpc_core::message::TRAILER).min(self.cfg.block_size),
+        ));
+        let read_cost = cx
+            .fabric
+            .cpu_access(pool_mr, touch_off, touch_len)
+            .expect("pool access");
+        self.stats_cur[client].ops += 1;
+        self.stats_cur[client].bytes += (HEADER + payload.len()) as u64;
+        self.clients[client].inflight_responses += 1;
+        self.clients[client].served_this_slice = true;
+        let (resp, handler_cost) = self.handler.handle(client, &payload, cx.fabric);
+        let service = self.pool_check + read_cost + handler_cost + self.post_cpu;
+        // §3.5: a call that runs longer than ~half a slice risks being cut
+        // by a context switch; its first execution is recorded and later
+        // invocations of the same call type run on a dedicated thread in
+        // legacy mode. Explicitly flagged requests go there directly.
+        let slice_half = SimDuration::nanos(self.cfg.time_slice.as_nanos() / 2);
+        let is_legacy = header.is_legacy() || self.legacy_types.contains(&header.call_type);
+        if handler_cost > slice_half {
+            self.legacy_types.insert(header.call_type);
+        }
+        let done = if is_legacy {
+            self.legacy_requests += 1;
+            self.legacy_thread.acquire(cx.now, service).complete
+        } else {
+            let w = self.workers.owner_of(zone);
+            self.workers.run(w, cx.now, service)
+        };
+        cx.at(
+            done,
+            ScaleEv::SendResponse {
+                client,
+                seq: header.seq,
+                payload: resp,
+            },
+        );
+    }
+
+    /// Scans one zone of a pool for valid messages (used right after a
+    /// context switch on the fresh processing pool).
+    fn scan_zone(&mut self, pool_idx: usize, zone: usize, cx: &mut Cx<'_, ScaleEv>) {
+        let pool_mr = self.pools[pool_idx];
+        let mut empty_checks = 0u64;
+        for slot in 0..self.cfg.slots {
+            let block_start = self.geom.offset(zone, slot);
+            let valid = {
+                let mr = cx.fabric.mr(pool_mr).expect("pool mr");
+                MsgBuf::is_valid(
+                    mr.read(block_start, self.cfg.block_size)
+                        .expect("block bounds"),
+                )
+            };
+            if valid {
+                self.scan_requests += 1;
+                self.execute_block(pool_mr, zone, block_start, None, cx);
+            } else {
+                empty_checks += 1;
+            }
+        }
+        if empty_checks > 0 {
+            // Workers still pay to poll empty blocks.
+            let w = self.workers.owner_of(zone);
+            self.workers.run(w, cx.now, self.pool_check * empty_checks);
+        }
+    }
+
+    /// Records `seq` for `client`; returns `false` when it was already
+    /// executed (duplicate). A 128-wide window is ample: in-flight
+    /// requests per client are bounded by the slot count (< 256 by
+    /// config, 8 by default).
+    fn record_seq(&mut self, client: ClientId, seq: u64) -> bool {
+        let st = &mut self.clients[client];
+        if seq > st.seq_high {
+            let shift = seq - st.seq_high;
+            st.seq_window = if shift >= 128 {
+                0
+            } else {
+                st.seq_window << shift
+            };
+            st.seq_window |= 1;
+            st.seq_high = seq;
+            true
+        } else {
+            let back = st.seq_high - seq;
+            if back >= 128 {
+                return false; // ancient: certainly a duplicate
+            }
+            let bit = 1u128 << back;
+            if st.seq_window & bit != 0 {
+                false
+            } else {
+                st.seq_window |= bit;
+                true
+            }
+        }
+    }
+
+    // ---- server side: context switch ----------------------------------------
+
+    fn context_switch(&mut self, cx: &mut Cx<'_, ScaleEv>) {
+        let outgoing = self.plan.groups[self.cur].clone();
+        // Collect slice statistics and arrange notifications.
+        for c in outgoing {
+            let st = &mut self.clients[c];
+            if st.served_this_slice {
+                if st.inflight_responses > 0 {
+                    // Piggyback on the next outgoing response.
+                    st.needs_ctx = true;
+                } else {
+                    self.post_ctx_notify(c, cx);
+                }
+            }
+            self.clients[c].served_this_slice = false;
+            self.stats_last[c] = self.stats_cur[c];
+            self.stats_cur[c] = ClientStats::default();
+        }
+        // Advance: warmup pool becomes the processing pool.
+        self.slice_epoch += 1;
+        self.cur = (self.cur + 1) % self.plan.groups.len();
+        self.pool_pair.swap();
+        if self.cur == 0 {
+            self.rotations += 1;
+            if self.scheduler.dynamic && self.rotations % self.cfg.regroup_rotations == 0 {
+                self.plan = self.scheduler.replan(&self.stats_last);
+            }
+        }
+        // Process whatever warmup fetched into the new pool. All zones
+        // are scanned (not just the incoming group's): a regroup may have
+        // shifted zone assignments after a fetch was posted, and the
+        // polling workers sweep their whole zones regardless. Scanning
+        // consumes the parked data, so the pool's fetch reservations
+        // lift.
+        for z in 0..self.geom.zones {
+            self.scan_zone(self.pool_pair.processing(), z, cx);
+        }
+        self.zone_reserved[self.pool_pair.processing()].fill(u64::MAX);
+        // Begin warming the next group into the freed pool.
+        self.warm_group(self.pool_pair.warmup(), cx);
+        // Arm the next slice timer.
+        let slice = self.plan.slices[self.cur.min(self.plan.slices.len() - 1)];
+        cx.after(
+            slice,
+            ScaleEv::SliceEnd {
+                epoch: self.slice_epoch,
+            },
+        );
+    }
+
+    fn post_ctx_notify(&mut self, client: ClientId, cx: &mut Cx<'_, ScaleEv>) {
+        self.ctx_notifies += 1;
+        let buf = Self::frame(client, NOTIFY_SEQ, FLAG_CTX_SWITCH, b"");
+        let (enc_off, bytes) = MsgBuf::encode(&buf, self.cfg.block_size).expect("notify fits");
+        let remote = RemoteAddr::new(
+            self.clients[client].local_mr,
+            self.resp_off(self.cfg.slots) + enc_off,
+        );
+        cx.post(
+            self.clients[client].server_qp,
+            WorkRequest::Write {
+                data: bytes,
+                remote,
+                imm: None,
+            },
+            false,
+            None,
+        )
+        .expect("ctx notify write");
+    }
+
+    // ---- client side: response handling --------------------------------------
+
+    fn handle_client_memwrite(
+        &mut self,
+        client: ClientId,
+        offset: usize,
+        cx: &mut Cx<'_, ScaleEv>,
+        out: &mut Vec<Response>,
+    ) {
+        let block = offset / self.cfg.block_size;
+        if block < self.cfg.slots {
+            // A write into the staging area can only be the server's
+            // warmup read... which never writes. Ignore defensively.
+            return;
+        }
+        let local_mr = self.clients[client].local_mr;
+        let block_start = block * self.cfg.block_size;
+        let decoded = {
+            let mr = cx.fabric.mr(local_mr).expect("local mr");
+            let raw = mr
+                .read(block_start, self.cfg.block_size)
+                .expect("block bounds");
+            MsgBuf::decode(raw).and_then(|m| RpcHeader::decode(m).map(|(h, p)| (h, p.to_vec())))
+        };
+        let Some((header, payload)) = decoded else {
+            return;
+        };
+        cx.fabric
+            .mr_mut(local_mr)
+            .expect("local mr")
+            .write(MsgBuf::valid_offset(self.cfg.block_size) + block_start, &[0])
+            .expect("valid clear");
+        if header.seq == NOTIFY_SEQ {
+            self.clients[client].fsm.on_ctx_notify();
+            return;
+        }
+        self.clients[client].fsm.on_response(header.is_ctx_switch());
+        // Clear the staging copy of this request so a later warmup read
+        // cannot re-fetch it.
+        let stage_block = self.staging_off(self.geom.slot_of_seq(header.seq));
+        cx.fabric
+            .mr_mut(local_mr)
+            .expect("local mr")
+            .write(MsgBuf::valid_offset(self.cfg.block_size) + stage_block, &[0])
+            .expect("staging clear");
+        out.push(Response {
+            client,
+            seq: header.seq,
+            payload: Bytes::from(payload),
+        });
+    }
+}
+
+impl<H: ServerHandler> ScaleRpc<H> {
+    /// Immutable access to the server-side handler (post-run inspection).
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Mutable access to the server-side handler (setup/preload).
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+}
+
+impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
+    type Ev = ScaleEv;
+
+    fn init(&mut self, cx: &mut Cx<'_, ScaleEv>) {
+        // Arm the first slice timer; warmup begins as entries arrive.
+        // Multi-server deployments align (or deliberately stagger) their
+        // schedules through the configured offset.
+        let slice = self.plan.slices[0] + self.cfg.first_slice_offset;
+        cx.after(slice, ScaleEv::SliceEnd { epoch: 0 });
+    }
+
+    fn on_upcall(&mut self, up: Upcall, cx: &mut Cx<'_, ScaleEv>, out: &mut Vec<Response>) {
+        match up {
+            Upcall::MemWrite {
+                mr, offset, len, ..
+            } => {
+                if mr == self.pools[0] || mr == self.pools[1] {
+                    // Direct request arrival into a pool.
+                    let Some((zone, _slot)) = self.geom.locate(offset) else {
+                        return;
+                    };
+                    let block_start = (offset / self.cfg.block_size) * self.cfg.block_size;
+                    self.direct_requests += 1;
+                    self.execute_block(mr, zone, block_start, Some((offset, len)), cx);
+                } else if mr == self.endpoint_mr {
+                    let client = offset / ENTRY;
+                    if client >= self.clients.len() {
+                        return;
+                    }
+                    // Validate the entry in server memory.
+                    let valid = cx
+                        .fabric
+                        .mr(self.endpoint_mr)
+                        .expect("endpoint mr")
+                        .read_u64(client * ENTRY + 16)
+                        .map(|v| v == 1)
+                        .unwrap_or(false);
+                    if !valid {
+                        return;
+                    }
+                    self.clients[client].entry_valid = true;
+                    self.clients[client].publish_inflight = false;
+                    // Eagerly fetch when the client's group is currently
+                    // being served or warmed; otherwise the entry waits
+                    // for the group's warm phase.
+                    if let Some((g, _)) = self.zone_of(client) {
+                        let warm_group = (self.cur + 1) % self.plan.groups.len();
+                        if g == self.cur {
+                            self.fetch_client(client, self.pool_pair.processing(), cx);
+                        } else if g == warm_group {
+                            self.fetch_client(client, self.pool_pair.warmup(), cx);
+                        }
+                    }
+                } else if let Some(&client) = self.local_index.get(&mr) {
+                    self.handle_client_memwrite(client, offset, cx, out);
+                }
+            }
+            Upcall::Completion { cq, wc, .. } => {
+                if cq != self.server_cq || wc.opcode != WcOpcode::RdmaRead {
+                    return;
+                }
+                // A warmup fetch completed.
+                let Some((_client, pool_idx, zone, posted_epoch)) =
+                    self.pending_reads.remove(&wc.wr_id)
+                else {
+                    return;
+                };
+                if pool_idx == self.pool_pair.processing() {
+                    // In-slice fetch for the serving group: execute now.
+                    self.scan_zone(pool_idx, zone, cx);
+                } else if posted_epoch != self.slice_epoch {
+                    // Posted as an eager in-slice fetch but the context
+                    // switch beat the read: the pool's role flipped, the
+                    // switch scan already ran, and no reservation guards
+                    // this zone — consume the data immediately or a later
+                    // warm fetch would overwrite it.
+                    self.scan_zone(pool_idx, zone, cx);
+                }
+                // Same-epoch warmup-pool fetches wait for the context
+                // switch (their zones are reserved until its scan).
+            }
+        }
+    }
+
+    fn on_app(&mut self, ev: ScaleEv, cx: &mut Cx<'_, ScaleEv>, _out: &mut Vec<Response>) {
+        match ev {
+            ScaleEv::SliceEnd { epoch } => {
+                if epoch == self.slice_epoch {
+                    self.context_switch(cx);
+                }
+            }
+            ScaleEv::Fetch {
+                client,
+                pool_idx,
+                epoch,
+            } => {
+                // Drop stale fetch timers from a previous slice and
+                // fetches whose entry was already consumed eagerly.
+                if epoch == self.slice_epoch && self.clients[client].entry_valid {
+                    self.fetch_client(client, pool_idx, cx);
+                }
+            }
+            ScaleEv::SendResponse {
+                client,
+                seq,
+                payload,
+            } => {
+                let st = &mut self.clients[client];
+                st.inflight_responses = st.inflight_responses.saturating_sub(1);
+                let mut flags = 0;
+                if st.needs_ctx {
+                    st.needs_ctx = false;
+                    flags |= FLAG_CTX_SWITCH;
+                }
+                let buf = Self::frame(client, seq, flags, &payload);
+                let (enc_off, bytes) =
+                    MsgBuf::encode(&buf, self.cfg.block_size).expect("response fits block");
+                let slot = self.geom.slot_of_seq(seq);
+                let remote = RemoteAddr::new(
+                    self.clients[client].local_mr,
+                    self.resp_off(slot) + enc_off,
+                );
+                cx.post(
+                    self.clients[client].server_qp,
+                    WorkRequest::Write {
+                        data: bytes,
+                        remote,
+                        imm: None,
+                    },
+                    false,
+                    None,
+                )
+                .expect("response write");
+            }
+        }
+    }
+
+    fn submit(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        payload: Bytes,
+        cx: &mut Cx<'_, ScaleEv>,
+        _out: &mut Vec<Response>,
+    ) {
+        match self.clients[client].fsm.on_submit() {
+            SubmitAction::DirectWrite => self.direct_write(client, seq, &payload, cx),
+            SubmitAction::StageAndPublish => {
+                self.stage_request(client, seq, &payload, cx);
+                self.publish_entry(client, cx);
+            }
+            SubmitAction::StageOnly => {
+                self.stage_request(client, seq, &payload, cx);
+                // If the entry was already consumed this cycle (and no
+                // publish is on the wire), republish so the batch is not
+                // stranded until the next rotation.
+                if !self.clients[client].entry_valid && !self.clients[client].publish_inflight {
+                    self.publish_entry(client, cx);
+                }
+            }
+        }
+    }
+
+    fn client_overhead(&self) -> ClientOverhead {
+        self.overhead
+    }
+
+    fn name(&self) -> &'static str {
+        "ScaleRPC"
+    }
+}
+
+/// Convenience constructor for a request that must run in legacy mode
+/// (§3.5): the caller frames the payload itself and sets
+/// [`FLAG_LEGACY`]; this helper documents the convention.
+pub fn legacy_flags() -> u16 {
+    FLAG_LEGACY
+}
+
+impl<H: ServerHandler> rpc_core::transport::OneSidedAccess for ScaleRpc<H> {
+    fn client_qp(&self, client: ClientId) -> Option<rdma_fabric::QpId> {
+        Some(self.clients[client].client_qp)
+    }
+}

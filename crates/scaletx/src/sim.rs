@@ -1,0 +1,803 @@
+//! The ScaleTX deployment: coordinators, three participants, and the
+//! protocol state machine over any RPC transport.
+
+use crate::participant::TxParticipant;
+use crate::proto::{ExecItem, TxRequest, TxResponse};
+use crate::workload::{TxSpec, TxWorkload};
+use bytes::Bytes;
+use rdma_fabric::{
+    Fabric, FabricParams, MrId, RemoteAddr, Upcall, WcOpcode, WorkRequest, WrId,
+};
+use rpc_core::cluster::{Cluster, ClusterSpec};
+use rpc_core::driver::{Cx, Logic, Sim};
+use rpc_core::transport::{OneSidedAccess, Response, RpcTransport};
+use simcore::stats::Histogram;
+use simcore::{DetRng, SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// Deployment and workload configuration.
+#[derive(Clone, Debug)]
+pub struct TxConfig {
+    /// Number of coordinators (the paper evaluates 80 and 160).
+    pub coordinators: usize,
+    /// Number of participant servers (3 in the paper).
+    pub servers: usize,
+    /// Client machines shared by the coordinators.
+    pub client_machines: usize,
+    /// The workload.
+    pub workload: TxWorkload,
+    /// Use one-sided verbs for validation and commit where the transport
+    /// allows it (`false` reproduces the `*-O` RPC-only ablation).
+    pub one_sided: bool,
+    /// Value slot size in the KV store.
+    pub value_size: usize,
+    /// Items preloaded per server.
+    pub keys_per_server: u64,
+    /// Initial value for preloaded items (little-endian i64).
+    pub initial_balance: i64,
+    /// Warmup excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measured run length.
+    pub run: SimDuration,
+    /// Coordinator-side CPU per network operation, as a multiple of the
+    /// transport's raw post/poll cost. Covers request marshalling, OCC
+    /// bookkeeping and response parsing; it is what makes UD transports'
+    /// chattier client side (post recv + CQ poll per message) bind at
+    /// the paper's coordinator counts.
+    pub coord_cpu_mult: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TxConfig {
+    fn default() -> Self {
+        TxConfig {
+            coordinators: 80,
+            servers: 3,
+            client_machines: 8,
+            workload: TxWorkload::ObjectStore {
+                reads: 3,
+                writes: 1,
+                keys_per_server: 10_000,
+                servers: 3,
+            },
+            one_sided: true,
+            value_size: 40,
+            keys_per_server: 10_000,
+            initial_balance: 1_000,
+            warmup: SimDuration::millis(2),
+            run: SimDuration::millis(6),
+            coord_cpu_mult: 8,
+            seed: 23,
+        }
+    }
+}
+
+/// Results of a transaction run.
+#[derive(Clone, Debug)]
+pub struct TxMetrics {
+    /// Transactions committed inside the window.
+    pub committed: u64,
+    /// Aborts (lock conflicts + validation failures) inside the window.
+    pub aborted: u64,
+    /// Commit latency histogram (first attempt → commit), nanoseconds.
+    pub latency: Histogram,
+    window_start: SimTime,
+    window_end: SimTime,
+}
+
+impl TxMetrics {
+    /// Committed transactions per second.
+    pub fn tps(&self) -> f64 {
+        let secs = self
+            .window_end
+            .saturating_since(self.window_start)
+            .as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+
+    /// Abort ratio (aborts / attempts).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+
+    /// Median commit latency in microseconds.
+    pub fn median_us(&self) -> f64 {
+        self.latency.median() as f64 / 1e3
+    }
+}
+
+/// Coordinator protocol phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Execute,
+    Validate,
+    Log,
+    Commit,
+    Unlocking,
+}
+
+struct Coord {
+    spec: TxSpec,
+    phase: Phase,
+    pending: usize,
+    /// Expected `(server, seq)` pairs for the current phase (stale or
+    /// duplicate responses are ignored).
+    expected: std::collections::HashSet<(usize, u64)>,
+    exec: HashMap<u64, ExecItem>,
+    phase_ok: bool,
+    /// Servers where write-set locks were acquired.
+    locked_servers: Vec<usize>,
+    first_started: SimTime,
+    rng: DetRng,
+    next_seq: Vec<u64>,
+    scratch_mr: MrId,
+}
+
+/// What a coordinator does once its thread gets around to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Draw and execute the next transaction.
+    Begin,
+    /// Start the validation phase.
+    Validate,
+    /// Start the log phase.
+    Log,
+    /// Start the commit phase.
+    Commit,
+    /// Release locks and schedule a retry.
+    Abort,
+}
+
+/// Internal events.
+pub enum TxEv<TEv> {
+    /// Forwarded transport event for server `i`.
+    Transport(usize, TEv),
+    /// Coordinator begins (or retries) a transaction.
+    Start(usize),
+    /// A gated phase transition is due.
+    Advance(usize, Action),
+}
+
+/// The multi-server transaction simulation.
+pub struct TxSim<T: RpcTransport + OneSidedAccess> {
+    /// One transport per participant server.
+    pub transports: Vec<T>,
+    /// The KV region of each participant (one-sided target addresses).
+    pub kv_mrs: Vec<MrId>,
+    coords: Vec<Coord>,
+    cfg: TxConfig,
+    /// Results.
+    pub metrics: TxMetrics,
+    stop_at: SimTime,
+    /// Outstanding one-sided validation reads:
+    /// wr_id → (coordinator, scratch offset, expected version).
+    pending_reads: HashMap<WrId, (usize, usize, u64)>,
+    /// Coordinator machine threads (shared CPU, as in the harness).
+    threads: Vec<simcore::FifoResource>,
+    /// Coordinator → thread index.
+    thread_of: Vec<usize>,
+}
+
+/// Shard owning `key`.
+pub fn shard_of(key: u64, servers: usize) -> usize {
+    (key % servers as u64) as usize
+}
+
+impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
+    /// Builds the deployment. `make_transport` constructs the RPC
+    /// transport for one server cluster around its (preloaded)
+    /// participant.
+    pub fn build(
+        fabric: &mut Fabric,
+        cfg: TxConfig,
+        mut make_transport: impl FnMut(&mut Fabric, &Cluster, TxParticipant, usize) -> T,
+    ) -> TxSim<T> {
+        assert!(cfg.servers > 0 && cfg.coordinators > 0);
+        let machines: Vec<_> = (0..cfg.client_machines)
+            .map(|i| fabric.add_node(&format!("coord-machine-{i}")))
+            .collect();
+        let spec = ClusterSpec {
+            server_threads: 10,
+            client_machines: cfg.client_machines,
+            threads_per_machine: 8,
+            clients: cfg.coordinators,
+        };
+        let mut transports = Vec::new();
+        let mut kv_mrs = Vec::new();
+        let total_keys = cfg.keys_per_server * cfg.servers as u64;
+        for s in 0..cfg.servers {
+            let cluster = Cluster::build_shared(
+                fabric,
+                spec.clone(),
+                machines.clone(),
+                &format!("participant-{s}"),
+            );
+            let capacity = (total_keys / cfg.servers as u64 + cfg.servers as u64 + 8) as u32;
+            let mut part = TxParticipant::new(fabric, cluster.server, capacity, cfg.value_size);
+            for key in 0..total_keys {
+                if shard_of(key, cfg.servers) == s {
+                    part.load(fabric, key, &cfg.initial_balance.to_le_bytes());
+                }
+            }
+            kv_mrs.push(part.kv_mr);
+            transports.push(make_transport(fabric, &cluster, part, s));
+        }
+        let rng = DetRng::new(cfg.seed);
+        let coords = (0..cfg.coordinators)
+            .map(|c| {
+                let machine = machines[c % machines.len()];
+                let scratch_mr = fabric.register_mr(machine, 4096).expect("scratch");
+                Coord {
+                    spec: TxSpec {
+                        reads: vec![],
+                        writes: vec![],
+                        kind: crate::workload::TxKind::ObjStore,
+                    },
+                    phase: Phase::Idle,
+                    pending: 0,
+                    expected: Default::default(),
+                    exec: HashMap::new(),
+                    phase_ok: true,
+                    locked_servers: Vec::new(),
+                    first_started: SimTime::ZERO,
+                    rng: rng.split(c as u64),
+                    next_seq: vec![0; cfg.servers],
+                    scratch_mr,
+                }
+            })
+            .collect();
+        let window_start = SimTime::ZERO + cfg.warmup;
+        let window_end = window_start + cfg.run;
+        let threads_per_machine = spec.threads_per_machine;
+        let thread_of = (0..cfg.coordinators)
+            .map(|c| {
+                let machine = c % machines.len();
+                let slot = c / machines.len();
+                machine * threads_per_machine + slot % threads_per_machine
+            })
+            .collect();
+        let threads = vec![simcore::FifoResource::new(); machines.len() * threads_per_machine];
+        TxSim {
+            transports,
+            kv_mrs,
+            coords,
+            metrics: TxMetrics {
+                committed: 0,
+                aborted: 0,
+                latency: Histogram::new(),
+                window_start,
+                window_end,
+            },
+            stop_at: window_end,
+            cfg,
+            pending_reads: HashMap::new(),
+            threads,
+            thread_of,
+        }
+    }
+
+    /// Charges the coordinator's machine thread for `ops` network
+    /// operations of client-side work and schedules `action` when the
+    /// thread gets to it.
+    fn gate(&mut self, c: usize, ops: usize, action: Action, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        let oh = self.transports[0].client_overhead();
+        let per_op = SimDuration::nanos(
+            (oh.per_post.as_nanos() + oh.per_response.as_nanos()) * self.cfg.coord_cpu_mult,
+        );
+        let cost = per_op * ops.max(1) as u64;
+        let t = self.thread_of[c];
+        let grant = self.threads[t].acquire(cx.now, cost);
+        cx.at(grant.complete, TxEv::Advance(c, action));
+    }
+
+    /// When measurement (and new transactions) stop.
+    pub fn stop_at(&self) -> SimTime {
+        self.stop_at
+    }
+
+    /// Prints non-idle coordinator states (debugging aid).
+    pub fn debug_dump(&self) {
+        for (c, coord) in self.coords.iter().enumerate() {
+            if coord.phase != Phase::Idle {
+                println!(
+                    "coord {c}: phase {:?} pending {} expected {:?} writes {:?} locked {:?}",
+                    coord.phase, coord.pending, coord.expected, coord.spec.writes,
+                    coord.locked_servers
+                );
+            }
+        }
+        if !self.pending_reads.is_empty() {
+            println!("pending one-sided reads: {}", self.pending_reads.len());
+        }
+    }
+
+    /// Whether one-sided phases are active (requires both the config flag
+    /// and a transport that exposes RC connections).
+    fn one_sided_active(&self) -> bool {
+        self.cfg.one_sided && self.transports[0].client_qp(0).is_some()
+    }
+
+    fn submit(
+        &mut self,
+        server: usize,
+        c: usize,
+        req: TxRequest,
+        cx: &mut Cx<'_, TxEv<T::Ev>>,
+        out: &mut Vec<(usize, Response)>,
+    ) {
+        let seq = self.coords[c].next_seq[server];
+        self.coords[c].next_seq[server] += 1;
+        self.coords[c].expected.insert((server, seq));
+        self.coords[c].pending += 1;
+        let mut responses = Vec::new();
+        with_indexed_cx(cx, server, |tcx| {
+            self.transports[server].submit(c, seq, req.encode(), tcx, &mut responses)
+        });
+        out.extend(responses.into_iter().map(|r| (server, r)));
+    }
+
+    fn begin_tx(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        if cx.now >= self.stop_at {
+            self.coords[c].phase = Phase::Idle;
+            return;
+        }
+        let spec = self.cfg.workload.next_tx(&mut self.coords[c].rng);
+        let coord = &mut self.coords[c];
+        coord.spec = spec;
+        coord.phase = Phase::Execute;
+        coord.pending = 0;
+        coord.expected.clear();
+        coord.exec.clear();
+        coord.phase_ok = true;
+        coord.locked_servers.clear();
+        coord.first_started = cx.now;
+        // Group R∪W items by shard.
+        let mut per_server: BTreeMap<usize, Vec<(u64, bool)>> = BTreeMap::new();
+        for &k in &self.coords[c].spec.reads {
+            per_server
+                .entry(shard_of(k, self.cfg.servers))
+                .or_default()
+                .push((k, false));
+        }
+        for &k in &self.coords[c].spec.writes {
+            per_server
+                .entry(shard_of(k, self.cfg.servers))
+                .or_default()
+                .push((k, true));
+        }
+        let mut out = Vec::new();
+        for (s, items) in per_server {
+            if items.iter().any(|(_, lock)| *lock) {
+                self.coords[c].locked_servers.push(s);
+            }
+            self.submit(s, c, TxRequest::Execute { txid: c as u64, items }, cx, &mut out);
+        }
+        self.dispatch_responses(out, cx);
+    }
+
+    fn abort_and_retry(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        if cx.now >= self.metrics.window_start && cx.now <= self.metrics.window_end {
+            self.metrics.aborted += 1;
+        }
+        let locked = std::mem::take(&mut self.coords[c].locked_servers);
+        // Locks acquired during execution must be released. With RC
+        // transports a one-sided write of zero to each lock word does it
+        // without server involvement; otherwise an Unlock RPC.
+        if self.one_sided_active() {
+            let writes: Vec<(usize, u64)> = self.coords[c]
+                .spec
+                .writes
+                .iter()
+                .filter_map(|&k| {
+                    let s = shard_of(k, self.cfg.servers);
+                    if !locked.contains(&s) {
+                        return None;
+                    }
+                    // Items whose Execute response never arrived (their
+                    // server failed) carry no address and hold no lock.
+                    self.coords[c].exec.get(&k).map(|e| (s, e.item_off))
+                })
+                .collect();
+            for (s, item_off) in writes {
+                let qp = self.transports[s].client_qp(c).expect("one-sided active");
+                with_indexed_cx(cx, s, |tcx| {
+                    tcx.post(
+                        qp,
+                        WorkRequest::Write {
+                            data: Bytes::copy_from_slice(&0u64.to_le_bytes()),
+                            remote: RemoteAddr::new(self.kv_mrs[s], item_off as usize + 8),
+                            imm: None,
+                        },
+                        false,
+                        None,
+                    )
+                    .expect("unlock write");
+                });
+            }
+            self.schedule_retry(c, cx);
+        } else if locked.is_empty() {
+            self.schedule_retry(c, cx);
+        } else {
+            self.coords[c].phase = Phase::Unlocking;
+            self.coords[c].pending = 0;
+            self.coords[c].expected.clear();
+            let spec_writes = self.coords[c].spec.writes.clone();
+            let mut out = Vec::new();
+            for s in locked {
+                let keys: Vec<u64> = spec_writes
+                    .iter()
+                    .copied()
+                    .filter(|&k| shard_of(k, self.cfg.servers) == s)
+                    .collect();
+                self.submit(s, c, TxRequest::Unlock { txid: c as u64, keys }, cx, &mut out);
+            }
+            self.dispatch_responses(out, cx);
+        }
+    }
+
+    fn schedule_retry(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        self.coords[c].phase = Phase::Idle;
+        let backoff = SimDuration::nanos(2_000 + self.coords[c].rng.below(8_000));
+        cx.after(backoff, TxEv::Start(c));
+    }
+
+    fn commit_done(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        let latency = cx.now.saturating_since(self.coords[c].first_started);
+        if cx.now >= self.metrics.window_start && cx.now <= self.metrics.window_end {
+            self.metrics.committed += 1;
+            self.metrics.latency.record_duration(latency);
+        }
+        self.coords[c].phase = Phase::Idle;
+        cx.at(cx.now, TxEv::Start(c));
+    }
+
+    /// Starts the validation phase (or skips ahead when R is empty).
+    fn start_validate(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        if self.coords[c].spec.reads.is_empty() {
+            self.start_log(c, cx);
+            return;
+        }
+        self.coords[c].phase = Phase::Validate;
+        self.coords[c].pending = 0;
+        self.coords[c].expected.clear();
+        self.coords[c].phase_ok = true;
+        if self.one_sided_active() {
+            // One 8-byte RDMA read per read-set version (§4.2 step 2).
+            let reads: Vec<(usize, u64, u64)> = self.coords[c]
+                .spec
+                .reads
+                .iter()
+                .map(|&k| {
+                    let e = &self.coords[c].exec[&k];
+                    (shard_of(k, self.cfg.servers), e.item_off, e.version)
+                })
+                .collect();
+            for (i, (s, item_off, version)) in reads.into_iter().enumerate() {
+                let qp = self.transports[s].client_qp(c).expect("one-sided active");
+                let scratch_off = i * 8;
+                let scratch = self.coords[c].scratch_mr;
+                let info = with_indexed_cx(cx, s, |tcx| {
+                    tcx.post(
+                        qp,
+                        WorkRequest::Read {
+                            local_mr: scratch,
+                            local_offset: scratch_off,
+                            remote: RemoteAddr::new(self.kv_mrs[s], item_off as usize),
+                            len: 8,
+                        },
+                        true,
+                        None,
+                    )
+                    .expect("validation read")
+                });
+                self.coords[c].pending += 1;
+                self.pending_reads
+                    .insert(info.wr_id, (c, scratch_off, version));
+            }
+        } else {
+            let mut per_server: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
+            let reads = self.coords[c].spec.reads.clone();
+            for k in reads {
+                let v = self.coords[c].exec[&k].version;
+                per_server
+                    .entry(shard_of(k, self.cfg.servers))
+                    .or_default()
+                    .push((k, v));
+            }
+            let mut out = Vec::new();
+            for (s, items) in per_server {
+                self.submit(s, c, TxRequest::Validate { items }, cx, &mut out);
+            }
+            self.dispatch_responses(out, cx);
+        }
+    }
+
+    fn new_values(&self, c: usize) -> Vec<(u64, Vec<u8>)> {
+        let coord = &self.coords[c];
+        let old = |k: u64| -> i64 {
+            let v = &coord.exec[&k].value;
+            let mut b = [0u8; 8];
+            let n = v.len().min(8);
+            b[..n].copy_from_slice(&v[..n]);
+            i64::from_le_bytes(b)
+        };
+        coord
+            .spec
+            .writes
+            .iter()
+            .map(|&k| (k, coord.spec.new_value(k, &old)))
+            .collect()
+    }
+
+    fn start_log(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        if self.coords[c].spec.writes.is_empty() {
+            // Read-only transaction: validated means committed.
+            self.commit_done(c, cx);
+            return;
+        }
+        self.coords[c].phase = Phase::Log;
+        self.coords[c].pending = 0;
+        self.coords[c].expected.clear();
+        let values = self.new_values(c);
+        let mut per_server: BTreeMap<usize, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
+        for (k, v) in values {
+            per_server
+                .entry(shard_of(k, self.cfg.servers))
+                .or_default()
+                .push((k, v));
+        }
+        let mut out = Vec::new();
+        for (s, records) in per_server {
+            self.submit(s, c, TxRequest::Log { txid: c as u64, records }, cx, &mut out);
+        }
+        self.dispatch_responses(out, cx);
+    }
+
+    fn start_commit(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        let values = self.new_values(c);
+        if self.one_sided_active() {
+            // §4.2 step 3: install each write with one RDMA write carrying
+            // version+1, a cleared lock and the value — and don't wait.
+            for (k, v) in values {
+                let s = shard_of(k, self.cfg.servers);
+                let e = &self.coords[c].exec[&k];
+                let img = mica_kv::item::commit_image(k, e.version + 1, &v);
+                let qp = self.transports[s].client_qp(c).expect("one-sided active");
+                let kv_mr = self.kv_mrs[s];
+                let item_off = e.item_off as usize;
+                with_indexed_cx(cx, s, |tcx| {
+                    tcx.post(
+                        qp,
+                        WorkRequest::Write {
+                            data: Bytes::from(img),
+                            remote: RemoteAddr::new(kv_mr, item_off),
+                            imm: None,
+                        },
+                        false,
+                        None,
+                    )
+                    .expect("commit write")
+                });
+            }
+            self.commit_done(c, cx);
+        } else {
+            self.coords[c].phase = Phase::Commit;
+            self.coords[c].pending = 0;
+            self.coords[c].expected.clear();
+            let mut per_server: BTreeMap<usize, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
+            for (k, v) in values {
+                per_server
+                    .entry(shard_of(k, self.cfg.servers))
+                    .or_default()
+                    .push((k, v));
+            }
+            let mut out = Vec::new();
+            for (s, items) in per_server {
+                self.submit(s, c, TxRequest::Commit { txid: c as u64, items }, cx, &mut out);
+            }
+            self.dispatch_responses(out, cx);
+        }
+    }
+
+    fn on_response(
+        &mut self,
+        server: usize,
+        resp: Response,
+        cx: &mut Cx<'_, TxEv<T::Ev>>,
+    ) {
+        let c = resp.client;
+        if !self.coords[c].expected.remove(&(server, resp.seq)) {
+            return; // stale or duplicate
+        }
+        self.coords[c].pending -= 1;
+        let decoded = TxResponse::decode(&resp.payload);
+        match (self.coords[c].phase, decoded) {
+            (Phase::Execute, Some(TxResponse::Execute { all_ok, items })) => {
+                if all_ok {
+                    for it in items {
+                        self.coords[c].exec.insert(it.key, it);
+                    }
+                } else {
+                    self.coords[c].phase_ok = false;
+                    // This server acquired nothing (it rolled back).
+                    self.coords[c].locked_servers.retain(|&s| s != server);
+                }
+                if self.coords[c].pending == 0 {
+                    let n = self.coords[c].exec.len();
+                    if self.coords[c].phase_ok {
+                        self.gate(c, n + 1, Action::Validate, cx);
+                    } else {
+                        self.gate(c, 2, Action::Abort, cx);
+                    }
+                }
+            }
+            (Phase::Validate, Some(TxResponse::Validate { ok })) => {
+                self.coords[c].phase_ok &= ok;
+                if self.coords[c].pending == 0 {
+                    let n = self.coords[c].spec.reads.len();
+                    if self.coords[c].phase_ok {
+                        self.gate(c, n, Action::Log, cx);
+                    } else {
+                        self.gate(c, 2, Action::Abort, cx);
+                    }
+                }
+            }
+            (Phase::Log, Some(TxResponse::Ok)) => {
+                if self.coords[c].pending == 0 {
+                    let n = self.coords[c].spec.writes.len();
+                    self.gate(c, n, Action::Commit, cx);
+                }
+            }
+            (Phase::Commit, Some(TxResponse::Ok)) => {
+                if self.coords[c].pending == 0 {
+                    self.commit_done(c, cx);
+                }
+            }
+            (Phase::Unlocking, Some(TxResponse::Ok)) => {
+                if self.coords[c].pending == 0 {
+                    self.schedule_retry(c, cx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn dispatch_responses(
+        &mut self,
+        responses: Vec<(usize, Response)>,
+        cx: &mut Cx<'_, TxEv<T::Ev>>,
+    ) {
+        for (server, r) in responses {
+            self.on_response(server, r, cx);
+        }
+    }
+
+    /// A one-sided validation read completed: check the version.
+    fn on_read_done(&mut self, wr_id: WrId, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        let Some((c, scratch_off, expect)) = self.pending_reads.remove(&wr_id) else {
+            return;
+        };
+        let got = cx
+            .fabric
+            .mr(self.coords[c].scratch_mr)
+            .expect("scratch")
+            .read_u64(scratch_off)
+            .expect("aligned");
+        if got != expect {
+            self.coords[c].phase_ok = false;
+        }
+        self.coords[c].pending -= 1;
+        if self.coords[c].pending == 0 && self.coords[c].phase == Phase::Validate {
+            let n = self.coords[c].spec.reads.len();
+            if self.coords[c].phase_ok {
+                self.gate(c, n, Action::Log, cx);
+            } else {
+                self.gate(c, 2, Action::Abort, cx);
+            }
+        }
+    }
+}
+
+impl<T: RpcTransport + OneSidedAccess> Logic for TxSim<T> {
+    type Ev = TxEv<T::Ev>;
+
+    fn init(&mut self, cx: &mut Cx<'_, Self::Ev>) {
+        for s in 0..self.transports.len() {
+            with_indexed_cx(cx, s, |tcx| self.transports[s].init(tcx));
+        }
+        for c in 0..self.coords.len() {
+            let jitter = self.coords[c].rng.below(3_000);
+            cx.at(SimTime(jitter), TxEv::Start(c));
+        }
+    }
+
+    fn on_upcall(&mut self, up: Upcall, cx: &mut Cx<'_, Self::Ev>) {
+        // One-sided validation completions are ours.
+        if let Upcall::Completion { ref wc, .. } = up {
+            if wc.opcode == WcOpcode::RdmaRead && self.pending_reads.contains_key(&wc.wr_id) {
+                let id = wc.wr_id;
+                self.on_read_done(id, cx);
+                return;
+            }
+        }
+        // Everything else: broadcast to the transports (they ignore
+        // upcalls that are not theirs).
+        let mut all = Vec::new();
+        for s in 0..self.transports.len() {
+            let mut out = Vec::new();
+            with_indexed_cx(cx, s, |tcx| {
+                self.transports[s].on_upcall(up.clone(), tcx, &mut out)
+            });
+            all.extend(out.into_iter().map(|r| (s, r)));
+        }
+        self.dispatch_responses(all, cx);
+    }
+
+    fn on_app(&mut self, ev: Self::Ev, cx: &mut Cx<'_, Self::Ev>) {
+        match ev {
+            TxEv::Transport(s, tev) => {
+                let mut out = Vec::new();
+                with_indexed_cx(cx, s, |tcx| {
+                    self.transports[s].on_app(tev, tcx, &mut out)
+                });
+                let all: Vec<_> = out.into_iter().map(|r| (s, r)).collect();
+                self.dispatch_responses(all, cx);
+            }
+            TxEv::Start(c) => {
+                if self.coords[c].phase == Phase::Idle {
+                    let ops = 2;
+                    self.gate(c, ops, Action::Begin, cx);
+                    // Mark busy so duplicate Start events are ignored.
+                    self.coords[c].phase = Phase::Execute;
+                    self.coords[c].pending = usize::MAX; // placeholder until Begin runs
+                }
+            }
+            TxEv::Advance(c, action) => match action {
+                Action::Begin => self.begin_tx(c, cx),
+                Action::Validate => self.start_validate(c, cx),
+                Action::Log => self.start_log(c, cx),
+                Action::Commit => self.start_commit(c, cx),
+                Action::Abort => self.abort_and_retry(c, cx),
+            },
+        }
+    }
+}
+
+/// Adapts the Cx event type for transport `index`.
+fn with_indexed_cx<TEv, R>(
+    cx: &mut Cx<'_, TxEv<TEv>>,
+    index: usize,
+    f: impl FnOnce(&mut Cx<'_, TEv>) -> R,
+) -> R {
+    cx.scoped(move |ev| TxEv::Transport(index, ev), f)
+}
+
+/// Convenience: build and run a ScaleTX deployment over ScaleRPC with the
+/// given slice stagger (0 = globally synchronized schedules).
+pub fn run_scalerpc_tx(
+    cfg: TxConfig,
+    scale_cfg: scalerpc::ScaleRpcConfig,
+    stagger: SimDuration,
+) -> Sim<TxSim<scalerpc::ScaleRpc<TxParticipant>>> {
+    let mut fabric = Fabric::new(FabricParams::default());
+    let tx = TxSim::build(&mut fabric, cfg, |fabric, cluster, part, s| {
+        let mut sc = scale_cfg.clone();
+        sc.first_slice_offset = SimDuration::nanos(stagger.as_nanos() * s as u64);
+        scalerpc::ScaleRpc::new(fabric, cluster, sc, part)
+    });
+    let stop = tx.stop_at();
+    let mut sim = Sim::new(fabric, tx);
+    sim.run_until(stop + SimDuration::millis(3));
+    sim
+}

@@ -1,0 +1,111 @@
+//! Per-node wall clocks with drift.
+//!
+//! ScaleRPC's global synchronization (§4.2, Fig. 14 of the paper) exists
+//! because independent RPCServers must switch client groups "at the same
+//! pace" despite having unsynchronized local clocks. To make that protocol
+//! meaningful in simulation, each node owns a [`SkewedClock`] whose reading
+//! differs from true simulated time by a fixed offset plus a linear drift.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A local clock: `local(t) = t * (1 + drift_ppm/1e6) + offset`.
+#[derive(Clone, Copy, Debug)]
+pub struct SkewedClock {
+    /// Constant offset added to true time, in nanoseconds (may be
+    /// negative).
+    offset_ns: i64,
+    /// Rate error in parts-per-million (positive clocks run fast).
+    drift_ppm: f64,
+}
+
+impl SkewedClock {
+    /// A perfect clock.
+    pub fn ideal() -> Self {
+        SkewedClock {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// A clock with the given constant offset and drift rate.
+    pub fn new(offset_ns: i64, drift_ppm: f64) -> Self {
+        SkewedClock {
+            offset_ns,
+            drift_ppm,
+        }
+    }
+
+    /// Reads the local clock at true simulated time `t`, in nanoseconds.
+    /// Local time can legitimately be "negative" for large negative
+    /// offsets near the epoch, hence the signed return.
+    pub fn read(&self, t: SimTime) -> i64 {
+        let drifted = t.as_nanos() as f64 * (1.0 + self.drift_ppm / 1e6);
+        drifted as i64 + self.offset_ns
+    }
+
+    /// Converts a span measured on this local clock back to true time.
+    pub fn local_span_to_true(&self, local_ns: i64) -> SimDuration {
+        let rate = 1.0 + self.drift_ppm / 1e6;
+        let true_ns = (local_ns as f64 / rate).max(0.0);
+        SimDuration(true_ns as u64)
+    }
+
+    /// Applies a correction, shifting the offset by `delta_ns` (what an
+    /// NTP-style client does after estimating its offset to the server).
+    pub fn adjust(&mut self, delta_ns: i64) {
+        self.offset_ns += delta_ns;
+    }
+
+    /// The current constant offset.
+    pub fn offset_ns(&self) -> i64 {
+        self.offset_ns
+    }
+
+    /// The drift rate in ppm.
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_reads_true_time() {
+        let c = SkewedClock::ideal();
+        assert_eq!(c.read(SimTime(1_000_000)), 1_000_000);
+    }
+
+    #[test]
+    fn offset_shifts_reading() {
+        let c = SkewedClock::new(-500, 0.0);
+        assert_eq!(c.read(SimTime(1_000)), 500);
+        assert_eq!(c.read(SimTime(0)), -500);
+    }
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        // 100 ppm fast: after 1s local clock leads by 100us.
+        let c = SkewedClock::new(0, 100.0);
+        let read = c.read(SimTime(1_000_000_000));
+        assert!((read - 1_000_100_000).abs() <= 1, "read={read}");
+    }
+
+    #[test]
+    fn adjust_moves_offset() {
+        let mut c = SkewedClock::new(1_000, 0.0);
+        c.adjust(-750);
+        assert_eq!(c.offset_ns(), 250);
+        assert_eq!(c.read(SimTime(0)), 250);
+    }
+
+    #[test]
+    fn local_span_round_trips() {
+        let c = SkewedClock::new(0, 200.0);
+        let t0 = c.read(SimTime(0));
+        let t1 = c.read(SimTime(1_000_000));
+        let span = c.local_span_to_true(t1 - t0);
+        assert!((span.as_nanos() as i64 - 1_000_000).abs() <= 1);
+    }
+}

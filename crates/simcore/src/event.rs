@@ -1,0 +1,227 @@
+//! Deterministic future-event list.
+//!
+//! The queue is a binary heap keyed by `(time, sequence)`. The sequence
+//! number makes simultaneous events pop in insertion order, which keeps
+//! entire simulations bit-for-bit reproducible — a property the hardware
+//! counter experiments (Fig. 3/10 of the paper) rely on.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle to a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A future-event list with deterministic ordering and O(log n) push/pop.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime(30), "c");
+/// q.push(SimTime(10), "a");
+/// q.push(SimTime(10), "b"); // same instant: FIFO order preserved
+/// assert_eq!(q.pop(), Some((SimTime(10), "a")));
+/// assert_eq!(q.pop(), Some((SimTime(10), "b")));
+/// assert_eq!(q.pop(), Some((SimTime(30), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current simulation time —
+    /// scheduling into the past is always a logic bug.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "scheduled event at {time:?} before now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, event }));
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is discarded
+    /// when it reaches the front. Cancelling an already-fired or unknown id
+    /// is a no-op and returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Ids of already-popped events are smaller than `next_seq` but are
+        // no longer in the heap; inserting them is harmless because pop
+        // consults the set only for entries actually present in the heap.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the earliest non-cancelled event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(s)) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.now = s.time;
+            return Some((s.time, s.event));
+        }
+        None
+    }
+
+    /// Returns the timestamp of the next pending event, if any, without
+    /// popping it. Cancelled entries at the front are discarded.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if self.cancelled.contains(&s.seq) {
+                let seq = s.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(s.time);
+        }
+        None
+    }
+
+    /// Number of events still scheduled (including lazily cancelled ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 1u32);
+        q.push(SimTime(1), 2);
+        q.push(SimTime(5), 3);
+        q.push(SimTime(3), 4);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), ());
+        q.pop();
+        q.push(SimTime(5), ());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        q.push(SimTime(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop(), Some((SimTime(2), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        q.push(SimTime(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime(9)));
+        assert_eq!(q.pop(), Some((SimTime(9), "b")));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_heavy_interleaving_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..1000u32 {
+            q.push(SimTime(42), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+}

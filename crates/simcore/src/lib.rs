@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! `simcore` is the foundation every other crate in this workspace builds
+//! on. It provides:
+//!
+//! - [`SimTime`] / [`SimDuration`]: virtual time in nanoseconds.
+//! - [`EventQueue`]: a deterministic future-event list with FIFO
+//!   tie-breaking for simultaneous events.
+//! - [`DetRng`]: seeded, splittable randomness so that every experiment is
+//!   exactly reproducible.
+//! - [`FifoResource`]: the classic single-server queueing resource used to
+//!   model NIC engines, links and CPU threads.
+//! - [`SkewedClock`]: a per-node wall clock with configurable drift, used
+//!   by the NTP-like global synchronization protocol of ScaleRPC (§4.2 of
+//!   the paper).
+//! - [`stats`]: counters, log-bucketed latency histograms, CDF extraction
+//!   and throughput windows used by the benchmark harness.
+//!
+//! The kernel is intentionally single-threaded: determinism is a core
+//! requirement (identical seeds must produce identical hardware-counter
+//! traces), and the experiment *sweeps* parallelize across whole
+//! simulations instead.
+
+pub mod clock;
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use clock::SkewedClock;
+pub use event::{EventId, EventQueue};
+pub use resource::{FifoResource, MultiResource};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,151 @@
+//! Windowed throughput measurement.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Counts operations and reports rates, both overall and per fixed-size
+/// window (for throughput-over-time series).
+///
+/// # Examples
+///
+/// ```
+/// use simcore::stats::Throughput;
+/// use simcore::{SimDuration, SimTime};
+///
+/// let mut t = Throughput::new(SimDuration::millis(1));
+/// for i in 0..1000u64 {
+///     t.record(SimTime(i * 1_000)); // one op per microsecond
+/// }
+/// let rate = t.overall_mops(SimTime(1_000_000));
+/// assert!((rate - 1.0).abs() < 0.01, "rate={rate}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    window: SimDuration,
+    ops: u64,
+    windows: Vec<u64>,
+    first: Option<SimTime>,
+    last: SimTime,
+}
+
+impl Throughput {
+    /// Creates a tracker with the given window length for the time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window.as_nanos() > 0, "window must be positive");
+        Throughput {
+            window,
+            ops: 0,
+            windows: Vec::new(),
+            first: None,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Records one completed operation at time `at`.
+    pub fn record(&mut self, at: SimTime) {
+        self.record_many(at, 1);
+    }
+
+    /// Records `n` completed operations at time `at`.
+    pub fn record_many(&mut self, at: SimTime, n: u64) {
+        self.ops += n;
+        self.first.get_or_insert(at);
+        self.last = self.last.max(at);
+        let w = (at.as_nanos() / self.window.as_nanos()) as usize;
+        if w >= self.windows.len() {
+            self.windows.resize(w + 1, 0);
+        }
+        self.windows[w] += n;
+    }
+
+    /// Total operations recorded.
+    pub fn total_ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Overall rate in operations per second over `[0, horizon]`.
+    pub fn overall_ops_per_sec(&self, horizon: SimTime) -> f64 {
+        let secs = horizon.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Overall rate in millions of operations per second.
+    pub fn overall_mops(&self, horizon: SimTime) -> f64 {
+        self.overall_ops_per_sec(horizon) / 1e6
+    }
+
+    /// Per-window rates in Mops/s (for throughput-over-time plots).
+    pub fn window_mops(&self) -> Vec<f64> {
+        let secs = self.window.as_secs_f64();
+        self.windows
+            .iter()
+            .map(|&c| c as f64 / secs / 1e6)
+            .collect()
+    }
+
+    /// Rate measured between the first and the last recorded op; more
+    /// robust than `overall_*` when warmup delays the first completion.
+    pub fn steady_ops_per_sec(&self) -> f64 {
+        match self.first {
+            Some(first) if self.last > first && self.ops > 1 => {
+                (self.ops - 1) as f64 / (self.last - first).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let t = Throughput::new(SimDuration::millis(1));
+        assert_eq!(t.total_ops(), 0);
+        assert_eq!(t.overall_mops(SimTime(1_000_000)), 0.0);
+        assert_eq!(t.steady_ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn windows_partition_ops() {
+        let mut t = Throughput::new(SimDuration::micros(10));
+        t.record(SimTime(5_000)); // window 0
+        t.record(SimTime(15_000)); // window 1
+        t.record(SimTime(15_001)); // window 1
+        let w = t.window_mops();
+        assert_eq!(w.len(), 2);
+        assert!(w[1] > w[0]);
+    }
+
+    #[test]
+    fn steady_rate_excludes_warmup_gap() {
+        let mut t = Throughput::new(SimDuration::millis(1));
+        // First op only completes at t=1ms; then one per microsecond.
+        for i in 0..=1000u64 {
+            t.record(SimTime(1_000_000 + i * 1_000));
+        }
+        let steady = t.steady_ops_per_sec();
+        assert!((steady - 1e6).abs() / 1e6 < 0.01, "steady={steady}");
+    }
+
+    #[test]
+    fn record_many_counts_bulk() {
+        let mut t = Throughput::new(SimDuration::millis(1));
+        t.record_many(SimTime(10), 64);
+        assert_eq!(t.total_ops(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = Throughput::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,70 @@
+//! Human-readable unit formatting for reports.
+
+/// Formats an operations-per-second rate the way the paper does
+/// ("20.0 Mops/s", "800 Kops/s").
+pub fn fmt_ops_per_sec(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2} Mops/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1} Kops/s", rate / 1e3)
+    } else {
+        format!("{rate:.0} ops/s")
+    }
+}
+
+/// Formats a byte rate ("6.4 GB/s").
+pub fn fmt_bytes_per_sec(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} GB/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} MB/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1} KB/s", rate / 1e3)
+    } else {
+        format!("{rate:.0} B/s")
+    }
+}
+
+/// Formats a byte count ("16 MB", "2.0 KB").
+pub fn fmt_bytes(n: u64) -> String {
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * KB;
+    const GB: u64 = 1024 * MB;
+    if n >= GB {
+        format!("{:.1} GB", n as f64 / GB as f64)
+    } else if n >= MB {
+        format!("{:.1} MB", n as f64 / MB as f64)
+    } else if n >= KB {
+        format!("{:.1} KB", n as f64 / KB as f64)
+    } else {
+        format!("{n} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_formatting_picks_scale() {
+        assert_eq!(fmt_ops_per_sec(20_000_000.0), "20.00 Mops/s");
+        assert_eq!(fmt_ops_per_sec(3_500.0), "3.5 Kops/s");
+        assert_eq!(fmt_ops_per_sec(12.0), "12 ops/s");
+    }
+
+    #[test]
+    fn byte_rate_formatting() {
+        assert_eq!(fmt_bytes_per_sec(6.4e9), "6.40 GB/s");
+        assert_eq!(fmt_bytes_per_sec(1.5e6), "1.50 MB/s");
+        assert_eq!(fmt_bytes_per_sec(2_000.0), "2.0 KB/s");
+        assert_eq!(fmt_bytes_per_sec(10.0), "10 B/s");
+    }
+
+    #[test]
+    fn byte_count_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(16 * 1024 * 1024), "16.0 MB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.0 GB");
+    }
+}

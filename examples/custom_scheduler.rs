@@ -1,0 +1,71 @@
+//! Exploring the priority-based scheduler (§3.2) directly through the
+//! public API: priorities, group plans, and the split/merge band.
+//!
+//! ```sh
+//! cargo run --release --example custom_scheduler
+//! ```
+
+use scalerpc_repro::scalerpc::scheduler::{enforce_size_band, ClientStats, Scheduler};
+use scalerpc_repro::simcore::SimDuration;
+
+fn main() {
+    // 100 clients: the first 30 hammer the server with small requests,
+    // the next 40 send occasional bulk requests, the rest are idle.
+    let mut stats = Vec::new();
+    for i in 0..100usize {
+        stats.push(if i < 30 {
+            ClientStats {
+                ops: 5_000,
+                bytes: 5_000 * 32,
+            }
+        } else if i < 70 {
+            ClientStats {
+                ops: 200,
+                bytes: 200 * 4096,
+            }
+        } else {
+            ClientStats { ops: 0, bytes: 0 }
+        });
+    }
+
+    println!("P_i = T_i / S_i examples:");
+    for (label, s) in [
+        ("hot small-request client", stats[0]),
+        ("bulk client", stats[40]),
+        ("idle client", stats[90]),
+    ] {
+        println!("  {label:<26} priority {:>10.1}", s.priority());
+    }
+
+    let dynamic = Scheduler::new(40, SimDuration::micros(100), true);
+    let plan = dynamic.replan(&stats);
+    println!("\ndynamic plan ({} groups):", plan.groups.len());
+    for (i, (group, slice)) in plan.groups.iter().zip(&plan.slices).enumerate() {
+        let hot = group.iter().filter(|&&c| c < 30).count();
+        let idle = group.iter().filter(|&&c| c >= 70).count();
+        println!(
+            "  group {i}: {:>3} clients ({hot} hot, {idle} idle), slice {slice}",
+            group.len()
+        );
+    }
+
+    // The lazy split/merge rule: groups drifting outside [g/2, 3g/2]
+    // are adjusted as clients log in and out.
+    let drifted = vec![
+        (0..12).collect::<Vec<_>>(),  // too small for g=40
+        (12..95).collect::<Vec<_>>(), // too large
+    ];
+    let fixed = enforce_size_band(drifted, 40);
+    println!("\nafter enforce_size_band(g=40):");
+    for (i, g) in fixed.iter().enumerate() {
+        println!("  group {i}: {} clients", g.len());
+    }
+
+    let static_sched = Scheduler::new(40, SimDuration::micros(100), false);
+    let static_plan = static_sched.replan(&stats);
+    println!(
+        "\nstatic mode ignores behaviour: {} uniform groups of {:?} clients",
+        static_plan.groups.len(),
+        static_plan.groups.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,73 @@
+//! Distributed transactions with ScaleTX (the paper's §4.2 deployment).
+//!
+//! ```sh
+//! cargo run --release --example transactions
+//! ```
+//!
+//! Runs the SmallBank benchmark over three participant servers with 80
+//! coordinators, comparing the full ScaleTX protocol (one-sided RDMA
+//! validation + commit) against the RPC-only ScaleTX-O ablation, and
+//! demonstrating the §4.2 global-synchronization requirement by
+//! deliberately staggering the servers' group-switch schedules.
+
+use scalerpc_repro::scalerpc::ScaleRpcConfig;
+use scalerpc_repro::scaletx::sim::run_scalerpc_tx;
+use scalerpc_repro::scaletx::workload::TxWorkload;
+use scalerpc_repro::scaletx::TxConfig;
+use scalerpc_repro::simcore::SimDuration;
+
+fn cfg(one_sided: bool) -> TxConfig {
+    TxConfig {
+        coordinators: 80,
+        servers: 3,
+        client_machines: 8,
+        workload: TxWorkload::smallbank(50_000, 3),
+        one_sided,
+        value_size: 8,
+        keys_per_server: 50_000 * 2 + 2,
+        initial_balance: 1_000,
+        warmup: SimDuration::millis(2),
+        run: SimDuration::millis(6),
+        coord_cpu_mult: 8,
+        seed: 7,
+    }
+}
+
+fn main() {
+    println!("SmallBank over 3 participants, 80 coordinators");
+
+    let scaletx = run_scalerpc_tx(cfg(true), ScaleRpcConfig::default(), SimDuration::ZERO);
+    let m = &scaletx.logic.metrics;
+    println!(
+        "  ScaleTX   : {:>7.0} tx/s  (abort rate {:.1}%, median {:.1} us)",
+        m.tps(),
+        m.abort_rate() * 100.0,
+        m.median_us()
+    );
+
+    let rpc_only = run_scalerpc_tx(cfg(false), ScaleRpcConfig::default(), SimDuration::ZERO);
+    let m = &rpc_only.logic.metrics;
+    println!(
+        "  ScaleTX-O : {:>7.0} tx/s  (RPC-only validation and commit)",
+        m.tps()
+    );
+
+    let staggered = run_scalerpc_tx(
+        cfg(true),
+        ScaleRpcConfig::default(),
+        SimDuration::micros(33),
+    );
+    let m = &staggered.logic.metrics;
+    println!(
+        "  ScaleTX, misaligned group switches: {:>7.0} tx/s, median {:.1} us",
+        m.tps(),
+        m.median_us()
+    );
+    println!();
+    println!("Expect: ScaleTX ahead of ScaleTX-O (one-sided commits skip a");
+    println!("full RPC round per written key on this write-heavy workload).");
+    println!("Misaligned schedules keep similar throughput here — the eager");
+    println!("endpoint fetch rescues missed slices — but inflate transaction");
+    println!("latency, which is the cost the NTP-like global synchronization");
+    println!("of Fig. 14 exists to avoid.");
+}

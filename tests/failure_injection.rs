@@ -1,0 +1,211 @@
+//! Failure injection across crates: torn-down connections, legacy-mode
+//! requests, lock storms, and protocol abuse.
+
+use bytes::Bytes;
+use scalerpc_repro::rdma_fabric::{
+    Fabric, FabricParams, RemoteAddr, Transport, VerbError, WcStatus, WorkRequest,
+};
+use scalerpc_repro::rpc_core::cluster::{Cluster, ClusterSpec};
+use scalerpc_repro::rpc_core::driver::Sim;
+use scalerpc_repro::rpc_core::harness::{Harness, HarnessConfig};
+use scalerpc_repro::rpc_core::transport::ServerHandler;
+use scalerpc_repro::rpc_core::workload::ThinkTime;
+use scalerpc_repro::scalerpc::{ScaleRpc, ScaleRpcConfig};
+use scalerpc_repro::simcore::{SimDuration, SimTime};
+
+/// A handler whose every call is long-running: forces §3.5 legacy mode.
+struct SlowHandler;
+
+impl ServerHandler for SlowHandler {
+    fn handle(
+        &mut self,
+        _client: usize,
+        request: &[u8],
+        _fabric: &mut Fabric,
+    ) -> (Bytes, SimDuration) {
+        // Far longer than half a 100 µs time slice.
+        (
+            Bytes::copy_from_slice(&request[..request.len().min(16)]),
+            SimDuration::micros(120),
+        )
+    }
+}
+
+#[test]
+fn long_running_rpcs_move_to_legacy_mode() {
+    let mut fabric = Fabric::new(FabricParams::default());
+    let cluster = Cluster::build(
+        &mut fabric,
+        ClusterSpec {
+            server_threads: 4,
+            client_machines: 2,
+            threads_per_machine: 4,
+            clients: 8,
+        },
+    );
+    let t = ScaleRpc::new(
+        &mut fabric,
+        &cluster,
+        ScaleRpcConfig {
+            group_size: 4,
+            ..Default::default()
+        },
+        SlowHandler,
+    );
+    let h = Harness::new(
+        t,
+        cluster,
+        HarnessConfig {
+            batch_size: 1,
+            request_size: 32,
+            warmup: SimDuration::millis(1),
+            run: SimDuration::millis(6),
+            think: vec![ThinkTime::None],
+            seed: 3,
+        },
+    );
+    let stop = h.stop_at();
+    let mut sim = Sim::new(fabric, h);
+    sim.run_until(stop + SimDuration::millis(4));
+    let t = &sim.logic.transport;
+    assert!(
+        t.legacy_requests > 10,
+        "slow calls must migrate to the legacy thread, got {}",
+        t.legacy_requests
+    );
+    // A single legacy thread at ~120 µs per call sustains ~8 Kops/s; the
+    // point is liveness, not rate.
+    assert!(sim.logic.metrics.ops > 20, "system must stay live");
+}
+
+#[test]
+fn posts_on_torn_down_qps_error_cleanly() {
+    let mut fabric = Fabric::new(FabricParams::default());
+    let a = fabric.add_node("a");
+    let b = fabric.add_node("b");
+    let cq_a = fabric.create_cq(a).unwrap();
+    let cq_b = fabric.create_cq(b).unwrap();
+    let qa = fabric.create_qp(a, Transport::Rc, cq_a, cq_a).unwrap();
+    let qb = fabric.create_qp(b, Transport::Rc, cq_b, cq_b).unwrap();
+    fabric.connect(qa, qb).unwrap();
+    let mr = fabric.register_mr(b, 64).unwrap();
+
+    fabric.destroy_qp(qa).unwrap();
+    let sched = |_: scalerpc_repro::simcore::SimTime, _| {};
+    let err = fabric
+        .post(
+            SimTime::ZERO,
+            qa,
+            WorkRequest::Write {
+                data: Bytes::from_static(b"x"),
+                remote: RemoteAddr::new(mr, 0),
+                imm: None,
+            },
+            true,
+            None,
+            &mut |t, e| sched(t, e),
+        )
+        .unwrap_err();
+    assert!(matches!(err, VerbError::InvalidQpState { .. }));
+}
+
+#[test]
+fn remote_errors_reach_the_requester_not_the_victim() {
+    // A buggy client writing out of bounds must hurt only itself.
+    let mut fabric = Fabric::new(FabricParams::default());
+    let a = fabric.add_node("a");
+    let b = fabric.add_node("b");
+    let cq_a = fabric.create_cq(a).unwrap();
+    let cq_b = fabric.create_cq(b).unwrap();
+    let qa = fabric.create_qp(a, Transport::Rc, cq_a, cq_a).unwrap();
+    let qb = fabric.create_qp(b, Transport::Rc, cq_b, cq_b).unwrap();
+    fabric.connect(qa, qb).unwrap();
+    let mr = fabric.register_mr(b, 64).unwrap();
+
+    let mut staged = Vec::new();
+    fabric
+        .post(
+            SimTime::ZERO,
+            qa,
+            WorkRequest::Write {
+                data: Bytes::from(vec![1u8; 128]), // exceeds the region
+                remote: RemoteAddr::new(mr, 0),
+                imm: None,
+            },
+            true,
+            None,
+            &mut |t, e| staged.push((t, e)),
+        )
+        .unwrap();
+    let mut queue = scalerpc_repro::simcore::EventQueue::new();
+    for (t, e) in staged {
+        queue.push(t, e);
+    }
+    let mut pending = Vec::new();
+    let mut ups = Vec::new();
+    while let Some((t, ev)) = queue.pop() {
+        fabric.handle(t, ev, &mut |at, e| pending.push((at, e)), &mut ups);
+        for (at, e) in pending.drain(..) {
+            queue.push(at, e);
+        }
+    }
+    let wcs = fabric.poll_cq(cq_a, 8).unwrap();
+    assert_eq!(wcs.len(), 1);
+    assert_eq!(wcs[0].status, WcStatus::RemoteAccessError);
+    // The victim's memory was untouched.
+    assert_eq!(fabric.mr(mr).unwrap().as_slice(), &[0u8; 64]);
+}
+
+#[test]
+fn lock_storm_converges() {
+    // Every coordinator hammers the same tiny hot set; the system must
+    // keep committing (aborts retried) and leave no stuck locks.
+    use scalerpc_repro::scaletx::sim::run_scalerpc_tx;
+    use scalerpc_repro::scaletx::workload::TxWorkload;
+    use scalerpc_repro::scaletx::TxConfig;
+
+    let cfg = TxConfig {
+        coordinators: 32,
+        servers: 3,
+        client_machines: 4,
+        workload: TxWorkload::ObjectStore {
+            reads: 1,
+            writes: 2,
+            keys_per_server: 4, // 12 keys total: extreme contention
+            servers: 3,
+        },
+        one_sided: true,
+        value_size: 8,
+        keys_per_server: 4,
+        initial_balance: 0,
+        warmup: SimDuration::millis(1),
+        run: SimDuration::millis(5),
+        coord_cpu_mult: 8,
+        seed: 13,
+    };
+    let sim = run_scalerpc_tx(
+        cfg,
+        ScaleRpcConfig {
+            group_size: 16,
+            slots: 8,
+            block_size: 2048,
+            ..Default::default()
+        },
+        SimDuration::ZERO,
+    );
+    let m = &sim.logic.metrics;
+    assert!(m.committed > 200, "committed {}", m.committed);
+    assert!(m.aborted > 50, "contention must cause aborts: {}", m.aborted);
+    // All locks eventually released.
+    for s in 0..3 {
+        let part = sim.logic.transports[s].handler();
+        for key in 0..12u64 {
+            if scalerpc_repro::scaletx::sim::shard_of(key, 3) != s {
+                continue;
+            }
+            if let Some(it) = part.peek(&sim.fabric, key) {
+                assert_eq!(it.lock, 0, "key {key} left locked");
+            }
+        }
+    }
+}

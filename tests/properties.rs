@@ -1,0 +1,143 @@
+//! Property-based tests across the workspace's wire formats and core
+//! data structures.
+
+use proptest::prelude::*;
+use scalerpc_repro::mica_kv::KvTable;
+use scalerpc_repro::octofs::{FsOp, FsRequest, FsResponse};
+use scalerpc_repro::rpc_core::message::{MsgBuf, RpcHeader};
+use scalerpc_repro::scaletx::{TxRequest, TxResponse};
+use scalerpc_repro::simcore::stats::Histogram;
+
+proptest! {
+    #[test]
+    fn rpc_header_round_trips(call_type: u16, flags: u16, client_id: u32, seq: u64) {
+        let h = RpcHeader { call_type, flags, client_id, seq };
+        let enc = h.encode();
+        let (dec, rest) = RpcHeader::decode(&enc).unwrap();
+        prop_assert_eq!(dec, h);
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn msgbuf_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..1000)) {
+        let block_size = 1024usize;
+        if payload.len() <= MsgBuf::capacity(block_size) {
+            let (off, bytes) = MsgBuf::encode(&payload, block_size).unwrap();
+            prop_assert_eq!(off + bytes.len(), block_size);
+            let mut block = vec![0u8; block_size];
+            block[off..].copy_from_slice(&bytes);
+            prop_assert_eq!(MsgBuf::decode(&block).unwrap(), &payload[..]);
+        } else {
+            prop_assert!(MsgBuf::encode(&payload, block_size).is_none());
+        }
+    }
+
+    #[test]
+    fn msgbuf_rejects_any_corruption_of_valid_byte(
+        payload in proptest::collection::vec(any::<u8>(), 1..100),
+        corrupt in any::<u8>(),
+    ) {
+        let block_size = 256usize;
+        let (off, bytes) = MsgBuf::encode(&payload, block_size).unwrap();
+        let mut block = vec![0u8; block_size];
+        block[off..].copy_from_slice(&bytes);
+        block[block_size - 1] = corrupt;
+        if corrupt == scalerpc_repro::rpc_core::message::VALID {
+            prop_assert!(MsgBuf::decode(&block).is_some());
+        } else {
+            prop_assert!(MsgBuf::decode(&block).is_none());
+        }
+    }
+
+    #[test]
+    fn fs_request_round_trips(op in 1u8..=4, path in "[a-z/]{1,40}") {
+        let req = FsRequest { op: FsOp::from_code(op).unwrap(), path };
+        prop_assert_eq!(FsRequest::decode(&req.encode()), Some(req));
+    }
+
+    #[test]
+    fn fs_entries_round_trip(names in proptest::collection::vec("[a-z0-9._-]{0,20}", 0..30)) {
+        let resp = FsResponse::Entries(names);
+        prop_assert_eq!(FsResponse::decode(&resp.encode()), Some(resp));
+    }
+
+    #[test]
+    fn tx_execute_round_trips(
+        txid: u64,
+        items in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..20),
+    ) {
+        let req = TxRequest::Execute { txid, items };
+        prop_assert_eq!(TxRequest::decode(&req.encode()), Some(req));
+    }
+
+    #[test]
+    fn tx_commit_round_trips(
+        txid: u64,
+        items in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..10,
+        ),
+    ) {
+        let req = TxRequest::Commit { txid, items };
+        prop_assert_eq!(TxRequest::decode(&req.encode()), Some(req));
+    }
+
+    #[test]
+    fn tx_response_round_trips(ok: bool) {
+        for resp in [TxResponse::Validate { ok }, TxResponse::Ok] {
+            prop_assert_eq!(TxResponse::decode(&resp.encode()), Some(resp));
+        }
+    }
+
+    #[test]
+    fn kv_table_matches_hashmap_reference(
+        ops in proptest::collection::vec((0u64..64, proptest::collection::vec(any::<u8>(), 0..16)), 1..200)
+    ) {
+        let mut table = KvTable::new(64, 16);
+        let mut mem = vec![0u8; table.required_bytes()];
+        let mut reference = std::collections::HashMap::new();
+        for (key, value) in ops {
+            table.insert(&mut mem, key, &value).unwrap();
+            reference.insert(key, value);
+        }
+        for (key, value) in &reference {
+            prop_assert_eq!(&table.get(&mem, *key).unwrap().value, value);
+        }
+        prop_assert_eq!(table.len() as usize, reference.len());
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples(
+        samples in proptest::collection::vec(1u64..1_000_000, 1..300)
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= lo && v <= hi, "q{q} = {v} outside [{lo}, {hi}]");
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn histogram_median_has_bounded_relative_error(
+        samples in proptest::collection::vec(64u64..1_000_000, 51..200)
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = sorted[(sorted.len() - 1) / 2] as f64;
+        let approx = h.median() as f64;
+        prop_assert!(
+            (approx - exact).abs() / exact < 0.05,
+            "median {approx} vs exact {exact}"
+        );
+    }
+}
