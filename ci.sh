@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, lints, and a perf-harness smoke run.
+#
+# The simperf smoke run uses --quick (shrunken simulated windows) and a
+# throwaway output file so CI never overwrites the committed
+# BENCH_simperf.json baselines; full before/after measurements are taken
+# manually with `simperf --label <before|after>`.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== simperf smoke =="
+./target/release/simperf --quick --label ci-smoke --out target/BENCH_simperf_ci.json
+
+echo "ci.sh: all gates passed"

@@ -26,6 +26,23 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    c.bench_function("event_queue_push_cancel_pop_1k", |b| {
+        // Interleaved cancellation: half the pushed events are cancelled
+        // in place before the drain, the pattern retransmission timers
+        // produce. Exercises the indexed heap's O(log n) remove_at.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0..1000u64).map(|i| q.push(SimTime(i * 7 % 997), i)).collect();
+            for id in ids.iter().skip(1).step_by(2) {
+                q.cancel(*id);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
 }
 
 fn bench_caches(c: &mut Criterion) {
@@ -54,6 +71,27 @@ fn bench_caches(c: &mut Criterion) {
         b.iter(|| {
             off = (off + 4096) % (1 << 22);
             black_box(llc.dma_write(MrId(0), off, 32))
+        })
+    });
+    c.bench_function("llc_dma_write_stream_8k", |b| {
+        // Streaming DMA of an 8 KB block (Fig. 3b's inbound-write unit):
+        // 128 lines per call through the partial/full classifier and the
+        // per-line contains-or-insert fast path.
+        let mut llc = LlcModel::new(30 << 20, 0.1);
+        let mut off = 0usize;
+        b.iter(|| {
+            off = (off + 8192) % (64 << 20);
+            black_box(llc.dma_write(MrId(0), off, 8192))
+        })
+    });
+    c.bench_function("llc_cpu_access_stream_8k", |b| {
+        // CPU-side read of the same block size; hits the bulk
+        // access_lines path once the DDIO partition has drained.
+        let mut llc = LlcModel::new(30 << 20, 0.1);
+        let mut off = 0usize;
+        b.iter(|| {
+            off = (off + 8192) % (64 << 20);
+            black_box(llc.cpu_access(MrId(0), off, 8192))
         })
     });
 }

@@ -1,0 +1,50 @@
+//! Perf-regression harness: runs the fixed simulator workload set and
+//! merges wall-time / events-per-second numbers into a JSON report.
+//!
+//! ```text
+//! simperf [--label NAME] [--out PATH] [--quick]
+//! ```
+//!
+//! `--label before` / `--label after` populate the two slots the repo's
+//! committed `BENCH_simperf.json` compares; any other label just records
+//! a run. `--quick` shrinks the simulated windows for CI smoke tests.
+
+use scalerpc_bench::simperf::{merge_report, run_all, run_to_json};
+
+fn main() {
+    let mut label = "run".to_string();
+    let mut out = "BENCH_simperf.json".to_string();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out = args.next().expect("--out needs a value"),
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("usage: simperf [--label NAME] [--out PATH] [--quick]");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    eprintln!("simperf: running fixed workload set ({})...", if quick { "quick" } else { "full" });
+    let results = run_all(quick);
+    for r in &results {
+        eprintln!(
+            "  {:<28} {:>9.1} ms  {:>10} events  {:>12.0} events/s  ops={}",
+            r.name,
+            r.wall_ms,
+            r.events,
+            r.events_per_sec(),
+            r.ops
+        );
+    }
+
+    let existing = std::fs::read_to_string(&out).ok();
+    let doc = merge_report(existing.as_deref(), &label, run_to_json(&results));
+    println!("{}", doc.pretty());
+    std::fs::write(&out, doc.pretty()).expect("write report");
+    eprintln!("simperf: wrote {out} (label {label:?})");
+}

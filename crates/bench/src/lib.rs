@@ -13,7 +13,9 @@
 //! record.
 
 pub mod figures;
+pub mod json;
 pub mod rawverbs;
+pub mod simperf;
 pub mod report;
 pub mod rpcbench;
 pub mod runner;

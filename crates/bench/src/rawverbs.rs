@@ -80,6 +80,14 @@ pub struct RawVerbResult {
     pub pcie_itom_mops: f64,
     /// Server-side CPU L3 miss rate over the measured window.
     pub l3_miss_rate: f64,
+    /// Completed verbs inside the measured window.
+    pub ops: u64,
+    /// Simulator events processed over the whole run (perf accounting).
+    pub events: u64,
+    /// Raw server `PCIeRdCur` count over the window (determinism witness).
+    pub pcie_rd: u64,
+    /// Raw server `PCIeItoM` count over the window (determinism witness).
+    pub pcie_itom: u64,
 }
 
 struct ThreadState {
@@ -379,7 +387,7 @@ pub fn run_raw_verbs(cfg: RawVerbConfig) -> RawVerbResult {
         cfg,
     };
     let mut sim = Sim::new(fabric, logic);
-    sim.run_until(window_end + SimDuration::millis(1));
+    let events = sim.run_until(window_end + SimDuration::millis(1));
     let secs = sim
         .logic
         .window_end
@@ -387,11 +395,17 @@ pub fn run_raw_verbs(cfg: RawVerbConfig) -> RawVerbResult {
         .as_secs_f64();
     let counters = sim.fabric.counters(server).expect("server");
     let (rd0, itom0) = sim.logic.counter_base.unwrap_or((0, 0));
+    let pcie_rd = counters.get("PCIeRdCur").saturating_sub(rd0);
+    let pcie_itom = counters.get("PCIeItoM").saturating_sub(itom0);
     RawVerbResult {
         mops: sim.logic.ops as f64 / secs / 1e6,
-        pcie_rd_mops: (counters.get("PCIeRdCur").saturating_sub(rd0)) as f64 / secs / 1e6,
-        pcie_itom_mops: (counters.get("PCIeItoM").saturating_sub(itom0)) as f64 / secs / 1e6,
+        pcie_rd_mops: pcie_rd as f64 / secs / 1e6,
+        pcie_itom_mops: pcie_itom as f64 / secs / 1e6,
         l3_miss_rate: sim.fabric.llc_miss_rate(server).unwrap_or(0.0),
+        ops: sim.logic.ops,
+        events,
+        pcie_rd,
+        pcie_itom,
     }
 }
 

@@ -110,6 +110,10 @@ pub struct RpcRunResult {
     pub pcie_rd_mops: f64,
     /// Server `PCIeItoM` rate over the window (Mops/s).
     pub pcie_itom_mops: f64,
+    /// Completed RPCs inside the measured window.
+    pub ops: u64,
+    /// Simulator events processed over the whole run (perf accounting).
+    pub events: u64,
 }
 
 /// Runs one benchmark point.
@@ -140,15 +144,15 @@ pub fn run_rpc(cfg: RpcRunConfig) -> RpcRunResult {
             let mut sim = Sim::new(fabric, h);
             // Let things settle, snapshot counters at window start by
             // running to it first.
-            sim.run_until(SimTime::ZERO + cfg.warmup);
+            let mut events = sim.run_until(SimTime::ZERO + cfg.warmup);
             let snap = sim.fabric.counters(server).expect("server").snapshot();
-            sim.run_until(stop);
+            events += sim.run_until(stop);
             let delta = sim
                 .fabric
                 .counters(server)
                 .expect("server")
                 .delta_since(&snap);
-            sim.run_until(stop + SimDuration::millis(3));
+            events += sim.run_until(stop + SimDuration::millis(3));
             let m = &sim.logic.metrics;
             let secs = cfg.run.as_secs_f64();
             RpcRunResult {
@@ -160,6 +164,8 @@ pub fn run_rpc(cfg: RpcRunConfig) -> RpcRunResult {
                 cdf: m.latency_cdf(),
                 pcie_rd_mops: delta.get("PCIeRdCur") as f64 / secs / 1e6,
                 pcie_itom_mops: delta.get("PCIeItoM") as f64 / secs / 1e6,
+                ops: m.ops,
+                events,
             }
         }};
     }

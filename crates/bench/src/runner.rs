@@ -4,7 +4,7 @@
 //! points run on a thread pool. Determinism is preserved: each point is
 //! seeded independently and results are returned in input order.
 
-use crossbeam::thread;
+use std::sync::Mutex;
 
 /// Maps `f` over `inputs` in parallel, preserving order.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
@@ -20,24 +20,23 @@ where
     let n = inputs.len();
     let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
     let jobs: Vec<(usize, I)> = inputs.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(jobs);
-    let results = parking_lot::Mutex::new(Vec::<(usize, O)>::new());
-    thread::scope(|scope| {
+    let queue = Mutex::new(jobs);
+    let results = Mutex::new(Vec::<(usize, O)>::new());
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let job = queue.lock().pop();
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
                 match job {
                     Some((i, input)) => {
                         let out = f(input);
-                        results.lock().push((i, out));
+                        results.lock().expect("results poisoned").push((i, out));
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker panicked");
-    for (i, o) in results.into_inner() {
+    });
+    for (i, o) in results.into_inner().expect("results poisoned") {
         slots[i] = Some(o);
     }
     slots.into_iter().map(|s| s.expect("all jobs ran")).collect()

@@ -1,0 +1,231 @@
+//! Fixed-workload perf-regression harness for the simulator hot path.
+//!
+//! `simperf` runs a pinned set of fig. 1(b)/3(b)/8-shaped simulations —
+//! the workloads that hammer the event queue, the NIC QP cache and the
+//! LLC/DDIO model — and reports wall time and events/sec per workload.
+//! The simulated traces are deterministic, so the `ops` and `events`
+//! columns must be identical run-to-run and across optimization work;
+//! only the wall-clock numbers may move. Reports merge into
+//! `BENCH_simperf.json` under a label (`--label before|after`), and the
+//! file gains a `speedup` section once both labels are present.
+
+use crate::json::Json;
+use crate::rawverbs::{run_raw_verbs, RawVerbConfig, RawVerbKind};
+use crate::rpcbench::{run_rpc, RpcRunConfig, TransportKind};
+use scalerpc::ScaleRpcConfig;
+use simcore::SimDuration;
+use std::time::Instant;
+
+/// One measured workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Workload name (stable across runs).
+    pub name: &'static str,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Operations completed in the measured window (determinism witness).
+    pub ops: u64,
+}
+
+impl WorkloadResult {
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+fn timed(name: &'static str, f: impl FnOnce() -> (u64, u64)) -> WorkloadResult {
+    let start = Instant::now();
+    let (events, ops) = f();
+    WorkloadResult {
+        name,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        events,
+        ops,
+    }
+}
+
+/// Runs the fixed workload set. `quick` shrinks the simulated windows
+/// for CI smoke runs (same code paths, ~10× less work).
+pub fn run_all(quick: bool) -> Vec<WorkloadResult> {
+    let ms = |full: u64, q: u64| SimDuration::millis(if quick { q } else { full });
+    vec![
+        // Fig. 1(b): 10 server threads RC-write to 800 clients — the QP
+        // cache thrashes, so this is NicCache::access plus queue churn.
+        timed("fig01b_outbound_800c", || {
+            let r = run_raw_verbs(RawVerbConfig {
+                kind: RawVerbKind::OutboundWrite,
+                clients: 800,
+                warmup: ms(1, 1),
+                run: ms(4, 1),
+                ..Default::default()
+            });
+            (r.events, r.ops)
+        }),
+        // Fig. 3(b): 400 clients stream into 8 KB blocks whose working
+        // set overflows the LLC — dma_write/cpu_access dominate.
+        timed("fig03b_inbound_8k_400c", || {
+            let r = run_raw_verbs(RawVerbConfig {
+                kind: RawVerbKind::InboundWrite,
+                clients: 400,
+                block_size: 8192,
+                warmup: ms(1, 1),
+                run: ms(4, 1),
+                ..Default::default()
+            });
+            (r.events, r.ops)
+        }),
+        // Fig. 8 (left): the full ScaleRPC stack, 400 closed-loop
+        // clients, batch 8 — end-to-end pipeline through the unified
+        // event queue.
+        timed("fig08_scalerpc_400c_b8", || {
+            let r = run_rpc(RpcRunConfig {
+                kind: TransportKind::ScaleRpc(ScaleRpcConfig::default()),
+                clients: 400,
+                batch: 8,
+                warmup: ms(2, 1),
+                run: ms(6, 1),
+                ..Default::default()
+            });
+            (r.events, r.ops)
+        }),
+        // Fig. 8 baseline: RawWrite at 400 clients thrashes per-client
+        // QPs and connection state, a different queue/cache mix.
+        timed("fig08_rawwrite_400c_b1", || {
+            let r = run_rpc(RpcRunConfig {
+                kind: TransportKind::RawWrite,
+                clients: 400,
+                batch: 1,
+                warmup: ms(2, 1),
+                run: ms(6, 1),
+                ..Default::default()
+            });
+            (r.events, r.ops)
+        }),
+    ]
+}
+
+/// Builds the JSON object for one labelled run.
+pub fn run_to_json(results: &[WorkloadResult]) -> Json {
+    let total_wall: f64 = results.iter().map(|r| r.wall_ms).sum();
+    let total_events: u64 = results.iter().map(|r| r.events).sum();
+    Json::Obj(vec![
+        ("total_wall_ms".into(), Json::num(round2(total_wall))),
+        ("total_events".into(), Json::num(total_events as f64)),
+        (
+            "events_per_sec".into(),
+            Json::num((total_events as f64 / (total_wall / 1e3)).round()),
+        ),
+        (
+            "workloads".into(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(r.name)),
+                            ("wall_ms".into(), Json::num(round2(r.wall_ms))),
+                            ("events".into(), Json::num(r.events as f64)),
+                            ("ops".into(), Json::num(r.ops as f64)),
+                            (
+                                "events_per_sec".into(),
+                                Json::num(r.events_per_sec().round()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// Merges a labelled run into the report document (parsed from the
+/// existing file when present) and recomputes the before/after speedup.
+pub fn merge_report(existing: Option<&str>, label: &str, run: Json) -> Json {
+    let mut doc = existing
+        .and_then(|t| Json::parse(t).ok())
+        .filter(|d| matches!(d, Json::Obj(_)))
+        .unwrap_or_else(|| {
+            Json::Obj(vec![
+                ("bench".into(), Json::str("simperf")),
+                (
+                    "workload".into(),
+                    Json::str(
+                        "fixed fig01b/fig03b raw-verb + fig08 ScaleRPC/RawWrite closed-loop set",
+                    ),
+                ),
+                ("runs".into(), Json::Obj(vec![])),
+            ])
+        });
+    let mut runs = doc.get("runs").cloned().unwrap_or(Json::Obj(vec![]));
+    runs.set(label, run);
+    let speedup = {
+        let wall = |l: &str| {
+            runs.get(l)
+                .and_then(|r| r.get("total_wall_ms"))
+                .and_then(Json::as_f64)
+        };
+        match (wall("before"), wall("after")) {
+            (Some(b), Some(a)) if a > 0.0 => Some(round2(b / a)),
+            _ => None,
+        }
+    };
+    doc.set("runs", runs);
+    match speedup {
+        Some(s) => doc.set("speedup_wall_clock", Json::num(s)),
+        None => doc.set("speedup_wall_clock", Json::Null),
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(wall: f64) -> Json {
+        run_to_json(&[WorkloadResult {
+            name: "w",
+            wall_ms: wall,
+            events: 1000,
+            ops: 10,
+        }])
+    }
+
+    #[test]
+    fn merge_computes_speedup_once_both_labels_exist() {
+        let doc1 = merge_report(None, "before", fake(200.0));
+        assert_eq!(doc1.get("speedup_wall_clock"), Some(&Json::Null));
+        let text = doc1.pretty();
+        let doc2 = merge_report(Some(&text), "after", fake(50.0));
+        assert_eq!(
+            doc2.get("speedup_wall_clock").and_then(Json::as_f64),
+            Some(4.0)
+        );
+        // Relabelling replaces, not duplicates.
+        let doc3 = merge_report(Some(&doc2.pretty()), "after", fake(100.0));
+        assert_eq!(
+            doc3.get("speedup_wall_clock").and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn quick_run_is_deterministic_and_counts_events() {
+        let a = run_all(true);
+        let b = run_all(true);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.events, y.events, "{} events drifted", x.name);
+            assert_eq!(x.ops, y.ops, "{} ops drifted", x.name);
+            assert!(x.events > 10_000, "{} suspiciously idle", x.name);
+            assert!(x.ops > 0, "{} did no work", x.name);
+        }
+    }
+}

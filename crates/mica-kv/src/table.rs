@@ -54,7 +54,7 @@ impl KvTable {
         KvTable {
             buckets: vec![Bucket::Empty; buckets],
             mask: buckets - 1,
-            slot_bytes: (item::ITEM_HEADER + value_capacity + 7) / 8 * 8,
+            slot_bytes: (item::ITEM_HEADER + value_capacity).div_ceil(8) * 8,
             value_capacity,
             next_slot: 0,
             capacity,

@@ -675,7 +675,7 @@ impl Fabric {
         // Unreliable transports complete locally once the NIC has sent
         // the message; reliable ones wait for the ack (scheduled at rx).
         if !transport.is_reliable() {
-            let wc = pkt.signaled.then(|| Wc {
+            let wc = pkt.signaled.then_some(Wc {
                 wr_id: pkt.wr_id,
                 opcode: match pkt.kind {
                     PacketKind::Send { .. } => WcOpcode::Send,

@@ -173,6 +173,66 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
     }
 }
 
+/// An FxHash-style streaming hasher: a rotate + xor + multiply per word.
+///
+/// The simulator's cache models hash billions of small `(MrId, u64)` and
+/// `QpId` keys; SipHash (std's default) costs more than the rest of the
+/// cache-model work combined. This mixer is the same shape rustc uses
+/// internally — not DoS-resistant, which is fine for keys the simulator
+/// itself generates.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+#[inline]
+fn fx_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    std::hash::Hasher::finish(&h)
+}
+
 /// A fixed-capacity set with *random replacement*.
 ///
 /// Models hashed / set-associative hardware caches (like the NIC's QP
@@ -183,12 +243,40 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
 /// rather than a cliff.
 ///
 /// Replacement choices come from an internal SplitMix64 sequence, so runs
-/// are deterministic.
+/// are deterministic. The index is a linear-probed open-addressed table
+/// over [`FxHasher`]: [`access`](Self::access) resolves hit-or-insert in
+/// a single probe sequence (the old `HashMap` version paid 2–3 SipHash
+/// lookups per line on the LLC hot path). The table starts tiny and grows
+/// with residency, so a simulation with hundreds of mostly-idle nodes
+/// (every node owns two LLC domains) does not pre-allocate
+/// capacity-sized maps.
 pub struct RandomSet<K> {
-    map: HashMap<K, usize>,
-    keys: Vec<K>,
+    /// Resident keys. Insertion pushes, eviction replaces in place and
+    /// removal swap-removes — victim selection indexes this vector, so
+    /// its exact order is part of the deterministic replacement contract.
+    pub(crate) keys: Vec<K>,
+    /// Open-addressed index. Each slot packs `hash32 << 32 | keys
+    /// position + 1` (`0` = empty); caching the hash lets probes skip
+    /// the random `keys` load on mismatched slots and lets erase/grow
+    /// walk the table without rehashing any key.
+    table: Vec<u64>,
     capacity: usize,
-    rng_state: u64,
+    pub(crate) rng_state: u64,
+}
+
+#[inline]
+fn slot_entry(h32: u32, idx: usize) -> u64 {
+    (h32 as u64) << 32 | (idx as u64 + 1)
+}
+
+#[inline]
+fn slot_idx(e: u64) -> usize {
+    (e as u32 - 1) as usize
+}
+
+#[inline]
+fn slot_hash(e: u64) -> u32 {
+    (e >> 32) as u32
 }
 
 impl<K> std::fmt::Debug for RandomSet<K> {
@@ -200,6 +288,8 @@ impl<K> std::fmt::Debug for RandomSet<K> {
     }
 }
 
+const RANDOM_SET_MIN_TABLE: usize = 16;
+
 impl<K: Eq + Hash + Clone> RandomSet<K> {
     /// Creates a set holding at most `capacity` keys.
     ///
@@ -209,8 +299,8 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RandomSet capacity must be positive");
         RandomSet {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
-            keys: Vec::with_capacity(capacity.min(1 << 20)),
+            keys: Vec::new(),
+            table: vec![0; RANDOM_SET_MIN_TABLE],
             capacity,
             rng_state: 0x853C_49E6_748F_EA9B,
         }
@@ -235,49 +325,174 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
         self.keys.is_empty()
     }
 
+    /// The 32-bit table hash of `key` (upper half of the FxHash word,
+    /// where the multiplies have mixed the most).
+    #[inline]
+    fn hash32(key: &K) -> u32 {
+        (fx_hash(key) >> 32) as u32
+    }
+
+    /// Probes for `key` (whose hash is `h32`): `Ok(table_slot)` when
+    /// resident, `Err(slot)` of the first empty slot otherwise (where an
+    /// insert would land). Slots whose cached hash differs are skipped
+    /// without touching `keys`.
+    #[inline]
+    fn probe(&self, key: &K, h32: u32) -> Result<usize, usize> {
+        let mask = self.table.len() - 1;
+        let mut i = (h32 as usize) & mask;
+        loop {
+            let e = self.table[i];
+            if e == 0 {
+                return Err(i);
+            }
+            if slot_hash(e) == h32 && self.keys[slot_idx(e)] == *key {
+                return Ok(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Removes the entry at `slot`, backward-shifting the probe chain so
+    /// later lookups never cross a stale hole. Walks the table only —
+    /// chain positions come from the cached hashes.
+    fn erase_slot(&mut self, mut i: usize) {
+        let mask = self.table.len() - 1;
+        self.table[i] = 0;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let e = self.table[j];
+            if e == 0 {
+                return;
+            }
+            let ideal = (slot_hash(e) as usize) & mask;
+            // Move `j` back into the hole when its probe chain spans it.
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.table[i] = e;
+                self.table[j] = 0;
+                i = j;
+            }
+        }
+    }
+
+    /// Doubles the table when residency approaches 3/4 load, keeping
+    /// probes and shift chains short. Redistribution reuses the cached
+    /// hashes (no key is rehashed) and is a pure function of the
+    /// resident set, so determinism is unaffected.
+    fn maybe_grow(&mut self) {
+        if (self.keys.len() + 1) * 4 < self.table.len() * 3 {
+            return;
+        }
+        let new_len = (self.table.len() * 2).max(RANDOM_SET_MIN_TABLE);
+        let old = std::mem::replace(&mut self.table, vec![0; new_len]);
+        let mask = self.table.len() - 1;
+        for e in old {
+            if e == 0 {
+                continue;
+            }
+            let mut i = (slot_hash(e) as usize) & mask;
+            while self.table[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.table[i] = e;
+        }
+    }
+
     /// Accesses `key`: reports a hit if resident, otherwise inserts it,
-    /// evicting a uniformly random resident key when full.
+    /// evicting a uniformly random resident key when full. Hit-or-insert
+    /// is resolved by a single probe sequence.
     ///
     /// Returns `(hit, evicted)`.
+    pub fn access(&mut self, key: K) -> (bool, Option<K>) {
+        self.maybe_grow();
+        let h32 = Self::hash32(&key);
+        match self.probe(&key, h32) {
+            Ok(_) => (true, None),
+            Err(slot) => {
+                if self.keys.len() == self.capacity {
+                    let victim = (self.next_rand() % self.capacity as u64) as usize;
+                    // Erase the victim's index entry while `keys[victim]`
+                    // still holds it — probing compares key contents.
+                    let vh = Self::hash32(&self.keys[victim]);
+                    let old_slot = self
+                        .probe(&self.keys[victim], vh)
+                        .expect("evicted key was resident");
+                    self.erase_slot(old_slot);
+                    let old = std::mem::replace(&mut self.keys[victim], key);
+                    // Re-probe: the backward shift may have opened a hole
+                    // earlier in the new key's chain than the slot the
+                    // first probe found, and inserting past a hole would
+                    // make the key unfindable.
+                    let ins = self
+                        .probe(&self.keys[victim], h32)
+                        .expect_err("fresh key cannot be resident");
+                    self.table[ins] = slot_entry(h32, victim);
+                    (false, Some(old))
+                } else {
+                    self.table[slot] = slot_entry(h32, self.keys.len());
+                    self.keys.push(key);
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Accesses `key` (alias of [`access`](Self::access), kept for the
+    /// older call sites and tests).
     pub fn touch(&mut self, key: K) -> (bool, Option<K>) {
-        if self.map.contains_key(&key) {
-            return (true, None);
-        }
-        let mut evicted = None;
-        if self.keys.len() == self.capacity {
-            let victim = (self.next_rand() % self.capacity as u64) as usize;
-            let old = self.keys[victim].clone();
-            self.map.remove(&old);
-            // Replace in place.
-            self.keys[victim] = key.clone();
-            self.map.insert(key, victim);
-            evicted = Some(old);
-            return (false, evicted);
-        }
-        self.keys.push(key.clone());
-        self.map.insert(key, self.keys.len() - 1);
-        (false, evicted)
+        self.access(key)
     }
 
     /// Whether `key` is resident.
     pub fn contains(&self, key: &K) -> bool {
-        self.map.contains_key(key)
+        self.probe(key, Self::hash32(key)).is_ok()
     }
 
     /// Removes `key` if resident (swap-remove); returns whether it was
     /// present.
     pub fn remove(&mut self, key: &K) -> bool {
-        let Some(idx) = self.map.remove(key) else {
+        let h32 = Self::hash32(key);
+        let Ok(slot) = self.probe(key, h32) else {
             return false;
         };
+        let idx = slot_idx(self.table[slot]);
+        self.erase_slot(slot);
         let last = self.keys.len() - 1;
         if idx != last {
+            // Find the swap-filler's index entry before mutating `keys` —
+            // probing compares key contents.
+            let mh = Self::hash32(&self.keys[last]);
+            let moved_slot = self
+                .probe(&self.keys[last], mh)
+                .expect("relocated key stays resident");
             self.keys.swap(idx, last);
-            let moved = self.keys[idx].clone();
-            self.map.insert(moved, idx);
+            self.table[moved_slot] = slot_entry(mh, idx);
         }
         self.keys.pop();
         true
+    }
+}
+
+impl RandomSet<(crate::types::MrId, u64)> {
+    /// Bulk access for a contiguous run of cache lines of one region —
+    /// the LLC streaming fast path. Returns `(hits, misses)`; misses
+    /// insert (evicting randomly when full) exactly as per-line
+    /// [`access`](Self::access) calls would.
+    pub fn access_lines(
+        &mut self,
+        mr: crate::types::MrId,
+        lines: impl Iterator<Item = u64>,
+    ) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for line in lines {
+            if self.access((mr, line)).0 {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        (hits, misses)
     }
 }
 
@@ -438,5 +653,125 @@ mod tests {
             assert_eq!(fast.touch(k), slow.touch(k));
         }
         assert_eq!(fast.len(), slow.v.len());
+    }
+
+    /// The pre-optimization `RandomSet`: `HashMap` index + `keys` vector,
+    /// kept verbatim as a reference model for the open-addressed rewrite.
+    struct RefRandomSet {
+        map: HashMap<u64, usize>,
+        keys: Vec<u64>,
+        capacity: usize,
+        rng_state: u64,
+    }
+
+    impl RefRandomSet {
+        fn new(capacity: usize) -> Self {
+            RefRandomSet {
+                map: HashMap::new(),
+                keys: Vec::new(),
+                capacity,
+                rng_state: 0x853C_49E6_748F_EA9B,
+            }
+        }
+
+        fn next_rand(&mut self) -> u64 {
+            self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn touch(&mut self, key: u64) -> (bool, Option<u64>) {
+            if self.map.contains_key(&key) {
+                return (true, None);
+            }
+            if self.keys.len() == self.capacity {
+                let victim = (self.next_rand() % self.capacity as u64) as usize;
+                let old = self.keys[victim];
+                self.map.remove(&old);
+                self.keys[victim] = key;
+                self.map.insert(key, victim);
+                return (false, Some(old));
+            }
+            self.keys.push(key);
+            self.map.insert(key, self.keys.len() - 1);
+            (false, None)
+        }
+
+        fn remove(&mut self, key: &u64) -> bool {
+            let Some(idx) = self.map.remove(key) else {
+                return false;
+            };
+            let last = self.keys.len() - 1;
+            if idx != last {
+                self.keys.swap(idx, last);
+                self.map.insert(self.keys[idx], idx);
+            }
+            self.keys.pop();
+            true
+        }
+    }
+
+    proptest::proptest! {
+        /// The open-addressed `RandomSet` must be bit-identical to the
+        /// old `HashMap` implementation: same hit/evict results, same
+        /// victim sequence (RNG stream), same internal key order.
+        #[test]
+        fn random_set_matches_hashmap_reference(
+            cap in 1usize..40,
+            ops in proptest::collection::vec((0u8..4, 0u64..64), 0..400),
+        ) {
+            let mut fast = RandomSet::new(cap);
+            let mut slow = RefRandomSet::new(cap);
+            for (op, k) in ops {
+                match op {
+                    0 | 1 => proptest::prop_assert_eq!(fast.access(k), slow.touch(k)),
+                    2 => proptest::prop_assert_eq!(fast.remove(&k), slow.remove(&k)),
+                    _ => proptest::prop_assert_eq!(fast.contains(&k), slow.map.contains_key(&k)),
+                }
+                proptest::prop_assert_eq!(&fast.keys, &slow.keys);
+                proptest::prop_assert_eq!(fast.rng_state, slow.rng_state);
+            }
+        }
+    }
+
+    #[test]
+    fn random_set_access_lines_matches_per_line_access() {
+        use crate::types::MrId;
+        let mr = MrId(7);
+        let mut bulk = RandomSet::new(12);
+        let mut single = RandomSet::new(12);
+        let mut total = (0u64, 0u64);
+        for round in 0..50u64 {
+            let lo = round % 9;
+            let hi = lo + round % 17;
+            let (h, m) = bulk.access_lines(mr, lo..=hi);
+            total.0 += h;
+            total.1 += m;
+            for line in lo..=hi {
+                single.access((mr, line));
+            }
+            assert_eq!(bulk.keys, single.keys, "round {round}");
+            assert_eq!(bulk.rng_state, single.rng_state, "round {round}");
+        }
+        assert!(total.0 > 0 && total.1 > 0, "trace exercised both paths");
+    }
+
+    #[test]
+    fn random_set_grows_table_lazily() {
+        // A large-capacity set must not pre-size its index: hundreds of
+        // simulated nodes each own LLC-sized RandomSets that stay nearly
+        // empty.
+        let set: RandomSet<u64> = RandomSet::new(1 << 20);
+        assert_eq!(set.table.len(), RANDOM_SET_MIN_TABLE);
+        let mut set = set;
+        for k in 0..10_000 {
+            set.access(k);
+        }
+        assert_eq!(set.len(), 10_000);
+        for k in 0..10_000 {
+            assert!(set.contains(&k));
+        }
     }
 }

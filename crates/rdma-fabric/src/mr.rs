@@ -44,7 +44,7 @@ impl MemoryRegion {
 
     /// Bounds-checks an access.
     pub fn check(&self, offset: usize, len: usize) -> VerbResult<()> {
-        if offset.checked_add(len).map_or(true, |end| end > self.buf.len()) {
+        if offset.checked_add(len).is_none_or(|end| end > self.buf.len()) {
             Err(VerbError::OutOfBounds {
                 mr: self.id,
                 offset,
@@ -72,7 +72,7 @@ impl MemoryRegion {
     /// Reads an aligned little-endian `u64` (used by atomics and lock
     /// words).
     pub fn read_u64(&self, offset: usize) -> VerbResult<u64> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(VerbError::BadAtomicTarget);
         }
         let bytes = self.read(offset, 8)?;
@@ -81,7 +81,7 @@ impl MemoryRegion {
 
     /// Writes an aligned little-endian `u64`.
     pub fn write_u64(&mut self, offset: usize, value: u64) -> VerbResult<()> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(VerbError::BadAtomicTarget);
         }
         self.write(offset, &value.to_le_bytes())

@@ -66,7 +66,7 @@ impl NicCache {
     /// prefetched WQEs) for one work request. `_slot` identifies the WQE
     /// for diagnostics.
     pub fn access(&mut self, qp: QpId, _slot: u32) -> NicAccess {
-        let (qp_hit, _) = self.qp_ctx.touch(qp);
+        let (qp_hit, _) = self.qp_ctx.access(qp);
         if qp_hit {
             self.hits += 1;
         } else {

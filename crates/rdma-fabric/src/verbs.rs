@@ -74,6 +74,7 @@ pub enum WorkRequest {
 
 impl WorkRequest {
     /// Short verb name for diagnostics and error messages.
+    #[inline]
     pub fn verb_name(&self) -> &'static str {
         match self {
             WorkRequest::Send { .. } => "send",
@@ -85,6 +86,7 @@ impl WorkRequest {
     }
 
     /// Payload length carried on the wire toward the responder.
+    #[inline]
     pub fn payload_len(&self) -> usize {
         match self {
             WorkRequest::Send { data, .. } | WorkRequest::Write { data, .. } => data.len(),

@@ -571,7 +571,7 @@ fn outbound_thrash_shows_in_counters_and_rate() {
                 },
                 None,
             );
-            t = t + simcore::SimDuration::nanos(10);
+            t += simcore::SimDuration::nanos(10);
         }
     }
     run(&mut fabric, &mut q);

@@ -69,7 +69,7 @@ pub enum HarnessEv<TEv> {
 }
 
 /// Produces the request payload for `(client, seq)`. The default
-/// generator emits fixed-size tagged payloads (the paper's 32-byte
+/// generator emits fixed-size payloads (the paper's 32-byte
 /// microbenchmark messages); application workloads (mdtest, transactions)
 /// plug their own.
 pub trait RequestGen {
@@ -78,18 +78,34 @@ pub trait RequestGen {
 }
 
 /// Fixed-size generator used by the raw RPC microbenchmarks.
+///
+/// No model cost depends on payload *contents* (only on length), so the
+/// payload is built once and handed out by reference-counted clone —
+/// the generator sits on the per-request hot path of every closed-loop
+/// benchmark and used to allocate a fresh buffer each call.
 pub struct FixedSizeGen {
     /// Payload size in bytes.
     pub size: usize,
+    template: Bytes,
+}
+
+impl FixedSizeGen {
+    /// Creates a generator emitting `size`-byte payloads.
+    pub fn new(size: usize) -> Self {
+        FixedSizeGen {
+            size,
+            template: Bytes::from(vec![0u8; size]),
+        }
+    }
 }
 
 impl RequestGen for FixedSizeGen {
-    fn gen(&mut self, client: ClientId, seq: u64) -> Bytes {
-        let mut payload = vec![0u8; self.size];
-        let tag = (client as u64) << 16 | (seq & 0xFFFF);
-        let n = payload.len().min(8);
-        payload[..n].copy_from_slice(&tag.to_le_bytes()[..n]);
-        Bytes::from(payload)
+    fn gen(&mut self, _client: ClientId, _seq: u64) -> Bytes {
+        if self.template.len() != self.size {
+            // `size` is a public field; honor post-construction changes.
+            self.template = Bytes::from(vec![0u8; self.size]);
+        }
+        self.template.clone()
     }
 }
 
@@ -119,7 +135,7 @@ impl<T: RpcTransport> Harness<T> {
     /// client, or if `batch_size` is zero.
     pub fn new(transport: T, cluster: Cluster, cfg: HarnessConfig) -> Self {
         let size = cfg.request_size;
-        Self::with_generator(transport, cluster, cfg, Box::new(FixedSizeGen { size }))
+        Self::with_generator(transport, cluster, cfg, Box::new(FixedSizeGen::new(size)))
     }
 
     /// Builds a harness with a custom request generator (application

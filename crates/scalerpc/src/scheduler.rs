@@ -52,7 +52,7 @@ impl GroupPlan {
     pub fn group_of(&self, client: ClientId) -> Option<usize> {
         self.groups
             .iter()
-            .position(|g| g.iter().any(|&c| c == client))
+            .position(|g| g.contains(&client))
     }
 
     /// Total clients across groups.

@@ -615,7 +615,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
         self.pool_pair.swap();
         if self.cur == 0 {
             self.rotations += 1;
-            if self.scheduler.dynamic && self.rotations % self.cfg.regroup_rotations == 0 {
+            if self.scheduler.dynamic && self.rotations.is_multiple_of(self.cfg.regroup_rotations) {
                 self.plan = self.scheduler.replan(&self.stats_last);
             }
         }

@@ -78,16 +78,12 @@ impl VirtualPool {
 
 /// The role-swapping pair of physical pools.
 #[derive(Clone, Copy, Debug)]
+#[derive(Default)]
 pub struct PoolPair {
     /// Index (0/1) of the pool currently used for processing.
     processing: usize,
 }
 
-impl Default for PoolPair {
-    fn default() -> Self {
-        PoolPair { processing: 0 }
-    }
-}
 
 impl PoolPair {
     /// Creates the pair with pool 0 processing, pool 1 warming.

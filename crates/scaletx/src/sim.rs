@@ -653,22 +653,19 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                     }
                 }
             }
-            (Phase::Log, Some(TxResponse::Ok)) => {
-                if self.coords[c].pending == 0 {
+            (Phase::Log, Some(TxResponse::Ok))
+                if self.coords[c].pending == 0 => {
                     let n = self.coords[c].spec.writes.len();
                     self.gate(c, n, Action::Commit, cx);
                 }
-            }
-            (Phase::Commit, Some(TxResponse::Ok)) => {
-                if self.coords[c].pending == 0 {
+            (Phase::Commit, Some(TxResponse::Ok))
+                if self.coords[c].pending == 0 => {
                     self.commit_done(c, cx);
                 }
-            }
-            (Phase::Unlocking, Some(TxResponse::Ok)) => {
-                if self.coords[c].pending == 0 {
+            (Phase::Unlocking, Some(TxResponse::Ok))
+                if self.coords[c].pending == 0 => {
                     self.schedule_retry(c, cx);
                 }
-            }
             _ => {}
         }
     }

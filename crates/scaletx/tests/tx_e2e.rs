@@ -145,18 +145,24 @@ fn rpc_only_ablation_also_commits() {
 #[test]
 fn one_sided_beats_rpc_only_on_write_heavy_load() {
     // Fig. 16(b)'s ScaleTX vs ScaleTX-O gap: committing with unsignaled
-    // RDMA writes avoids a full RPC round per write-set key.
-    let mk = |one_sided| {
-        small_cfg(TxWorkload::smallbank(400, 3), one_sided, 48)
+    // RDMA writes avoids a full RPC round per write-set key. A single
+    // 4 ms miniature run is noise-dominated (per-seed ratios span
+    // roughly 0.96–1.57), so compare aggregate throughput over a few
+    // seeds where the paper's effect dominates the workload noise.
+    let tps_sum = |one_sided| -> f64 {
+        (23..26)
+            .map(|seed| {
+                let mut cfg = small_cfg(TxWorkload::smallbank(400, 3), one_sided, 48);
+                cfg.seed = seed;
+                run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO)
+                    .logic
+                    .metrics
+                    .tps()
+            })
+            .sum()
     };
-    let with = run_scalerpc_tx(mk(true), scale_cfg(), SimDuration::ZERO)
-        .logic
-        .metrics
-        .tps();
-    let without = run_scalerpc_tx(mk(false), scale_cfg(), SimDuration::ZERO)
-        .logic
-        .metrics
-        .tps();
+    let with = tps_sum(true);
+    let without = tps_sum(false);
     assert!(
         with > without * 1.05,
         "one-sided {with:.0} tps should beat RPC-only {without:.0} tps"

@@ -1,43 +1,76 @@
 //! Deterministic future-event list.
 //!
-//! The queue is a binary heap keyed by `(time, sequence)`. The sequence
-//! number makes simultaneous events pop in insertion order, which keeps
-//! entire simulations bit-for-bit reproducible — a property the hardware
-//! counter experiments (Fig. 3/10 of the paper) rely on.
+//! The queue is a four-ary indexed heap keyed by `(time, sequence)`. The
+//! sequence number makes simultaneous events pop in insertion order,
+//! which keeps entire simulations bit-for-bit reproducible — a property
+//! the hardware counter experiments (Fig. 3/10 of the paper) rely on.
+//!
+//! Every heap entry carries the index of a stable *slot* holding the
+//! event payload, and every slot knows its current heap position, so
+//! [`cancel`](EventQueue::cancel) removes the entry in place in
+//! O(log n) — no tombstone set, and `pop` never probes a hash table to
+//! ask "was this cancelled?". Slots are generation-counted, so the
+//! [`EventId`] of an already-fired event can never alias a newer one.
+//! The four-ary layout halves tree depth versus a binary heap and keeps
+//! sift-down's children on one cache line, which matters at the tens of
+//! millions of push/pop pairs a closed-loop simulation performs.
+//! [`bulk_cancel`](EventQueue::bulk_cancel) is the one lazy path: it
+//! tombstones entries instead of restructuring per id, and `pop`/`peek`
+//! discard tombstones at the front.
 
 use crate::time::SimTime;
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Opaque handle to a scheduled event, usable to cancel it.
+///
+/// Packs a slot index and a generation counter; ids of fired or
+/// cancelled events go stale and are rejected by
+/// [`cancel`](EventQueue::cancel).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
 
-struct Scheduled<E> {
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId((gen as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Heap entry: ordering key plus the payload slot. Tombstoned entries
+/// (from [`EventQueue::bulk_cancel`]) use `slot == TOMBSTONE`.
+#[derive(Clone, Copy)]
+struct HeapEnt {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+impl HeapEnt {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
-/// A future-event list with deterministic ordering and O(log n) push/pop.
+const TOMBSTONE: u32 = u32::MAX;
+
+struct Slot<E> {
+    /// Bumped when the slot is vacated; stale [`EventId`]s never match.
+    gen: u32,
+    /// Current index of this slot's entry in `heap`.
+    pos: u32,
+    /// Payload; `None` while the slot sits on the free list.
+    event: Option<E>,
+}
+
+/// A future-event list with deterministic ordering, O(log n) push/pop
+/// and O(log n) in-place cancellation.
 ///
 /// # Examples
 ///
@@ -54,9 +87,11 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    heap: Vec<HeapEnt>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     next_seq: u64,
-    cancelled: HashSet<u64>,
+    tombstones: usize,
     now: SimTime,
 }
 
@@ -70,9 +105,11 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
+            tombstones: 0,
             now: SimTime::ZERO,
         }
     }
@@ -97,57 +134,192 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { time, seq, event }));
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].event = Some(event);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    pos: 0,
+                    event: Some(event),
+                });
+                s
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(HeapEnt { time, seq, slot });
+        self.slots[slot as usize].pos = pos as u32;
+        self.sift_up(pos);
+        EventId::new(slot, self.slots[slot as usize].gen)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event, removing its heap entry in
+    /// place (O(log n), no tombstone).
     ///
-    /// Cancellation is lazy: the entry stays in the heap and is discarded
-    /// when it reaches the front. Cancelling an already-fired or unknown id
-    /// is a no-op and returns `false`.
+    /// Cancelling an already-fired, already-cancelled or unknown id is a
+    /// true no-op that leaves no bookkeeping behind, and returns `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // Ids of already-popped events are smaller than `next_seq` but are
-        // no longer in the heap; inserting them is harmless because pop
-        // consults the set only for entries actually present in the heap.
-        self.cancelled.insert(id.0)
+        let slot = id.slot() as usize;
+        let Some(s) = self.slots.get(slot) else {
+            return false;
+        };
+        if s.gen != id.gen() || s.event.is_none() {
+            return false;
+        }
+        let pos = s.pos as usize;
+        self.remove_at(pos);
+        self.vacate(id.slot());
+        true
     }
 
-    /// Pops the earliest non-cancelled event, advancing `now`.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(s)) = self.heap.pop() {
-            if self.cancelled.remove(&s.seq) {
+    /// Cancels a batch of events lazily: entries are tombstoned where
+    /// they stand (O(1) per id) and discarded when they surface, which
+    /// beats per-id restructuring when a caller tears down many pending
+    /// events at once. Returns how many ids were still live.
+    pub fn bulk_cancel(&mut self, ids: impl IntoIterator<Item = EventId>) -> usize {
+        let mut cancelled = 0;
+        for id in ids {
+            let slot = id.slot() as usize;
+            let Some(s) = self.slots.get(slot) else {
+                continue;
+            };
+            if s.gen != id.gen() || s.event.is_none() {
                 continue;
             }
-            self.now = s.time;
-            return Some((s.time, s.event));
+            self.heap[s.pos as usize].slot = TOMBSTONE;
+            self.tombstones += 1;
+            self.vacate(id.slot());
+            cancelled += 1;
         }
-        None
+        cancelled
+    }
+
+    /// Pops the earliest pending event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let ent = *self.heap.first()?;
+            self.remove_at(0);
+            if ent.slot == TOMBSTONE {
+                self.tombstones -= 1;
+                continue;
+            }
+            let event = self.slots[ent.slot as usize]
+                .event
+                .take()
+                .expect("live heap entry has a payload");
+            self.vacate_taken(ent.slot);
+            self.now = ent.time;
+            return Some((ent.time, event));
+        }
     }
 
     /// Returns the timestamp of the next pending event, if any, without
-    /// popping it. Cancelled entries at the front are discarded.
+    /// popping it. Tombstoned (bulk-cancelled) entries at the front are
+    /// discarded.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(s)) = self.heap.peek() {
-            if self.cancelled.contains(&s.seq) {
-                let seq = s.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
+        loop {
+            let ent = *self.heap.first()?;
+            if ent.slot == TOMBSTONE {
+                self.remove_at(0);
+                self.tombstones -= 1;
                 continue;
             }
-            return Some(s.time);
+            return Some(ent.time);
         }
-        None
     }
 
-    /// Number of events still scheduled (including lazily cancelled ones).
+    /// Number of events still scheduled (bulk-cancelled tombstones not
+    /// yet discarded are excluded).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.tombstones
     }
 
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Tombstoned heap entries not yet discarded — nonzero only between
+    /// a [`bulk_cancel`](Self::bulk_cancel) and the pops/peeks that
+    /// surface the lazily cancelled entries.
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Returns `slot` to the free list and invalidates outstanding ids.
+    fn vacate(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.event = None;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Like [`vacate`](Self::vacate) for a slot whose payload was
+    /// already taken by `pop`.
+    fn vacate_taken(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Removes the heap entry at `pos`, restoring heap order.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos < last {
+            self.update_pos(pos);
+            // Exactly one of these applies; the other is a no-op.
+            self.sift_down(pos);
+            self.sift_up(pos);
+        }
+    }
+
+    #[inline]
+    fn update_pos(&mut self, pos: usize) {
+        let slot = self.heap[pos].slot;
+        if slot != TOMBSTONE {
+            self.slots[slot as usize].pos = pos as u32;
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 4;
+            if self.heap[pos].key() >= self.heap[parent].key() {
+                break;
+            }
+            self.heap.swap(pos, parent);
+            self.update_pos(pos);
+            pos = parent;
+        }
+        self.update_pos(pos);
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        loop {
+            let first = 4 * pos + 1;
+            if first >= len {
+                break;
+            }
+            let mut best = first;
+            for child in first + 1..(first + 4).min(len) {
+                if self.heap[child].key() < self.heap[best].key() {
+                    best = child;
+                }
+            }
+            if self.heap[best].key() >= self.heap[pos].key() {
+                break;
+            }
+            self.heap.swap(pos, best);
+            self.update_pos(pos);
+            pos = best;
+        }
+        self.update_pos(pos);
     }
 }
 
@@ -222,6 +394,194 @@ mod tests {
         }
         for i in 0..1000u32 {
             assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_true_no_op() {
+        // Regression: the old tombstone-set implementation leaked the
+        // sequence number of an already-popped event into its cancelled
+        // set forever. Cancel of a fired id must reject and leave zero
+        // bookkeeping behind.
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        q.push(SimTime(2), "b");
+        assert_eq!(q.pop(), Some((SimTime(1), "a")));
+        assert!(!q.cancel(a), "fired event must not cancel");
+        assert!(!q.cancel(a), "repeat cancel still rejects");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.tombstones(), 0, "no-op cancel must leave no residue");
+        assert_eq!(q.pop(), Some((SimTime(2), "b")));
+        assert!(q.is_empty());
+        assert_eq!(q.tombstones(), 0);
+    }
+
+    #[test]
+    fn cancelled_then_reused_slot_rejects_stale_id() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), 1u32);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel rejects");
+        // The slot is recycled for a fresh push; the stale id must not
+        // reach the new occupant.
+        let b = q.push(SimTime(3), 2u32);
+        assert!(!q.cancel(a), "stale id must not hit recycled slot");
+        assert_eq!(q.pop(), Some((SimTime(3), 2)));
+        assert!(!q.cancel(b));
+    }
+
+    #[test]
+    fn cancel_in_the_middle_keeps_order() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..100u64).map(|t| q.push(SimTime(t), t)).collect();
+        for (t, id) in ids.iter().enumerate() {
+            if t % 3 == 1 {
+                assert!(q.cancel(*id));
+            }
+        }
+        let mut expect: Vec<u64> = (0..100).filter(|t| t % 3 != 1).collect();
+        expect.sort_unstable();
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bulk_cancel_tombstones_then_drains() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10u64).map(|t| q.push(SimTime(t), t)).collect();
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.1, 0);
+        // Bulk-cancel evens (id 0 already fired) plus a stale repeat.
+        let n = q.bulk_cancel(ids.iter().copied().step_by(2).chain([ids[0], ids[2]]));
+        assert_eq!(n, 4, "ids 2,4,6,8 were live");
+        assert_eq!(q.tombstones(), 4);
+        assert_eq!(q.len(), 5);
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, vec![1, 3, 5, 7, 9]);
+        assert_eq!(q.tombstones(), 0, "drain discards every tombstone");
+    }
+
+    #[test]
+    fn peek_then_push_then_pop_stays_coherent() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 5u64);
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        q.push(SimTime(2), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(2)));
+        assert_eq!(q.pop(), Some((SimTime(2), 2)));
+        assert_eq!(q.pop(), Some((SimTime(5), 5)));
+    }
+
+    /// The pre-optimization queue — `BinaryHeap` plus a lazily-consulted
+    /// cancelled set — kept as a reference model for trace equivalence.
+    mod reference {
+        use super::SimTime;
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashSet};
+
+        pub struct RefQueue<E> {
+            heap: BinaryHeap<Reverse<(SimTime, u64, E)>>,
+            next_seq: u64,
+            cancelled: HashSet<u64>,
+            pub now: SimTime,
+        }
+
+        impl<E: Ord> RefQueue<E> {
+            pub fn new() -> Self {
+                RefQueue {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                    cancelled: HashSet::new(),
+                    now: SimTime::ZERO,
+                }
+            }
+
+            pub fn push(&mut self, time: SimTime, event: E) -> u64 {
+                assert!(time >= self.now);
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.heap.push(Reverse((time, seq, event)));
+                seq
+            }
+
+            pub fn cancel(&mut self, seq: u64) {
+                self.cancelled.insert(seq);
+            }
+
+            pub fn pop(&mut self) -> Option<(SimTime, E)> {
+                while let Some(Reverse((t, seq, e))) = self.heap.pop() {
+                    if self.cancelled.remove(&seq) {
+                        continue;
+                    }
+                    self.now = t;
+                    return Some((t, e));
+                }
+                None
+            }
+
+            pub fn peek_time(&mut self) -> Option<SimTime> {
+                while let Some(Reverse((t, seq, _))) = self.heap.peek() {
+                    if self.cancelled.contains(seq) {
+                        let seq = *seq;
+                        self.heap.pop();
+                        self.cancelled.remove(&seq);
+                        continue;
+                    }
+                    return Some(*t);
+                }
+                None
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The indexed heap must replay any interleaved
+        /// push/cancel/pop/peek script identically to the old
+        /// binary-heap-plus-tombstones queue.
+        #[test]
+        fn matches_binary_heap_reference_trace(
+            script in proptest::collection::vec((0u8..4, 0u64..64), 1..400),
+        ) {
+            let mut fast = EventQueue::new();
+            let mut slow = reference::RefQueue::new();
+            let mut fast_ids = Vec::new();
+            let mut slow_ids = Vec::new();
+            let mut payload = 0u64;
+            for (op, arg) in script {
+                match op {
+                    0 | 1 => {
+                        // Push at now + arg (always legal).
+                        let t = SimTime(fast.now().as_nanos() + arg);
+                        fast_ids.push(fast.push(t, payload));
+                        slow_ids.push(slow.push(t, payload));
+                        payload += 1;
+                    }
+                    2 => {
+                        proptest::prop_assert_eq!(fast.pop(), slow.pop());
+                        proptest::prop_assert_eq!(fast.now(), slow.now);
+                    }
+                    _ if fast_ids.is_empty() => {}
+                    _ => {
+                        // Cancel an arbitrary id (may be fired already —
+                        // the reference tolerates that only when the
+                        // fast queue rejects it, mirroring the fixed
+                        // no-op contract).
+                        let i = (arg as usize) % fast_ids.len();
+                        if fast.cancel(fast_ids[i]) {
+                            slow.cancel(slow_ids[i]);
+                        }
+                    }
+                }
+                proptest::prop_assert_eq!(fast.peek_time(), slow.peek_time());
+            }
+            // Drain both queues to the end.
+            loop {
+                let (f, s) = (fast.pop(), slow.pop());
+                proptest::prop_assert_eq!(&f, &s);
+                if f.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

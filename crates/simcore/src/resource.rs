@@ -135,15 +135,28 @@ impl MultiResource {
         }
     }
 
-    /// Schedules work on the earliest-available server.
+    /// Schedules work on the lowest-indexed server able to start at
+    /// `at`, or the earliest-free server when all are busy. Selection is
+    /// deterministic, and with nondecreasing arrival times the grants
+    /// are identical to a strict earliest-free scan (idle servers are
+    /// interchangeable) without walking the whole pool.
     pub fn acquire(&mut self, at: SimTime, service: SimDuration) -> Grant {
-        let idx = self
-            .servers
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, s)| (s.busy_until(), *i))
-            .map(|(i, _)| i)
-            .expect("non-empty by construction");
+        let mut idx = 0;
+        let mut best = self.servers[0].busy_until();
+        // Stop scanning at the first idle-at-arrival server: it starts
+        // work immediately, and no later server can start any earlier.
+        if best > at {
+            for (i, s) in self.servers.iter().enumerate().skip(1) {
+                let b = s.busy_until();
+                if b < best {
+                    idx = i;
+                    best = b;
+                    if b <= at {
+                        break;
+                    }
+                }
+            }
+        }
         self.servers[idx].acquire(at, service)
     }
 

@@ -1,0 +1,397 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest surface this workspace's property
+//! tests use: the `proptest!` macro over functions whose parameters are
+//! either `name: Type` (implicit `any::<Type>()`) or `name in strategy`,
+//! integer-range and tuple strategies, `proptest::collection::vec`,
+//! simple `"[class]{lo,hi}"` string patterns, and the `prop_assert*`
+//! macros. No shrinking: a failing case panics with the generated seed
+//! so it can be replayed by re-running the test (generation is fully
+//! deterministic per test name and case index).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
+/// Deterministic test-case RNG (xoshiro256++ seeded via SplitMix64).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> TestRng {
+        let mut s = [0u64; 4];
+        let mut x = seed;
+        for w in &mut s {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy for "any value of `T`".
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix full-width draws with small values: edge-heavy
+                // distributions find boundary bugs that uniform u64
+                // draws statistically never would.
+                match rng.next_u64() % 8 {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => (rng.next_u64() % 16) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// `&'static str` regex-subset patterns: concatenations of literal
+/// characters and `[class]{lo,hi}` / `[class]{n}` / `[class]` atoms,
+/// where a class is chars and `a-z` ranges (a trailing `-` is literal).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == '[' {
+                let (alphabet, next) = parse_class(&chars, i + 1, self);
+                i = next;
+                let (lo, hi, next) = parse_repeat(&chars, i, self);
+                i = next;
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                assert!(!alphabet.is_empty(), "empty class in pattern {self:?}");
+                for _ in 0..n {
+                    out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+                }
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize, pat: &str) -> (Vec<char>, usize) {
+    let mut alphabet = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = chars[i];
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let end = chars[i + 2];
+            assert!(c <= end, "inverted class range in pattern {pat:?}");
+            for v in c as u32..=end as u32 {
+                if let Some(ch) = char::from_u32(v) {
+                    alphabet.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated class in pattern {pat:?}");
+    (alphabet, i + 1)
+}
+
+fn parse_repeat(chars: &[char], i: usize, pat: &str) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated repeat in pattern {pat:?}"))
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (
+            a.trim().parse().expect("repeat lower bound"),
+            b.trim().parse().expect("repeat upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("repeat count");
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "inverted repeat in pattern {pat:?}");
+    (lo, hi, close + 1)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `f` for each deterministic test case of `name`.
+pub fn run_cases(name: &str, mut f: impl FnMut(&mut TestRng)) {
+    // FNV-style hash of the test name anchors the seed sequence.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..cases() {
+        let seed = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(seed);
+        f(&mut rng);
+    }
+}
+
+/// Asserts a condition inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Binds generated values for each parameter of a property function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__prop_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident, $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__prop_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident: $ty:ty) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+    };
+}
+
+/// Declares property tests. Each function body runs for many generated
+/// inputs; parameters are `name: Type` or `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__prop_rng| {
+                $crate::__prop_bind!(__prop_rng, $($params)*);
+                $body
+            });
+        }
+        $crate::proptest!($($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! The usual imports.
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn macro_binds_both_param_forms(a: u8, b in 3u64..10, v in crate::collection::vec(0u32..5, 1..4)) {
+            let _ = a;
+            prop_assert!((3..10).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_within_class() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z0-9._-]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._-".contains(c)));
+        }
+        let t = "[a-c]{2}x".generate(&mut rng);
+        assert_eq!(t.len(), 3);
+        assert!(t.ends_with('x'));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = || {
+            let mut rng = TestRng::new(77);
+            (0..32).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(), gen());
+    }
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut rng = TestRng::new(5);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = (1u8..=4).generate(&mut rng);
+            assert!((1..=4).contains(&v));
+            seen_lo |= v == 1;
+            seen_hi |= v == 4;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+}
