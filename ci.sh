@@ -1,23 +1,46 @@
 #!/usr/bin/env bash
-# CI gate: build, tests, lints, and a perf-harness smoke run.
+# CI gate: build, tests, lints, and a perf-harness smoke run — in both
+# tracing configurations.
+#
+# The workspace builds with the bench crate's default `trace` feature
+# (recording compiled in, runtime-disabled unless a Tracer is installed);
+# the perf-sensitive configuration strips it with --no-default-features
+# so the zero-cost-when-off claim is actually compiled and linted.
 #
 # The simperf smoke run uses --quick (shrunken simulated windows) and a
 # throwaway output file so CI never overwrites the committed
 # BENCH_simperf.json baselines; full before/after measurements are taken
-# manually with `simperf --label <before|after>`.
+# manually with `simperf --label <before|after>` on a no-trace build.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== build (release) =="
+echo "== build (release, trace on) =="
 cargo build --release --workspace
 
-echo "== tests =="
+echo "== build (release, trace off) =="
+cargo build --release -p scalerpc-bench --no-default-features
+
+echo "== tests (trace on) =="
 cargo test -q
 
-echo "== clippy (deny warnings) =="
+echo "== tests (trace off) =="
+cargo test -q -p simtrace -p scalerpc-bench --no-default-features
+
+echo "== clippy (deny warnings, trace on) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== simperf smoke =="
+echo "== clippy (deny warnings, trace off) =="
+cargo clippy -p simtrace -p scalerpc-bench --no-default-features --all-targets -- -D warnings
+
+echo "== simperf smoke (no-trace build) =="
 ./target/release/simperf --quick --label ci-smoke --out target/BENCH_simperf_ci.json
+
+echo "== trace export smoke =="
+# fig_timeline validates its own output (re-parses the JSON, checks all
+# seven pipeline stages, scheduler instants, and >=2 counter series) and
+# exits non-zero on any gap.
+cargo run --release -p scalerpc-bench --bin fig_timeline -- \
+    --clients 80 --warmup-us 300 --run-us 500 \
+    --out target/fig_timeline_ci.json
 
 echo "ci.sh: all gates passed"

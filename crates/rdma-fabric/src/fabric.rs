@@ -27,6 +27,7 @@ use crate::verbs::{AtomicOp, WorkRequest};
 use bytes::Bytes;
 use simcore::stats::CounterSet;
 use simcore::{FifoResource, SimDuration, SimTime, SkewedClock};
+use simtrace::{InstantKind, Stage, TraceId, Tracer};
 
 /// Callback used by the fabric to schedule its internal events.
 pub type Sched<'a> = dyn FnMut(SimTime, FabricEvent) + 'a;
@@ -113,6 +114,10 @@ struct Packet {
     dst_qp: QpId,
     wr_id: WrId,
     signaled: bool,
+    /// Trace id stamped by the RPC layer (0 = untraced). Derived
+    /// packets (read/atomic responses) inherit the request's id, so a
+    /// whole round trip shares one id.
+    trace: TraceId,
     kind: PacketKind,
 }
 
@@ -166,6 +171,8 @@ pub struct Fabric {
     cqs: Vec<CompletionQueue>,
     cq_owner: Vec<NodeId>,
     next_wr: WrId,
+    tracer: Tracer,
+    trace_ctx: TraceId,
 }
 
 impl Fabric {
@@ -181,12 +188,42 @@ impl Fabric {
             cqs: Vec::new(),
             cq_owner: Vec::new(),
             next_wr: 1,
+            tracer: Tracer::disabled(),
+            trace_ctx: 0,
         }
     }
 
     /// The model parameters.
     pub fn params(&self) -> &FabricParams {
         &self.params
+    }
+
+    // ---- tracing --------------------------------------------------------
+
+    /// Installs the tracer used for pipeline spans ([`Stage::TxNic`],
+    /// [`Stage::Link`], [`Stage::RxNic`], [`Stage::Dma`]) and fabric
+    /// instants (QP-cache evictions, DDIO write-allocate misses).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The fabric's tracer handle (clone it to record from other layers).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Stamps the trace id carried by the *next* [`post`](Self::post).
+    /// Consumed by that post; 0 (the default) means untraced. Fabric
+    /// spans attribute the id to the posting/receiving QP index.
+    pub fn set_trace_ctx(&mut self, id: TraceId) {
+        self.trace_ctx = id;
+    }
+
+    /// The currently stamped (not yet consumed) trace id, 0 if none.
+    /// Transports peek this to tie their own spans to the request the
+    /// harness is submitting.
+    pub fn trace_ctx(&self) -> TraceId {
+        self.trace_ctx
     }
 
     // ---- topology -------------------------------------------------------
@@ -566,6 +603,7 @@ impl Fabric {
             dst_qp,
             wr_id,
             signaled,
+            trace: std::mem::take(&mut self.trace_ctx),
             kind,
         };
         sched(
@@ -671,6 +709,22 @@ impl Fabric {
         occupancy = occupancy.max(serialize);
         let grant = node.tx.acquire(now, occupancy);
         let arrival = grant.complete + p.wire_latency();
+        if let Some(victim) = access.evicted {
+            self.tracer.instant(
+                InstantKind::QpCacheEvict,
+                now,
+                victim.0 as u64,
+                pkt.src_qp.0 as u64,
+            );
+        }
+        if pkt.trace != 0 {
+            // Span covers queueing delay behind earlier WQEs plus the
+            // engine's own occupancy (grant.begin - now is the wait).
+            self.tracer
+                .span(pkt.trace, Stage::TxNic, now, grant.complete, pkt.src_qp.0 as u64);
+            self.tracer
+                .span(pkt.trace, Stage::Link, grant.complete, arrival, pkt.src_qp.0 as u64);
+        }
 
         // Unreliable transports complete locally once the NIC has sent
         // the message; reliable ones wait for the ack (scheduled at rx).
@@ -760,6 +814,30 @@ impl Fabric {
                         let occ = self.params.nic_rx_base
                             + self.params.ddio_cost(dma.allocated);
                         let grant = node.rx.acquire(now, occ);
+                        if dma.allocated > 0 {
+                            self.tracer.instant(
+                                InstantKind::DdioAllocMiss,
+                                now,
+                                dma.allocated,
+                                r.mr.0 as u64,
+                            );
+                        }
+                        if pkt.trace != 0 {
+                            self.tracer.span(
+                                pkt.trace,
+                                Stage::RxNic,
+                                now,
+                                grant.complete,
+                                pkt.dst_qp.0 as u64,
+                            );
+                            self.tracer.span(
+                                pkt.trace,
+                                Stage::Dma,
+                                grant.complete,
+                                grant.complete + p_dma,
+                                pkt.dst_qp.0 as u64,
+                            );
+                        }
                         let wc = Wc {
                             wr_id: r.wr_id,
                             opcode: WcOpcode::Recv,
@@ -846,6 +924,30 @@ impl Fabric {
                 let occ =
                     self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
                 let grant = node.rx.acquire(now, occ);
+                if dma.allocated > 0 {
+                    self.tracer.instant(
+                        InstantKind::DdioAllocMiss,
+                        now,
+                        dma.allocated,
+                        remote.mr.0 as u64,
+                    );
+                }
+                if pkt.trace != 0 {
+                    self.tracer.span(
+                        pkt.trace,
+                        Stage::RxNic,
+                        now,
+                        grant.complete,
+                        pkt.dst_qp.0 as u64,
+                    );
+                    self.tracer.span(
+                        pkt.trace,
+                        Stage::Dma,
+                        grant.complete,
+                        grant.complete + p_dma,
+                        pkt.dst_qp.0 as u64,
+                    );
+                }
                 // write_imm additionally consumes a receive and yields a
                 // receive-side completion carrying the immediate.
                 let wc = if let Some(imm_v) = imm {
@@ -944,6 +1046,7 @@ impl Fabric {
                     dst_qp: pkt.dst_qp,
                     wr_id: pkt.wr_id,
                     signaled: pkt.signaled,
+                    trace: pkt.trace,
                     kind: PacketKind::ReadResp {
                         data,
                         local_mr,
@@ -970,6 +1073,30 @@ impl Fabric {
                 let occ =
                     self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
                 let grant = node.rx.acquire(now, occ);
+                if dma.allocated > 0 {
+                    self.tracer.instant(
+                        InstantKind::DdioAllocMiss,
+                        now,
+                        dma.allocated,
+                        local_mr.0 as u64,
+                    );
+                }
+                if pkt.trace != 0 {
+                    self.tracer.span(
+                        pkt.trace,
+                        Stage::RxNic,
+                        now,
+                        grant.complete,
+                        pkt.src_qp.0 as u64,
+                    );
+                    self.tracer.span(
+                        pkt.trace,
+                        Stage::Dma,
+                        grant.complete,
+                        grant.complete + p_dma,
+                        pkt.src_qp.0 as u64,
+                    );
+                }
                 let len = data.len();
                 sched(
                     grant.complete + p_dma,
@@ -1043,6 +1170,7 @@ impl Fabric {
                     dst_qp: pkt.dst_qp,
                     wr_id: pkt.wr_id,
                     signaled: pkt.signaled,
+                    trace: pkt.trace,
                     kind: PacketKind::AtomicResp {
                         old,
                         local_mr,

@@ -17,7 +17,7 @@
 //! associative strict-LRU model would hold such marginal working sets
 //! perfectly and miss the effect entirely.
 
-use crate::lru::RandomSet;
+use crate::lru::{fx_line_hash32, fx_prefix_u32, RandomSet};
 use crate::types::MrId;
 
 /// Result of a NIC DMA write through the LLC.
@@ -55,6 +55,11 @@ pub struct LlcModel {
     cpu_hits: u64,
     cpu_misses: u64,
 }
+
+/// How many lines ahead of the probe loop to issue table prefetches.
+/// Far enough to cover an L3/DRAM round trip at a few cycles per
+/// iteration, small enough that the hints stay resident.
+const PREFETCH_DISTANCE: u64 = 8;
 
 fn line_range(offset: usize, len: usize) -> std::ops::Range<u64> {
     let first = (offset / 64) as u64;
@@ -113,12 +118,28 @@ impl LlcModel {
             out.partial_lines += 1;
         }
         out.full_lines -= out.partial_lines;
+        // Every key in the span shares the region-id hash prefix: absorb
+        // it once and mix only the line number per iteration, probing
+        // both domains with the same 32-bit hash. On 8 KB spans (128
+        // lines) this halves the hash work of the loop. Both tables are
+        // far larger than the host's L2 in LLC-scale configurations, so
+        // prefetch the home slots a few lines ahead to overlap the
+        // otherwise-serialized probe misses.
+        let prefix = fx_prefix_u32(mr.0);
+        let end = lines.end;
         for line in lines {
+            let ahead = line + PREFETCH_DISTANCE;
+            if ahead < end {
+                let ha = fx_line_hash32(prefix, ahead);
+                self.main.prefetch(ha);
+                self.ddio.prefetch(ha);
+            }
             let key = (mr, line);
-            if self.main.contains(&key) {
+            let h32 = fx_line_hash32(prefix, line);
+            if self.main.contains_h(&key, h32) {
                 // Write Update in place.
                 out.hit_main += 1;
-            } else if self.ddio.access(key).0 {
+            } else if self.ddio.access_h(key, h32).0 {
                 out.hit_ddio += 1;
             } else {
                 // Write Allocate into the restricted partition.
@@ -145,13 +166,22 @@ impl LlcModel {
             out.hits = hits;
             out.misses = misses;
         } else {
+            let prefix = fx_prefix_u32(mr.0);
+            let end = lines.end;
             for line in lines {
+                let ahead = line + PREFETCH_DISTANCE;
+                if ahead < end {
+                    let ha = fx_line_hash32(prefix, ahead);
+                    self.main.prefetch(ha);
+                    self.ddio.prefetch(ha);
+                }
                 let key = (mr, line);
+                let h32 = fx_line_hash32(prefix, line);
                 // `main` and `ddio` are independent sets, so inserting
                 // into main before the ddio promotion check leaves both
                 // domains' state (and main's eviction RNG stream)
                 // identical to checking ddio first.
-                if self.main.access(key).0 || self.ddio.remove(&key) {
+                if self.main.access_h(key, h32).0 || self.ddio.remove_h(&key, h32) {
                     // Resident (or promoted from DDIO): an L3 hit.
                     out.hits += 1;
                 } else {

@@ -233,6 +233,26 @@ fn fx_hash<K: Hash>(key: &K) -> u64 {
     std::hash::Hasher::finish(&h)
 }
 
+/// FxHash state after absorbing one leading `u32` word — used to share
+/// the `(MrId, _)` key prefix across every line of one DMA/CPU span.
+/// Continuing with [`fx_line_hash32`] yields exactly the hash a full
+/// `(MrId, u64)` key computes, so split and whole-key probes are
+/// interchangeable (pinned by a unit test below).
+#[inline]
+pub(crate) fn fx_prefix_u32(word: u32) -> u64 {
+    // rotate_left(5) of the zero initial state is zero, so the first
+    // absorbed word reduces to a single multiply.
+    (word as u64).wrapping_mul(FX_SEED)
+}
+
+/// Completes a split [`fx_prefix_u32`] hash with the trailing `u64` word
+/// and returns the 32-bit table hash (upper half, as
+/// `RandomSet::hash32` takes it).
+#[inline]
+pub(crate) fn fx_line_hash32(prefix: u64, line: u64) -> u32 {
+    ((prefix.rotate_left(5) ^ line).wrapping_mul(FX_SEED) >> 32) as u32
+}
+
 /// A fixed-capacity set with *random replacement*.
 ///
 /// Models hashed / set-associative hardware caches (like the NIC's QP
@@ -260,6 +280,12 @@ pub struct RandomSet<K> {
     /// the random `keys` load on mismatched slots and lets erase/grow
     /// walk the table without rehashing any key.
     table: Vec<u64>,
+    /// Back-pointers: `slots[i]` is the table slot currently indexing
+    /// `keys[i]`. Eviction and swap-remove would otherwise re-hash and
+    /// re-probe the victim / relocated key — two serialized random
+    /// memory accesses per miss in the at-capacity thrash regime the
+    /// LLC models live in.
+    slots: Vec<u32>,
     capacity: usize,
     pub(crate) rng_state: u64,
 }
@@ -301,6 +327,7 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
         RandomSet {
             keys: Vec::new(),
             table: vec![0; RANDOM_SET_MIN_TABLE],
+            slots: Vec::new(),
             capacity,
             rng_state: 0x853C_49E6_748F_EA9B,
         }
@@ -313,6 +340,36 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+
+    /// The value the *next* [`next_rand`](Self::next_rand) call will
+    /// return, without advancing the stream — used to prefetch the next
+    /// eviction victim's metadata while the current miss retires.
+    fn peek_rand(&self) -> u64 {
+        let mut z = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Prefetches the back-pointer and key of the *next* eviction victim
+    /// (deterministically known from the RNG stream). In the at-capacity
+    /// thrash regime nearly every access evicts, so by the next miss the
+    /// victim's cache lines are already in flight.
+    #[inline]
+    fn prefetch_next_victim(&self) {
+        debug_assert_eq!(self.keys.len(), self.capacity);
+        let nxt = (self.peek_rand() % self.capacity as u64) as usize;
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `nxt < capacity == keys.len() == slots.len()`; prefetch
+        // has no architectural side effects.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.slots.as_ptr().add(nxt) as *const i8, _MM_HINT_T0);
+            _mm_prefetch(self.keys.as_ptr().add(nxt) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = nxt;
     }
 
     /// Number of resident keys.
@@ -370,17 +427,21 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
             if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(i) & mask) {
                 self.table[i] = e;
                 self.table[j] = 0;
+                self.slots[slot_idx(e)] = i as u32;
                 i = j;
             }
         }
     }
 
-    /// Doubles the table when residency approaches 3/4 load, keeping
-    /// probes and shift chains short. Redistribution reuses the cached
-    /// hashes (no key is rehashed) and is a pure function of the
-    /// resident set, so determinism is unaffected.
+    /// Doubles the table when residency approaches 1/2 load, keeping
+    /// probes and shift chains short — the thrash regime (a set pinned at
+    /// capacity, every miss evicting) probes three chains per eviction,
+    /// so the extra headroom pays for itself on the LLC hot path.
+    /// Redistribution reuses the cached hashes (no key is rehashed) and
+    /// is a pure function of the resident set, so determinism is
+    /// unaffected.
     fn maybe_grow(&mut self) {
-        if (self.keys.len() + 1) * 4 < self.table.len() * 3 {
+        if (self.keys.len() + 1) * 2 < self.table.len() {
             return;
         }
         let new_len = (self.table.len() * 2).max(RANDOM_SET_MIN_TABLE);
@@ -395,6 +456,7 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
                 i = (i + 1) & mask;
             }
             self.table[i] = e;
+            self.slots[slot_idx(e)] = i as u32;
         }
     }
 
@@ -404,19 +466,24 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
     ///
     /// Returns `(hit, evicted)`.
     pub fn access(&mut self, key: K) -> (bool, Option<K>) {
-        self.maybe_grow();
         let h32 = Self::hash32(&key);
+        self.access_h(key, h32)
+    }
+
+    /// [`access`](Self::access) with the caller-supplied table hash of
+    /// `key` — the LLC fast paths hash each line once and probe both
+    /// cache domains with it.
+    #[inline]
+    pub(crate) fn access_h(&mut self, key: K, h32: u32) -> (bool, Option<K>) {
+        self.maybe_grow();
         match self.probe(&key, h32) {
             Ok(_) => (true, None),
             Err(slot) => {
                 if self.keys.len() == self.capacity {
                     let victim = (self.next_rand() % self.capacity as u64) as usize;
-                    // Erase the victim's index entry while `keys[victim]`
-                    // still holds it — probing compares key contents.
-                    let vh = Self::hash32(&self.keys[victim]);
-                    let old_slot = self
-                        .probe(&self.keys[victim], vh)
-                        .expect("evicted key was resident");
+                    // The back-pointer gives the victim's index entry
+                    // directly — no rehash, no probe of its chain.
+                    let old_slot = self.slots[victim] as usize;
                     self.erase_slot(old_slot);
                     let old = std::mem::replace(&mut self.keys[victim], key);
                     // Re-probe: the backward shift may have opened a hole
@@ -427,9 +494,12 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
                         .probe(&self.keys[victim], h32)
                         .expect_err("fresh key cannot be resident");
                     self.table[ins] = slot_entry(h32, victim);
+                    self.slots[victim] = ins as u32;
+                    self.prefetch_next_victim();
                     (false, Some(old))
                 } else {
                     self.table[slot] = slot_entry(h32, self.keys.len());
+                    self.slots.push(slot as u32);
                     self.keys.push(key);
                     (false, None)
                 }
@@ -448,10 +518,41 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
         self.probe(key, Self::hash32(key)).is_ok()
     }
 
+    /// [`contains`](Self::contains) with a caller-supplied table hash.
+    #[inline]
+    pub(crate) fn contains_h(&self, key: &K, h32: u32) -> bool {
+        self.probe(key, h32).is_ok()
+    }
+
+    /// Hints the CPU to pull the home table slot of hash `h32` into
+    /// cache. The LLC span loops probe tables far larger than the host's
+    /// L2, so each probe is otherwise a serialized cache miss; issuing
+    /// the hint a few lines ahead overlaps those misses. Purely a hint —
+    /// no observable state changes.
+    #[inline]
+    pub(crate) fn prefetch(&self, h32: u32) {
+        let i = (h32 as usize) & (self.table.len() - 1);
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `i` is masked to `table.len() - 1`, so the pointer is
+        // in bounds; _mm_prefetch has no architectural side effects.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.table.as_ptr().add(i) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = i;
+    }
+
     /// Removes `key` if resident (swap-remove); returns whether it was
     /// present.
     pub fn remove(&mut self, key: &K) -> bool {
         let h32 = Self::hash32(key);
+        self.remove_h(key, h32)
+    }
+
+    /// [`remove`](Self::remove) with a caller-supplied table hash.
+    #[inline]
+    pub(crate) fn remove_h(&mut self, key: &K, h32: u32) -> bool {
         let Ok(slot) = self.probe(key, h32) else {
             return false;
         };
@@ -459,16 +560,18 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
         self.erase_slot(slot);
         let last = self.keys.len() - 1;
         if idx != last {
-            // Find the swap-filler's index entry before mutating `keys` —
-            // probing compares key contents.
-            let mh = Self::hash32(&self.keys[last]);
-            let moved_slot = self
-                .probe(&self.keys[last], mh)
-                .expect("relocated key stays resident");
+            // The back-pointer (kept current by the backward shift in
+            // `erase_slot`) locates the swap-filler's index entry without
+            // rehashing or probing; the entry itself still carries the
+            // filler's cached hash.
+            let moved_slot = self.slots[last] as usize;
+            let e = self.table[moved_slot];
             self.keys.swap(idx, last);
-            self.table[moved_slot] = slot_entry(mh, idx);
+            self.table[moved_slot] = slot_entry(slot_hash(e), idx);
+            self.slots[idx] = moved_slot as u32;
         }
         self.keys.pop();
+        self.slots.pop();
         true
     }
 }
@@ -481,12 +584,20 @@ impl RandomSet<(crate::types::MrId, u64)> {
     pub fn access_lines(
         &mut self,
         mr: crate::types::MrId,
-        lines: impl Iterator<Item = u64>,
+        lines: impl Iterator<Item = u64> + Clone,
     ) -> (u64, u64) {
+        let prefix = fx_prefix_u32(mr.0);
         let mut hits = 0;
         let mut misses = 0;
+        // Run a prefetch iterator a few lines ahead of the probe loop so
+        // the (table-sized, cache-cold) home slots are in flight by the
+        // time the probe needs them.
+        let mut ahead = lines.clone().skip(4);
         for line in lines {
-            if self.access((mr, line)).0 {
+            if let Some(a) = ahead.next() {
+                self.prefetch(fx_line_hash32(prefix, a));
+            }
+            if self.access_h((mr, line), fx_line_hash32(prefix, line)).0 {
                 hits += 1;
             } else {
                 misses += 1;
@@ -756,6 +867,25 @@ mod tests {
             assert_eq!(bulk.rng_state, single.rng_state, "round {round}");
         }
         assert!(total.0 > 0 && total.1 > 0, "trace exercised both paths");
+    }
+
+    #[test]
+    fn split_hash_matches_whole_key_hash() {
+        use crate::types::MrId;
+        // The split prefix/line hash must reproduce the derived tuple
+        // hash bit-for-bit (MrId hashes via write_u32, the line via
+        // write_u64, both routed through the same mixer) — otherwise the
+        // fast paths would probe different chains than `access` does.
+        for mr in [0u32, 1, 7, 0xFFFF_FFFF, 0x1234_5678] {
+            let prefix = fx_prefix_u32(mr);
+            for line in [0u64, 1, 63, 64, 1 << 20, u64::MAX] {
+                assert_eq!(
+                    fx_line_hash32(prefix, line),
+                    RandomSet::<(MrId, u64)>::hash32(&(MrId(mr), line)),
+                    "mr={mr} line={line}"
+                );
+            }
+        }
     }
 
     #[test]

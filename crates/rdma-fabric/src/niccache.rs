@@ -28,6 +28,9 @@ pub struct NicAccess {
     pub qp_miss: bool,
     /// The WQE prefetch was lost with the context and had to be re-read.
     pub wqe_miss: bool,
+    /// The QP whose context was evicted to make room, if the fetch
+    /// displaced one (only possible on a miss at capacity).
+    pub evicted: Option<QpId>,
 }
 
 impl NicAccess {
@@ -66,7 +69,7 @@ impl NicCache {
     /// prefetched WQEs) for one work request. `_slot` identifies the WQE
     /// for diagnostics.
     pub fn access(&mut self, qp: QpId, _slot: u32) -> NicAccess {
-        let (qp_hit, _) = self.qp_ctx.access(qp);
+        let (qp_hit, evicted) = self.qp_ctx.access(qp);
         if qp_hit {
             self.hits += 1;
         } else {
@@ -75,6 +78,7 @@ impl NicCache {
         NicAccess {
             qp_miss: !qp_hit,
             wqe_miss: !qp_hit,
+            evicted,
         }
     }
 

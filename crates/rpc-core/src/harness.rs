@@ -15,8 +15,9 @@ use crate::metrics::RpcMetrics;
 use crate::transport::{Response, RpcTransport};
 use crate::workload::ThinkTime;
 use bytes::Bytes;
-use rdma_fabric::Upcall;
+use rdma_fabric::{NodeId, Upcall};
 use simcore::{DetRng, FifoResource, SimDuration, SimTime};
+use simtrace::{Stage, Tracer};
 
 /// Harness configuration.
 #[derive(Clone, Debug)]
@@ -66,6 +67,8 @@ pub enum HarnessEv<TEv> {
     Wake(ClientId),
     /// A client's thread got around to actually posting the batch.
     Post(ClientId),
+    /// Periodic counter-sampling tick (only scheduled while tracing).
+    Sample,
 }
 
 /// Produces the request payload for `(client, seq)`. The default
@@ -124,6 +127,11 @@ pub struct Harness<T: RpcTransport> {
     pub metrics: RpcMetrics,
     stop_at: SimTime,
     responses: Vec<Response>,
+    tracer: Tracer,
+    /// `(node, counter)` pairs sampled into the trace every
+    /// `sample_every` of virtual time.
+    sampled: Vec<(NodeId, &'static str)>,
+    sample_every: SimDuration,
 }
 
 impl<T: RpcTransport> Harness<T> {
@@ -176,7 +184,25 @@ impl<T: RpcTransport> Harness<T> {
             metrics: RpcMetrics::new(window_start, window_end),
             stop_at: window_end,
             responses: Vec::new(),
+            tracer: Tracer::disabled(),
+            sampled: Vec::new(),
+            sample_every: SimDuration::micros(50),
         }
+    }
+
+    /// Samples the named counters of `node` into the trace every `every`
+    /// of virtual time (time-series for Fig. 3/10-style plots). Only
+    /// takes effect when the fabric has an enabled tracer installed;
+    /// sampling reads counters and never perturbs the simulation.
+    pub fn sample_counters(
+        &mut self,
+        node: NodeId,
+        counters: &[&'static str],
+        every: SimDuration,
+    ) {
+        assert!(every.as_nanos() > 0, "sampling interval must be positive");
+        self.sampled.extend(counters.iter().map(|&c| (node, c)));
+        self.sample_every = every;
     }
 
     /// When the measurement window (and client posting) ends.
@@ -232,12 +258,16 @@ impl<T: RpcTransport> Logic for Harness<T> {
     type Ev = HarnessEv<T::Ev>;
 
     fn init(&mut self, cx: &mut Cx<'_, Self::Ev>) {
+        self.tracer = cx.fabric.tracer().clone();
         // Adapt the Cx event type for the transport's init.
         with_transport_cx(cx, |tcx| self.transport.init(tcx));
         // Stagger client start to avoid a thundering herd at t=0.
         for c in 0..self.clients.len() {
             let jitter = self.clients[c].rng.below(2_000);
             cx.at(SimTime(jitter), HarnessEv::Wake(c));
+        }
+        if self.tracer.is_enabled() && !self.sampled.is_empty() {
+            cx.at(SimTime::ZERO + self.sample_every, HarnessEv::Sample);
         }
     }
 
@@ -267,17 +297,39 @@ impl<T: RpcTransport> Logic for Harness<T> {
                 let batch = self.cfg.batch_size;
                 self.clients[c].batch_started = cx.now;
                 self.clients[c].inflight = batch;
+                let per_post = self.transport.client_overhead().per_post;
                 let mut out = Vec::new();
-                for _ in 0..batch {
+                for i in 0..batch {
                     let seq = self.clients[c].next_seq;
                     self.clients[c].next_seq += 1;
                     let payload = self.gen.gen(c, seq);
+                    // Allocate a trace id for this request's pipeline and
+                    // stamp it onto the fabric so the transport's posts
+                    // inherit it (0 when tracing is off — untraced).
+                    let id = self.tracer.next_id();
+                    if id != 0 {
+                        let start = cx.now + per_post * i as u64;
+                        self.tracer
+                            .span(id, Stage::ClientPost, start, start + per_post, c as u64);
+                    }
+                    cx.fabric.set_trace_ctx(id);
                     with_transport_cx(cx, |tcx| {
                         self.transport.submit(c, seq, payload, tcx, &mut out)
                     });
                 }
+                cx.fabric.set_trace_ctx(0);
                 self.responses.extend(out);
                 self.drain_responses(cx);
+            }
+            HarnessEv::Sample => {
+                for &(node, counter) in &self.sampled {
+                    if let Ok(cs) = cx.fabric.counters(node) {
+                        self.tracer.sample(counter, cx.now, cs.get(counter));
+                    }
+                }
+                if cx.now < self.stop_at {
+                    cx.at(cx.now + self.sample_every, HarnessEv::Sample);
+                }
             }
         }
     }

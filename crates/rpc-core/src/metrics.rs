@@ -135,6 +135,33 @@ mod tests {
     }
 
     #[test]
+    fn window_boundaries_are_inclusive() {
+        // Batches completing exactly at either window edge are part of
+        // the measurement — Fig. 8-style runs cut the window at slice
+        // boundaries, where completions cluster on exact timestamps.
+        let mut m = RpcMetrics::new(SimTime(1_000), SimTime(2_000));
+        m.record_batch(SimTime(1_000), 4, SimDuration(10));
+        m.record_batch(SimTime(2_000), 4, SimDuration(10));
+        m.record_batch(SimTime(999), 4, SimDuration(10));
+        m.record_batch(SimTime(2_001), 4, SimDuration(10));
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.ops, 8);
+    }
+
+    #[test]
+    fn zero_duration_batches_record_cleanly() {
+        // A zero-latency batch (post and last response at the same
+        // virtual instant) is a legal sample, not a dropped one.
+        let mut m = RpcMetrics::new(SimTime::ZERO, SimTime(1_000));
+        m.record_batch(SimTime(500), 8, SimDuration::ZERO);
+        m.record_batch(SimTime(500), 8, SimDuration(2_000));
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.median_us(), 0.0);
+        assert_eq!(m.max_us(), 2.0);
+        assert_eq!(m.batch_latency.min(), 0);
+    }
+
+    #[test]
     fn empty_metrics_are_zero() {
         let m = RpcMetrics::new(SimTime::ZERO, SimTime::ZERO);
         assert_eq!(m.mops(), 0.0);

@@ -36,6 +36,7 @@ use rpc_core::message::{MsgBuf, RpcHeader, FLAG_CTX_SWITCH, FLAG_LEGACY, HEADER}
 use rpc_core::transport::{ClientOverhead, Response, RpcTransport, ServerHandler};
 use rpc_core::workers::WorkerPool;
 use simcore::{FifoResource, SimDuration};
+use simtrace::{InstantKind, Stage, TraceId, Tracer};
 use std::collections::HashMap;
 
 use crate::client::{ClientFsm, SubmitAction};
@@ -147,6 +148,12 @@ pub struct ScaleRpc<H: ServerHandler> {
     overhead: ClientOverhead,
     post_cpu: SimDuration,
     pool_check: SimDuration,
+    tracer: Tracer,
+    /// Trace ids of in-flight requests, keyed `(client, seq)`. Pure
+    /// observability metadata (like zone assignments, state a real
+    /// deployment would carry in its headers); never read by the
+    /// protocol. Populated only while tracing is enabled.
+    trace_ids: HashMap<(ClientId, u64), TraceId>,
     /// Explicit context notifications posted (observability).
     pub ctx_notifies: u64,
     /// Warmup RDMA reads posted (observability).
@@ -243,6 +250,8 @@ impl<H: ServerHandler> ScaleRpc<H> {
             },
             post_cpu: p.post_cpu,
             pool_check: p.pool_check_cpu,
+            tracer: fabric.tracer().clone(),
+            trace_ids: HashMap::new(),
             ctx_notifies: 0,
             warmup_fetches: 0,
             legacy_requests: 0,
@@ -414,6 +423,12 @@ impl<H: ServerHandler> ScaleRpc<H> {
             )
             .expect("warmup read");
         self.warmup_fetches += 1;
+        self.tracer.instant(
+            InstantKind::WarmupFetchIssue,
+            cx.now,
+            client as u64,
+            self.slice_epoch,
+        );
         self.pending_reads
             .insert(info.wr_id, (client, pool_idx, zone, self.slice_epoch));
     }
@@ -511,8 +526,13 @@ impl<H: ServerHandler> ScaleRpc<H> {
         // legacy mode. Explicitly flagged requests go there directly.
         let slice_half = SimDuration::nanos(self.cfg.time_slice.as_nanos() / 2);
         let is_legacy = header.is_legacy() || self.legacy_types.contains(&header.call_type);
-        if handler_cost > slice_half {
-            self.legacy_types.insert(header.call_type);
+        if handler_cost > slice_half && self.legacy_types.insert(header.call_type) {
+            self.tracer.instant(
+                InstantKind::LegacyDemotion,
+                cx.now,
+                header.call_type as u64,
+                handler_cost.as_nanos(),
+            );
         }
         let done = if is_legacy {
             self.legacy_requests += 1;
@@ -521,6 +541,11 @@ impl<H: ServerHandler> ScaleRpc<H> {
             let w = self.workers.owner_of(zone);
             self.workers.run(w, cx.now, service)
         };
+        if let Some(&tid) = self.trace_ids.get(&(client, header.seq)) {
+            // Includes queueing behind the zone's worker, so slice-wait
+            // shows up in the stage breakdown.
+            self.tracer.span(tid, Stage::Handler, cx.now, done, client as u64);
+        }
         cx.at(
             done,
             ScaleEv::SendResponse {
@@ -593,6 +618,12 @@ impl<H: ServerHandler> ScaleRpc<H> {
     // ---- server side: context switch ----------------------------------------
 
     fn context_switch(&mut self, cx: &mut Cx<'_, ScaleEv>) {
+        self.tracer.instant(
+            InstantKind::SliceEnd,
+            cx.now,
+            self.cur as u64,
+            self.slice_epoch,
+        );
         let outgoing = self.plan.groups[self.cur].clone();
         // Collect slice statistics and arrange notifications.
         for c in outgoing {
@@ -616,9 +647,38 @@ impl<H: ServerHandler> ScaleRpc<H> {
         if self.cur == 0 {
             self.rotations += 1;
             if self.scheduler.dynamic && self.rotations.is_multiple_of(self.cfg.regroup_rotations) {
+                let before = self.plan.groups.len();
                 self.plan = self.scheduler.replan(&self.stats_last);
+                let after = self.plan.groups.len();
+                if after > before {
+                    self.tracer.instant(
+                        InstantKind::GroupSplit,
+                        cx.now,
+                        before as u64,
+                        after as u64,
+                    );
+                } else if after < before {
+                    self.tracer.instant(
+                        InstantKind::GroupMerge,
+                        cx.now,
+                        before as u64,
+                        after as u64,
+                    );
+                }
             }
         }
+        self.tracer.instant(
+            InstantKind::GroupSwitch,
+            cx.now,
+            self.cur as u64,
+            self.rotations as u64,
+        );
+        self.tracer.instant(
+            InstantKind::SliceStart,
+            cx.now,
+            self.cur as u64,
+            self.slice_epoch,
+        );
         // Process whatever warmup fetched into the new pool. All zones
         // are scanned (not just the incoming group's): a regroup may have
         // shifted zone assignments after a fetch was posted, and the
@@ -699,6 +759,9 @@ impl<H: ServerHandler> ScaleRpc<H> {
             return;
         }
         self.clients[client].fsm.on_response(header.is_ctx_switch());
+        if let Some(tid) = self.trace_ids.remove(&(client, header.seq)) {
+            self.tracer.end(tid, Stage::Response, cx.now);
+        }
         // Clear the staging copy of this request so a later warmup read
         // cannot re-fetch it.
         let stage_block = self.staging_off(self.geom.slot_of_seq(header.seq));
@@ -735,6 +798,8 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
         // Multi-server deployments align (or deliberately stagger) their
         // schedules through the configured offset.
         let slice = self.plan.slices[0] + self.cfg.first_slice_offset;
+        self.tracer
+            .instant(InstantKind::SliceStart, cx.now, self.cur as u64, 0);
         cx.after(slice, ScaleEv::SliceEnd { epoch: 0 });
     }
 
@@ -789,11 +854,17 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                     return;
                 }
                 // A warmup fetch completed.
-                let Some((_client, pool_idx, zone, posted_epoch)) =
+                let Some((client, pool_idx, zone, posted_epoch)) =
                     self.pending_reads.remove(&wc.wr_id)
                 else {
                     return;
                 };
+                self.tracer.instant(
+                    InstantKind::WarmupFetchDone,
+                    cx.now,
+                    client as u64,
+                    posted_epoch,
+                );
                 if pool_idx == self.pool_pair.processing() {
                     // In-slice fetch for the serving group: execute now.
                     self.scan_zone(pool_idx, zone, cx);
@@ -849,6 +920,11 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                     self.clients[client].local_mr,
                     self.resp_off(slot) + enc_off,
                 );
+                if let Some(&tid) = self.trace_ids.get(&(client, seq)) {
+                    // Closed when the write lands at the client.
+                    self.tracer.begin(tid, Stage::Response, cx.now, client as u64);
+                    cx.fabric.set_trace_ctx(tid);
+                }
                 cx.post(
                     self.clients[client].server_qp,
                     WorkRequest::Write {
@@ -872,6 +948,10 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
         cx: &mut Cx<'_, ScaleEv>,
         _out: &mut Vec<Response>,
     ) {
+        let tid = cx.fabric.trace_ctx();
+        if tid != 0 {
+            self.trace_ids.insert((client, seq), tid);
+        }
         match self.clients[client].fsm.on_submit() {
             SubmitAction::DirectWrite => self.direct_write(client, seq, &payload, cx),
             SubmitAction::StageAndPublish => {

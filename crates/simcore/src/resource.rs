@@ -117,9 +117,28 @@ impl FifoResource {
 
 /// `k` identical servers fed from one queue (models a multi-engine NIC or
 /// a pool of CPU cores). Work is placed on the earliest-free server.
+///
+/// Selection is indexed rather than scanned: a sorted set of idle server
+/// indices plus a min-heap of `(busy_until, index)` entries make each
+/// acquire `O(log k)`, so wide pools (many-core machines) stop paying a
+/// per-acquire walk over every server. Grants are identical to the
+/// original linear scan — the property tests below pin that equivalence.
 #[derive(Clone, Debug)]
 pub struct MultiResource {
     servers: Vec<FifoResource>,
+    /// Servers idle at the arrival watermark, by index. `BTreeSet` so
+    /// the lowest-indexed idle server is `O(log k)` away (the scan's
+    /// tie-break rule).
+    idle: std::collections::BTreeSet<usize>,
+    /// Busy servers as `(busy_until, index)` min-heap entries. Entries
+    /// are invalidated lazily: one whose time no longer matches the
+    /// server's current `busy_until` was superseded by a later acquire
+    /// and is discarded when it surfaces.
+    busy: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>>,
+    /// Highest arrival time seen; the index is only valid for
+    /// nondecreasing arrivals, so older arrivals take an exact
+    /// slow path.
+    watermark: SimTime,
 }
 
 impl MultiResource {
@@ -132,32 +151,73 @@ impl MultiResource {
         assert!(k > 0, "MultiResource needs at least one server");
         MultiResource {
             servers: vec![FifoResource::new(); k],
+            idle: (0..k).collect(),
+            busy: std::collections::BinaryHeap::new(),
+            watermark: SimTime(0),
         }
     }
 
     /// Schedules work on the lowest-indexed server able to start at
-    /// `at`, or the earliest-free server when all are busy. Selection is
-    /// deterministic, and with nondecreasing arrival times the grants
-    /// are identical to a strict earliest-free scan (idle servers are
-    /// interchangeable) without walking the whole pool.
+    /// `at`, or the earliest-free server when all are busy (ties to the
+    /// lowest index). Selection is deterministic and matches a strict
+    /// earliest-free scan without walking the pool.
     pub fn acquire(&mut self, at: SimTime, service: SimDuration) -> Grant {
-        let mut idx = 0;
-        let mut best = self.servers[0].busy_until();
-        // Stop scanning at the first idle-at-arrival server: it starts
-        // work immediately, and no later server can start any earlier.
-        if best > at {
-            for (i, s) in self.servers.iter().enumerate().skip(1) {
-                let b = s.busy_until();
-                if b < best {
-                    idx = i;
-                    best = b;
-                    if b <= at {
-                        break;
+        let idx = if at >= self.watermark {
+            self.watermark = at;
+            // Promote every server that has gone idle by `at`.
+            while let Some(&std::cmp::Reverse((t, i))) = self.busy.peek() {
+                if self.servers[i].busy_until() != t {
+                    self.busy.pop();
+                    continue;
+                }
+                if t > at {
+                    break;
+                }
+                self.busy.pop();
+                self.idle.insert(i);
+            }
+            match self.idle.first() {
+                // Lowest-indexed idle server: starts immediately, and no
+                // other server can start earlier.
+                Some(&i) => i,
+                // All busy: earliest `busy_until`, lowest index on ties —
+                // exactly the heap order once stale entries are skipped.
+                None => loop {
+                    let std::cmp::Reverse((t, i)) = self
+                        .busy
+                        .pop()
+                        .expect("every non-idle server has a live heap entry");
+                    if self.servers[i].busy_until() == t {
+                        break i;
+                    }
+                },
+            }
+        } else {
+            // Arrival before the watermark: the idle set may contain
+            // servers that were idle *then* but not at `at`, so fall back
+            // to the original scan (bit-exact selection), then resync the
+            // index below like any other pick.
+            let mut idx = 0;
+            let mut best = self.servers[0].busy_until();
+            if best > at {
+                for (i, s) in self.servers.iter().enumerate().skip(1) {
+                    let b = s.busy_until();
+                    if b < best {
+                        idx = i;
+                        best = b;
+                        if b <= at {
+                            break;
+                        }
                     }
                 }
             }
-        }
-        self.servers[idx].acquire(at, service)
+            idx
+        };
+        self.idle.remove(&idx);
+        let grant = self.servers[idx].acquire(at, service);
+        self.busy
+            .push(std::cmp::Reverse((self.servers[idx].busy_until(), idx)));
+        grant
     }
 
     /// Number of servers in the pool.
@@ -246,5 +306,85 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_width_pool_rejected() {
         let _ = MultiResource::new(0);
+    }
+
+    /// The pre-index `MultiResource`: a linear scan stopping at the first
+    /// idle-at-arrival server, kept verbatim as the reference model the
+    /// indexed implementation must match grant-for-grant.
+    struct RefMultiResource {
+        servers: Vec<FifoResource>,
+    }
+
+    impl RefMultiResource {
+        fn new(k: usize) -> Self {
+            RefMultiResource {
+                servers: vec![FifoResource::new(); k],
+            }
+        }
+
+        fn acquire(&mut self, at: SimTime, service: SimDuration) -> Grant {
+            let mut idx = 0;
+            let mut best = self.servers[0].busy_until();
+            if best > at {
+                for (i, s) in self.servers.iter().enumerate().skip(1) {
+                    let b = s.busy_until();
+                    if b < best {
+                        idx = i;
+                        best = b;
+                        if b <= at {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.servers[idx].acquire(at, service)
+        }
+    }
+
+    proptest::proptest! {
+        /// Indexed acquire must be bit-identical to the linear scan:
+        /// same grants, same per-server schedules — on arbitrary
+        /// arrival sequences, including non-monotonic ones (the index
+        /// takes its exact-scan slow path there).
+        #[test]
+        fn indexed_acquire_matches_linear_scan(
+            width in 1usize..12,
+            jobs in proptest::collection::vec((0u64..2000, 0u64..300), 0..200),
+        ) {
+            let mut fast = MultiResource::new(width);
+            let mut slow = RefMultiResource::new(width);
+            for (at, service) in jobs {
+                let (at, service) = (SimTime(at), SimDuration(service));
+                proptest::prop_assert_eq!(
+                    fast.acquire(at, service),
+                    slow.acquire(at, service)
+                );
+            }
+            for (f, s) in fast.servers.iter().zip(&slow.servers) {
+                proptest::prop_assert_eq!(f.busy_until(), s.busy_until());
+                proptest::prop_assert_eq!(f.busy_time(), s.busy_time());
+                proptest::prop_assert_eq!(f.jobs(), s.jobs());
+            }
+        }
+
+        /// Monotonic-arrival traces (the simulator's actual usage) stay
+        /// entirely on the indexed fast path and must match too.
+        #[test]
+        fn indexed_acquire_matches_scan_on_monotonic_arrivals(
+            width in 1usize..12,
+            jobs in proptest::collection::vec((0u64..100, 0u64..300), 0..200),
+        ) {
+            let mut fast = MultiResource::new(width);
+            let mut slow = RefMultiResource::new(width);
+            let mut now = 0u64;
+            for (dt, service) in jobs {
+                now += dt;
+                let (at, service) = (SimTime(now), SimDuration(service));
+                proptest::prop_assert_eq!(
+                    fast.acquire(at, service),
+                    slow.acquire(at, service)
+                );
+            }
+        }
     }
 }

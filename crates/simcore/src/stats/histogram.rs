@@ -68,7 +68,12 @@ fn bucket_upper_edge(index: usize) -> u64 {
     } else {
         let octave = (index - SUB_BUCKETS / 2) / (SUB_BUCKETS / 2);
         let sub = index - octave * (SUB_BUCKETS / 2);
-        ((sub + 1) << octave) - 1
+        // The topmost bucket's edge is `2^64 - 1`: computing it as
+        // `(sub + 1) << octave` first would wrap to zero and make the
+        // trailing `- 1` underflow (a debug-build panic for any sample
+        // in the top octave), so wrap explicitly — the wrapped result
+        // is exactly `u64::MAX`.
+        ((sub + 1) << octave).wrapping_sub(1)
     }
 }
 
@@ -281,6 +286,47 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), 10);
         assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn top_octave_samples_do_not_overflow_edges() {
+        // The top bucket's upper edge is 2^64 - 1; the edge math used to
+        // underflow there and panic in debug builds.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1 << 63);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert!(h.quantile(0.01) >= 1 << 63);
+        let cdf = h.cdf();
+        assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_valued_samples_are_first_class() {
+        // Zero-duration spans (a stage that begins and completes at the
+        // same virtual instant) must record and rank like any sample.
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(100);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.quantile(1.0), 100);
+        assert!((h.mean() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_samples_quantile_exactly() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(777);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q={q}");
+        }
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl Throughput {
     /// Records `n` completed operations at time `at`.
     pub fn record_many(&mut self, at: SimTime, n: u64) {
         self.ops += n;
-        self.first.get_or_insert(at);
+        // Track the true extremes: completions can be recorded out of
+        // time order (per-client batches drain independently), so the
+        // first call is not necessarily the earliest sample.
+        self.first = Some(self.first.map_or(at, |f| f.min(at)));
         self.last = self.last.max(at);
         let w = (at.as_nanos() / self.window.as_nanos()) as usize;
         if w >= self.windows.len() {
@@ -134,6 +137,38 @@ mod tests {
         }
         let steady = t.steady_ops_per_sec();
         assert!((steady - 1e6).abs() / 1e6 < 0.01, "steady={steady}");
+    }
+
+    #[test]
+    fn out_of_order_records_track_true_first_sample() {
+        // Per-client batches drain independently, so completions can be
+        // recorded out of time order; `first` must be the earliest
+        // sample, not the first call.
+        let mut t = Throughput::new(SimDuration::millis(1));
+        for i in 0..=1000u64 {
+            t.record(SimTime(1_000_000 + i * 1_000));
+        }
+        // A straggler recorded late but timestamped earliest widens the
+        // steady window to 2 ms for 1002 ops.
+        t.record(SimTime::ZERO);
+        let steady = t.steady_ops_per_sec();
+        let expected = 1001.0 / 2e-3;
+        assert!(
+            (steady - expected).abs() / expected < 0.01,
+            "steady={steady} expected={expected}"
+        );
+    }
+
+    #[test]
+    fn identical_timestamps_have_no_steady_rate() {
+        // Samples all at one virtual instant span a zero-length window:
+        // the steady rate is undefined and must report 0, not NaN/inf.
+        let mut t = Throughput::new(SimDuration::millis(1));
+        for _ in 0..100 {
+            t.record(SimTime(5_000));
+        }
+        assert_eq!(t.total_ops(), 100);
+        assert_eq!(t.steady_ops_per_sec(), 0.0);
     }
 
     #[test]

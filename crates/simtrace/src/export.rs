@@ -1,0 +1,201 @@
+//! Trace exporters: Chrome `trace_event` JSON and compact CSV.
+//!
+//! The JSON exporter emits the legacy Chrome trace format (an object
+//! with a `traceEvents` array) that both `chrome://tracing` and
+//! Perfetto load directly:
+//!
+//! - spans become `"X"` (complete) events, one track per pipeline stage
+//!   (`pid` = stage index, `tid` = client), with `ts`/`dur` in
+//!   microseconds and the trace id in `args`;
+//! - instant events become `"i"` events on a dedicated scheduler track;
+//! - counter samples become `"C"` events, which the viewers render as a
+//!   stacked time-series.
+//!
+//! Everything is hand-serialized: names are `&'static str` identifiers
+//! and all other fields are numbers, so no string escaping is needed.
+
+use crate::{Stage, TraceLog};
+use std::fmt::Write as _;
+
+/// Process id used for the scheduler/fabric instant-event track.
+const SCHED_PID: usize = Stage::ALL.len();
+/// Process id used for counter time-series tracks.
+const COUNTER_PID: usize = Stage::ALL.len() + 1;
+
+fn micros(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Serializes a trace into Chrome `trace_event` JSON.
+pub fn chrome_trace_json(log: &TraceLog) -> String {
+    // ~120 bytes per event is a comfortable overestimate.
+    let n = log.spans.len() + log.instants.len() + log.samples.len();
+    let mut out = String::with_capacity(64 + 160 * n);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+    for (pid, stage) in Stage::ALL.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+            stage.name()
+        );
+    }
+    sep(&mut out);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{SCHED_PID},\"args\":{{\"name\":\"scheduler\"}}}}"
+    );
+    sep(&mut out);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{COUNTER_PID},\"args\":{{\"name\":\"counters\"}}}}"
+    );
+    for s in &log.spans {
+        sep(&mut out);
+        let pid = Stage::ALL.iter().position(|&g| g == s.stage).unwrap_or(0);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"trace_id\":{}}}}}",
+            s.stage.name(),
+            pid,
+            s.client,
+            micros(s.start.as_nanos()),
+            micros(s.duration().as_nanos()),
+            s.id,
+        );
+    }
+    for i in &log.instants {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"i\",\"s\":\"p\",\"name\":\"{}\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+            i.kind.name(),
+            SCHED_PID,
+            micros(i.at.as_nanos()),
+            i.a,
+            i.b,
+        );
+    }
+    for c in &log.samples {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"value\":{}}}}}",
+            c.counter,
+            COUNTER_PID,
+            micros(c.at.as_nanos()),
+            c.value,
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serializes a trace into compact CSV, one record per line:
+///
+/// ```text
+/// record,name,start_ns,end_or_value,id_or_a,client_or_b
+/// span,handler,12000,15000,7,3
+/// instant,slice_end,20000,,1,4
+/// sample,PCIeItoM,30000,4898,,
+/// ```
+pub fn csv(log: &TraceLog) -> String {
+    let mut out = String::new();
+    out.push_str("record,name,start_ns,end_or_value,id_or_a,client_or_b\n");
+    for s in &log.spans {
+        let _ = writeln!(
+            out,
+            "span,{},{},{},{},{}",
+            s.stage.name(),
+            s.start.as_nanos(),
+            s.end.as_nanos(),
+            s.id,
+            s.client
+        );
+    }
+    for i in &log.instants {
+        let _ = writeln!(
+            out,
+            "instant,{},{},,{},{}",
+            i.kind.name(),
+            i.at.as_nanos(),
+            i.a,
+            i.b
+        );
+    }
+    for c in &log.samples {
+        let _ = writeln!(out, "sample,{},{},{},,", c.counter, c.at.as_nanos(), c.value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instant, InstantKind, Sample, Span};
+    use simcore::SimTime;
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::default();
+        log.spans.push(Span {
+            id: 1,
+            stage: Stage::Handler,
+            start: SimTime(12_000),
+            end: SimTime(15_000),
+            client: 3,
+        });
+        log.instants.push(Instant {
+            kind: InstantKind::SliceEnd,
+            at: SimTime(20_000),
+            a: 1,
+            b: 4,
+        });
+        log.samples.push(Sample {
+            counter: "PCIeItoM",
+            at: SimTime(30_000),
+            value: 4_898,
+        });
+        log
+    }
+
+    #[test]
+    fn chrome_json_contains_all_record_kinds() {
+        let json = chrome_trace_json(&sample_log());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"handler\""));
+        assert!(json.contains("\"name\":\"slice_end\""));
+        assert!(json.contains("\"name\":\"PCIeItoM\""));
+        // ts/dur are microseconds.
+        assert!(json.contains("\"ts\":12,\"dur\":3"));
+    }
+
+    #[test]
+    fn chrome_json_of_empty_log_is_valid_shape() {
+        let json = chrome_trace_json(&TraceLog::default());
+        // Metadata events only; array still well-formed.
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(!json.contains(",\n,"));
+    }
+
+    #[test]
+    fn csv_round_trips_fields() {
+        let text = csv(&sample_log());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "span,handler,12000,15000,1,3");
+        assert_eq!(lines[2], "instant,slice_end,20000,,1,4");
+        assert_eq!(lines[3], "sample,PCIeItoM,30000,4898,,");
+    }
+}

@@ -13,3 +13,4 @@ pub use rpc_core;
 pub use scalerpc;
 pub use scaletx;
 pub use simcore;
+pub use simtrace;
