@@ -11,6 +11,9 @@
 # throwaway output file so CI never overwrites the committed
 # BENCH_simperf.json baselines; full before/after measurements are taken
 # manually with `simperf --label <before|after>` on a no-trace build.
+# A separate full-window `simperf --check` run then compares total wall
+# time against the latest labeled run in BENCH_simperf.json and fails
+# the gate on a >10% regression.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,6 +37,9 @@ cargo clippy -p simtrace -p scalerpc-bench --no-default-features --all-targets -
 
 echo "== simperf smoke (no-trace build) =="
 ./target/release/simperf --quick --label ci-smoke --out target/BENCH_simperf_ci.json
+
+echo "== simperf perf gate (no-trace build, full windows) =="
+./target/release/simperf --check BENCH_simperf.json
 
 echo "== trace export smoke =="
 # fig_timeline validates its own output (re-parses the JSON, checks all

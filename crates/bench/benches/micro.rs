@@ -6,7 +6,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rdma_fabric::llc::LlcModel;
-use rdma_fabric::lru::{LruSet, RandomSet};
+use rdma_fabric::lru::{line_span_hashes, span_select, LruSet, RandomSet, SPAN_CHUNK};
 use rdma_fabric::MrId;
 use rpc_core::message::{MsgBuf, RpcHeader};
 use simcore::stats::Histogram;
@@ -92,6 +92,37 @@ fn bench_caches(c: &mut Criterion) {
         b.iter(|| {
             off = (off + 8192) % (64 << 20);
             black_box(llc.cpu_access(MrId(0), off, 8192))
+        })
+    });
+    c.bench_function("random_set_span_access_128", |b| {
+        // The raw bulk API under Fig. 3(b) pressure: 128-line spans over
+        // a working set 8× the set's capacity, so nearly every span is
+        // all-miss and the batched eviction-RNG refill runs at full
+        // width.
+        let mut set: RandomSet<(MrId, u64)> = RandomSet::new(4096);
+        let mut hashes = [0u32; SPAN_CHUNK];
+        let select = span_select(SPAN_CHUNK);
+        let mut base = 0u64;
+        b.iter(|| {
+            base = (base + SPAN_CHUNK as u64) % (8 * 4096);
+            line_span_hashes(MrId(0), base, &mut hashes);
+            black_box(set.span_access(MrId(0), base, &hashes, select))
+        })
+    });
+    c.bench_function("random_set_span_residency_128", |b| {
+        // Probe-only half of the bulk API on a warm set: measures the
+        // software-pipelined probe loop without insert/evict work.
+        let mut set: RandomSet<(MrId, u64)> = RandomSet::new(4096);
+        for line in 0..4096u64 {
+            set.access((MrId(0), line));
+        }
+        let mut hashes = [0u32; SPAN_CHUNK];
+        let select = span_select(SPAN_CHUNK);
+        let mut base = 0u64;
+        b.iter(|| {
+            base = (base + SPAN_CHUNK as u64) % 4096;
+            line_span_hashes(MrId(0), base, &mut hashes);
+            black_box(set.span_residency(MrId(0), base, &hashes, select))
         })
     });
 }

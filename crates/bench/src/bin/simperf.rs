@@ -3,30 +3,45 @@
 //!
 //! ```text
 //! simperf [--label NAME] [--out PATH] [--quick]
+//! simperf --check PATH
 //! ```
 //!
 //! `--label before` / `--label after` populate the two slots the repo's
 //! committed `BENCH_simperf.json` compares; any other label just records
 //! a run. `--quick` shrinks the simulated windows for CI smoke tests.
+//!
+//! `--check PATH` is the CI regression gate: it runs the full workload
+//! set, compares total wall time against the *latest* labeled run in
+//! `PATH`, and exits non-zero when more than 10 % slower. Nothing is
+//! written.
 
-use scalerpc_bench::simperf::{merge_report, run_all, run_to_json};
+use scalerpc_bench::simperf::{
+    check_against, merge_report, run_all, run_to_json, CHECK_TOLERANCE,
+};
 
 fn main() {
     let mut label = "run".to_string();
     let mut out = "BENCH_simperf.json".to_string();
     let mut quick = false;
+    let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
             "--quick" => quick = true,
+            "--check" => check = Some(args.next().expect("--check needs a baseline path")),
             "--help" | "-h" => {
-                println!("usage: simperf [--label NAME] [--out PATH] [--quick]");
+                println!("usage: simperf [--label NAME] [--out PATH] [--quick] [--check BASELINE]");
                 return;
             }
             other => panic!("unknown argument {other:?}"),
         }
+    }
+    if check.is_some() && quick {
+        // Quick windows do ~10x less work; comparing them against a
+        // full-window baseline would mask any regression.
+        panic!("--check runs the full workload set; drop --quick");
     }
 
     eprintln!("simperf: running fixed workload set ({})...", if quick { "quick" } else { "full" });
@@ -40,6 +55,24 @@ fn main() {
             r.events_per_sec(),
             r.ops
         );
+    }
+
+    if let Some(baseline) = check {
+        let text = std::fs::read_to_string(&baseline)
+            .unwrap_or_else(|e| panic!("read baseline {baseline:?}: {e}"));
+        match check_against(&text, &results, CHECK_TOLERANCE) {
+            Ok(rep) => {
+                eprintln!("{}", rep.verdict());
+                if rep.regressed {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("simperf --check: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
     }
 
     let existing = std::fs::read_to_string(&out).ok();

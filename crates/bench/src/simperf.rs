@@ -145,6 +145,94 @@ fn round2(v: f64) -> f64 {
     (v * 100.0).round() / 100.0
 }
 
+/// Max tolerated total-wall growth over the baseline before `--check`
+/// fails (10 %).
+pub const CHECK_TOLERANCE: f64 = 0.10;
+
+/// Outcome of a `--check` comparison against the latest labeled run.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Label of the baseline run compared against.
+    pub baseline_label: String,
+    /// Baseline total wall-clock milliseconds.
+    pub baseline_wall_ms: f64,
+    /// Current total wall-clock milliseconds.
+    pub current_wall_ms: f64,
+    /// Baseline total simulator events (determinism witness).
+    pub baseline_events: Option<u64>,
+    /// Current total simulator events.
+    pub current_events: u64,
+    /// `current / baseline` wall ratio.
+    pub ratio: f64,
+    /// True when the ratio exceeds `1 + tolerance`.
+    pub regressed: bool,
+}
+
+impl CheckReport {
+    /// Human-readable one-line verdict.
+    pub fn verdict(&self) -> String {
+        let drift = if self.baseline_events.is_some_and(|b| b != self.current_events) {
+            " [events drifted vs baseline — workload changed, wall comparison is approximate]"
+        } else {
+            ""
+        };
+        format!(
+            "simperf --check: {:.1} ms vs {:.1} ms ({} @ {:.2}x){}{}",
+            self.current_wall_ms,
+            self.baseline_wall_ms,
+            self.baseline_label,
+            self.ratio,
+            if self.regressed { " REGRESSED" } else { " ok" },
+            drift,
+        )
+    }
+}
+
+/// The last run merged into the report — labels append in insertion
+/// order, so the final entry is the most recent baseline.
+fn latest_labeled_run(doc: &Json) -> Option<(&str, &Json)> {
+    match doc.get("runs")? {
+        Json::Obj(runs) => runs.last().map(|(k, v)| (k.as_str(), v)),
+        _ => None,
+    }
+}
+
+/// Compares measured `results` against the latest labeled run in the
+/// report text. Errors when the report is unparsable or has no runs;
+/// the caller turns `regressed` into a non-zero exit for CI.
+pub fn check_against(
+    existing: &str,
+    results: &[WorkloadResult],
+    tolerance: f64,
+) -> Result<CheckReport, String> {
+    let doc = Json::parse(existing).map_err(|e| format!("unparsable baseline report: {e}"))?;
+    let (label, run) =
+        latest_labeled_run(&doc).ok_or("baseline report has no labeled runs to compare against")?;
+    let baseline_wall_ms = run
+        .get("total_wall_ms")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("run {label:?} lacks total_wall_ms"))?;
+    if baseline_wall_ms <= 0.0 {
+        return Err(format!("run {label:?} has non-positive total_wall_ms"));
+    }
+    let baseline_events = run
+        .get("total_events")
+        .and_then(Json::as_f64)
+        .map(|e| e as u64);
+    let current_wall_ms: f64 = results.iter().map(|r| r.wall_ms).sum();
+    let current_events: u64 = results.iter().map(|r| r.events).sum();
+    let ratio = current_wall_ms / baseline_wall_ms;
+    Ok(CheckReport {
+        baseline_label: label.to_string(),
+        baseline_wall_ms,
+        current_wall_ms,
+        baseline_events,
+        current_events,
+        ratio: round2(ratio),
+        regressed: ratio > 1.0 + tolerance,
+    })
+}
+
 /// Merges a labelled run into the report document (parsed from the
 /// existing file when present) and recomputes the before/after speedup.
 pub fn merge_report(existing: Option<&str>, label: &str, run: Json) -> Json {
@@ -213,6 +301,52 @@ mod tests {
             doc3.get("speedup_wall_clock").and_then(Json::as_f64),
             Some(2.0)
         );
+    }
+
+    fn fake_results(wall: f64) -> Vec<WorkloadResult> {
+        vec![WorkloadResult {
+            name: "w",
+            wall_ms: wall,
+            events: 1000,
+            ops: 10,
+        }]
+    }
+
+    #[test]
+    fn check_compares_against_latest_labeled_run() {
+        // Two labels merged in order: the check must pick the second.
+        let doc = merge_report(None, "before", fake(200.0));
+        let doc = merge_report(Some(&doc.pretty()), "pr2-trace-off", fake(100.0));
+        let text = doc.pretty();
+
+        let ok = check_against(&text, &fake_results(105.0), CHECK_TOLERANCE).unwrap();
+        assert_eq!(ok.baseline_label, "pr2-trace-off");
+        assert_eq!(ok.baseline_wall_ms, 100.0);
+        assert!(!ok.regressed, "{}", ok.verdict());
+
+        let bad = check_against(&text, &fake_results(120.0), CHECK_TOLERANCE).unwrap();
+        assert!(bad.regressed, "{}", bad.verdict());
+        assert!(bad.verdict().contains("REGRESSED"));
+
+        // Right at the threshold: 10 % over is still allowed.
+        let edge = check_against(&text, &fake_results(110.0), CHECK_TOLERANCE).unwrap();
+        assert!(!edge.regressed);
+    }
+
+    #[test]
+    fn check_flags_event_drift() {
+        let doc = merge_report(None, "base", fake(100.0));
+        let mut results = fake_results(100.0);
+        results[0].events = 999; // baseline recorded 1000
+        let rep = check_against(&doc.pretty(), &results, CHECK_TOLERANCE).unwrap();
+        assert!(rep.verdict().contains("events drifted"));
+    }
+
+    #[test]
+    fn check_rejects_empty_or_broken_baselines() {
+        assert!(check_against("not json", &fake_results(1.0), CHECK_TOLERANCE).is_err());
+        let empty = Json::Obj(vec![("runs".into(), Json::Obj(vec![]))]);
+        assert!(check_against(&empty.pretty(), &fake_results(1.0), CHECK_TOLERANCE).is_err());
     }
 
     #[test]

@@ -810,6 +810,7 @@ impl Fabric {
                         node.counters.add("ItoM", dma.full_lines);
                         node.counters.add("RFO", dma.partial_lines);
                         node.counters.add("PCIeItoM", dma.allocated);
+                        node.counters.add("DdioAllocBursts", dma.alloc_runs);
                         node.counters.inc("RxMsgs");
                         let occ = self.params.nic_rx_base
                             + self.params.ddio_cost(dma.allocated);
@@ -918,6 +919,7 @@ impl Fabric {
                 node.counters.add("ItoM", dma.full_lines);
                 node.counters.add("RFO", dma.partial_lines);
                 node.counters.add("PCIeItoM", dma.allocated);
+                node.counters.add("DdioAllocBursts", dma.alloc_runs);
                 node.counters.add("DmaHitMain", dma.hit_main);
                 node.counters.add("DmaHitDdio", dma.hit_ddio);
                 node.counters.inc("RxMsgs");
@@ -1070,6 +1072,7 @@ impl Fabric {
                 node.counters.add("ItoM", dma.full_lines);
                 node.counters.add("RFO", dma.partial_lines);
                 node.counters.add("PCIeItoM", dma.allocated);
+                node.counters.add("DdioAllocBursts", dma.alloc_runs);
                 let occ =
                     self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
                 let grant = node.rx.acquire(now, occ);

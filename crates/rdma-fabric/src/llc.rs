@@ -17,7 +17,9 @@
 //! associative strict-LRU model would hold such marginal working sets
 //! perfectly and miss the effect entirely.
 
-use crate::lru::{fx_line_hash32, fx_prefix_u32, RandomSet};
+use crate::lru::{
+    fx_line_hash32, fx_prefix_u32, line_span_hashes, span_select, RandomSet, SPAN_CHUNK,
+};
 use crate::types::MrId;
 
 /// Result of a NIC DMA write through the LLC.
@@ -34,6 +36,11 @@ pub struct DmaWriteOutcome {
     pub hit_main: u64,
     /// Lines that Write-Updated in the DDIO partition.
     pub hit_ddio: u64,
+    /// Maximal runs of consecutive allocated lines within this write.
+    /// Each run is one Write-Allocate burst: the NIC's allocate/evict
+    /// machinery streams it as a unit, so burst count (not just line
+    /// count) is what the PCIe-side counters see.
+    pub alloc_runs: u64,
 }
 
 /// Result of a CPU access through the LLC.
@@ -67,7 +74,10 @@ fn line_range(offset: usize, len: usize) -> std::ops::Range<u64> {
         // Zero-length accesses touch no line (and no model state).
         return first..first;
     }
-    first..((offset + len - 1) / 64) as u64 + 1
+    // Widen before adding: `offset + len - 1` overflows `usize` for
+    // offsets near the top of the address space.
+    let last = ((offset as u128 + len as u128 - 1) / 64) as u64;
+    first..last + 1
 }
 
 impl LlcModel {
@@ -76,8 +86,16 @@ impl LlcModel {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration yields zero lines in either domain.
+    /// Panics if `ddio_fraction` is not strictly between 0 and 1, or if
+    /// the configuration yields zero lines in either domain.
     pub fn new(llc_bytes: usize, ddio_fraction: f64) -> Self {
+        // Out-of-range fractions would underflow `total - ddio` below
+        // (a silent wrap in release builds); NaN fails both comparisons
+        // and lands here too.
+        assert!(
+            ddio_fraction > 0.0 && ddio_fraction < 1.0,
+            "ddio_fraction must lie strictly between 0 and 1, got {ddio_fraction}"
+        );
         let total_lines = llc_bytes / 64;
         let ddio_lines = ((total_lines as f64) * ddio_fraction) as usize;
         let main_lines = total_lines - ddio_lines;
@@ -95,11 +113,18 @@ impl LlcModel {
 
     /// Models the NIC DMA-writing `len` bytes at `offset` in region `mr`.
     ///
-    /// A zero-length write is a no-op. The hot path does one probe of
-    /// each domain per line: a `main` hit is a pure Write Update
+    /// A zero-length write is a no-op. Short spans do one probe of each
+    /// domain per line: a `main` hit is a pure Write Update
     /// (random-replacement recency is a no-op, so no second lookup), and
     /// the DDIO hit-or-allocate decision rides on a single
-    /// contains-or-insert probe.
+    /// contains-or-insert probe. Spans past [`PREFETCH_DISTANCE`] lines
+    /// classify range-wise instead: per chunk of up to [`SPAN_CHUNK`]
+    /// lines, the whole `main` residency mask resolves first with
+    /// pipelined probes (a DMA write never mutates `main`, so batching
+    /// its probes is trivially exact), and the remaining lines take the
+    /// hit-or-allocate decision through one bulk
+    /// [`span_access`](RandomSet::span_access) — bit-exact with the
+    /// per-line walk, including the eviction-RNG stream.
     pub fn dma_write(&mut self, mr: MrId, offset: usize, len: usize) -> DmaWriteOutcome {
         let mut out = DmaWriteOutcome::default();
         let lines = line_range(offset, len);
@@ -107,43 +132,72 @@ impl LlcModel {
             return out;
         }
         // Only the first and last line can be partially covered; classify
-        // them once instead of per line.
+        // them once instead of per line (widened: `offset + len` can
+        // overflow usize).
         let count = lines.end - lines.start;
         out.full_lines = count;
         if !offset.is_multiple_of(64) {
             out.partial_lines += 1;
         }
-        let end = offset + len;
+        let end = offset as u128 + len as u128;
         if !end.is_multiple_of(64) && (count > 1 || offset.is_multiple_of(64)) {
             out.partial_lines += 1;
         }
         out.full_lines -= out.partial_lines;
-        // Every key in the span shares the region-id hash prefix: absorb
-        // it once and mix only the line number per iteration, probing
-        // both domains with the same 32-bit hash. On 8 KB spans (128
-        // lines) this halves the hash work of the loop. Both tables are
-        // far larger than the host's L2 in LLC-scale configurations, so
-        // prefetch the home slots a few lines ahead to overlap the
-        // otherwise-serialized probe misses.
-        let prefix = fx_prefix_u32(mr.0);
-        let end = lines.end;
-        for line in lines {
-            let ahead = line + PREFETCH_DISTANCE;
-            if ahead < end {
-                let ha = fx_line_hash32(prefix, ahead);
-                self.main.prefetch(ha);
-                self.ddio.prefetch(ha);
+        if count <= PREFETCH_DISTANCE {
+            // Short spans (small RPC payloads): the per-line walk with
+            // paired prefetch is already minimal; phase separation would
+            // only add mask bookkeeping. Every key in the span shares the
+            // region-id hash prefix: absorb it once and mix only the
+            // line number per iteration, probing both domains with the
+            // same 32-bit hash.
+            let prefix = fx_prefix_u32(mr.0);
+            let end = lines.end;
+            let mut prev_alloc = false;
+            for line in lines {
+                let ahead = line + PREFETCH_DISTANCE;
+                if ahead < end {
+                    let ha = fx_line_hash32(prefix, ahead);
+                    self.main.prefetch(ha);
+                    self.ddio.prefetch(ha);
+                }
+                let key = (mr, line);
+                let h32 = fx_line_hash32(prefix, line);
+                if self.main.contains_h(&key, h32) {
+                    // Write Update in place.
+                    out.hit_main += 1;
+                    prev_alloc = false;
+                } else if self.ddio.access_h(key, h32).0 {
+                    out.hit_ddio += 1;
+                    prev_alloc = false;
+                } else {
+                    // Write Allocate into the restricted partition.
+                    out.allocated += 1;
+                    out.alloc_runs += !prev_alloc as u64;
+                    prev_alloc = true;
+                }
             }
-            let key = (mr, line);
-            let h32 = fx_line_hash32(prefix, line);
-            if self.main.contains_h(&key, h32) {
-                // Write Update in place.
-                out.hit_main += 1;
-            } else if self.ddio.access_h(key, h32).0 {
-                out.hit_ddio += 1;
-            } else {
-                // Write Allocate into the restricted partition.
-                out.allocated += 1;
+        } else {
+            // Wide spans (the 8 KB inbound path of Fig. 3(b)).
+            let mut hashes = [0u32; SPAN_CHUNK];
+            let mut base = lines.start;
+            let mut prev_alloc = false;
+            while base < lines.end {
+                let n = ((lines.end - base) as usize).min(SPAN_CHUNK);
+                line_span_hashes(mr, base, &mut hashes[..n]);
+                let select = span_select(n);
+                let in_main = self.main.span_residency(mr, base, &hashes[..n], select);
+                out.hit_main += in_main.count_ones() as u64;
+                let so = self.ddio.span_access(mr, base, &hashes[..n], select & !in_main);
+                out.hit_ddio += so.hits;
+                out.allocated += so.misses;
+                // Each maximal run of consecutive allocated lines is one
+                // allocate burst; the carry stitches runs across chunk
+                // seams.
+                let run_starts = so.miss_mask & !((so.miss_mask << 1) | prev_alloc as u128);
+                out.alloc_runs += run_starts.count_ones() as u64;
+                prev_alloc = so.miss_mask >> (n - 1) & 1 == 1;
+                base += n as u64;
             }
         }
         out
@@ -154,17 +208,42 @@ impl LlcModel {
     ///
     /// A zero-length access is a no-op. Each line resolves its
     /// hit-or-allocate in one `main` probe; the DDIO promotion check only
-    /// runs on a `main` miss (and the whole run takes a bulk path while
-    /// the DDIO partition is empty).
+    /// runs on a `main` miss. The whole run takes a bulk path while the
+    /// DDIO partition is empty, and wide spans resolve `main` range-wise
+    /// per chunk (one bulk [`span_access`](RandomSet::span_access)), then
+    /// walk only the missing lines for the promotion check — `main` and
+    /// `ddio` are independent sets, so batching one domain ahead of the
+    /// other leaves both domains' state and RNG streams identical to the
+    /// interleaved per-line walk.
     pub fn cpu_access(&mut self, mr: MrId, offset: usize, len: usize) -> CpuAccessOutcome {
         let mut out = CpuAccessOutcome::default();
         let lines = line_range(offset, len);
+        let count = lines.end - lines.start;
         if self.ddio.is_empty() {
             // Nothing to promote: the access is a pure main-domain
             // streaming touch.
             let (hits, misses) = self.main.access_lines(mr, lines);
             out.hits = hits;
             out.misses = misses;
+        } else if count > PREFETCH_DISTANCE {
+            // Wide CPU touches (polling an 8 KB inbound buffer).
+            let mut hashes = [0u32; SPAN_CHUNK];
+            let mut base = lines.start;
+            while base < lines.end {
+                let n = ((lines.end - base) as usize).min(SPAN_CHUNK);
+                line_span_hashes(mr, base, &mut hashes[..n]);
+                let so = self.main.span_access(mr, base, &hashes[..n], span_select(n));
+                let mut promoted = 0u64;
+                let mut mm = so.miss_mask;
+                while mm != 0 {
+                    let i = mm.trailing_zeros() as usize;
+                    mm &= mm - 1;
+                    promoted += self.ddio.remove_h(&(mr, base + i as u64), hashes[i]) as u64;
+                }
+                out.hits += so.hits + promoted;
+                out.misses += so.misses - promoted;
+                base += n as u64;
+            }
         } else {
             let prefix = fx_prefix_u32(mr.0);
             let end = lines.end;
@@ -239,6 +318,18 @@ mod tests {
         assert_eq!(line_range(0, 0).count(), 0);
         assert_eq!(line_range(100, 0).count(), 0);
         assert_eq!(line_range(128, 256).count(), 4);
+        // Boundary cases at the top of the address space: the naive
+        // `offset + len - 1` overflows usize here.
+        assert_eq!(line_range(usize::MAX, 0).count(), 0);
+        assert_eq!(line_range(usize::MAX, 1).count(), 1);
+        assert_eq!(line_range(usize::MAX, 2).count(), 2);
+        assert_eq!(line_range(usize::MAX - 63, 64).count(), 1);
+        assert_eq!(line_range(usize::MAX - 63, 65).count(), 2);
+        // Worst case: both operands near usize::MAX (compare the bounds
+        // — the range is ~2^58 lines, far too many to iterate).
+        let r = line_range(usize::MAX - 64, usize::MAX);
+        assert_eq!(r.start, (usize::MAX as u64 - 64) / 64);
+        assert_eq!(r.end, ((usize::MAX as u128 + usize::MAX as u128 - 65) / 64) as u64 + 1);
     }
 
     #[test]
@@ -346,7 +437,48 @@ mod tests {
     #[test]
     #[should_panic(expected = "both domains")]
     fn degenerate_config_rejected() {
-        let _ = LlcModel::new(64, 0.0);
+        // One total line with an in-range fraction: the DDIO domain
+        // rounds to zero lines.
+        let _ = LlcModel::new(64, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ddio_fraction")]
+    fn zero_fraction_rejected() {
+        let _ = LlcModel::new(64 * 1024, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ddio_fraction")]
+    fn negative_fraction_rejected() {
+        // Would underflow `total - ddio` (silent wrap in release).
+        let _ = LlcModel::new(64 * 1024, -0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "ddio_fraction")]
+    fn oversized_fraction_rejected() {
+        let _ = LlcModel::new(64 * 1024, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ddio_fraction")]
+    fn nan_fraction_rejected() {
+        let _ = LlcModel::new(64 * 1024, f64::NAN);
+    }
+
+    #[test]
+    fn alloc_runs_count_contiguous_bursts() {
+        let mut llc = small_llc();
+        // Cold 4-line span: one contiguous allocate burst.
+        let o = llc.dma_write(MrId(0), 0, 256);
+        assert_eq!((o.allocated, o.alloc_runs), (4, 1));
+        // Warm middle lines split the next span into two bursts.
+        let mut llc = small_llc();
+        llc.dma_write(MrId(0), 64, 128); // lines 1..=2 now in DDIO
+        let o = llc.dma_write(MrId(0), 0, 256);
+        assert_eq!(o.hit_ddio, 2);
+        assert_eq!((o.allocated, o.alloc_runs), (2, 2));
     }
 
     /// The pre-optimization per-line logic (separate `contains` then
@@ -369,6 +501,7 @@ mod tests {
 
         fn dma_write(&mut self, mr: MrId, offset: usize, len: usize) -> DmaWriteOutcome {
             let mut out = DmaWriteOutcome::default();
+            let mut prev_alloc = false;
             for line in line_range(offset, len) {
                 let line_start = line as usize * 64;
                 let covered = (offset + len).min(line_start + 64) - offset.max(line_start);
@@ -381,12 +514,16 @@ mod tests {
                 if self.main.contains(&key) {
                     self.main.touch(key);
                     out.hit_main += 1;
+                    prev_alloc = false;
                 } else if self.ddio.contains(&key) {
                     self.ddio.touch(key);
                     out.hit_ddio += 1;
+                    prev_alloc = false;
                 } else {
                     self.ddio.touch(key);
                     out.allocated += 1;
+                    out.alloc_runs += !prev_alloc as u64;
+                    prev_alloc = true;
                 }
             }
             out
@@ -417,16 +554,22 @@ mod tests {
     proptest::proptest! {
         /// Fast-path `dma_write`/`cpu_access` must match the original
         /// per-line logic outcome-for-outcome on arbitrary interleavings,
-        /// including the eviction RNG streams of both domains.
+        /// including the eviction RNG streams of both domains. Lengths
+        /// reach past 8 KB (> `SPAN_CHUNK` = 128 lines), so the
+        /// range-wise chunked path — including the chunk seam and the
+        /// evict-a-later-line-of-this-span fix-up — is exercised against
+        /// the per-line reference, not just short spans.
         #[test]
         fn fast_paths_match_reference_model(
             ops in proptest::collection::vec(
-                (0u8..2, 0u32..3, 0usize..6000, 0usize..400),
-                0..200,
+                (0u8..2, 0u32..4, 0usize..6000, 0usize..12_000),
+                0..120,
             ),
         ) {
             // 4 KB LLC => 48 main lines, 16 DDIO lines: offsets up to
-            // ~6 KB guarantee capacity pressure in both domains.
+            // ~6 KB and multi-MR interleavings guarantee capacity
+            // pressure in both domains (a single 8 KB span alone is 8×
+            // the DDIO partition, so the fix-up path fires constantly).
             let mut fast = LlcModel::new(4096, 0.25);
             let mut slow = RefLlc::new(4096, 0.25);
             for (op, mr, offset, len) in ops {

@@ -352,24 +352,31 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
         z ^ (z >> 31)
     }
 
-    /// Prefetches the back-pointer and key of the *next* eviction victim
+    /// Prefetches the back-pointer and key of the eviction victim at
+    /// `keys[idx]`. Purely a hint — no observable state changes.
+    #[inline]
+    fn prefetch_victim_idx(&self, idx: usize) {
+        debug_assert!(idx < self.keys.len());
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `idx < keys.len() == slots.len()`; prefetch has no
+        // architectural side effects.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.slots.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
+            _mm_prefetch(self.keys.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
+    }
+
+    /// Prefetches the metadata of the *next* eviction victim
     /// (deterministically known from the RNG stream). In the at-capacity
     /// thrash regime nearly every access evicts, so by the next miss the
     /// victim's cache lines are already in flight.
     #[inline]
     fn prefetch_next_victim(&self) {
         debug_assert_eq!(self.keys.len(), self.capacity);
-        let nxt = (self.peek_rand() % self.capacity as u64) as usize;
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `nxt < capacity == keys.len() == slots.len()`; prefetch
-        // has no architectural side effects.
-        unsafe {
-            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-            _mm_prefetch(self.slots.as_ptr().add(nxt) as *const i8, _MM_HINT_T0);
-            _mm_prefetch(self.keys.as_ptr().add(nxt) as *const i8, _MM_HINT_T0);
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        let _ = nxt;
+        self.prefetch_victim_idx((self.peek_rand() % self.capacity as u64) as usize);
     }
 
     /// Number of resident keys.
@@ -576,6 +583,62 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
     }
 }
 
+/// Maximum number of lines one span-chunk call processes: 128 lines is
+/// 8 KB, the paper's Fig. 3(b) inbound block size, and lets residency
+/// masks live in a single `u128`.
+pub const SPAN_CHUNK: usize = 128;
+
+/// How many pre-drawn eviction victims ahead of the apply loop to keep
+/// their `slots`/`keys` metadata prefetched.
+const VICTIM_PREFETCH: usize = 4;
+
+/// Result of a [`RandomSet::span_access`] call over one line chunk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanOutcome {
+    /// Lines found resident.
+    pub hits: u64,
+    /// Lines that missed (and were inserted, evicting randomly at
+    /// capacity).
+    pub misses: u64,
+    /// Bit `i` set ⇔ line `base + i` missed. The complement (within the
+    /// selected mask) hit.
+    pub miss_mask: u128,
+}
+
+/// The select mask covering the first `n` lines of a chunk.
+#[inline]
+pub fn span_select(n: usize) -> u128 {
+    debug_assert!(n <= SPAN_CHUNK);
+    if n == SPAN_CHUNK {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+/// Fills `out[j]` with the table hash of line `base + j` of region `mr`,
+/// absorbing the region-id hash prefix once for the whole span.
+pub fn line_span_hashes(mr: crate::types::MrId, base: u64, out: &mut [u32]) {
+    let prefix = fx_prefix_u32(mr.0);
+    for (j, h) in out.iter_mut().enumerate() {
+        *h = fx_line_hash32(prefix, base + j as u64);
+    }
+}
+
+/// Iterates the set bit positions of `m`, lowest first.
+#[inline]
+fn iter_bits(mut m: u128) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(i)
+        }
+    })
+}
+
 impl RandomSet<(crate::types::MrId, u64)> {
     /// Bulk access for a contiguous run of cache lines of one region —
     /// the LLC streaming fast path. Returns `(hits, misses)`; misses
@@ -604,6 +667,140 @@ impl RandomSet<(crate::types::MrId, u64)> {
             }
         }
         (hits, misses)
+    }
+
+    /// Probe-only residency of the selected lines of one span: bit `i`
+    /// of the result is set iff line `base + i` is resident. `hashes[i]`
+    /// must be line `base + i`'s table hash (see [`line_span_hashes`]).
+    /// Probes are software-pipelined: each one's home slot is prefetched
+    /// eight selected lines ahead, so the otherwise-serialized table
+    /// misses of an LLC-scale span overlap. No state changes.
+    pub fn span_residency(
+        &self,
+        mr: crate::types::MrId,
+        base: u64,
+        hashes: &[u32],
+        select: u128,
+    ) -> u128 {
+        debug_assert!(hashes.len() <= SPAN_CHUNK);
+        const PROBE_PREFETCH: usize = 8;
+        let mut ahead = iter_bits(select);
+        for _ in 0..PROBE_PREFETCH {
+            if let Some(j) = ahead.next() {
+                self.prefetch(hashes[j]);
+            }
+        }
+        let mut resident = 0u128;
+        for i in iter_bits(select) {
+            if let Some(j) = ahead.next() {
+                self.prefetch(hashes[j]);
+            }
+            if self.probe(&(mr, base + i as u64), hashes[i]).is_ok() {
+                resident |= 1u128 << i;
+            }
+        }
+        resident
+    }
+
+    /// Bulk hit-or-insert over the selected lines of one span, *bit-exact*
+    /// with per-line [`access`](Self::access) calls in ascending line
+    /// order (same hit/miss classification, same eviction-RNG stream,
+    /// same `keys` order — the determinism proptests pin this).
+    ///
+    /// Two phases: first the whole span's residency is resolved with
+    /// pipelined probes against the unmodified table
+    /// ([`span_residency`](Self::span_residency)); then misses are
+    /// applied in line order. Applying a miss at capacity evicts a
+    /// uniformly random resident key, which can be a *later line of this
+    /// very span* — the pre-classified hit is then flipped back to a
+    /// miss, so classification stays exactly what a per-line walk would
+    /// have seen. Eviction-RNG draws are batched (one refill per run of
+    /// known misses, values consumed in line order — the stream is a
+    /// pure sequence, so batching leaves it untouched), which lets the
+    /// victims' metadata prefetch [`VICTIM_PREFETCH`] evictions ahead
+    /// instead of one.
+    pub fn span_access(
+        &mut self,
+        mr: crate::types::MrId,
+        base: u64,
+        hashes: &[u32],
+        select: u128,
+    ) -> SpanOutcome {
+        let n = hashes.len();
+        debug_assert!(n <= SPAN_CHUNK);
+        let mut resident = self.span_residency(mr, base, hashes, select);
+        let mut out = SpanOutcome::default();
+        // Pre-drawn eviction victims (indices into `keys`), consumed in
+        // line order.
+        let mut vq = [0u32; SPAN_CHUNK];
+        let (mut vq_head, mut vq_len) = (0usize, 0usize);
+        let mut m = select;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let bit = 1u128 << i;
+            if resident & bit != 0 {
+                out.hits += 1;
+                continue;
+            }
+            out.misses += 1;
+            out.miss_mask |= bit;
+            let key = (mr, base + i as u64);
+            let h32 = hashes[i];
+            self.maybe_grow();
+            if self.keys.len() == self.capacity {
+                if vq_head == vq_len {
+                    // Refill: one draw per currently-known remaining miss
+                    // (this one included). Eviction fix-ups can add more
+                    // misses later; they trigger another refill when the
+                    // queue drains, keeping draw-to-miss assignment in
+                    // line order exactly as per-line calls would.
+                    let remaining = select & !resident & !((1u128 << i) - 1);
+                    vq_head = 0;
+                    vq_len = remaining.count_ones() as usize;
+                    for slot in vq.iter_mut().take(vq_len) {
+                        *slot = (self.next_rand() % self.capacity as u64) as u32;
+                    }
+                    for &v in vq.iter().take(vq_len.min(VICTIM_PREFETCH)) {
+                        self.prefetch_victim_idx(v as usize);
+                    }
+                }
+                let victim = vq[vq_head] as usize;
+                vq_head += 1;
+                if vq_head + VICTIM_PREFETCH <= vq_len {
+                    self.prefetch_victim_idx(vq[vq_head + VICTIM_PREFETCH - 1] as usize);
+                }
+                let old_slot = self.slots[victim] as usize;
+                self.erase_slot(old_slot);
+                let old = std::mem::replace(&mut self.keys[victim], key);
+                // Re-probe for the insert position: the backward shift
+                // may have opened an earlier hole in the new key's chain.
+                let ins = self
+                    .probe(&self.keys[victim], h32)
+                    .expect_err("fresh key cannot be resident");
+                self.table[ins] = slot_entry(h32, victim);
+                self.slots[victim] = ins as u32;
+                // Fix-up: evicting a not-yet-applied line of this span
+                // turns its pre-classified hit into a miss.
+                if old.0 == mr {
+                    let d = old.1.wrapping_sub(base);
+                    if d > i as u64 && d < n as u64 {
+                        resident &= !(1u128 << d);
+                    }
+                }
+            } else {
+                // Below capacity: plain insert. Phase 1 classified the
+                // key as absent and span lines are distinct, so the probe
+                // must land on an empty slot.
+                let slot = self
+                    .probe(&key, h32)
+                    .expect_err("span residency classified this key as absent");
+                self.table[slot] = slot_entry(h32, self.keys.len());
+                self.slots.push(slot as u32);
+                self.keys.push(key);
+            }
+        }
+        out
     }
 }
 
@@ -867,6 +1064,65 @@ mod tests {
             assert_eq!(bulk.rng_state, single.rng_state, "round {round}");
         }
         assert!(total.0 > 0 && total.1 > 0, "trace exercised both paths");
+    }
+
+    #[test]
+    fn span_access_matches_per_line_access() {
+        use crate::types::MrId;
+        // Overlapping spans across two regions at 8× capacity pressure:
+        // nearly every span evicts other lines of itself mid-apply, so
+        // the residency fix-up and the batched-draw refills are exercised
+        // hard. `keys` order and the RNG stream must track per-line calls
+        // exactly.
+        let mut bulk = RandomSet::new(16);
+        let mut single = RandomSet::new(16);
+        let mut hashes = [0u32; SPAN_CHUNK];
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for round in 0..40u64 {
+            let mr = MrId((round % 2) as u32);
+            let base = (round * 37) % 96;
+            let n = SPAN_CHUNK.min(8 + (round as usize * 13) % 121);
+            line_span_hashes(mr, base, &mut hashes[..n]);
+            let so = bulk.span_access(mr, base, &hashes[..n], span_select(n));
+            hits += so.hits;
+            misses += so.misses;
+            assert_eq!(so.miss_mask.count_ones() as u64, so.misses, "round {round}");
+            let mut ref_miss_mask = 0u128;
+            for i in 0..n {
+                if !single.access((mr, base + i as u64)).0 {
+                    ref_miss_mask |= 1u128 << i;
+                }
+            }
+            assert_eq!(so.miss_mask, ref_miss_mask, "round {round}");
+            assert_eq!(bulk.keys, single.keys, "round {round}");
+            assert_eq!(bulk.rng_state, single.rng_state, "round {round}");
+        }
+        assert!(hits > 0 && misses > 0, "trace exercised both outcomes");
+    }
+
+    #[test]
+    fn span_residency_is_read_only_and_matches_contains() {
+        use crate::types::MrId;
+        let mr = MrId(3);
+        let mut s = RandomSet::new(32);
+        for line in (0..64u64).step_by(3) {
+            s.access((mr, line));
+        }
+        let keys_before = s.keys.clone();
+        let rng_before = s.rng_state;
+        let mut hashes = [0u32; SPAN_CHUNK];
+        line_span_hashes(mr, 0, &mut hashes[..64]);
+        let resident = s.span_residency(mr, 0, &hashes[..64], span_select(64));
+        for line in 0..64u64 {
+            assert_eq!(
+                resident >> line & 1 == 1,
+                s.contains(&(mr, line)),
+                "line {line}"
+            );
+        }
+        assert_eq!(s.keys, keys_before);
+        assert_eq!(s.rng_state, rng_before);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use rpc_core::driver::Cx;
 use rpc_core::message::{RpcHeader, HEADER};
 use rpc_core::transport::{ClientOverhead, Response, RpcTransport, ServerHandler};
 use simcore::SimDuration;
+use simtrace::{Stage, TraceId, Tracer};
 
 use rpc_core::workers::WorkerPool;
 
@@ -91,6 +92,10 @@ pub struct Fasst<H: ServerHandler> {
     post_recv_cpu: SimDuration,
     cq_poll_cpu: SimDuration,
     block_size: usize,
+    tracer: Tracer,
+    /// Open trace ids keyed by `(client, seq)` — the request id assigned
+    /// by the harness at post time, closed when the response lands.
+    trace_ids: std::collections::HashMap<(ClientId, u64), TraceId>,
 }
 
 impl<H: ServerHandler> Fasst<H> {
@@ -155,6 +160,8 @@ impl<H: ServerHandler> Fasst<H> {
             post_recv_cpu: p.post_recv_cpu,
             cq_poll_cpu: p.cq_poll_cpu,
             block_size,
+            tracer: fabric.tracer().clone(),
+            trace_ids: std::collections::HashMap::new(),
         }
     }
 }
@@ -212,6 +219,12 @@ impl<H: ServerHandler> RpcTransport for Fasst<H> {
             let service =
                 self.cq_poll_cpu + read_cost + handler_cost + self.post_recv_cpu + self.post_cpu;
             let done = self.workers.run(w, cx.now, service);
+            if let Some(&tid) = self.trace_ids.get(&(client, header.seq)) {
+                // Includes queueing behind the worker, so CQ-poll
+                // contention shows up in the stage breakdown.
+                self.tracer
+                    .span(tid, Stage::Handler, cx.now, done, client as u64);
+            }
             cx.at(
                 done,
                 FasstEv::SendResponse {
@@ -239,6 +252,9 @@ impl<H: ServerHandler> RpcTransport for Fasst<H> {
             };
             let client = header.client_id as usize;
             self.inflight[client] = self.inflight[client].saturating_sub(1);
+            if let Some(tid) = self.trace_ids.remove(&(client, header.seq)) {
+                self.tracer.end(tid, Stage::Response, cx.now);
+            }
             out.push(Response {
                 client,
                 seq: header.seq,
@@ -265,6 +281,14 @@ impl<H: ServerHandler> RpcTransport for Fasst<H> {
                 buf.extend_from_slice(&payload);
                 let w = self.workers.owner_of(client);
                 let t = self.client_thread[client];
+                if let Some(&tid) = self.trace_ids.get(&(client, seq)) {
+                    // Closed when the datagram lands at the client; the
+                    // ctx lets the response packet carry the id through
+                    // the fabric's RxNic/Dma stages.
+                    self.tracer
+                        .begin(tid, Stage::Response, cx.now, client as u64);
+                    cx.fabric.set_trace_ctx(tid);
+                }
                 cx.post(
                     self.server_eps[w].qp,
                     WorkRequest::Send {
@@ -299,6 +323,10 @@ impl<H: ServerHandler> RpcTransport for Fasst<H> {
         let w = self.workers.owner_of(client);
         let t = self.client_thread[client];
         self.inflight[client] += 1;
+        let tid = cx.fabric.trace_ctx();
+        if tid != 0 {
+            self.trace_ids.insert((client, seq), tid);
+        }
         cx.post(
             self.thread_eps[t].qp,
             WorkRequest::Send {

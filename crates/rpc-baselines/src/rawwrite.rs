@@ -19,6 +19,7 @@ use rpc_core::driver::Cx;
 use rpc_core::message::{MsgBuf, RpcHeader, HEADER};
 use rpc_core::transport::{ClientOverhead, Response, RpcTransport, ServerHandler};
 use simcore::SimDuration;
+use simtrace::{Stage, TraceId, Tracer};
 
 use crate::pool::StaticPool;
 use rpc_core::workers::WorkerPool;
@@ -58,6 +59,10 @@ pub struct RawWrite<H: ServerHandler> {
     overhead: ClientOverhead,
     post_cpu: SimDuration,
     pool_check: SimDuration,
+    tracer: Tracer,
+    /// Open trace ids keyed by `(client, seq)` — the request id assigned
+    /// by the harness at post time, closed when the response lands.
+    trace_ids: std::collections::HashMap<(ClientId, u64), TraceId>,
 }
 
 impl<H: ServerHandler> RawWrite<H> {
@@ -115,6 +120,8 @@ impl<H: ServerHandler> RawWrite<H> {
             },
             post_cpu: p.post_cpu,
             pool_check: p.pool_check_cpu,
+            tracer: fabric.tracer().clone(),
+            trace_ids: std::collections::HashMap::new(),
         }
     }
 
@@ -144,6 +151,11 @@ impl<H: ServerHandler> RawWrite<H> {
         let slot = self.pool.slot_of_seq(seq);
         let remote = RemoteAddr::new(self.pool_mr, self.pool.offset(client, slot) + enc_off);
         self.clients[client].inflight += 1;
+        if let Some(&tid) = self.trace_ids.get(&(client, seq)) {
+            // Requests drained from the pending queue post outside the
+            // harness's submit window, so re-arm the ctx ourselves.
+            cx.fabric.set_trace_ctx(tid);
+        }
         cx.post(
             self.clients[client].client_qp,
             WorkRequest::Write {
@@ -189,6 +201,12 @@ impl<H: ServerHandler> RawWrite<H> {
         let w = self.workers.owner_of(zone);
         let service = self.pool_check + read_cost + handler_cost + self.post_cpu;
         let done = self.workers.run(w, cx.now, service);
+        if let Some(&tid) = self.trace_ids.get(&(client, header.seq)) {
+            // Includes queueing behind the zone's worker, so poll-side
+            // contention shows up in the stage breakdown.
+            self.tracer
+                .span(tid, Stage::Handler, cx.now, done, client as u64);
+        }
         cx.at(
             done,
             RawWriteEv::SendResponse {
@@ -223,6 +241,9 @@ impl<H: ServerHandler> RawWrite<H> {
             .write(MsgBuf::valid_offset(block_size) + block_start, &[0])
             .expect("valid byte");
         self.clients[client].inflight = self.clients[client].inflight.saturating_sub(1);
+        if let Some(tid) = self.trace_ids.remove(&(client, header.seq)) {
+            self.tracer.end(tid, Stage::Response, cx.now);
+        }
         out.push(Response {
             client,
             seq: header.seq,
@@ -291,6 +312,14 @@ impl<H: ServerHandler> RpcTransport for RawWrite<H> {
                     self.clients[client].resp_mr,
                     slot * block_size + enc_off,
                 );
+                if let Some(&tid) = self.trace_ids.get(&(client, seq)) {
+                    // Closed when the write lands at the client; the ctx
+                    // lets the response packet carry the id through the
+                    // fabric's RxNic/Dma stages.
+                    self.tracer
+                        .begin(tid, Stage::Response, cx.now, client as u64);
+                    cx.fabric.set_trace_ctx(tid);
+                }
                 // The response goes out on this client's dedicated RC QP:
                 // with many clients this is precisely the access pattern
                 // that thrashes the NIC cache.
@@ -317,6 +346,10 @@ impl<H: ServerHandler> RpcTransport for RawWrite<H> {
         cx: &mut Cx<'_, RawWriteEv>,
         _out: &mut Vec<Response>,
     ) {
+        let tid = cx.fabric.trace_ctx();
+        if tid != 0 {
+            self.trace_ids.insert((client, seq), tid);
+        }
         if self.clients[client].inflight >= self.pool.slots {
             self.clients[client].pending.push_back((seq, payload));
         } else {

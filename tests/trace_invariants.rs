@@ -17,10 +17,12 @@
 //!    fingerprint of the determinism suite is bit-identical.
 
 use rdma_fabric::{Fabric, FabricParams};
+use rpc_baselines::fasst::Fasst;
+use rpc_baselines::rawwrite::RawWrite;
 use rpc_core::cluster::{Cluster, ClusterSpec};
 use rpc_core::driver::Sim;
 use rpc_core::harness::{Harness, HarnessConfig};
-use rpc_core::transport::EchoHandler;
+use rpc_core::transport::{EchoHandler, RpcTransport};
 use rpc_core::workload::ThinkTime;
 use scalerpc::{ScaleRpc, ScaleRpcConfig};
 use simcore::{SimDuration, SimTime};
@@ -221,6 +223,101 @@ fn latency_is_slice_bounded_at_120_clients() {
         max_seen > SLICE * 2,
         "max latency {max_seen:?} suspiciously small — trace incomplete?"
     );
+}
+
+/// Runs a traced 80-client echo benchmark over an arbitrary transport
+/// and returns the recorded log — used to pin span coverage for the
+/// baseline transports, which `fig_timeline`/`TraceQuery` would
+/// otherwise silently under-report.
+fn run_baseline_traced<T, F>(build: F) -> TraceLog
+where
+    T: RpcTransport,
+    F: FnOnce(&mut Fabric, &Cluster) -> T,
+{
+    let tracer = Tracer::enabled();
+    let mut fabric = Fabric::new(FabricParams::default());
+    fabric.set_tracer(tracer.clone());
+    let cluster = Cluster::build(
+        &mut fabric,
+        ClusterSpec {
+            server_threads: 10,
+            client_machines: 8,
+            threads_per_machine: 8,
+            clients: 80,
+        },
+    );
+    let transport = build(&mut fabric, &cluster);
+    let harness = Harness::new(
+        transport,
+        cluster,
+        HarnessConfig {
+            batch_size: 4,
+            request_size: 32,
+            warmup: SimDuration::micros(300),
+            run: SimDuration::micros(700),
+            think: vec![ThinkTime::None],
+            seed: 1,
+        },
+    );
+    let stop = harness.stop_at();
+    let mut sim = Sim::new(fabric, harness);
+    sim.run_until(stop + SimDuration::millis(1));
+    assert!(sim.logic.metrics.ops > 0, "baseline run did no work");
+    tracer.snapshot().unwrap_or_default()
+}
+
+/// Asserts the per-transport invariant of this test file on a baseline
+/// log: Handler and Response spans are present and form complete
+/// pipelines (post → response) for a healthy share of requests.
+fn assert_baseline_spans(log: &TraceLog, name: &str) {
+    let q = TraceQuery::new(log);
+    let handlers = q.spans_of(Stage::Handler).count();
+    let responses = q.spans_of(Stage::Response).count();
+    assert!(handlers > 100, "{name}: only {handlers} Handler spans");
+    assert!(responses > 100, "{name}: only {responses} Response spans");
+    // Every Response span belongs to a pipeline whose ClientPost was
+    // also recorded, so end-to-end rpc_latency works on baselines too.
+    let mut complete = 0;
+    let mut total = 0;
+    for span in q.spans_of(Stage::Response) {
+        total += 1;
+        if q.rpc_latency(span.id).is_some() {
+            complete += 1;
+        }
+    }
+    assert!(
+        complete * 10 >= total * 9,
+        "{name}: only {complete}/{total} Response spans have a complete pipeline"
+    );
+    // Handler spans nest inside their pipeline: they must start at or
+    // after the recorded post and end before the response closes.
+    for span in q.spans_of(Stage::Handler).take(200) {
+        let pipeline = q.rpc(span.id);
+        let post = pipeline.iter().find(|s| s.stage == Stage::ClientPost);
+        if let Some(post) = post {
+            assert!(
+                span.start >= post.start,
+                "{name}: handler span {} starts before its post",
+                span.id
+            );
+        }
+    }
+}
+
+#[test]
+fn rawwrite_emits_handler_and_response_spans() {
+    let log = run_baseline_traced(|fabric, cluster| {
+        RawWrite::new(fabric, cluster, 8, 4096, EchoHandler::default())
+    });
+    assert_baseline_spans(&log, "RawWrite");
+}
+
+#[test]
+fn fasst_emits_handler_and_response_spans() {
+    let log = run_baseline_traced(|fabric, cluster| {
+        Fasst::new(fabric, cluster, 4096, EchoHandler::default())
+    });
+    assert_baseline_spans(&log, "FaSST");
 }
 
 #[test]
