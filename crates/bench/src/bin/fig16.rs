@@ -4,4 +4,5 @@
 
 fn main() {
     scalerpc_bench::figures::fig16();
+    scalerpc_bench::figures::fig16_window();
 }

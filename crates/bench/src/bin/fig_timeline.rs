@@ -91,6 +91,7 @@ fn main() {
             run: SimDuration::micros(run_us),
             think: vec![ThinkTime::None],
             seed: 1,
+            window: 1,
         },
     );
     harness.sample_counters(

@@ -315,6 +315,53 @@ pub fn fig08_machines() {
         t.print();
         t.save_csv(&format!("fig08_machines_batch{batch}"));
     }
+    // Asynchronous clients: sweep the outstanding-request window. This
+    // is the configuration the paper's own client loops run in — W
+    // requests pipelined per client instead of synchronous batches.
+    // Windowed ScaleRPC clients recover batch-8-level throughput from
+    // single-request posts (the window hides the group-rotation wait);
+    // all transports receive the same window for fairness.
+    for window in [2usize, 4, 8] {
+        let kinds = TransportKind::fig8_set();
+        let points: Vec<(usize, TransportKind)> = (1..=5usize)
+            .flat_map(|m| kinds.iter().cloned().map(move |k| (m, k)))
+            .collect();
+        let results = parallel_map(points, |(m, k)| {
+            let name = k.name();
+            let r = run_rpc(RpcRunConfig {
+                kind: k,
+                clients: 40,
+                machines: m,
+                threads_per_machine: 40usize.div_ceil(m),
+                batch: 1,
+                window,
+                ..Default::default()
+            });
+            (m, name, r.mops)
+        });
+        let mut t = Table::new(
+            &format!("Fig 8 (right, async window {window}): 40 client threads over N machines, Mops/s"),
+            &["machines", "ScaleRPC", "RawWrite", "HERD", "FaSST"],
+        );
+        for m in 1..=5usize {
+            let get = |n: &str| {
+                results
+                    .iter()
+                    .find(|(rm, rn, _)| *rm == m && *rn == n)
+                    .map(|(_, _, v)| *v)
+                    .unwrap_or(0.0)
+            };
+            t.row(vec![
+                m.to_string(),
+                mops(get("ScaleRPC")),
+                mops(get("RawWrite")),
+                mops(get("HERD")),
+                mops(get("FaSST")),
+            ]);
+        }
+        t.print();
+        t.save_csv(&format!("fig08_machines_window{window}"));
+    }
 }
 
 /// Fig. 9: latency distribution at 120 clients (batch 1 and 8).
@@ -615,6 +662,7 @@ fn run_tx_system(
     one_sided: bool,
     workload: TxWorkload,
     coordinators: usize,
+    window: usize,
 ) -> f64 {
     let keys = match &workload {
         TxWorkload::ObjectStore {
@@ -642,11 +690,12 @@ fn run_tx_system(
         warmup: SimDuration::millis(2),
         run: SimDuration::millis(6),
         coord_cpu_mult: 8,
+        window,
         seed: 31,
     };
     let _ = label;
     match transport {
-        "scalerpc" => run_scalerpc_tx(cfg, ScaleRpcConfig::default(), SimDuration::ZERO)
+        "scalerpc" => run_scalerpc_tx(cfg, scaletx::tx_scale_cfg(), SimDuration::ZERO)
             .logic
             .metrics
             .tps(),
@@ -717,8 +766,9 @@ pub fn fig16() {
             .flat_map(|(l, t, o)| [80usize, 160].map(move |c| (l, t, o, c)))
             .collect();
         let w = workload.clone();
+        let window = TxConfig::default().window;
         let results = parallel_map(points, |(label, transport, one_sided, coords)| {
-            let tps = run_tx_system(label, transport, one_sided, w.clone(), coords);
+            let tps = run_tx_system(label, transport, one_sided, w.clone(), coords, window);
             (label, coords, tps / 1e3)
         });
         let mut t = Table::new(
@@ -745,6 +795,53 @@ pub fn fig16() {
             name.split(' ').next().unwrap_or("x").to_lowercase()
         ));
     }
+}
+
+/// Fig. 16 companion: sweep the coordinator's outstanding-transaction
+/// window at 160 coordinators on the read-write object store. Shows the
+/// duty-cycle argument directly: at `W = 1` a ScaleTX coordinator idles
+/// whenever its group is not served, while the UD systems (always
+/// served) win; opening the window fills ScaleTX's slice gaps with the
+/// other slots' work until it overtakes.
+pub fn fig16_window() {
+    let workload = TxWorkload::ObjectStore {
+        reads: 3,
+        writes: 1,
+        keys_per_server: 20_000,
+        servers: 3,
+    };
+    let windows = [1usize, 2, 4, 8];
+    let points: Vec<(&'static str, &'static str, bool, usize)> = tx_systems()
+        .into_iter()
+        .flat_map(|(l, t, o)| windows.map(move |w| (l, t, o, w)))
+        .collect();
+    let wl = workload.clone();
+    let results = parallel_map(points, |(label, transport, one_sided, window)| {
+        let tps = run_tx_system(label, transport, one_sided, wl.clone(), 160, window);
+        (label, window, tps / 1e3)
+    });
+    let mut t = Table::new(
+        "Fig 16 (window sweep): object store r=3 w=1, 160 coordinators, Ktx/s",
+        &["system", "W=1", "W=2", "W=4", "W=8"],
+    );
+    for (label, _, _) in tx_systems() {
+        let get = |w: usize| {
+            results
+                .iter()
+                .find(|(l, rw, _)| *l == label && *rw == w)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0.0)
+        };
+        t.row(vec![
+            label.to_string(),
+            format!("{:.0}", get(1)),
+            format!("{:.0}", get(2)),
+            format!("{:.0}", get(4)),
+            format!("{:.0}", get(8)),
+        ]);
+    }
+    t.print();
+    t.save_csv("fig16_window");
 }
 
 /// §5.1: ordered large-transfer bandwidth, UD 4 KB chunking vs RC.
@@ -776,5 +873,6 @@ pub fn all_figures() {
     fig12();
     fig13();
     fig16();
+    fig16_window();
     fig_ud_bw();
 }

@@ -64,6 +64,11 @@ pub struct RpcRunConfig {
     pub server_threads: usize,
     /// Requests per batch.
     pub batch: usize,
+    /// Outstanding-request window per client (`1` = the synchronous
+    /// batch client; `> 1` enables the asynchronous pipeline and
+    /// requires `batch == 1`). ScaleRPC runs additionally get
+    /// `client_window` set so context-switch re-arming engages.
+    pub window: usize,
     /// Per-client think times.
     pub think: Vec<ThinkTime>,
     /// Warmup.
@@ -83,6 +88,7 @@ impl Default for RpcRunConfig {
             threads_per_machine: 8,
             server_threads: 10,
             batch: 1,
+            window: 1,
             think: vec![ThinkTime::None],
             warmup: SimDuration::millis(2),
             run: SimDuration::millis(6),
@@ -136,6 +142,7 @@ pub fn run_rpc(cfg: RpcRunConfig) -> RpcRunResult {
         run: cfg.run,
         think: cfg.think.clone(),
         seed: cfg.seed,
+        window: cfg.window,
     };
     macro_rules! drive {
         ($t:expr) => {{
@@ -170,7 +177,8 @@ pub fn run_rpc(cfg: RpcRunConfig) -> RpcRunResult {
         }};
     }
     match cfg.kind.clone() {
-        TransportKind::ScaleRpc(sc) => {
+        TransportKind::ScaleRpc(mut sc) => {
+            sc.client_window = sc.client_window.max(cfg.window.min(sc.slots));
             let t = ScaleRpc::new(&mut fabric, &cluster, sc, EchoHandler::default());
             drive!(t)
         }

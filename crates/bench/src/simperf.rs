@@ -104,6 +104,21 @@ pub fn run_all(quick: bool) -> Vec<WorkloadResult> {
             });
             (r.events, r.ops)
         }),
+        // Asynchronous pipeline: same ScaleRPC stack but each client
+        // keeps 4 requests outstanding (batch 1), exercising the
+        // windowed submit/poll path and context-switch re-arming.
+        timed("fig08_scalerpc_400c_w4", || {
+            let r = run_rpc(RpcRunConfig {
+                kind: TransportKind::ScaleRpc(ScaleRpcConfig::default()),
+                clients: 400,
+                batch: 1,
+                window: 4,
+                warmup: ms(2, 1),
+                run: ms(6, 1),
+                ..Default::default()
+            });
+            (r.events, r.ops)
+        }),
     ]
 }
 
@@ -353,7 +368,7 @@ mod tests {
     fn quick_run_is_deterministic_and_counts_events() {
         let a = run_all(true);
         let b = run_all(true);
-        assert_eq!(a.len(), 4);
+        assert_eq!(a.len(), 5);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.name, y.name);
             assert_eq!(x.events, y.events, "{} events drifted", x.name);

@@ -103,6 +103,7 @@ pub fn run_mdtest(cfg: &MdtestRun) -> MdtestResult {
         run: cfg.run,
         think: vec![ThinkTime::None],
         seed: 17,
+        window: 1,
     };
     let gen = Box::new(MdtestGen::new(cfg.op, cfg.files_per_dir as u64));
     macro_rules! drive {

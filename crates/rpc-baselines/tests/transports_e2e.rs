@@ -27,6 +27,7 @@ fn cfg(batch: usize) -> HarnessConfig {
         run: SimDuration::millis(1),
         think: vec![ThinkTime::None],
         seed: 7,
+        window: 1,
     }
 }
 

@@ -13,6 +13,7 @@ use crate::cluster::{ClientId, Cluster};
 use crate::driver::{Cx, Logic};
 use crate::metrics::RpcMetrics;
 use crate::transport::{Response, RpcTransport};
+use crate::window::RequestWindow;
 use crate::workload::ThinkTime;
 use bytes::Bytes;
 use rdma_fabric::{NodeId, Upcall};
@@ -35,6 +36,14 @@ pub struct HarnessConfig {
     pub think: Vec<ThinkTime>,
     /// RNG seed.
     pub seed: u64,
+    /// Outstanding-request window per client (the asynchronous
+    /// submit/poll-completion client of §3.6.1). `1` is the seed's
+    /// synchronous batch loop, reproduced bit-exactly; `W > 1` keeps up
+    /// to `W` independent requests in flight, replenishing one per
+    /// completion (requires `batch_size == 1` — the window supersedes
+    /// batching). Transports with slot-addressed client buffers (8
+    /// message slots) support windows up to 8.
+    pub window: usize,
 }
 
 impl Default for HarnessConfig {
@@ -46,6 +55,7 @@ impl Default for HarnessConfig {
             run: SimDuration::millis(8),
             think: vec![ThinkTime::None],
             seed: 42,
+            window: 1,
         }
     }
 }
@@ -54,6 +64,10 @@ struct ClientState {
     next_seq: u64,
     inflight: usize,
     batch_started: SimTime,
+    /// Per-slot in-flight tracking for the asynchronous (`window > 1`)
+    /// client; the tag records each request's submit time so latency is
+    /// per-request, not per-batch. Unused on the synchronous path.
+    window: RequestWindow<SimTime>,
     think: ThinkTime,
     rng: DetRng,
     stopped: bool,
@@ -155,6 +169,11 @@ impl<T: RpcTransport> Harness<T> {
         gen: Box<dyn RequestGen>,
     ) -> Self {
         assert!(cfg.batch_size > 0, "batch size must be positive");
+        assert!(cfg.window > 0, "window must be positive");
+        assert!(
+            cfg.window == 1 || cfg.batch_size == 1,
+            "window > 1 supersedes batching; use batch_size 1"
+        );
         let n = cluster.clients();
         assert!(
             cfg.think.len() == 1 || cfg.think.len() == n,
@@ -166,6 +185,7 @@ impl<T: RpcTransport> Harness<T> {
                 next_seq: 0,
                 inflight: 0,
                 batch_started: SimTime::ZERO,
+                window: RequestWindow::new(cfg.window),
                 think: cfg.think[c % cfg.think.len()].clone(),
                 rng: rng.split(c as u64),
                 stopped: false,
@@ -216,12 +236,54 @@ impl<T: RpcTransport> Harness<T> {
     }
 
     fn schedule_post(&mut self, client: ClientId, cx: &mut Cx<'_, HarnessEv<T::Ev>>) {
-        // Claim the client thread for the whole batch's posting cost.
+        // Claim the client thread for the whole batch's posting cost. On
+        // the windowed path the "batch" is however many free slots the
+        // window has right now; a wake that finds the window full posts
+        // nothing (a later completion will wake the client again).
+        let posts = if self.cfg.window > 1 {
+            let st = &self.clients[client];
+            self.cfg.window - st.window.in_flight()
+        } else {
+            self.cfg.batch_size
+        };
+        if posts == 0 {
+            return;
+        }
         let overhead = self.transport.client_overhead();
-        let cost = overhead.per_post * self.cfg.batch_size as u64;
+        let cost = overhead.per_post * posts as u64;
         let thread = self.cluster.thread_of(client);
         let grant = self.threads[thread].acquire(cx.now, cost);
         cx.at(grant.begin, HarnessEv::Post(client));
+    }
+
+    /// Fills the client's window back up to `W` outstanding requests
+    /// (the asynchronous client's replenish step). Mirrors the batch
+    /// `Post` arm, but tracks each request in its own window slot with
+    /// its own submit time.
+    fn post_windowed(&mut self, c: ClientId, cx: &mut Cx<'_, HarnessEv<T::Ev>>) {
+        let per_post = self.transport.client_overhead().per_post;
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        while !self.clients[c].window.is_full() {
+            let seq = self.clients[c].next_seq;
+            self.clients[c].next_seq += 1;
+            let payload = self.gen.gen(c, seq);
+            let id = self.tracer.next_id();
+            let start = cx.now + per_post * i;
+            if id != 0 {
+                self.tracer
+                    .span(id, Stage::ClientPost, start, start + per_post, c as u64);
+            }
+            self.clients[c].window.submit(seq, start);
+            cx.fabric.set_trace_ctx(id);
+            with_transport_cx(cx, |tcx| {
+                self.transport.submit(c, seq, payload, tcx, &mut out)
+            });
+            i += 1;
+        }
+        cx.fabric.set_trace_ctx(0);
+        self.responses.extend(out);
+        self.drain_responses(cx);
     }
 
     fn drain_responses(&mut self, cx: &mut Cx<'_, HarnessEv<T::Ev>>) {
@@ -233,6 +295,23 @@ impl<T: RpcTransport> Harness<T> {
             let thread = self.cluster.thread_of(c);
             self.threads[thread].acquire(cx.now, overhead.per_response);
             let st = &mut self.clients[c];
+            if self.cfg.window > 1 {
+                // Asynchronous client: each completion retires one window
+                // slot (per-request latency) and wakes the client to
+                // replenish. Unknown seqs are duplicate notifications.
+                let Some(done) = st.window.complete(resp.seq) else {
+                    continue;
+                };
+                let latency = cx.now.saturating_since(done.tag);
+                self.metrics.record_batch(cx.now, 1, latency);
+                if cx.now < self.stop_at && !st.stopped {
+                    let think = st.think.sample(&mut st.rng);
+                    cx.at(cx.now + think, HarnessEv::Wake(c));
+                } else {
+                    st.stopped = true;
+                }
+                continue;
+            }
             if st.inflight == 0 {
                 // Response after the batch already accounted (e.g. a
                 // duplicate context-switch notification) — ignore.
@@ -294,6 +373,10 @@ impl<T: RpcTransport> Logic for Harness<T> {
                 self.schedule_post(c, cx);
             }
             HarnessEv::Post(c) => {
+                if self.cfg.window > 1 {
+                    self.post_windowed(c, cx);
+                    return;
+                }
                 let batch = self.cfg.batch_size;
                 self.clients[c].batch_started = cx.now;
                 self.clients[c].inflight = batch;

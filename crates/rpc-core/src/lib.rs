@@ -21,6 +21,7 @@ pub mod harness;
 pub mod message;
 pub mod metrics;
 pub mod transport;
+pub mod window;
 pub mod workers;
 pub mod workload;
 
@@ -30,5 +31,6 @@ pub use harness::{Harness, HarnessConfig};
 pub use message::{MsgBuf, RpcHeader};
 pub use metrics::RpcMetrics;
 pub use transport::{ClientOverhead, Response, RpcTransport, ServerHandler};
+pub use window::{Completed, InFlight, RequestWindow};
 pub use workers::WorkerPool;
 pub use workload::ThinkTime;

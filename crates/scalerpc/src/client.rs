@@ -17,6 +17,17 @@
 //! - **PROCESS**: the client writes new requests *directly* into the
 //!   processing pool. A response carrying `context_switch_event` (or an
 //!   explicit notification) sends it back to IDLE.
+//!
+//! The FSM also carries a window of in-flight slots
+//! ([`rpc_core::RequestWindow`]) for the asynchronous client of §3.6.1:
+//! each submitted request occupies a slot tagged with its TraceId until
+//! the matching response retires it. The Fig. 7 state transitions are
+//! unchanged — the window only adds bookkeeping (and the
+//! context-switch *re-arm*: a notification that lands while requests
+//! are still in flight moves the client back to WARMUP so the staged
+//! tail is re-advertised instead of stranded).
+
+use rpc_core::{Completed, RequestWindow};
 
 /// Client states (Fig. 7 of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,25 +55,77 @@ pub enum SubmitAction {
 #[derive(Clone, Debug)]
 pub struct ClientFsm {
     state: ClientState,
+    /// In-flight request slots; the tag is the request's TraceId (0 when
+    /// untraced).
+    window: RequestWindow<u64>,
 }
 
 impl Default for ClientFsm {
     fn default() -> Self {
-        ClientFsm {
-            state: ClientState::Idle,
-        }
+        Self::with_window(1)
     }
 }
 
 impl ClientFsm {
-    /// Creates a client in IDLE.
+    /// Creates a client in IDLE with a single-request window (the seed's
+    /// synchronous client).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a client in IDLE tracking up to `window` in-flight
+    /// requests.
+    pub fn with_window(window: usize) -> Self {
+        ClientFsm {
+            state: ClientState::Idle,
+            window: RequestWindow::new(window),
+        }
     }
 
     /// Current state.
     pub fn state(&self) -> ClientState {
         self.state
+    }
+
+    /// The in-flight slot tracker.
+    pub fn window(&self) -> &RequestWindow<u64> {
+        &self.window
+    }
+
+    /// Requests submitted but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.window.in_flight()
+    }
+
+    /// Tracked submit: claims a window slot for `(seq, trace_id)` and
+    /// returns the Fig. 7 action, or `None` (state untouched) when the
+    /// window is full.
+    pub fn submit(&mut self, seq: u64, trace_id: u64) -> Option<SubmitAction> {
+        self.window.submit(seq, trace_id)?;
+        Some(self.on_submit())
+    }
+
+    /// Tracked completion: retires the slot holding `seq` and applies the
+    /// Fig. 7 response transition. Returns `None` (state untouched) for
+    /// an unknown or already-retired seq, so duplicates are detectable.
+    pub fn complete(&mut self, seq: u64, ctx_switch: bool) -> Option<Completed<u64>> {
+        let done = self.window.complete(seq)?;
+        self.on_response(ctx_switch);
+        Some(done)
+    }
+
+    /// Context-switch re-arm: if a notification put the client in IDLE
+    /// while requests are still in flight (staged but unserved), move
+    /// straight back to WARMUP — the transport should (re)publish the
+    /// endpoint entry so the staged tail is fetched next rotation.
+    /// Returns whether re-arming applied.
+    pub fn rearm(&mut self) -> bool {
+        if self.state == ClientState::Idle && !self.window.is_empty() {
+            self.state = ClientState::Warmup;
+            true
+        } else {
+            false
+        }
     }
 
     /// Decides how to submit a new request, advancing IDLE → WARMUP when
@@ -137,6 +200,46 @@ mod tests {
         fsm.on_response(false);
         fsm.on_response(false);
         assert_eq!(fsm.state(), ClientState::Process);
+    }
+
+    #[test]
+    fn windowed_submits_track_slots_and_trace_ids() {
+        let mut fsm = ClientFsm::with_window(4);
+        assert_eq!(fsm.submit(0, 100), Some(SubmitAction::StageAndPublish));
+        assert_eq!(fsm.submit(1, 101), Some(SubmitAction::StageOnly));
+        assert_eq!(fsm.in_flight(), 2);
+        // First response: WARMUP → PROCESS, slot retired with its id.
+        let done = fsm.complete(0, false).unwrap();
+        assert_eq!((done.seq, done.tag), (0, 100));
+        assert_eq!(fsm.state(), ClientState::Process);
+        // Duplicate completion is rejected and leaves the state alone.
+        assert!(fsm.complete(0, true).is_none());
+        assert_eq!(fsm.state(), ClientState::Process);
+        assert_eq!(fsm.submit(2, 102), Some(SubmitAction::DirectWrite));
+        // Window full → submit refuses without touching the state.
+        fsm.submit(3, 103);
+        fsm.submit(4, 104);
+        assert_eq!(fsm.submit(5, 105), None);
+        assert_eq!(fsm.state(), ClientState::Process);
+    }
+
+    #[test]
+    fn ctx_notify_with_inflight_requests_rearms_to_warmup() {
+        let mut fsm = ClientFsm::with_window(2);
+        fsm.submit(0, 0);
+        fsm.complete(0, false);
+        fsm.submit(1, 0);
+        assert_eq!(fsm.state(), ClientState::Process);
+        fsm.on_ctx_notify();
+        assert_eq!(fsm.state(), ClientState::Idle);
+        // Seq 1 is still outstanding: re-arm back to WARMUP.
+        assert!(fsm.rearm());
+        assert_eq!(fsm.state(), ClientState::Warmup);
+        // With nothing in flight, a notify leaves the client IDLE.
+        fsm.complete(1, false);
+        fsm.on_ctx_notify();
+        assert!(!fsm.rearm());
+        assert_eq!(fsm.state(), ClientState::Idle);
     }
 
     #[test]

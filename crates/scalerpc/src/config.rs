@@ -29,6 +29,13 @@ pub struct ScaleRpcConfig {
     /// this identical (global synchronization, §4.2); the misalignment
     /// ablation staggers it per server to show why that matters.
     pub first_slice_offset: simcore::SimDuration,
+    /// Outstanding requests the *client side* keeps in flight (the
+    /// asynchronous window of §3.6.1). `1` is the seed's synchronous
+    /// client, bit-exact; `> 1` additionally enables context-switch
+    /// re-arming (a notification landing with requests still staged
+    /// republishes the endpoint entry instead of stranding them). Must
+    /// not exceed `slots`.
+    pub client_window: usize,
 }
 
 impl Default for ScaleRpcConfig {
@@ -41,6 +48,7 @@ impl Default for ScaleRpcConfig {
             dynamic_scheduling: true,
             regroup_rotations: 4,
             first_slice_offset: SimDuration::ZERO,
+            client_window: 1,
         }
     }
 }
@@ -60,6 +68,10 @@ impl ScaleRpcConfig {
         assert!(self.slots > 0 && self.slots < 256, "slots must be in 1..256");
         assert!(self.block_size >= 64, "block_size must hold a message");
         assert!(self.regroup_rotations > 0, "regroup_rotations must be positive");
+        assert!(
+            self.client_window >= 1 && self.client_window <= self.slots,
+            "client_window must be in 1..=slots"
+        );
     }
 }
 

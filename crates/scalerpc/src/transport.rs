@@ -106,7 +106,53 @@ struct PerClient {
     /// used to drop duplicate executions when a warmup re-fetch copies a
     /// staged request whose response is still in flight. Handlers with
     /// side effects (locks, transactions) need exactly-once execution.
-    seq_window: u128,
+    seq_window: SeqWindow,
+}
+
+/// Sliding 1024-bit executed-sequence bitmap: bit `back` records whether
+/// `seq_high - back` was executed. 1024 bits (vs the seed's 128) leaves
+/// ample slack for multi-outstanding clients that stride sequence
+/// numbers across window slots (see `scaletx`): a slot stalled behind a
+/// slice boundary can fall hundreds of seqs behind its siblings without
+/// being misclassified as a duplicate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct SeqWindow {
+    words: [u64; SEQ_WINDOW_WORDS],
+}
+
+const SEQ_WINDOW_WORDS: usize = 16;
+/// Width of the duplicate-detection window in bits.
+const SEQ_WINDOW_BITS: u64 = (SEQ_WINDOW_WORDS as u64) * 64;
+
+impl SeqWindow {
+    /// Ages every recorded seq by `n` (the new high moved forward).
+    fn shift_up(&mut self, n: u64) {
+        if n >= SEQ_WINDOW_BITS {
+            self.words = [0; SEQ_WINDOW_WORDS];
+            return;
+        }
+        let word_shift = (n / 64) as usize;
+        let bit_shift = (n % 64) as u32;
+        for i in (0..SEQ_WINDOW_WORDS).rev() {
+            let mut w = if i >= word_shift {
+                self.words[i - word_shift] << bit_shift
+            } else {
+                0
+            };
+            if bit_shift > 0 && i > word_shift {
+                w |= self.words[i - word_shift - 1] >> (64 - bit_shift);
+            }
+            self.words[i] = w;
+        }
+    }
+
+    fn test(&self, back: u64) -> bool {
+        (self.words[(back / 64) as usize] >> (back % 64)) & 1 != 0
+    }
+
+    fn set(&mut self, back: u64) {
+        self.words[(back / 64) as usize] |= 1 << (back % 64);
+    }
 }
 
 /// The ScaleRPC transport.
@@ -211,7 +257,10 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 server_qp,
                 client_qp,
                 local_mr,
-                fsm: ClientFsm::new(),
+                // One FSM window slot per message slot: the client can
+                // keep at most `slots` requests in flight before staging
+                // blocks would collide.
+                fsm: ClientFsm::with_window(cfg.slots),
                 inflight_responses: 0,
                 needs_ctx: false,
                 entry_valid: false,
@@ -219,7 +268,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 last_fetch_epoch: u64::MAX,
                 served_this_slice: false,
                 seq_high: 0,
-                seq_window: 0,
+                seq_window: SeqWindow::default(),
             });
         }
         let p = fabric.params();
@@ -585,31 +634,27 @@ impl<H: ServerHandler> ScaleRpc<H> {
     }
 
     /// Records `seq` for `client`; returns `false` when it was already
-    /// executed (duplicate). A 128-wide window is ample: in-flight
-    /// requests per client are bounded by the slot count (< 256 by
-    /// config, 8 by default).
+    /// executed (duplicate). The window is 1024 bits wide
+    /// ([`SEQ_WINDOW_BITS`]): far more than the slot count bounds
+    /// in-flight requests to, so a strided multi-outstanding client slot
+    /// that stalls across slices still lands inside the window.
     fn record_seq(&mut self, client: ClientId, seq: u64) -> bool {
         let st = &mut self.clients[client];
         if seq > st.seq_high {
             let shift = seq - st.seq_high;
-            st.seq_window = if shift >= 128 {
-                0
-            } else {
-                st.seq_window << shift
-            };
-            st.seq_window |= 1;
+            st.seq_window.shift_up(shift);
+            st.seq_window.set(0);
             st.seq_high = seq;
             true
         } else {
             let back = st.seq_high - seq;
-            if back >= 128 {
+            if back >= SEQ_WINDOW_BITS {
                 return false; // ancient: certainly a duplicate
             }
-            let bit = 1u128 << back;
-            if st.seq_window & bit != 0 {
+            if st.seq_window.test(back) {
                 false
             } else {
-                st.seq_window |= bit;
+                st.seq_window.set(back);
                 true
             }
         }
@@ -650,6 +695,12 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 let before = self.plan.groups.len();
                 self.plan = self.scheduler.replan(&self.stats_last);
                 let after = self.plan.groups.len();
+                self.tracer.instant(
+                    InstantKind::GroupReprioritize,
+                    cx.now,
+                    self.rotations as u64,
+                    after as u64,
+                );
                 if after > before {
                     self.tracer.instant(
                         InstantKind::GroupSplit,
@@ -756,20 +807,55 @@ impl<H: ServerHandler> ScaleRpc<H> {
             .expect("valid clear");
         if header.seq == NOTIFY_SEQ {
             self.clients[client].fsm.on_ctx_notify();
+            // Re-arm (asynchronous clients only, so the synchronous
+            // timeline stays bit-exact): with requests still in flight —
+            // staged but not yet served — jump straight back to WARMUP
+            // and make sure the endpoint entry advertises the staged
+            // tail instead of stranding it.
+            if self.cfg.client_window > 1 && self.clients[client].fsm.rearm() {
+                let st = &self.clients[client];
+                if !st.entry_valid && !st.publish_inflight {
+                    self.publish_entry(client, cx);
+                }
+            }
             return;
         }
-        self.clients[client].fsm.on_response(header.is_ctx_switch());
+        if self
+            .clients[client]
+            .fsm
+            .complete(header.seq, header.is_ctx_switch())
+            .is_none()
+        {
+            // Untracked (window overcommit fallback in `submit`): apply
+            // the bare Fig. 7 transition.
+            self.clients[client].fsm.on_response(header.is_ctx_switch());
+        }
         if let Some(tid) = self.trace_ids.remove(&(client, header.seq)) {
             self.tracer.end(tid, Stage::Response, cx.now);
         }
         // Clear the staging copy of this request so a later warmup read
-        // cannot re-fetch it.
+        // cannot re-fetch it — but only if the staging slot still holds
+        // *this* request. With several requests outstanding, a newer
+        // request can legitimately occupy the same slot (`seq % slots`)
+        // by the time an older response arrives; clearing blindly would
+        // drop it before it is ever fetched.
         let stage_block = self.staging_off(self.geom.slot_of_seq(header.seq));
-        cx.fabric
-            .mr_mut(local_mr)
-            .expect("local mr")
-            .write(MsgBuf::valid_offset(self.cfg.block_size) + stage_block, &[0])
-            .expect("staging clear");
+        let staged_seq = {
+            let mr = cx.fabric.mr(local_mr).expect("local mr");
+            let raw = mr
+                .read(stage_block, self.cfg.block_size)
+                .expect("staging bounds");
+            MsgBuf::decode(raw)
+                .and_then(RpcHeader::decode)
+                .map(|(h, _)| h.seq)
+        };
+        if staged_seq == Some(header.seq) {
+            cx.fabric
+                .mr_mut(local_mr)
+                .expect("local mr")
+                .write(MsgBuf::valid_offset(self.cfg.block_size) + stage_block, &[0])
+                .expect("staging clear");
+        }
         out.push(Response {
             client,
             seq: header.seq,
@@ -952,7 +1038,15 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
         if tid != 0 {
             self.trace_ids.insert((client, seq), tid);
         }
-        match self.clients[client].fsm.on_submit() {
+        // Track the request in the FSM's in-flight window (per-slot
+        // TraceIds). Should a caller overcommit past the slot count, fall
+        // back to the untracked Fig. 7 transition so the state machine
+        // itself never diverges.
+        let action = self.clients[client]
+            .fsm
+            .submit(seq, tid)
+            .unwrap_or_else(|| self.clients[client].fsm.on_submit());
+        match action {
             SubmitAction::DirectWrite => self.direct_write(client, seq, &payload, cx),
             SubmitAction::StageAndPublish => {
                 self.stage_request(client, seq, &payload, cx);

@@ -26,6 +26,7 @@ fn cfg(batch: usize, run_ms: u64) -> HarnessConfig {
         run: SimDuration::millis(run_ms),
         think: vec![ThinkTime::None],
         seed: 11,
+        window: 1,
     }
 }
 

@@ -36,5 +36,5 @@ pub mod workload;
 
 pub use participant::TxParticipant;
 pub use proto::{ExecItem, TxRequest, TxResponse};
-pub use sim::{TxConfig, TxMetrics, TxSim};
+pub use sim::{run_scalerpc_tx, tx_scale_cfg, TxConfig, TxMetrics, TxSim};
 pub use workload::{TxKind, TxSpec, TxWorkload};

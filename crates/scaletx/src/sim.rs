@@ -1,5 +1,14 @@
 //! The ScaleTX deployment: coordinators, three participants, and the
 //! protocol state machine over any RPC transport.
+//!
+//! Coordinators are *multi-outstanding*: each keeps up to
+//! [`TxConfig::window`] transactions in flight, one per slot, with
+//! independent execute/validate/log/commit pipelines and per-slot
+//! abort/retry. This is the asynchronous client of §3.6.1 applied to OCC:
+//! while one slot's transaction waits out a time slice in which its group
+//! is not served, the other slots keep the coordinator's connections and
+//! CPU busy. `window = 1` reproduces the synchronous coordinator
+//! event-for-event.
 
 use crate::participant::TxParticipant;
 use crate::proto::{ExecItem, TxRequest, TxResponse};
@@ -14,6 +23,10 @@ use rpc_core::transport::{OneSidedAccess, Response, RpcTransport};
 use simcore::stats::Histogram;
 use simcore::{DetRng, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
+
+/// Message slots the transports expose per client; the transaction
+/// window stripes sequence numbers across them, so it must divide this.
+const TRANSPORT_SLOTS: usize = 8;
 
 /// Deployment and workload configuration.
 #[derive(Clone, Debug)]
@@ -45,6 +58,13 @@ pub struct TxConfig {
     /// chattier client side (post recv + CQ poll per message) bind at
     /// the paper's coordinator counts.
     pub coord_cpu_mult: u64,
+    /// Outstanding transactions per coordinator (the asynchronous window
+    /// of §3.6.1). Must divide the transports' 8 message slots, i.e. be
+    /// one of 1/2/4/8: wire sequence numbers are striped as
+    /// `issue * window + slot` so concurrent slots never collide on a
+    /// message slot (`seq % 8`). `1` is the seed's synchronous
+    /// coordinator, reproduced event-for-event.
+    pub window: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -68,6 +88,7 @@ impl Default for TxConfig {
             warmup: SimDuration::millis(2),
             run: SimDuration::millis(6),
             coord_cpu_mult: 8,
+            window: 4,
             seed: 23,
         }
     }
@@ -116,10 +137,13 @@ impl TxMetrics {
     }
 }
 
-/// Coordinator protocol phases.
+/// Coordinator protocol phases (per transaction slot).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
     Idle,
+    /// Begin is gated on the coordinator thread (ignore duplicate
+    /// `Start` events until it runs).
+    Starting,
     Execute,
     Validate,
     Log,
@@ -127,24 +151,34 @@ enum Phase {
     Unlocking,
 }
 
-struct Coord {
+/// One in-flight transaction pipeline.
+struct TxSlot {
     spec: TxSpec,
     phase: Phase,
     pending: usize,
-    /// Expected `(server, seq)` pairs for the current phase (stale or
-    /// duplicate responses are ignored).
-    expected: std::collections::HashSet<(usize, u64)>,
     exec: HashMap<u64, ExecItem>,
     phase_ok: bool,
     /// Servers where write-set locks were acquired.
     locked_servers: Vec<usize>,
     first_started: SimTime,
+}
+
+struct Coord {
+    /// The transaction window: up to `cfg.window` independent pipelines.
+    slots: Vec<TxSlot>,
+    /// Routes `(server, seq)` of an expected response to its slot (stale
+    /// or duplicate responses miss and are ignored).
+    expected: HashMap<(usize, u64), usize>,
     rng: DetRng,
-    next_seq: Vec<u64>,
+    /// Per-server issue counters; the wire seq for a submission from
+    /// `slot` is `issue[server] * window + slot` — strictly monotonic
+    /// per (coordinator, server), unique, and slot-striped modulo the
+    /// transports' message slots.
+    issue: Vec<u64>,
     scratch_mr: MrId,
 }
 
-/// What a coordinator does once its thread gets around to it.
+/// What a coordinator slot does once its thread gets around to it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Action {
     /// Draw and execute the next transaction.
@@ -163,10 +197,10 @@ pub enum Action {
 pub enum TxEv<TEv> {
     /// Forwarded transport event for server `i`.
     Transport(usize, TEv),
-    /// Coordinator begins (or retries) a transaction.
+    /// Coordinator refills idle transaction slots (begin/retry).
     Start(usize),
-    /// A gated phase transition is due.
-    Advance(usize, Action),
+    /// A gated phase transition of `(coordinator, slot)` is due.
+    Advance(usize, usize, Action),
 }
 
 /// The multi-server transaction simulation.
@@ -181,12 +215,14 @@ pub struct TxSim<T: RpcTransport + OneSidedAccess> {
     pub metrics: TxMetrics,
     stop_at: SimTime,
     /// Outstanding one-sided validation reads:
-    /// wr_id → (coordinator, scratch offset, expected version).
-    pending_reads: HashMap<WrId, (usize, usize, u64)>,
+    /// wr_id → (coordinator, slot, scratch offset, expected version).
+    pending_reads: HashMap<WrId, (usize, usize, usize, u64)>,
     /// Coordinator machine threads (shared CPU, as in the harness).
     threads: Vec<simcore::FifoResource>,
     /// Coordinator → thread index.
     thread_of: Vec<usize>,
+    /// Per-slot scratch stride in bytes (validation read buffers).
+    scratch_stride: usize,
 }
 
 /// Shard owning `key`.
@@ -204,6 +240,10 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         mut make_transport: impl FnMut(&mut Fabric, &Cluster, TxParticipant, usize) -> T,
     ) -> TxSim<T> {
         assert!(cfg.servers > 0 && cfg.coordinators > 0);
+        assert!(
+            cfg.window >= 1 && TRANSPORT_SLOTS.is_multiple_of(cfg.window),
+            "window must divide the transports' {TRANSPORT_SLOTS} message slots (1/2/4/8)"
+        );
         let machines: Vec<_> = (0..cfg.client_machines)
             .map(|i| fabric.add_node(&format!("coord-machine-{i}")))
             .collect();
@@ -239,20 +279,24 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                 let machine = machines[c % machines.len()];
                 let scratch_mr = fabric.register_mr(machine, 4096).expect("scratch");
                 Coord {
-                    spec: TxSpec {
-                        reads: vec![],
-                        writes: vec![],
-                        kind: crate::workload::TxKind::ObjStore,
-                    },
-                    phase: Phase::Idle,
-                    pending: 0,
-                    expected: Default::default(),
-                    exec: HashMap::new(),
-                    phase_ok: true,
-                    locked_servers: Vec::new(),
-                    first_started: SimTime::ZERO,
+                    slots: (0..cfg.window)
+                        .map(|_| TxSlot {
+                            spec: TxSpec {
+                                reads: vec![],
+                                writes: vec![],
+                                kind: crate::workload::TxKind::ObjStore,
+                            },
+                            phase: Phase::Idle,
+                            pending: 0,
+                            exec: HashMap::new(),
+                            phase_ok: true,
+                            locked_servers: Vec::new(),
+                            first_started: SimTime::ZERO,
+                        })
+                        .collect(),
+                    expected: HashMap::new(),
                     rng: rng.split(c as u64),
-                    next_seq: vec![0; cfg.servers],
+                    issue: vec![0; cfg.servers],
                     scratch_mr,
                 }
             })
@@ -268,6 +312,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             })
             .collect();
         let threads = vec![simcore::FifoResource::new(); machines.len() * threads_per_machine];
+        let scratch_stride = 4096 / cfg.window;
         TxSim {
             transports,
             kv_mrs,
@@ -284,13 +329,28 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             pending_reads: HashMap::new(),
             threads,
             thread_of,
+            scratch_stride,
         }
     }
 
+    /// Globally unique lock owner for `(coordinator, slot)`. The
+    /// participant stores `txid + 1` in the lock word, so two slots of
+    /// one coordinator must never share a txid.
+    fn txid(&self, c: usize, slot: usize) -> u64 {
+        (c * self.cfg.window + slot) as u64
+    }
+
     /// Charges the coordinator's machine thread for `ops` network
-    /// operations of client-side work and schedules `action` when the
-    /// thread gets to it.
-    fn gate(&mut self, c: usize, ops: usize, action: Action, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+    /// operations of client-side work and schedules `action` for `slot`
+    /// when the thread gets to it.
+    fn gate(
+        &mut self,
+        c: usize,
+        slot: usize,
+        ops: usize,
+        action: Action,
+        cx: &mut Cx<'_, TxEv<T::Ev>>,
+    ) {
         let oh = self.transports[0].client_overhead();
         let per_op = SimDuration::nanos(
             (oh.per_post.as_nanos() + oh.per_response.as_nanos()) * self.cfg.coord_cpu_mult,
@@ -298,7 +358,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         let cost = per_op * ops.max(1) as u64;
         let t = self.thread_of[c];
         let grant = self.threads[t].acquire(cx.now, cost);
-        cx.at(grant.complete, TxEv::Advance(c, action));
+        cx.at(grant.complete, TxEv::Advance(c, slot, action));
     }
 
     /// When measurement (and new transactions) stop.
@@ -306,15 +366,27 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         self.stop_at
     }
 
-    /// Prints non-idle coordinator states (debugging aid).
+    /// Transaction slots currently occupied (not idle) across all
+    /// coordinators. After the post-stop drain this must reach zero — a
+    /// non-zero count means a slot's pipeline deadlocked.
+    pub fn busy_slots(&self) -> usize {
+        self.coords
+            .iter()
+            .flat_map(|co| co.slots.iter())
+            .filter(|s| s.phase != Phase::Idle)
+            .count()
+    }
+
+    /// Prints non-idle coordinator slots (debugging aid).
     pub fn debug_dump(&self) {
         for (c, coord) in self.coords.iter().enumerate() {
-            if coord.phase != Phase::Idle {
-                println!(
-                    "coord {c}: phase {:?} pending {} expected {:?} writes {:?} locked {:?}",
-                    coord.phase, coord.pending, coord.expected, coord.spec.writes,
-                    coord.locked_servers
-                );
+            for (i, slot) in coord.slots.iter().enumerate() {
+                if slot.phase != Phase::Idle {
+                    println!(
+                        "coord {c} slot {i}: phase {:?} pending {} writes {:?} locked {:?}",
+                        slot.phase, slot.pending, slot.spec.writes, slot.locked_servers
+                    );
+                }
             }
         }
         if !self.pending_reads.is_empty() {
@@ -332,14 +404,16 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         &mut self,
         server: usize,
         c: usize,
+        slot: usize,
         req: TxRequest,
         cx: &mut Cx<'_, TxEv<T::Ev>>,
         out: &mut Vec<(usize, Response)>,
     ) {
-        let seq = self.coords[c].next_seq[server];
-        self.coords[c].next_seq[server] += 1;
-        self.coords[c].expected.insert((server, seq));
-        self.coords[c].pending += 1;
+        let base = self.coords[c].issue[server];
+        self.coords[c].issue[server] += 1;
+        let seq = base * self.cfg.window as u64 + slot as u64;
+        self.coords[c].expected.insert((server, seq), slot);
+        self.coords[c].slots[slot].pending += 1;
         let mut responses = Vec::new();
         with_indexed_cx(cx, server, |tcx| {
             self.transports[server].submit(c, seq, req.encode(), tcx, &mut responses)
@@ -347,30 +421,30 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         out.extend(responses.into_iter().map(|r| (server, r)));
     }
 
-    fn begin_tx(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+    fn begin_tx(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
         if cx.now >= self.stop_at {
-            self.coords[c].phase = Phase::Idle;
+            self.coords[c].slots[slot].phase = Phase::Idle;
             return;
         }
         let spec = self.cfg.workload.next_tx(&mut self.coords[c].rng);
-        let coord = &mut self.coords[c];
-        coord.spec = spec;
-        coord.phase = Phase::Execute;
-        coord.pending = 0;
-        coord.expected.clear();
-        coord.exec.clear();
-        coord.phase_ok = true;
-        coord.locked_servers.clear();
-        coord.first_started = cx.now;
+        let txid = self.txid(c, slot);
+        let sl = &mut self.coords[c].slots[slot];
+        sl.spec = spec;
+        sl.phase = Phase::Execute;
+        sl.pending = 0;
+        sl.exec.clear();
+        sl.phase_ok = true;
+        sl.locked_servers.clear();
+        sl.first_started = cx.now;
         // Group R∪W items by shard.
         let mut per_server: BTreeMap<usize, Vec<(u64, bool)>> = BTreeMap::new();
-        for &k in &self.coords[c].spec.reads {
+        for &k in &sl.spec.reads {
             per_server
                 .entry(shard_of(k, self.cfg.servers))
                 .or_default()
                 .push((k, false));
         }
-        for &k in &self.coords[c].spec.writes {
+        for &k in &sl.spec.writes {
             per_server
                 .entry(shard_of(k, self.cfg.servers))
                 .or_default()
@@ -379,23 +453,23 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         let mut out = Vec::new();
         for (s, items) in per_server {
             if items.iter().any(|(_, lock)| *lock) {
-                self.coords[c].locked_servers.push(s);
+                self.coords[c].slots[slot].locked_servers.push(s);
             }
-            self.submit(s, c, TxRequest::Execute { txid: c as u64, items }, cx, &mut out);
+            self.submit(s, c, slot, TxRequest::Execute { txid, items }, cx, &mut out);
         }
         self.dispatch_responses(out, cx);
     }
 
-    fn abort_and_retry(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+    fn abort_and_retry(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
         if cx.now >= self.metrics.window_start && cx.now <= self.metrics.window_end {
             self.metrics.aborted += 1;
         }
-        let locked = std::mem::take(&mut self.coords[c].locked_servers);
+        let locked = std::mem::take(&mut self.coords[c].slots[slot].locked_servers);
         // Locks acquired during execution must be released. With RC
         // transports a one-sided write of zero to each lock word does it
         // without server involvement; otherwise an Unlock RPC.
         if self.one_sided_active() {
-            let writes: Vec<(usize, u64)> = self.coords[c]
+            let writes: Vec<(usize, u64)> = self.coords[c].slots[slot]
                 .spec
                 .writes
                 .iter()
@@ -406,7 +480,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                     }
                     // Items whose Execute response never arrived (their
                     // server failed) carry no address and hold no lock.
-                    self.coords[c].exec.get(&k).map(|e| (s, e.item_off))
+                    self.coords[c].slots[slot].exec.get(&k).map(|e| (s, e.item_off))
                 })
                 .collect();
             for (s, item_off) in writes {
@@ -425,14 +499,14 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                     .expect("unlock write");
                 });
             }
-            self.schedule_retry(c, cx);
+            self.schedule_retry(c, slot, cx);
         } else if locked.is_empty() {
-            self.schedule_retry(c, cx);
+            self.schedule_retry(c, slot, cx);
         } else {
-            self.coords[c].phase = Phase::Unlocking;
-            self.coords[c].pending = 0;
-            self.coords[c].expected.clear();
-            let spec_writes = self.coords[c].spec.writes.clone();
+            let txid = self.txid(c, slot);
+            self.coords[c].slots[slot].phase = Phase::Unlocking;
+            self.coords[c].slots[slot].pending = 0;
+            let spec_writes = self.coords[c].slots[slot].spec.writes.clone();
             let mut out = Vec::new();
             for s in locked {
                 let keys: Vec<u64> = spec_writes
@@ -440,52 +514,57 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                     .copied()
                     .filter(|&k| shard_of(k, self.cfg.servers) == s)
                     .collect();
-                self.submit(s, c, TxRequest::Unlock { txid: c as u64, keys }, cx, &mut out);
+                self.submit(s, c, slot, TxRequest::Unlock { txid, keys }, cx, &mut out);
             }
             self.dispatch_responses(out, cx);
         }
     }
 
-    fn schedule_retry(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
-        self.coords[c].phase = Phase::Idle;
+    fn schedule_retry(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        self.coords[c].slots[slot].phase = Phase::Idle;
         let backoff = SimDuration::nanos(2_000 + self.coords[c].rng.below(8_000));
         cx.after(backoff, TxEv::Start(c));
     }
 
-    fn commit_done(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
-        let latency = cx.now.saturating_since(self.coords[c].first_started);
+    fn commit_done(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        let latency = cx.now.saturating_since(self.coords[c].slots[slot].first_started);
         if cx.now >= self.metrics.window_start && cx.now <= self.metrics.window_end {
             self.metrics.committed += 1;
             self.metrics.latency.record_duration(latency);
         }
-        self.coords[c].phase = Phase::Idle;
+        self.coords[c].slots[slot].phase = Phase::Idle;
         cx.at(cx.now, TxEv::Start(c));
     }
 
     /// Starts the validation phase (or skips ahead when R is empty).
-    fn start_validate(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
-        if self.coords[c].spec.reads.is_empty() {
-            self.start_log(c, cx);
+    fn start_validate(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        if self.coords[c].slots[slot].spec.reads.is_empty() {
+            self.start_log(c, slot, cx);
             return;
         }
-        self.coords[c].phase = Phase::Validate;
-        self.coords[c].pending = 0;
-        self.coords[c].expected.clear();
-        self.coords[c].phase_ok = true;
+        self.coords[c].slots[slot].phase = Phase::Validate;
+        self.coords[c].slots[slot].pending = 0;
+        self.coords[c].slots[slot].phase_ok = true;
         if self.one_sided_active() {
             // One 8-byte RDMA read per read-set version (§4.2 step 2).
-            let reads: Vec<(usize, u64, u64)> = self.coords[c]
+            // Each slot owns a disjoint stride of the scratch buffer so
+            // concurrent validations never clobber each other.
+            let reads: Vec<(usize, u64, u64)> = self.coords[c].slots[slot]
                 .spec
                 .reads
                 .iter()
                 .map(|&k| {
-                    let e = &self.coords[c].exec[&k];
+                    let e = &self.coords[c].slots[slot].exec[&k];
                     (shard_of(k, self.cfg.servers), e.item_off, e.version)
                 })
                 .collect();
             for (i, (s, item_off, version)) in reads.into_iter().enumerate() {
                 let qp = self.transports[s].client_qp(c).expect("one-sided active");
-                let scratch_off = i * 8;
+                let scratch_off = slot * self.scratch_stride + i * 8;
+                assert!(
+                    i * 8 + 8 <= self.scratch_stride,
+                    "read set too large for per-slot scratch stride"
+                );
                 let scratch = self.coords[c].scratch_mr;
                 let info = with_indexed_cx(cx, s, |tcx| {
                     tcx.post(
@@ -501,15 +580,15 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                     )
                     .expect("validation read")
                 });
-                self.coords[c].pending += 1;
+                self.coords[c].slots[slot].pending += 1;
                 self.pending_reads
-                    .insert(info.wr_id, (c, scratch_off, version));
+                    .insert(info.wr_id, (c, slot, scratch_off, version));
             }
         } else {
             let mut per_server: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
-            let reads = self.coords[c].spec.reads.clone();
+            let reads = self.coords[c].slots[slot].spec.reads.clone();
             for k in reads {
-                let v = self.coords[c].exec[&k].version;
+                let v = self.coords[c].slots[slot].exec[&k].version;
                 per_server
                     .entry(shard_of(k, self.cfg.servers))
                     .or_default()
@@ -517,39 +596,38 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             }
             let mut out = Vec::new();
             for (s, items) in per_server {
-                self.submit(s, c, TxRequest::Validate { items }, cx, &mut out);
+                self.submit(s, c, slot, TxRequest::Validate { items }, cx, &mut out);
             }
             self.dispatch_responses(out, cx);
         }
     }
 
-    fn new_values(&self, c: usize) -> Vec<(u64, Vec<u8>)> {
-        let coord = &self.coords[c];
+    fn new_values(&self, c: usize, slot: usize) -> Vec<(u64, Vec<u8>)> {
+        let sl = &self.coords[c].slots[slot];
         let old = |k: u64| -> i64 {
-            let v = &coord.exec[&k].value;
+            let v = &sl.exec[&k].value;
             let mut b = [0u8; 8];
             let n = v.len().min(8);
             b[..n].copy_from_slice(&v[..n]);
             i64::from_le_bytes(b)
         };
-        coord
-            .spec
+        sl.spec
             .writes
             .iter()
-            .map(|&k| (k, coord.spec.new_value(k, &old)))
+            .map(|&k| (k, sl.spec.new_value(k, &old)))
             .collect()
     }
 
-    fn start_log(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
-        if self.coords[c].spec.writes.is_empty() {
+    fn start_log(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        if self.coords[c].slots[slot].spec.writes.is_empty() {
             // Read-only transaction: validated means committed.
-            self.commit_done(c, cx);
+            self.commit_done(c, slot, cx);
             return;
         }
-        self.coords[c].phase = Phase::Log;
-        self.coords[c].pending = 0;
-        self.coords[c].expected.clear();
-        let values = self.new_values(c);
+        let txid = self.txid(c, slot);
+        self.coords[c].slots[slot].phase = Phase::Log;
+        self.coords[c].slots[slot].pending = 0;
+        let values = self.new_values(c, slot);
         let mut per_server: BTreeMap<usize, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
         for (k, v) in values {
             per_server
@@ -559,19 +637,19 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         }
         let mut out = Vec::new();
         for (s, records) in per_server {
-            self.submit(s, c, TxRequest::Log { txid: c as u64, records }, cx, &mut out);
+            self.submit(s, c, slot, TxRequest::Log { txid, records }, cx, &mut out);
         }
         self.dispatch_responses(out, cx);
     }
 
-    fn start_commit(&mut self, c: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
-        let values = self.new_values(c);
+    fn start_commit(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        let values = self.new_values(c, slot);
         if self.one_sided_active() {
             // §4.2 step 3: install each write with one RDMA write carrying
             // version+1, a cleared lock and the value — and don't wait.
             for (k, v) in values {
                 let s = shard_of(k, self.cfg.servers);
-                let e = &self.coords[c].exec[&k];
+                let e = &self.coords[c].slots[slot].exec[&k];
                 let img = mica_kv::item::commit_image(k, e.version + 1, &v);
                 let qp = self.transports[s].client_qp(c).expect("one-sided active");
                 let kv_mr = self.kv_mrs[s];
@@ -590,11 +668,11 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                     .expect("commit write")
                 });
             }
-            self.commit_done(c, cx);
+            self.commit_done(c, slot, cx);
         } else {
-            self.coords[c].phase = Phase::Commit;
-            self.coords[c].pending = 0;
-            self.coords[c].expected.clear();
+            let txid = self.txid(c, slot);
+            self.coords[c].slots[slot].phase = Phase::Commit;
+            self.coords[c].slots[slot].pending = 0;
             let mut per_server: BTreeMap<usize, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
             for (k, v) in values {
                 per_server
@@ -604,7 +682,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             }
             let mut out = Vec::new();
             for (s, items) in per_server {
-                self.submit(s, c, TxRequest::Commit { txid: c as u64, items }, cx, &mut out);
+                self.submit(s, c, slot, TxRequest::Commit { txid, items }, cx, &mut out);
             }
             self.dispatch_responses(out, cx);
         }
@@ -617,55 +695,53 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         cx: &mut Cx<'_, TxEv<T::Ev>>,
     ) {
         let c = resp.client;
-        if !self.coords[c].expected.remove(&(server, resp.seq)) {
+        let Some(slot) = self.coords[c].expected.remove(&(server, resp.seq)) else {
             return; // stale or duplicate
-        }
-        self.coords[c].pending -= 1;
+        };
+        self.coords[c].slots[slot].pending -= 1;
         let decoded = TxResponse::decode(&resp.payload);
-        match (self.coords[c].phase, decoded) {
+        let sl = &mut self.coords[c].slots[slot];
+        match (sl.phase, decoded) {
             (Phase::Execute, Some(TxResponse::Execute { all_ok, items })) => {
                 if all_ok {
                     for it in items {
-                        self.coords[c].exec.insert(it.key, it);
+                        sl.exec.insert(it.key, it);
                     }
                 } else {
-                    self.coords[c].phase_ok = false;
+                    sl.phase_ok = false;
                     // This server acquired nothing (it rolled back).
-                    self.coords[c].locked_servers.retain(|&s| s != server);
+                    sl.locked_servers.retain(|&s| s != server);
                 }
-                if self.coords[c].pending == 0 {
-                    let n = self.coords[c].exec.len();
-                    if self.coords[c].phase_ok {
-                        self.gate(c, n + 1, Action::Validate, cx);
+                if sl.pending == 0 {
+                    let n = sl.exec.len();
+                    if sl.phase_ok {
+                        self.gate(c, slot, n + 1, Action::Validate, cx);
                     } else {
-                        self.gate(c, 2, Action::Abort, cx);
+                        self.gate(c, slot, 2, Action::Abort, cx);
                     }
                 }
             }
             (Phase::Validate, Some(TxResponse::Validate { ok })) => {
-                self.coords[c].phase_ok &= ok;
-                if self.coords[c].pending == 0 {
-                    let n = self.coords[c].spec.reads.len();
-                    if self.coords[c].phase_ok {
-                        self.gate(c, n, Action::Log, cx);
+                sl.phase_ok &= ok;
+                if sl.pending == 0 {
+                    let n = sl.spec.reads.len();
+                    if sl.phase_ok {
+                        self.gate(c, slot, n, Action::Log, cx);
                     } else {
-                        self.gate(c, 2, Action::Abort, cx);
+                        self.gate(c, slot, 2, Action::Abort, cx);
                     }
                 }
             }
-            (Phase::Log, Some(TxResponse::Ok))
-                if self.coords[c].pending == 0 => {
-                    let n = self.coords[c].spec.writes.len();
-                    self.gate(c, n, Action::Commit, cx);
-                }
-            (Phase::Commit, Some(TxResponse::Ok))
-                if self.coords[c].pending == 0 => {
-                    self.commit_done(c, cx);
-                }
-            (Phase::Unlocking, Some(TxResponse::Ok))
-                if self.coords[c].pending == 0 => {
-                    self.schedule_retry(c, cx);
-                }
+            (Phase::Log, Some(TxResponse::Ok)) if sl.pending == 0 => {
+                let n = sl.spec.writes.len();
+                self.gate(c, slot, n, Action::Commit, cx);
+            }
+            (Phase::Commit, Some(TxResponse::Ok)) if sl.pending == 0 => {
+                self.commit_done(c, slot, cx);
+            }
+            (Phase::Unlocking, Some(TxResponse::Ok)) if sl.pending == 0 => {
+                self.schedule_retry(c, slot, cx);
+            }
             _ => {}
         }
     }
@@ -682,7 +758,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
 
     /// A one-sided validation read completed: check the version.
     fn on_read_done(&mut self, wr_id: WrId, cx: &mut Cx<'_, TxEv<T::Ev>>) {
-        let Some((c, scratch_off, expect)) = self.pending_reads.remove(&wr_id) else {
+        let Some((c, slot, scratch_off, expect)) = self.pending_reads.remove(&wr_id) else {
             return;
         };
         let got = cx
@@ -691,16 +767,17 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             .expect("scratch")
             .read_u64(scratch_off)
             .expect("aligned");
+        let sl = &mut self.coords[c].slots[slot];
         if got != expect {
-            self.coords[c].phase_ok = false;
+            sl.phase_ok = false;
         }
-        self.coords[c].pending -= 1;
-        if self.coords[c].pending == 0 && self.coords[c].phase == Phase::Validate {
-            let n = self.coords[c].spec.reads.len();
-            if self.coords[c].phase_ok {
-                self.gate(c, n, Action::Log, cx);
+        sl.pending -= 1;
+        if sl.pending == 0 && sl.phase == Phase::Validate {
+            let n = sl.spec.reads.len();
+            if sl.phase_ok {
+                self.gate(c, slot, n, Action::Log, cx);
             } else {
-                self.gate(c, 2, Action::Abort, cx);
+                self.gate(c, slot, 2, Action::Abort, cx);
             }
         }
     }
@@ -752,20 +829,20 @@ impl<T: RpcTransport + OneSidedAccess> Logic for TxSim<T> {
                 self.dispatch_responses(all, cx);
             }
             TxEv::Start(c) => {
-                if self.coords[c].phase == Phase::Idle {
-                    let ops = 2;
-                    self.gate(c, ops, Action::Begin, cx);
-                    // Mark busy so duplicate Start events are ignored.
-                    self.coords[c].phase = Phase::Execute;
-                    self.coords[c].pending = usize::MAX; // placeholder until Begin runs
+                // Refill every idle slot of the window.
+                for slot in 0..self.coords[c].slots.len() {
+                    if self.coords[c].slots[slot].phase == Phase::Idle {
+                        self.coords[c].slots[slot].phase = Phase::Starting;
+                        self.gate(c, slot, 2, Action::Begin, cx);
+                    }
                 }
             }
-            TxEv::Advance(c, action) => match action {
-                Action::Begin => self.begin_tx(c, cx),
-                Action::Validate => self.start_validate(c, cx),
-                Action::Log => self.start_log(c, cx),
-                Action::Commit => self.start_commit(c, cx),
-                Action::Abort => self.abort_and_retry(c, cx),
+            TxEv::Advance(c, slot, action) => match action {
+                Action::Begin => self.begin_tx(c, slot, cx),
+                Action::Validate => self.start_validate(c, slot, cx),
+                Action::Log => self.start_log(c, slot, cx),
+                Action::Commit => self.start_commit(c, slot, cx),
+                Action::Abort => self.abort_and_retry(c, slot, cx),
             },
         }
     }
@@ -780,6 +857,23 @@ fn with_indexed_cx<TEv, R>(
     cx.scoped(move |ev| TxEv::Transport(index, ev), f)
 }
 
+/// The ScaleRPC operating point for transaction deployments.
+///
+/// An OCC transaction is a multi-round-trip dialogue (Execute →
+/// Validate → Log → Commit), so a coordinator extracts far fewer
+/// completions per scheduling quantum than a closed-loop echo client:
+/// every phase boundary that straddles a context switch costs a full
+/// group rotation. The RPC default of 100 µs (tuned for single-shot
+/// echoes, Fig. 11(a)) makes a 4-phase transaction pay that rotation
+/// tax several times per commit; quadrupling the slice amortizes it
+/// while the asynchronous window keeps the duty-cycle loss bounded.
+pub fn tx_scale_cfg() -> scalerpc::ScaleRpcConfig {
+    scalerpc::ScaleRpcConfig {
+        time_slice: SimDuration::micros(400),
+        ..Default::default()
+    }
+}
+
 /// Convenience: build and run a ScaleTX deployment over ScaleRPC with the
 /// given slice stagger (0 = globally synchronized schedules).
 pub fn run_scalerpc_tx(
@@ -788,9 +882,14 @@ pub fn run_scalerpc_tx(
     stagger: SimDuration,
 ) -> Sim<TxSim<scalerpc::ScaleRpc<TxParticipant>>> {
     let mut fabric = Fabric::new(FabricParams::default());
+    let window = cfg.window;
     let tx = TxSim::build(&mut fabric, cfg, |fabric, cluster, part, s| {
         let mut sc = scale_cfg.clone();
         sc.first_slice_offset = SimDuration::nanos(stagger.as_nanos() * s as u64);
+        // The RPC client keeps as many requests open as the transaction
+        // window can have outstanding per server (ctx-switch re-arming
+        // comes along with it).
+        sc.client_window = sc.client_window.max(window.min(sc.slots));
         scalerpc::ScaleRpc::new(fabric, cluster, sc, part)
     });
     let stop = tx.stop_at();

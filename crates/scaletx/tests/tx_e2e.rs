@@ -23,6 +23,7 @@ fn small_cfg(workload: TxWorkload, one_sided: bool, coordinators: usize) -> TxCo
         run: SimDuration::millis(4),
         coord_cpu_mult: 8,
         seed: 23,
+        window: 1,
     }
 }
 

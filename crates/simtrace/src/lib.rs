@@ -100,6 +100,11 @@ pub enum InstantKind {
     GroupSplit,
     /// A replan merged groups (`a` = groups before, `b` = groups after).
     GroupMerge,
+    /// The dynamic scheduler re-evaluated client priorities and rebuilt
+    /// its group plan — emitted for *every* replan, including ones that
+    /// keep the group count unchanged (`a` = rotation count,
+    /// `b` = groups after the replan).
+    GroupReprioritize,
     /// A warmup RDMA read was issued (`a` = client, `b` = slice epoch).
     WarmupFetchIssue,
     /// A warmup RDMA read completed (`a` = client, `b` = slice epoch).
@@ -124,6 +129,7 @@ impl InstantKind {
             InstantKind::GroupSwitch => "group_switch",
             InstantKind::GroupSplit => "group_split",
             InstantKind::GroupMerge => "group_merge",
+            InstantKind::GroupReprioritize => "group_reprioritize",
             InstantKind::WarmupFetchIssue => "warmup_fetch_issue",
             InstantKind::WarmupFetchDone => "warmup_fetch_done",
             InstantKind::LegacyDemotion => "legacy_demotion",

@@ -57,6 +57,7 @@ fn main() {
             run: SimDuration::millis(8),
             think: vec![ThinkTime::None],
             seed: 1,
+            window: 1,
         },
     );
 

@@ -30,6 +30,7 @@ fn cfg(one_sided: bool) -> TxConfig {
         run: SimDuration::millis(6),
         coord_cpu_mult: 8,
         seed: 7,
+        window: 4,
     }
 }
 

@@ -30,6 +30,7 @@ fn cfg() -> HarnessConfig {
         run: SimDuration::millis(3),
         think: vec![ThinkTime::None],
         seed: 5,
+        window: 1,
     }
 }
 

@@ -62,6 +62,7 @@ fn long_running_rpcs_move_to_legacy_mode() {
             run: SimDuration::millis(6),
             think: vec![ThinkTime::None],
             seed: 3,
+            window: 1,
         },
     );
     let stop = h.stop_at();
@@ -157,6 +158,133 @@ fn remote_errors_reach_the_requester_not_the_victim() {
 }
 
 #[test]
+fn windowed_lock_storm_converges_without_stuck_slots() {
+    // The same hot-set storm with four concurrent transaction slots per
+    // coordinator: abort/retry under W > 1 must neither deadlock a slot
+    // (every pipeline returns to Idle after the drain) nor leave a lock
+    // held, and slots must not double-commit each other's write sets
+    // (txids are slot-unique, so a stuck/foreign lock would show up as
+    // a non-zero lock word below).
+    use scalerpc_repro::scaletx::sim::run_scalerpc_tx;
+    use scalerpc_repro::scaletx::workload::TxWorkload;
+    use scalerpc_repro::scaletx::TxConfig;
+
+    let cfg = TxConfig {
+        coordinators: 32,
+        servers: 3,
+        client_machines: 4,
+        workload: TxWorkload::ObjectStore {
+            reads: 1,
+            writes: 2,
+            keys_per_server: 4, // 12 keys total: extreme contention
+            servers: 3,
+        },
+        one_sided: true,
+        value_size: 8,
+        keys_per_server: 4,
+        initial_balance: 0,
+        warmup: SimDuration::millis(1),
+        run: SimDuration::millis(5),
+        coord_cpu_mult: 8,
+        seed: 13,
+        window: 4,
+    };
+    let sim = run_scalerpc_tx(
+        cfg,
+        ScaleRpcConfig {
+            group_size: 16,
+            slots: 8,
+            block_size: 2048,
+            ..Default::default()
+        },
+        SimDuration::ZERO,
+    );
+    let m = &sim.logic.metrics;
+    // 128 concurrent transactions on 12 keys abort far more often than
+    // the synchronous storm; the bar is liveness, not rate.
+    assert!(m.committed > 100, "committed {}", m.committed);
+    assert!(m.aborted > 50, "contention must cause aborts: {}", m.aborted);
+    assert_eq!(
+        sim.logic.busy_slots(),
+        0,
+        "coordinator slots still busy after the drain — pipeline deadlock"
+    );
+    for s in 0..3 {
+        let part = sim.logic.transports[s].handler();
+        for key in 0..12u64 {
+            if scalerpc_repro::scaletx::sim::shard_of(key, 3) != s {
+                continue;
+            }
+            if let Some(it) = part.peek(&sim.fabric, key) {
+                assert_eq!(it.lock, 0, "key {key} left locked");
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_smallbank_holds_serializability_witnesses() {
+    // SmallBank with four outstanding transactions per coordinator on a
+    // hot account set: after the drain every account must be unlocked
+    // and untorn (8 bytes, decodable), the same witnesses the W = 1
+    // suite pins — concurrency inside one coordinator must not weaken
+    // them.
+    use scalerpc_repro::scaletx::sim::{run_scalerpc_tx, shard_of};
+    use scalerpc_repro::scaletx::workload::{checking_key, savings_key, TxWorkload};
+    use scalerpc_repro::scaletx::TxConfig;
+
+    let mut workload = TxWorkload::smallbank(100, 3);
+    if let TxWorkload::SmallBank { hot_prob, .. } = &mut workload {
+        *hot_prob = 1.0; // maximize conflicts on the hot set
+    }
+    let cfg = TxConfig {
+        coordinators: 24,
+        servers: 3,
+        client_machines: 4,
+        workload,
+        one_sided: true,
+        value_size: 8,
+        keys_per_server: 400,
+        initial_balance: 1_000,
+        warmup: SimDuration::millis(1),
+        run: SimDuration::millis(4),
+        coord_cpu_mult: 8,
+        seed: 23,
+        window: 4,
+    };
+    let sim = run_scalerpc_tx(
+        cfg,
+        ScaleRpcConfig {
+            group_size: 20,
+            slots: 8,
+            block_size: 2048,
+            ..Default::default()
+        },
+        SimDuration::ZERO,
+    );
+    assert!(
+        sim.logic.metrics.committed > 500,
+        "committed {}",
+        sim.logic.metrics.committed
+    );
+    assert_eq!(sim.logic.busy_slots(), 0, "slot deadlock after drain");
+    let total_accounts = (400u64 * 3) / 2;
+    for s in 0..3 {
+        let part = sim.logic.transports[s].handler();
+        for a in 0..total_accounts {
+            for key in [checking_key(a), savings_key(a)] {
+                if shard_of(key, 3) != s {
+                    continue;
+                }
+                let it = part.peek(&sim.fabric, key).expect("account exists");
+                assert_eq!(it.lock, 0, "key {key} stuck locked");
+                assert_eq!(it.value.len(), 8, "torn value");
+            }
+        }
+    }
+}
+
+#[test]
 fn lock_storm_converges() {
     // Every coordinator hammers the same tiny hot set; the system must
     // keep committing (aborts retried) and leave no stuck locks.
@@ -182,6 +310,7 @@ fn lock_storm_converges() {
         run: SimDuration::millis(5),
         coord_cpu_mult: 8,
         seed: 13,
+        window: 1,
     };
     let sim = run_scalerpc_tx(
         cfg,

@@ -3,10 +3,20 @@
 
 use proptest::prelude::*;
 use scalerpc_repro::mica_kv::KvTable;
+use scalerpc_repro::scalerpc::client::SubmitAction;
+use scalerpc_repro::scalerpc::{ClientFsm, ClientState};
 use scalerpc_repro::octofs::{FsOp, FsRequest, FsResponse};
 use scalerpc_repro::rpc_core::message::{MsgBuf, RpcHeader};
 use scalerpc_repro::scaletx::{TxRequest, TxResponse};
 use scalerpc_repro::simcore::stats::Histogram;
+
+/// Naive reference state for the Fig. 7 client FSM proptest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RefState {
+    Idle,
+    Warmup,
+    Process,
+}
 
 proptest! {
     #[test]
@@ -121,6 +131,130 @@ proptest! {
             prop_assert!(v >= lo && v <= hi, "q{q} = {v} outside [{lo}, {hi}]");
         }
         prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn windowed_client_fsm_matches_naive_queue_model(
+        window in 1usize..=8,
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..200),
+    ) {
+        // Reference: the Fig. 7 transitions written as a bare match over
+        // an enum, plus a plain Vec as the in-flight queue. The real FSM
+        // must agree with it under arbitrary submit / out-of-order
+        // respond / ctx-notify interleavings.
+        let mut fsm = ClientFsm::with_window(window);
+        let mut ref_state = RefState::Idle;
+        let mut ref_q: Vec<(u64, u64)> = Vec::new();
+        let mut next_seq = 0u64;
+        let mut retired: Vec<u64> = Vec::new();
+        for (op, pick, ctx) in ops {
+            match op % 3 {
+                0 => {
+                    let seq = next_seq;
+                    let tid = 1_000 + seq;
+                    let action = fsm.submit(seq, tid);
+                    if ref_q.len() == window {
+                        // Window full: refused, nothing changes.
+                        prop_assert_eq!(action, None);
+                    } else {
+                        next_seq += 1;
+                        ref_q.push((seq, tid));
+                        let want = match ref_state {
+                            RefState::Idle => {
+                                ref_state = RefState::Warmup;
+                                SubmitAction::StageAndPublish
+                            }
+                            RefState::Warmup => SubmitAction::StageOnly,
+                            RefState::Process => SubmitAction::DirectWrite,
+                        };
+                        prop_assert_eq!(action, Some(want));
+                    }
+                }
+                1 => {
+                    if ref_q.is_empty() {
+                        // Nothing in flight: a stray (already-retired or
+                        // never-submitted) seq must be rejected.
+                        let bogus = retired.get(pick as usize % retired.len().max(1));
+                        let seq = bogus.copied().unwrap_or(u64::MAX);
+                        prop_assert!(fsm.complete(seq, ctx).is_none());
+                    } else {
+                        // Responses may retire any in-flight request, in
+                        // any order.
+                        let idx = pick as usize % ref_q.len();
+                        let (seq, tid) = ref_q.remove(idx);
+                        let done = fsm.complete(seq, ctx);
+                        prop_assert!(done.is_some(), "response for {seq} lost");
+                        let done = done.unwrap();
+                        prop_assert_eq!((done.seq, done.tag), (seq, tid));
+                        // A second completion of the same seq is a
+                        // duplicate and must be refused.
+                        prop_assert!(fsm.complete(seq, ctx).is_none());
+                        retired.push(seq);
+                        if ctx {
+                            ref_state = RefState::Idle;
+                        } else if ref_state == RefState::Warmup {
+                            ref_state = RefState::Process;
+                        }
+                    }
+                }
+                _ => {
+                    fsm.on_ctx_notify();
+                    ref_state = RefState::Idle;
+                    let rearmed = fsm.rearm();
+                    if ref_q.is_empty() {
+                        prop_assert!(!rearmed);
+                    } else {
+                        prop_assert!(rearmed);
+                        ref_state = RefState::Warmup;
+                    }
+                }
+            }
+            prop_assert_eq!(fsm.in_flight(), ref_q.len());
+            prop_assert!(fsm.in_flight() <= window);
+            let want = match ref_state {
+                RefState::Idle => ClientState::Idle,
+                RefState::Warmup => ClientState::Warmup,
+                RefState::Process => ClientState::Process,
+            };
+            prop_assert_eq!(fsm.state(), want);
+        }
+    }
+
+    #[test]
+    fn window_one_transcript_matches_seed_fsm(
+        ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..200),
+    ) {
+        // W = 1 must behave exactly like the seed's untracked FSM driven
+        // synchronously: same action on every submit, same state after
+        // every event.
+        let mut win = ClientFsm::with_window(1);
+        let mut seed = ClientFsm::new();
+        let mut in_flight = false;
+        let mut seq = 0u64;
+        for (op, ctx) in ops {
+            match op % 3 {
+                0 if !in_flight => {
+                    let a = win.submit(seq, 0);
+                    let b = seed.on_submit();
+                    prop_assert_eq!(a, Some(b));
+                    in_flight = true;
+                }
+                1 if in_flight => {
+                    prop_assert!(win.complete(seq, ctx).is_some());
+                    seed.on_response(ctx);
+                    in_flight = false;
+                    seq += 1;
+                }
+                2 => {
+                    win.on_ctx_notify();
+                    seed.on_ctx_notify();
+                    // The synchronous client never re-arms: the harness
+                    // only notifies between whole batches.
+                }
+                _ => {}
+            }
+            prop_assert_eq!(win.state(), seed.state());
+        }
     }
 
     #[test]

@@ -45,6 +45,19 @@ struct TracedRun {
 /// slots, so the bit-identity test runs without it to compare raw
 /// event counts.
 fn run_scalerpc_traced(clients: usize, tracer: Tracer, sample: bool) -> TracedRun {
+    run_scalerpc_traced_w(clients, tracer, sample, 8, 1)
+}
+
+/// As [`run_scalerpc_traced`], but with an explicit batch size and
+/// client window (`window > 1` drives the asynchronous pipeline and
+/// enables context-switch re-arming in the transport).
+fn run_scalerpc_traced_w(
+    clients: usize,
+    tracer: Tracer,
+    sample: bool,
+    batch: usize,
+    window: usize,
+) -> TracedRun {
     let warmup = SimDuration::millis(1);
     let run = SimDuration::millis(2);
     let mut fabric = Fabric::new(FabricParams::default());
@@ -59,22 +72,20 @@ fn run_scalerpc_traced(clients: usize, tracer: Tracer, sample: bool) -> TracedRu
         },
     );
     let server = cluster.server;
-    let transport = ScaleRpc::new(
-        &mut fabric,
-        &cluster,
-        ScaleRpcConfig::default(),
-        EchoHandler::default(),
-    );
+    let mut scfg = ScaleRpcConfig::default();
+    scfg.client_window = scfg.client_window.max(window.min(scfg.slots));
+    let transport = ScaleRpc::new(&mut fabric, &cluster, scfg, EchoHandler::default());
     let mut harness = Harness::new(
         transport,
         cluster,
         HarnessConfig {
-            batch_size: 8,
+            batch_size: batch,
             request_size: 32,
             warmup,
             run,
             think: vec![ThinkTime::None],
             seed: 1,
+            window,
         },
     );
     if sample {
@@ -257,6 +268,7 @@ where
             run: SimDuration::micros(700),
             think: vec![ThinkTime::None],
             seed: 1,
+            window: 1,
         },
     );
     let stop = harness.stop_at();
@@ -318,6 +330,126 @@ fn fasst_emits_handler_and_response_spans() {
         Fasst::new(fabric, cluster, 4096, EchoHandler::default())
     });
     assert_baseline_spans(&log, "FaSST");
+}
+
+#[test]
+fn windowed_pipeline_trace_ids_are_unique_and_stage_ordered() {
+    // The asynchronous client (W = 4, batch 1) tags every in-flight
+    // request with its own TraceId. With four requests open per client
+    // the ids must still be unique per RPC and every recorded pipeline
+    // must advance through its stages in causal order — interleaving
+    // the slots must never cross-wire two requests' spans.
+    let run = run_scalerpc_traced_w(120, Tracer::enabled(), false, 1, 4);
+    let q = TraceQuery::new(&run.log);
+
+    // Per-RPC TraceIds are unique: one ClientPost span per id.
+    let mut posts_by_id = std::collections::HashMap::new();
+    for span in q.spans_of(Stage::ClientPost) {
+        *posts_by_id.entry(span.id).or_insert(0u32) += 1;
+    }
+    assert!(posts_by_id.len() > 5_000, "too few posts: {}", posts_by_id.len());
+    let dup = posts_by_id.iter().find(|(_, &n)| n > 1);
+    assert!(dup.is_none(), "TraceId {:?} reused across requests", dup);
+
+    // Every complete pipeline is stage-ordered on its causal
+    // milestones: the request is posted before the handler runs, and
+    // the handler runs before the response closes. (A single logical
+    // RPC legitimately owns several wire transfers — endpoint publish,
+    // staged-batch warmup fetch — so the NIC/Link/DMA sub-spans of one
+    // id may interleave; the milestones may not.)
+    let mut complete = 0;
+    for span in q.spans_of(Stage::Response) {
+        let pipeline = q.rpc(span.id);
+        let Some(post) = pipeline.iter().find(|s| s.stage == Stage::ClientPost) else {
+            continue;
+        };
+        complete += 1;
+        let handler = pipeline.iter().find(|s| s.stage == Stage::Handler);
+        if let Some(h) = handler {
+            assert!(
+                post.start <= h.start,
+                "rpc {}: handler at {:?} before post at {:?}",
+                span.id,
+                h.start,
+                post.start
+            );
+            assert!(
+                h.start <= span.end,
+                "rpc {}: response closed at {:?} before handler at {:?}",
+                span.id,
+                span.end,
+                h.start
+            );
+        }
+        assert!(
+            post.start <= span.start,
+            "rpc {}: response at {:?} before post at {:?}",
+            span.id,
+            span.start,
+            post.start
+        );
+    }
+    assert!(complete > 5_000, "too few complete pipelines: {complete}");
+
+    // The window actually pipelines: some client must have posted a new
+    // request before the previous one's response closed. Group posts by
+    // originating client and look for overlap between consecutive
+    // pipelines of the same client.
+    let mut by_client: std::collections::HashMap<u64, Vec<(SimTime, u64)>> =
+        std::collections::HashMap::new();
+    for span in q.spans_of(Stage::ClientPost) {
+        by_client.entry(span.client).or_default().push((span.start, span.id));
+    }
+    let mut overlapped = false;
+    'outer: for posts in by_client.values_mut() {
+        posts.sort();
+        for pair in posts.windows(2) {
+            let (first_post, first_id) = pair[0];
+            let (second_post, _) = pair[1];
+            let Some(lat) = q.rpc_latency(first_id) else {
+                continue;
+            };
+            let first_end = first_post + lat;
+            if second_post < first_end {
+                overlapped = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(overlapped, "no client ever had two requests in flight at W=4");
+}
+
+#[test]
+fn scheduler_replans_are_recorded_as_reprioritize_instants() {
+    // §3.2's dynamic scheduler re-evaluates groups every
+    // `regroup_rotations` (default 4) complete rotations. Each replan —
+    // whether or not it splits or merges — must land in the trace as a
+    // GroupReprioritize instant carrying the rotation count and the
+    // group count after the decision, queryable via TraceQuery.
+    let run = run_scalerpc_traced(120, Tracer::enabled(), false);
+    let q = TraceQuery::new(&run.log);
+    let replans: Vec<_> = q.instants(InstantKind::GroupReprioritize).collect();
+    assert!(
+        !replans.is_empty(),
+        "no GroupReprioritize instants in a {} µs run with regroup_rotations = 4",
+        run.stop.as_nanos() / 1_000,
+    );
+    let regroup = ScaleRpcConfig::default().regroup_rotations as u64;
+    for i in &replans {
+        assert!(
+            i.a >= regroup,
+            "replan at {:?} after only {} rotations",
+            i.at,
+            i.a
+        );
+        assert!(i.b >= 1, "replan reports zero groups");
+        assert!(i.at <= run.stop + SimDuration::millis(3));
+    }
+    // Replans happen within the run (not just at teardown) and the
+    // rotation counter is non-decreasing over the recorded sequence.
+    for pair in replans.windows(2) {
+        assert!(pair[0].at <= pair[1].at);
+    }
 }
 
 #[test]
