@@ -32,8 +32,20 @@ cargo test -q -p simtrace -p scalerpc-bench --no-default-features
 echo "== clippy (deny warnings, trace on) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== simlint (deny, trace on) =="
+# Lexer-level workspace lint: determinism + model invariants (R1-R5,
+# `simlint --list-rules` prints the catalog + built-in allowlist).
+# Scans sources, not cfg-expanded builds, so it sees *both* sides of
+# every trace gate; it runs again after the no-trace clippy so a rule
+# violation introduced by feature-config-specific fixes can't slip
+# between the two gates. Full-workspace scan is ~100 ms.
+cargo run -q -p simlint -- --deny
+
 echo "== clippy (deny warnings, trace off) =="
 cargo clippy -p simtrace -p scalerpc-bench --no-default-features --all-targets -- -D warnings
+
+echo "== simlint (deny, trace off) =="
+cargo run -q -p simlint -- --deny
 
 echo "== simperf smoke (no-trace build) =="
 ./target/release/simperf --quick --label ci-smoke --out target/BENCH_simperf_ci.json

@@ -2,6 +2,8 @@
 //!
 //! Set `SCALERPC_FULL=1` for the paper-length parameter sweeps.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     scalerpc_bench::figures::fig11a();
     scalerpc_bench::figures::fig11b();

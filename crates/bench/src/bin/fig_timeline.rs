@@ -1,9 +1,10 @@
 //! Timeline export: runs a traced ScaleRPC benchmark and writes a
 //! Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto)
-//! plus an optional CSV of the raw records.
+//! plus an optional CSV of the raw records and an optional collapsed
+//! flamegraph (`--folded`, feed to `flamegraph.pl` or speedscope).
 //!
 //! ```text
-//! fig_timeline [--out PATH] [--csv PATH] [--clients N]
+//! fig_timeline [--out PATH] [--csv PATH] [--folded PATH] [--clients N]
 //!              [--warmup-us N] [--run-us N] [--sample-us N]
 //! ```
 //!
@@ -12,6 +13,8 @@
 //! group switches, warmup fetches) and PCM-counter time-series on the
 //! server node. The emitted JSON is re-parsed before it is written, so
 //! a zero exit status guarantees a loadable file.
+
+#![forbid(unsafe_code)]
 
 use rdma_fabric::{Fabric, FabricParams};
 use rpc_core::cluster::{Cluster, ClusterSpec};
@@ -28,6 +31,7 @@ use simtrace::{export, InstantKind, Stage, Tracer};
 fn main() {
     let mut out = "target/fig_timeline.json".to_string();
     let mut csv: Option<String> = None;
+    let mut folded: Option<String> = None;
     let mut clients = 120usize;
     let mut warmup_us = 500u64;
     let mut run_us = 1_500u64;
@@ -37,14 +41,15 @@ fn main() {
         match a.as_str() {
             "--out" => out = args.next().expect("--out needs a value"),
             "--csv" => csv = Some(args.next().expect("--csv needs a value")),
+            "--folded" => folded = Some(args.next().expect("--folded needs a value")),
             "--clients" => clients = parse(&mut args, "--clients"),
             "--warmup-us" => warmup_us = parse(&mut args, "--warmup-us"),
             "--run-us" => run_us = parse(&mut args, "--run-us"),
             "--sample-us" => sample_us = parse(&mut args, "--sample-us"),
             "--help" | "-h" => {
                 println!(
-                    "usage: fig_timeline [--out PATH] [--csv PATH] [--clients N] \
-                     [--warmup-us N] [--run-us N] [--sample-us N]"
+                    "usage: fig_timeline [--out PATH] [--csv PATH] [--folded PATH] \
+                     [--clients N] [--warmup-us N] [--run-us N] [--sample-us N]"
                 );
                 return;
             }
@@ -176,6 +181,20 @@ fn main() {
         let text = export::csv(&log);
         std::fs::write(&path, &text).expect("write trace csv");
         eprintln!("fig_timeline: wrote {path} ({} bytes)", text.len());
+    }
+    if let Some(path) = folded {
+        let text = export::collapsed_stacks(&log);
+        // Every line must be `frames... <count>`; a malformed fold is a
+        // bug in the exporter, not a matter of taste downstream.
+        let stacks = text.lines().count();
+        for l in text.lines() {
+            let numeric_tail = l
+                .rsplit_once(' ')
+                .is_some_and(|(_, v)| v.parse::<u64>().is_ok());
+            assert!(numeric_tail, "malformed folded line {l:?}");
+        }
+        std::fs::write(&path, &text).expect("write folded stacks");
+        eprintln!("fig_timeline: wrote {path} ({stacks} stacks)");
     }
     if !ok {
         std::process::exit(1);

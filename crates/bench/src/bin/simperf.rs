@@ -15,6 +15,8 @@
 //! `PATH`, and exits non-zero when more than 10 % slower. Nothing is
 //! written.
 
+#![forbid(unsafe_code)]
+
 use scalerpc_bench::simperf::{
     check_against, merge_report, run_all, run_to_json, CHECK_TOLERANCE,
 };

@@ -663,7 +663,7 @@ fn run_tx_system(
     workload: TxWorkload,
     coordinators: usize,
     window: usize,
-) -> f64 {
+) -> scaletx::TxMetrics {
     let keys = match &workload {
         TxWorkload::ObjectStore {
             keys_per_server, ..
@@ -698,7 +698,7 @@ fn run_tx_system(
         "scalerpc" => run_scalerpc_tx(cfg, scaletx::tx_scale_cfg(), SimDuration::ZERO)
             .logic
             .metrics
-            .tps(),
+            .clone(),
         "rawwrite" => {
             let mut fabric = rdma_fabric::Fabric::new(rdma_fabric::FabricParams::default());
             let tx = scaletx::TxSim::build(&mut fabric, cfg, |f, cl, part, _| {
@@ -707,7 +707,7 @@ fn run_tx_system(
             let stop = tx.stop_at();
             let mut sim = rpc_core::Sim::new(fabric, tx);
             sim.run_until(stop + SimDuration::millis(3));
-            sim.logic.metrics.tps()
+            sim.logic.metrics.clone()
         }
         "herd" => {
             let mut fabric = rdma_fabric::Fabric::new(rdma_fabric::FabricParams::default());
@@ -717,7 +717,7 @@ fn run_tx_system(
             let stop = tx.stop_at();
             let mut sim = rpc_core::Sim::new(fabric, tx);
             sim.run_until(stop + SimDuration::millis(3));
-            sim.logic.metrics.tps()
+            sim.logic.metrics.clone()
         }
         "fasst" => {
             let mut fabric = rdma_fabric::Fabric::new(rdma_fabric::FabricParams::default());
@@ -727,7 +727,7 @@ fn run_tx_system(
             let stop = tx.stop_at();
             let mut sim = rpc_core::Sim::new(fabric, tx);
             sim.run_until(stop + SimDuration::millis(3));
-            sim.logic.metrics.tps()
+            sim.logic.metrics.clone()
         }
         other => panic!("unknown transport {other}"),
     }
@@ -768,25 +768,34 @@ pub fn fig16() {
         let w = workload.clone();
         let window = TxConfig::default().window;
         let results = parallel_map(points, |(label, transport, one_sided, coords)| {
-            let tps = run_tx_system(label, transport, one_sided, w.clone(), coords, window);
-            (label, coords, tps / 1e3)
+            let m = run_tx_system(label, transport, one_sided, w.clone(), coords, window);
+            (label, coords, m)
         });
         let mut t = Table::new(
-            &format!("Fig 16: {name}, Ktx/s"),
-            &["system", "80 coords", "160 coords"],
+            &format!("Fig 16: {name}, Ktx/s (latency at 160 coords)"),
+            &["system", "80 coords", "160 coords", "p50 us", "p99 us"],
         );
         for (label, _, _) in tx_systems() {
             let get = |c: usize| {
                 results
                     .iter()
                     .find(|(l, rc, _)| *l == label && *rc == c)
-                    .map(|(_, _, v)| *v)
+                    .map(|(_, _, m)| m.tps() / 1e3)
+                    .unwrap_or(0.0)
+            };
+            let lat = |q: f64| {
+                results
+                    .iter()
+                    .find(|(l, rc, _)| *l == label && *rc == 160)
+                    .map(|(_, _, m)| m.quantile_us(q))
                     .unwrap_or(0.0)
             };
             t.row(vec![
                 label.to_string(),
                 format!("{:.0}", get(80)),
                 format!("{:.0}", get(160)),
+                format!("{:.1}", lat(0.5)),
+                format!("{:.1}", lat(0.99)),
             ]);
         }
         t.print();
@@ -817,8 +826,8 @@ pub fn fig16_window() {
         .collect();
     let wl = workload.clone();
     let results = parallel_map(points, |(label, transport, one_sided, window)| {
-        let tps = run_tx_system(label, transport, one_sided, wl.clone(), 160, window);
-        (label, window, tps / 1e3)
+        let m = run_tx_system(label, transport, one_sided, wl.clone(), 160, window);
+        (label, window, m)
     });
     let mut t = Table::new(
         "Fig 16 (window sweep): object store r=3 w=1, 160 coordinators, Ktx/s",
@@ -829,7 +838,7 @@ pub fn fig16_window() {
             results
                 .iter()
                 .find(|(l, rw, _)| *l == label && *rw == w)
-                .map(|(_, _, v)| *v)
+                .map(|(_, _, m)| m.tps() / 1e3)
                 .unwrap_or(0.0)
         };
         t.row(vec![
@@ -842,6 +851,42 @@ pub fn fig16_window() {
     }
     t.print();
     t.save_csv("fig16_window");
+
+    // Per-slot commit latency at the deepest window: slot 0 is the
+    // front of every coordinator's pipeline; later slots only run while
+    // earlier ones are in flight, so their tails price the queueing a
+    // deeper window adds.
+    let deepest = *windows.last().unwrap_or(&1);
+    let mut lt = Table::new(
+        &format!("Fig 16 (window sweep): per-slot commit p50/p99 at W={deepest}, us"),
+        &["system", "slot", "p50 us", "p99 us", "commits"],
+    );
+    for (label, _, _) in tx_systems() {
+        let Some((_, _, m)) = results
+            .iter()
+            .find(|(l, rw, _)| *l == label && *rw == deepest)
+        else {
+            continue;
+        };
+        for slot in 0..deepest {
+            let (p50, p99) = match (
+                m.slot_quantile_us(slot, 0.5),
+                m.slot_quantile_us(slot, 0.99),
+            ) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            lt.row(vec![
+                label.to_string(),
+                slot.to_string(),
+                format!("{p50:.1}"),
+                format!("{p99:.1}"),
+                m.slot_latency[slot].count().to_string(),
+            ]);
+        }
+    }
+    lt.print();
+    lt.save_csv("fig16_window_slots");
 }
 
 /// §5.1: ordered large-transfer bandwidth, UD 4 KB chunking vs RC.

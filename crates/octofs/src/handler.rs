@@ -6,6 +6,7 @@ use bytes::Bytes;
 use rpc_core::cluster::ClientId;
 use rpc_core::transport::ServerHandler;
 use simcore::SimDuration;
+use std::collections::BTreeMap;
 
 /// Wraps a [`MetaStore`] as a transport-agnostic [`ServerHandler`], so
 /// the same MDS runs over ScaleRPC, SelfRPC or any baseline — the paper's
@@ -16,8 +17,12 @@ pub struct MdsHandler {
     /// Monotonic pseudo-time used for mtimes (bumped per op; the
     /// simulation clock is not visible to handlers by design).
     op_counter: u64,
-    /// Per-op completed counts, for experiment reporting.
-    pub completed: std::collections::HashMap<FsOp, u64>,
+    /// Per-op completed counts, for experiment reporting. A `BTreeMap`
+    /// so report iteration order is deterministic: the previous
+    /// `HashMap` made [`MdsHandler::report_line`]-style output differ
+    /// between identical runs (each map instance draws its own
+    /// `RandomState` seed), which simlint rule R1 now rejects.
+    pub completed: BTreeMap<FsOp, u64>,
     /// Failed operations (duplicate creates, missing files…).
     pub failures: u64,
 }
@@ -37,6 +42,22 @@ impl MdsHandler {
             completed: Default::default(),
             failures: 0,
         }
+    }
+
+    /// Per-op completed counts in [`FsOp`] order — stable across runs
+    /// and processes.
+    pub fn op_report(&self) -> Vec<(FsOp, u64)> {
+        self.completed.iter().map(|(&op, &n)| (op, n)).collect()
+    }
+
+    /// One-line per-op summary (`Mknod=3 Stat=5 …`), byte-identical for
+    /// identical workloads regardless of request arrival order.
+    pub fn report_line(&self) -> String {
+        self.op_report()
+            .iter()
+            .map(|(op, n)| format!("{}={}", op.name(), n))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     /// Pre-populates `files_per_dir` files in each client's directory so

@@ -8,7 +8,8 @@
 //! end-to-end rate is dominated by the RPC layer.
 
 use simcore::SimDuration;
-use std::collections::{BTreeSet, HashMap};
+use simcore::DetHashMap;
+use std::collections::BTreeSet;
 
 /// Metadata operation failures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,11 +73,11 @@ impl Default for MetaCosts {
 
 /// The in-memory metadata server state.
 pub struct MetaStore {
-    inodes: HashMap<u64, Inode>,
+    inodes: DetHashMap<u64, Inode>,
     /// (dir path → name → ino).
-    dentries: HashMap<String, HashMap<String, u64>>,
+    dentries: DetHashMap<String, DetHashMap<String, u64>>,
     /// (dir path → sorted names) for deterministic listings.
-    listing: HashMap<String, BTreeSet<String>>,
+    listing: DetHashMap<String, BTreeSet<String>>,
     next_ino: u64,
     /// Cost model.
     pub costs: MetaCosts,
@@ -109,9 +110,9 @@ impl MetaStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         MetaStore {
-            inodes: HashMap::new(),
-            dentries: HashMap::new(),
-            listing: HashMap::new(),
+            inodes: DetHashMap::default(),
+            dentries: DetHashMap::default(),
+            listing: DetHashMap::default(),
             next_ino: 2,
             costs: MetaCosts::default(),
             readdir_page: 32,

@@ -3,7 +3,10 @@
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// Metadata operations, as evaluated in Fig. 1(a) and Fig. 13.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order, which matches the order the paper's
+/// figures list the operations; per-op reports iterate in this order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FsOp {
     /// Create a file.
     Mknod,

@@ -373,7 +373,7 @@ impl Fabric {
     /// handler touch of message-pool memory.
     pub fn cpu_access(&mut self, mr: MrId, offset: usize, len: usize) -> VerbResult<SimDuration> {
         let node = self.mr_node(mr)?;
-        let out = self.nodes[node.index()].llc.cpu_access(mr, offset, len);
+        let out = self.nodes[node.index()].llc.cpu_access(mr, offset, len); // NodeId indexes self.nodes: nodes are never removed
         Ok(self.params.cpu_read_hit * out.hits + self.params.cpu_read_miss * out.misses)
     }
 
@@ -592,12 +592,12 @@ impl Fabric {
             },
         };
         let slot = {
-            let s = &mut self.qp_slot[qp_id.index()];
+            let s = &mut self.qp_slot[qp_id.index()]; // qp_slot grows in lockstep with self.qps at creation
             *s = s.wrapping_add(1);
             *s % 128
         };
         self.qp_mut(qp_id)?.wqe_posted();
-        self.nodes[node.index()].counters.inc("TxVerbs");
+        self.nodes[node.index()].counters.inc("TxVerbs"); // NodeId indexes self.nodes: nodes are never removed
         let pkt = Packet {
             src_qp: qp_id,
             dst_qp,
@@ -642,10 +642,10 @@ impl Fabric {
                     // checked at rx time.
                     self.mrs[mr.index()]
                         .write(offset, &data)
-                        .expect("bounds checked at rx");
+                        .expect("bounds checked at rx"); // simlint: allow(R3): bounds checked at rx; regions are never deregistered
                 }
                 if let Some((cq, wc)) = wc {
-                    self.cqs[cq.index()].push(wc.clone());
+                    self.cqs[cq.index()].push(wc.clone()); // CqId indexes self.cqs: CQs are never destroyed
                     upcalls.push(Upcall::Completion { node, cq, wc });
                 }
                 if let Some((mr, offset, len)) = mem_hint {
@@ -659,12 +659,12 @@ impl Fabric {
             }
             Inner::Complete { qp, wc } => {
                 let (node, cq) = {
-                    let q = &mut self.qps[qp.index()];
+                    let q = &mut self.qps[qp.index()]; // QpId indexes self.qps: QPs error out but are never freed
                     q.wqe_retired();
                     (q.node(), q.send_cq())
                 };
                 if let Some(wc) = wc {
-                    self.cqs[cq.index()].push(wc.clone());
+                    self.cqs[cq.index()].push(wc.clone()); // CqId indexes self.cqs: CQs are never destroyed
                     upcalls.push(Upcall::Completion { node, cq, wc });
                 }
             }
@@ -672,7 +672,7 @@ impl Fabric {
     }
 
     fn tx_process(&mut self, now: SimTime, pkt: Packet, slot: u32, sched: &mut Sched<'_>) {
-        let src_node = self.qps[pkt.src_qp.index()].node();
+        let src_node = self.qps[pkt.src_qp.index()].node(); // QpId indexes self.qps: QPs error out but are never freed
         let transport = self.qps[pkt.src_qp.index()].transport();
         let payload = match &pkt.kind {
             PacketKind::Send { data, .. } | PacketKind::Write { data, .. } => data.len(),
@@ -683,7 +683,7 @@ impl Fabric {
         };
         let p = &self.params;
         let lines = FabricParams::lines(payload) as u64;
-        let node = &mut self.nodes[src_node.index()];
+        let node = &mut self.nodes[src_node.index()]; // NodeId indexes self.nodes: nodes are never removed
         let access = node.nic.access(pkt.src_qp, slot);
         // Payload DMA read from host memory, plus re-fetch of evicted
         // QP context / WQE state.
@@ -774,11 +774,11 @@ impl Fabric {
     }
 
     fn rx_process(&mut self, now: SimTime, pkt: Packet, sched: &mut Sched<'_>) {
-        let dst_qp = &self.qps[pkt.dst_qp.index()];
+        let dst_qp = &self.qps[pkt.dst_qp.index()]; // QpId indexes self.qps: QPs error out but are never freed
         let dst_node_id = dst_qp.node();
         let dst_transport = dst_qp.transport();
         let dst_state = dst_qp.state();
-        let reliable = self.qps[pkt.src_qp.index()].transport().is_reliable();
+        let reliable = self.qps[pkt.src_qp.index()].transport().is_reliable(); // QpId indexes self.qps: QPs error out but are never freed
         let p_ack = self.params.ack_latency;
         let p_dma = self.params.dma_write_latency;
 
@@ -801,11 +801,11 @@ impl Fabric {
 
         match pkt.kind.clone() {
             PacketKind::Send { data, imm } => {
-                self.nodes[dst_node_id.index()].nic.touch_rx(pkt.dst_qp);
+                self.nodes[dst_node_id.index()].nic.touch_rx(pkt.dst_qp); // dst node/QP handles index live tables (never removed)
                 let recv = self.qps[pkt.dst_qp.index()].take_recv();
                 match recv {
                     Some(r) if r.len >= data.len() => {
-                        let node = &mut self.nodes[dst_node_id.index()];
+                        let node = &mut self.nodes[dst_node_id.index()]; // NodeId indexes self.nodes: nodes are never removed
                         let dma = node.llc.dma_write(r.mr, r.offset, data.len());
                         node.counters.add("ItoM", dma.full_lines);
                         node.counters.add("RFO", dma.partial_lines);
@@ -855,7 +855,7 @@ impl Fabric {
                                 node: dst_node_id,
                                 writes: vec![(r.mr, r.offset, data)],
                                 mem_hint: Some((r.mr, r.offset, len)),
-                                wc: Some((self.qps[pkt.dst_qp.index()].recv_cq(), wc)),
+                                wc: Some((self.qps[pkt.dst_qp.index()].recv_cq(), wc)), // QpId indexes self.qps: QPs error out but are never freed
                             }),
                         );
                         if reliable {
@@ -892,14 +892,14 @@ impl Fabric {
                 }
             }
             PacketKind::Write { data, remote, imm } => {
-                self.nodes[dst_node_id.index()].nic.touch_rx(pkt.dst_qp);
+                self.nodes[dst_node_id.index()].nic.touch_rx(pkt.dst_qp); // NodeId indexes self.nodes: nodes are never removed
                 let in_bounds = self
                     .mr(remote.mr)
                     .and_then(|mr| mr.check(remote.offset, data.len()))
                     .is_ok()
                     && self.mr_node(remote.mr) == Ok(dst_node_id);
                 if !in_bounds {
-                    self.nodes[dst_node_id.index()]
+                    self.nodes[dst_node_id.index()] // NodeId indexes self.nodes: nodes are never removed
                         .counters
                         .inc("RemoteAccessErrors");
                     if reliable {
@@ -914,7 +914,7 @@ impl Fabric {
                     }
                     return;
                 }
-                let node = &mut self.nodes[dst_node_id.index()];
+                let node = &mut self.nodes[dst_node_id.index()]; // NodeId indexes self.nodes: nodes are never removed
                 let dma = node.llc.dma_write(remote.mr, remote.offset, data.len());
                 node.counters.add("ItoM", dma.full_lines);
                 node.counters.add("RFO", dma.partial_lines);
@@ -953,9 +953,9 @@ impl Fabric {
                 // write_imm additionally consumes a receive and yields a
                 // receive-side completion carrying the immediate.
                 let wc = if let Some(imm_v) = imm {
-                    match self.qps[pkt.dst_qp.index()].take_recv() {
+                    match self.qps[pkt.dst_qp.index()].take_recv() { // QpId indexes self.qps: QPs error out but are never freed
                         Some(r) => Some((
-                            self.qps[pkt.dst_qp.index()].recv_cq(),
+                            self.qps[pkt.dst_qp.index()].recv_cq(), // QpId indexes self.qps: QPs error out but are never freed
                             Wc {
                                 wr_id: r.wr_id,
                                 opcode: WcOpcode::RecvRdmaWithImm,
@@ -967,7 +967,7 @@ impl Fabric {
                             },
                         )),
                         None => {
-                            self.nodes[dst_node_id.index()].counters.inc("RnrDrops");
+                            self.nodes[dst_node_id.index()].counters.inc("RnrDrops"); // NodeId indexes self.nodes: nodes are never removed
                             if reliable {
                                 self.requester_completion(
                                     now + p_ack,
@@ -1017,7 +1017,7 @@ impl Fabric {
                     .is_ok()
                     && self.mr_node(remote.mr) == Ok(dst_node_id);
                 if !ok {
-                    self.nodes[dst_node_id.index()]
+                    self.nodes[dst_node_id.index()] // NodeId indexes self.nodes: nodes are never removed
                         .counters
                         .inc("RemoteAccessErrors");
                     self.requester_completion(
@@ -1032,16 +1032,16 @@ impl Fabric {
                 }
                 // Responder NIC DMA-reads the payload from host memory.
                 let lines = FabricParams::lines(len) as u64;
-                let node = &mut self.nodes[dst_node_id.index()];
+                let node = &mut self.nodes[dst_node_id.index()]; // NodeId indexes self.nodes: nodes are never removed
                 node.counters.add("PCIeRdCur", lines);
                 node.counters.inc("RxMsgs");
                 let occ = (self.params.nic_rx_base + self.params.dma_read_per_line * lines)
                     .max(self.params.serialize(len));
                 let grant = node.rx.acquire(now, occ);
                 let data = Bytes::copy_from_slice(
-                    self.mrs[remote.mr.index()]
+                    self.mrs[remote.mr.index()] // MrId indexes self.mrs: regions are never deregistered
                         .read(remote.offset, len)
-                        .expect("bounds checked above"),
+                        .expect("bounds checked above"), // simlint: allow(R3): bounds checked above
                 );
                 let resp = Packet {
                     src_qp: pkt.src_qp,
@@ -1067,7 +1067,7 @@ impl Fabric {
             } => {
                 // Arriving back at the *requester*: land the data locally.
                 let req_node_id = self.qps[pkt.src_qp.index()].node();
-                let node = &mut self.nodes[req_node_id.index()];
+                let node = &mut self.nodes[req_node_id.index()]; // NodeId indexes self.nodes: nodes are never removed
                 let dma = node.llc.dma_write(local_mr, local_offset, data.len());
                 node.counters.add("ItoM", dma.full_lines);
                 node.counters.add("RFO", dma.partial_lines);
@@ -1132,7 +1132,7 @@ impl Fabric {
                         .map(|m| m.read_u64(remote.offset).is_ok())
                         .unwrap_or(false);
                 if !valid {
-                    self.nodes[dst_node_id.index()]
+                    self.nodes[dst_node_id.index()] // NodeId indexes self.nodes: nodes are never removed
                         .counters
                         .inc("RemoteAccessErrors");
                     self.requester_completion(
@@ -1149,7 +1149,7 @@ impl Fabric {
                 // read-modify-write happens "now" in simulation time.
                 let old = self.mrs[remote.mr.index()]
                     .read_u64(remote.offset)
-                    .expect("validated");
+                    .expect("validated"); // simlint: allow(R3): read_u64 validated a few lines up
                 let new = match op {
                     AtomicOp::CompareSwap { compare, swap } => {
                         if old == compare {
@@ -1160,9 +1160,9 @@ impl Fabric {
                     }
                     AtomicOp::FetchAdd { add } => old.wrapping_add(add),
                 };
-                self.mrs[remote.mr.index()]
+                self.mrs[remote.mr.index()] // MrId indexes self.mrs: regions are never deregistered
                     .write_u64(remote.offset, new)
-                    .expect("validated");
+                    .expect("validated"); // simlint: allow(R3): same read_u64 validated above
                 let node = &mut self.nodes[dst_node_id.index()];
                 node.counters.inc("Atomics");
                 // Atomic RMW occupies the rx engine noticeably longer.
@@ -1190,7 +1190,7 @@ impl Fabric {
                 local_mr,
                 local_offset,
             } => {
-                let req_node_id = self.qps[pkt.src_qp.index()].node();
+                let req_node_id = self.qps[pkt.src_qp.index()].node(); // requester QP/node handles index live tables (never removed)
                 let node = &mut self.nodes[req_node_id.index()];
                 let grant = node.rx.acquire(now, self.params.nic_rx_base);
                 sched(

@@ -184,11 +184,11 @@ impl LlcModel {
             let mut prev_alloc = false;
             while base < lines.end {
                 let n = ((lines.end - base) as usize).min(SPAN_CHUNK);
-                line_span_hashes(mr, base, &mut hashes[..n]);
+                line_span_hashes(mr, base, &mut hashes[..n]); // n <= SPAN_CHUNK == hashes.len()
                 let select = span_select(n);
-                let in_main = self.main.span_residency(mr, base, &hashes[..n], select);
+                let in_main = self.main.span_residency(mr, base, &hashes[..n], select); // n <= SPAN_CHUNK == hashes.len()
                 out.hit_main += in_main.count_ones() as u64;
-                let so = self.ddio.span_access(mr, base, &hashes[..n], select & !in_main);
+                let so = self.ddio.span_access(mr, base, &hashes[..n], select & !in_main); // n <= SPAN_CHUNK == hashes.len()
                 out.hit_ddio += so.hits;
                 out.allocated += so.misses;
                 // Each maximal run of consecutive allocated lines is one
@@ -231,14 +231,14 @@ impl LlcModel {
             let mut base = lines.start;
             while base < lines.end {
                 let n = ((lines.end - base) as usize).min(SPAN_CHUNK);
-                line_span_hashes(mr, base, &mut hashes[..n]);
+                line_span_hashes(mr, base, &mut hashes[..n]); // n <= SPAN_CHUNK == hashes.len()
                 let so = self.main.span_access(mr, base, &hashes[..n], span_select(n));
                 let mut promoted = 0u64;
                 let mut mm = so.miss_mask;
                 while mm != 0 {
                     let i = mm.trailing_zeros() as usize;
                     mm &= mm - 1;
-                    promoted += self.ddio.remove_h(&(mr, base + i as u64), hashes[i]) as u64;
+                    promoted += self.ddio.remove_h(&(mr, base + i as u64), hashes[i]) as u64; // i < n: miss_mask only has bits below n set
                 }
                 out.hits += so.hits + promoted;
                 out.misses += so.misses - promoted;

@@ -4,7 +4,7 @@
 //! path (`touch`) is a hash lookup plus a few index swaps, which keeps
 //! simulations with hundreds of millions of cache accesses fast.
 
-use std::collections::HashMap;
+use simcore::{det_map_with_capacity, DetHashMap};
 use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
@@ -33,7 +33,7 @@ struct Entry<K> {
 /// assert_eq!(lru.touch(3), (false, Some(2)));   // miss, evicts LRU=2
 /// ```
 pub struct LruSet<K> {
-    map: HashMap<K, usize>,
+    map: DetHashMap<K, usize>,
     slab: Vec<Entry<K>>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -59,7 +59,7 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LruSet capacity must be positive");
         LruSet {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: det_map_with_capacity(capacity.min(1 << 20)),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -89,24 +89,24 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
     }
 
     fn unlink(&mut self, idx: usize) {
-        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next); // map/list links store only live slab indices
         if prev != NIL {
-            self.slab[prev].next = next;
+            self.slab[prev].next = next; // prev checked != NIL: a live link
         } else {
             self.head = next;
         }
         if next != NIL {
-            self.slab[next].prev = prev;
+            self.slab[next].prev = prev; // next checked != NIL: a live link
         } else {
             self.tail = prev;
         }
     }
 
     fn push_front(&mut self, idx: usize) {
-        self.slab[idx].prev = NIL;
+        self.slab[idx].prev = NIL; // idx is a live slab index (from the map or the free list)
         self.slab[idx].next = self.head;
         if self.head != NIL {
-            self.slab[self.head].prev = idx;
+            self.slab[self.head].prev = idx; // head checked != NIL
         }
         self.head = idx;
         if self.tail == NIL {
@@ -131,13 +131,13 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.unlink(victim);
-            let old = self.slab[victim].key.clone();
+            let old = self.slab[victim].key.clone(); // victim == tail != NIL when the cache is full
             self.map.remove(&old);
             self.free.push(victim);
             evicted = Some(old);
         }
         let idx = if let Some(idx) = self.free.pop() {
-            self.slab[idx].key = key.clone();
+            self.slab[idx].key = key.clone(); // idx popped from the free list: a live slab index
             idx
         } else {
             self.slab.push(Entry {
@@ -405,11 +405,11 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
         let mask = self.table.len() - 1;
         let mut i = (h32 as usize) & mask;
         loop {
-            let e = self.table[i];
+            let e = self.table[i]; // i is masked by table.len() - 1 (power of two)
             if e == 0 {
                 return Err(i);
             }
-            if slot_hash(e) == h32 && self.keys[slot_idx(e)] == *key {
+            if slot_hash(e) == h32 && self.keys[slot_idx(e)] == *key { // occupied entries hold live key indices
                 return Ok(i);
             }
             i = (i + 1) & mask;
@@ -421,20 +421,20 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
     /// chain positions come from the cached hashes.
     fn erase_slot(&mut self, mut i: usize) {
         let mask = self.table.len() - 1;
-        self.table[i] = 0;
+        self.table[i] = 0; // i is a masked table position
         let mut j = i;
         loop {
             j = (j + 1) & mask;
-            let e = self.table[j];
+            let e = self.table[j]; // j is a masked table position
             if e == 0 {
                 return;
             }
             let ideal = (slot_hash(e) as usize) & mask;
             // Move `j` back into the hole when its probe chain spans it.
             if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(i) & mask) {
-                self.table[i] = e;
+                self.table[i] = e; // i/j are masked; occupied entries hold live key indices
                 self.table[j] = 0;
-                self.slots[slot_idx(e)] = i as u32;
+                self.slots[slot_idx(e)] = i as u32; // slot_idx(e) < keys.len() for occupied entries
                 i = j;
             }
         }
@@ -459,10 +459,10 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
                 continue;
             }
             let mut i = (slot_hash(e) as usize) & mask;
-            while self.table[i] != 0 {
+            while self.table[i] != 0 { // i is masked by the new table's mask
                 i = (i + 1) & mask;
             }
-            self.table[i] = e;
+            self.table[i] = e; // masked position; occupied entries hold live key indices
             self.slots[slot_idx(e)] = i as u32;
         }
     }
@@ -492,20 +492,20 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
                     // directly — no rehash, no probe of its chain.
                     let old_slot = self.slots[victim] as usize;
                     self.erase_slot(old_slot);
-                    let old = std::mem::replace(&mut self.keys[victim], key);
+                    let old = std::mem::replace(&mut self.keys[victim], key); // victim < capacity == keys.len() here
                     // Re-probe: the backward shift may have opened a hole
                     // earlier in the new key's chain than the slot the
                     // first probe found, and inserting past a hole would
                     // make the key unfindable.
                     let ins = self
-                        .probe(&self.keys[victim], h32)
+                        .probe(&self.keys[victim], h32) // victim is a live key index
                         .expect_err("fresh key cannot be resident");
-                    self.table[ins] = slot_entry(h32, victim);
+                    self.table[ins] = slot_entry(h32, victim); // ins is a masked probe position; victim < keys.len()
                     self.slots[victim] = ins as u32;
                     self.prefetch_next_victim();
                     (false, Some(old))
                 } else {
-                    self.table[slot] = slot_entry(h32, self.keys.len());
+                    self.table[slot] = slot_entry(h32, self.keys.len()); // slot from probe: a masked table position
                     self.slots.push(slot as u32);
                     self.keys.push(key);
                     (false, None)
@@ -563,7 +563,7 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
         let Ok(slot) = self.probe(key, h32) else {
             return false;
         };
-        let idx = slot_idx(self.table[slot]);
+        let idx = slot_idx(self.table[slot]); // probe returned an occupied slot: entry holds a live index
         self.erase_slot(slot);
         let last = self.keys.len() - 1;
         if idx != last {
@@ -572,9 +572,9 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
             // rehashing or probing; the entry itself still carries the
             // filler's cached hash.
             let moved_slot = self.slots[last] as usize;
-            let e = self.table[moved_slot];
+            let e = self.table[moved_slot]; // back-pointers are masked table positions
             self.keys.swap(idx, last);
-            self.table[moved_slot] = slot_entry(slot_hash(e), idx);
+            self.table[moved_slot] = slot_entry(slot_hash(e), idx); // moved_slot is occupied; idx < keys.len()
             self.slots[idx] = moved_slot as u32;
         }
         self.keys.pop();
@@ -687,15 +687,15 @@ impl RandomSet<(crate::types::MrId, u64)> {
         let mut ahead = iter_bits(select);
         for _ in 0..PROBE_PREFETCH {
             if let Some(j) = ahead.next() {
-                self.prefetch(hashes[j]);
+                self.prefetch(hashes[j]); // j from select bits: j < n == hashes.len()
             }
         }
         let mut resident = 0u128;
         for i in iter_bits(select) {
             if let Some(j) = ahead.next() {
-                self.prefetch(hashes[j]);
+                self.prefetch(hashes[j]); // j from select bits: j < n == hashes.len()
             }
-            if self.probe(&(mr, base + i as u64), hashes[i]).is_ok() {
+            if self.probe(&(mr, base + i as u64), hashes[i]).is_ok() { // i from select bits: i < n == hashes.len()
                 resident |= 1u128 << i;
             }
         }
@@ -746,7 +746,7 @@ impl RandomSet<(crate::types::MrId, u64)> {
             out.misses += 1;
             out.miss_mask |= bit;
             let key = (mr, base + i as u64);
-            let h32 = hashes[i];
+            let h32 = hashes[i]; // i from select bits: i < n == hashes.len()
             self.maybe_grow();
             if self.keys.len() == self.capacity {
                 if vq_head == vq_len {
@@ -765,20 +765,20 @@ impl RandomSet<(crate::types::MrId, u64)> {
                         self.prefetch_victim_idx(v as usize);
                     }
                 }
-                let victim = vq[vq_head] as usize;
+                let victim = vq[vq_head] as usize; // vq_head < vq_len: the queue was refilled above when drained
                 vq_head += 1;
                 if vq_head + VICTIM_PREFETCH <= vq_len {
-                    self.prefetch_victim_idx(vq[vq_head + VICTIM_PREFETCH - 1] as usize);
+                    self.prefetch_victim_idx(vq[vq_head + VICTIM_PREFETCH - 1] as usize); // in bounds per the check on the previous line
                 }
-                let old_slot = self.slots[victim] as usize;
+                let old_slot = self.slots[victim] as usize; // victim < capacity == keys.len(); slots is keys-parallel
                 self.erase_slot(old_slot);
-                let old = std::mem::replace(&mut self.keys[victim], key);
+                let old = std::mem::replace(&mut self.keys[victim], key); // victim < keys.len()
                 // Re-probe for the insert position: the backward shift
                 // may have opened an earlier hole in the new key's chain.
                 let ins = self
-                    .probe(&self.keys[victim], h32)
+                    .probe(&self.keys[victim], h32) // victim is a live key index
                     .expect_err("fresh key cannot be resident");
-                self.table[ins] = slot_entry(h32, victim);
+                self.table[ins] = slot_entry(h32, victim); // ins is a masked probe position; victim < keys.len()
                 self.slots[victim] = ins as u32;
                 // Fix-up: evicting a not-yet-applied line of this span
                 // turns its pre-classified hit into a miss.
@@ -795,7 +795,7 @@ impl RandomSet<(crate::types::MrId, u64)> {
                 let slot = self
                     .probe(&key, h32)
                     .expect_err("span residency classified this key as absent");
-                self.table[slot] = slot_entry(h32, self.keys.len());
+                self.table[slot] = slot_entry(h32, self.keys.len()); // slot from probe: a masked table position
                 self.slots.push(slot as u32);
                 self.keys.push(key);
             }
@@ -807,6 +807,7 @@ impl RandomSet<(crate::types::MrId, u64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn basic_hit_miss_evict() {

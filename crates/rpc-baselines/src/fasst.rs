@@ -49,7 +49,7 @@ struct UdEndpoint {
 
 impl UdEndpoint {
     fn fill(&mut self, fabric: &mut Fabric, block: usize) {
-        let used: std::collections::HashSet<_> = self.ring_order.iter().copied().collect();
+        let used: simcore::DetHashSet<_> = self.ring_order.iter().copied().collect();
         for slot in 0..self.ring_len {
             if self.ring_order.len() >= self.ring_len {
                 break;
@@ -79,10 +79,10 @@ pub struct Fasst<H: ServerHandler> {
     /// Worker endpoints at the server.
     server_eps: Vec<UdEndpoint>,
     /// Map: server CQ → worker.
-    server_cqs: std::collections::HashMap<CqId, usize>,
+    server_cqs: simcore::DetHashMap<CqId, usize>,
     /// Per-client-thread endpoints.
     thread_eps: Vec<UdEndpoint>,
-    thread_cqs: std::collections::HashMap<CqId, usize>,
+    thread_cqs: simcore::DetHashMap<CqId, usize>,
     client_thread: Vec<usize>,
     inflight: Vec<usize>,
     workers: WorkerPool,
@@ -95,7 +95,7 @@ pub struct Fasst<H: ServerHandler> {
     tracer: Tracer,
     /// Open trace ids keyed by `(client, seq)` — the request id assigned
     /// by the harness at post time, closed when the response lands.
-    trace_ids: std::collections::HashMap<(ClientId, u64), TraceId>,
+    trace_ids: simcore::DetHashMap<(ClientId, u64), TraceId>,
 }
 
 impl<H: ServerHandler> Fasst<H> {
@@ -104,7 +104,7 @@ impl<H: ServerHandler> Fasst<H> {
     pub fn new(fabric: &mut Fabric, cluster: &Cluster, block_size: usize, handler: H) -> Self {
         let workers = WorkerPool::new(cluster.spec().server_threads);
         let mut server_eps = Vec::new();
-        let mut server_cqs = std::collections::HashMap::new();
+        let mut server_cqs = simcore::DetHashMap::default();
         for w in 0..workers.len() {
             let cq = fabric.create_cq(cluster.server).expect("cq");
             let qp = fabric
@@ -122,7 +122,7 @@ impl<H: ServerHandler> Fasst<H> {
             });
         }
         let mut thread_eps = Vec::new();
-        let mut thread_cqs = std::collections::HashMap::new();
+        let mut thread_cqs = simcore::DetHashMap::default();
         for t in 0..cluster.total_client_threads() {
             let machine = t / cluster.spec().threads_per_machine;
             let node = cluster.machines[machine];
@@ -161,7 +161,7 @@ impl<H: ServerHandler> Fasst<H> {
             cq_poll_cpu: p.cq_poll_cpu,
             block_size,
             tracer: fabric.tracer().clone(),
-            trace_ids: std::collections::HashMap::new(),
+            trace_ids: simcore::DetHashMap::default(),
         }
     }
 }

@@ -65,7 +65,7 @@ pub struct Herd<H: ServerHandler> {
     threads: Vec<ThreadEndpoint>,
     client_thread: Vec<usize>,
     /// Map a thread's recv CQ back to the thread index.
-    cq_thread: std::collections::HashMap<rdma_fabric::CqId, usize>,
+    cq_thread: simcore::DetHashMap<rdma_fabric::CqId, usize>,
     /// Per-worker UD QPs at the server.
     worker_qps: Vec<QpId>,
     workers: WorkerPool,
@@ -104,7 +104,7 @@ impl<H: ServerHandler> Herd<H> {
         // One UD endpoint per client thread (matching HERD's per-thread
         // datagram QPs).
         let mut threads = Vec::new();
-        let mut cq_thread = std::collections::HashMap::new();
+        let mut cq_thread = simcore::DetHashMap::default();
         let thread_count = cluster.total_client_threads();
         for t in 0..thread_count {
             let machine = t / cluster.spec().threads_per_machine;
@@ -164,7 +164,7 @@ impl<H: ServerHandler> Herd<H> {
         while ep.ring_order.len() < RING {
             let slot = {
                 // Next unused slot: slots cycle with the ring.
-                let used: std::collections::HashSet<_> = ep.ring_order.iter().copied().collect();
+                let used: simcore::DetHashSet<_> = ep.ring_order.iter().copied().collect();
                 (0..RING).find(|s| !used.contains(s))
             };
             let Some(slot) = slot else { break };

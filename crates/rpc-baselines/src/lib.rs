@@ -13,6 +13,8 @@
 //! All implement [`rpc_core::RpcTransport`], so the harness and the
 //! downstream systems swap them freely.
 
+#![forbid(unsafe_code)]
+
 pub mod fasst;
 pub mod herd;
 pub mod pool;

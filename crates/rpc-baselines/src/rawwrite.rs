@@ -53,7 +53,7 @@ pub struct RawWrite<H: ServerHandler> {
     pool: StaticPool,
     pool_mr: MrId,
     clients: Vec<PerClient>,
-    resp_index: std::collections::HashMap<MrId, ClientId>,
+    resp_index: simcore::DetHashMap<MrId, ClientId>,
     workers: WorkerPool,
     handler: H,
     overhead: ClientOverhead,
@@ -62,7 +62,7 @@ pub struct RawWrite<H: ServerHandler> {
     tracer: Tracer,
     /// Open trace ids keyed by `(client, seq)` — the request id assigned
     /// by the harness at post time, closed when the response lands.
-    trace_ids: std::collections::HashMap<(ClientId, u64), TraceId>,
+    trace_ids: simcore::DetHashMap<(ClientId, u64), TraceId>,
 }
 
 impl<H: ServerHandler> RawWrite<H> {
@@ -83,7 +83,7 @@ impl<H: ServerHandler> RawWrite<H> {
         let server_cq = fabric.create_cq(cluster.server).expect("cq");
         let workers = WorkerPool::new(cluster.spec().server_threads);
         let mut clients = Vec::with_capacity(n);
-        let mut resp_index = std::collections::HashMap::new();
+        let mut resp_index = simcore::DetHashMap::default();
         for c in 0..n {
             let cnode = cluster.node_of(c);
             let resp_mr = fabric
@@ -121,7 +121,7 @@ impl<H: ServerHandler> RawWrite<H> {
             post_cpu: p.post_cpu,
             pool_check: p.pool_check_cpu,
             tracer: fabric.tracer().clone(),
-            trace_ids: std::collections::HashMap::new(),
+            trace_ids: simcore::DetHashMap::default(),
         }
     }
 

@@ -50,7 +50,7 @@ pub struct SelfRpc<H: ServerHandler> {
     /// Zero-length landing zone for the consumed receives.
     dummy_mr: MrId,
     clients: Vec<PerClient>,
-    resp_index: std::collections::HashMap<MrId, ClientId>,
+    resp_index: simcore::DetHashMap<MrId, ClientId>,
     workers: WorkerPool,
     handler: H,
     overhead: ClientOverhead,
@@ -79,7 +79,7 @@ impl<H: ServerHandler> SelfRpc<H> {
         let server_cq = fabric.create_cq(cluster.server).expect("cq");
         let workers = WorkerPool::new(cluster.spec().server_threads);
         let mut clients = Vec::with_capacity(n);
-        let mut resp_index = std::collections::HashMap::new();
+        let mut resp_index = simcore::DetHashMap::default();
         for c in 0..n {
             let cnode = cluster.node_of(c);
             let resp_mr = fabric

@@ -154,7 +154,7 @@ impl<L: Logic> Sim<L> {
                 Some(t) if t <= deadline => {}
                 _ => break,
             }
-            let (now, ev) = self.queue.pop().expect("peeked above");
+            let (now, ev) = self.queue.pop().expect("peeked above"); // simlint: allow(R3): peek_time returned Some just above
             processed += 1;
             match ev {
                 Ev::Fabric(fe) => {

@@ -15,6 +15,8 @@
 //!   skew of Fig. 12) and request-size generators.
 //! - [`metrics`]: per-experiment result collection.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod driver;
 pub mod harness;

@@ -70,7 +70,7 @@ impl<Tag> RequestWindow<Tag> {
     /// window is full (the caller must defer the request).
     pub fn submit(&mut self, seq: u64, tag: Tag) -> Option<usize> {
         let slot = self.free.pop()?;
-        debug_assert!(self.slots[slot].is_none());
+        debug_assert!(self.slots[slot].is_none()); // slot popped from the free list: always < slots.len()
         self.slots[slot] = Some(InFlight { seq, tag });
         Some(slot)
     }
@@ -83,7 +83,7 @@ impl<Tag> RequestWindow<Tag> {
             .slots
             .iter()
             .position(|s| matches!(s, Some(f) if f.seq == seq))?;
-        let InFlight { seq, tag } = self.slots[slot].take().unwrap();
+        let InFlight { seq, tag } = self.slots[slot].take().unwrap(); // simlint: allow(R3): position() found this slot occupied
         self.free.push(slot);
         Some(Completed { slot, seq, tag })
     }

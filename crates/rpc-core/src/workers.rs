@@ -47,12 +47,12 @@ impl WorkerPool {
     /// Occupies worker `w` for `service` starting no earlier than `at`;
     /// returns when the work completes.
     pub fn run(&mut self, w: usize, at: SimTime, service: SimDuration) -> SimTime {
-        self.threads[w].acquire(at, service).complete
+        self.threads[w].acquire(at, service).complete // w comes from owner_of(): < threads.len()
     }
 
     /// When worker `w` becomes idle.
     pub fn idle_at(&self, w: usize) -> SimTime {
-        self.threads[w].busy_until()
+        self.threads[w].busy_until() // w comes from owner_of(): < threads.len()
     }
 
     /// Aggregate busy time (utilization reporting).

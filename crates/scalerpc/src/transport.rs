@@ -37,7 +37,7 @@ use rpc_core::transport::{ClientOverhead, Response, RpcTransport, ServerHandler}
 use rpc_core::workers::WorkerPool;
 use simcore::{FifoResource, SimDuration};
 use simtrace::{InstantKind, Stage, TraceId, Tracer};
-use std::collections::HashMap;
+use simcore::{DetHashMap, DetHashSet};
 
 use crate::client::{ClientFsm, SubmitAction};
 use crate::config::ScaleRpcConfig;
@@ -164,7 +164,7 @@ pub struct ScaleRpc<H: ServerHandler> {
     pool_pair: PoolPair,
     endpoint_mr: MrId,
     clients: Vec<PerClient>,
-    local_index: HashMap<MrId, ClientId>,
+    local_index: DetHashMap<MrId, ClientId>,
     server_cq: CqId,
     plan: GroupPlan,
     /// Index of the group currently being processed.
@@ -176,7 +176,7 @@ pub struct ScaleRpc<H: ServerHandler> {
     stats_last: Vec<ClientStats>,
     /// Outstanding warmup RDMA reads:
     /// wr_id → (client, pool index, zone, slice epoch at post).
-    pending_reads: HashMap<WrId, (ClientId, usize, usize, u64)>,
+    pending_reads: DetHashMap<WrId, (ClientId, usize, usize, u64)>,
     /// Slice epoch at which each (pool, zone) was last used as a fetch
     /// target. A group replan can map two clients onto one zone across
     /// plan versions; fetching both in close succession would overwrite
@@ -189,7 +189,7 @@ pub struct ScaleRpc<H: ServerHandler> {
     legacy_thread: FifoResource,
     /// Call types observed to run longer than half a slice; §3.5 routes
     /// their subsequent invocations to the legacy thread.
-    legacy_types: std::collections::HashSet<u16>,
+    legacy_types: DetHashSet<u16>,
     handler: H,
     overhead: ClientOverhead,
     post_cpu: SimDuration,
@@ -199,7 +199,7 @@ pub struct ScaleRpc<H: ServerHandler> {
     /// observability metadata (like zone assignments, state a real
     /// deployment would carry in its headers); never read by the
     /// protocol. Populated only while tracing is enabled.
-    trace_ids: HashMap<(ClientId, u64), TraceId>,
+    trace_ids: DetHashMap<(ClientId, u64), TraceId>,
     /// Explicit context notifications posted (observability).
     pub ctx_notifies: u64,
     /// Warmup RDMA reads posted (observability).
@@ -238,7 +238,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
         let scheduler = Scheduler::new(cfg.group_size, cfg.time_slice, cfg.dynamic_scheduling);
         let plan = scheduler.initial_plan(n);
         let mut clients = Vec::with_capacity(n);
-        let mut local_index = HashMap::new();
+        let mut local_index = DetHashMap::default();
         for c in 0..n {
             let cnode = cluster.node_of(c);
             let local_mr = fabric
@@ -287,11 +287,11 @@ impl<H: ServerHandler> ScaleRpc<H> {
             scheduler,
             stats_cur: vec![ClientStats::default(); n],
             stats_last: vec![ClientStats::default(); n],
-            pending_reads: HashMap::new(),
+            pending_reads: DetHashMap::default(),
             zone_reserved: [vec![u64::MAX; geom.zones], vec![u64::MAX; geom.zones]],
             workers: WorkerPool::new(cluster.spec().server_threads),
             legacy_thread: FifoResource::new(),
-            legacy_types: std::collections::HashSet::new(),
+            legacy_types: DetHashSet::default(),
             handler,
             overhead: ClientOverhead {
                 per_post: p.post_cpu + SimDuration::nanos(25),
@@ -300,7 +300,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
             post_cpu: p.post_cpu,
             pool_check: p.pool_check_cpu,
             tracer: fabric.tracer().clone(),
-            trace_ids: HashMap::new(),
+            trace_ids: DetHashMap::default(),
             ctx_notifies: 0,
             warmup_fetches: 0,
             legacy_requests: 0,

@@ -22,7 +22,8 @@ use rpc_core::driver::{Cx, Logic, Sim};
 use rpc_core::transport::{OneSidedAccess, Response, RpcTransport};
 use simcore::stats::Histogram;
 use simcore::{DetRng, SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use simcore::DetHashMap;
+use std::collections::BTreeMap;
 
 /// Message slots the transports expose per client; the transaction
 /// window stripes sequence numbers across them, so it must divide this.
@@ -103,6 +104,10 @@ pub struct TxMetrics {
     pub aborted: u64,
     /// Commit latency histogram (first attempt → commit), nanoseconds.
     pub latency: Histogram,
+    /// Per-window-slot commit latency, indexed by the coordinator slot
+    /// the transaction ran in. At `W = 1` only slot 0 fills; deeper
+    /// windows expose how much extra queueing the later slots absorb.
+    pub slot_latency: Vec<Histogram>,
     window_start: SimTime,
     window_end: SimTime,
 }
@@ -135,6 +140,24 @@ impl TxMetrics {
     pub fn median_us(&self) -> f64 {
         self.latency.median() as f64 / 1e3
     }
+
+    /// Commit-latency quantile in microseconds over the whole window
+    /// (`q = 0.5` → p50, `q = 0.99` → p99).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.latency.quantile(q) as f64 / 1e3
+    }
+
+    /// Commit-latency quantile in microseconds for one window slot, or
+    /// `None` when that slot committed nothing inside the measurement
+    /// window (e.g. slots beyond `W`, or a starved pipeline).
+    pub fn slot_quantile_us(&self, slot: usize, q: f64) -> Option<f64> {
+        let h = self.slot_latency.get(slot)?;
+        if h.count() == 0 {
+            None
+        } else {
+            Some(h.quantile(q) as f64 / 1e3)
+        }
+    }
 }
 
 /// Coordinator protocol phases (per transaction slot).
@@ -156,7 +179,7 @@ struct TxSlot {
     spec: TxSpec,
     phase: Phase,
     pending: usize,
-    exec: HashMap<u64, ExecItem>,
+    exec: DetHashMap<u64, ExecItem>,
     phase_ok: bool,
     /// Servers where write-set locks were acquired.
     locked_servers: Vec<usize>,
@@ -168,7 +191,7 @@ struct Coord {
     slots: Vec<TxSlot>,
     /// Routes `(server, seq)` of an expected response to its slot (stale
     /// or duplicate responses miss and are ignored).
-    expected: HashMap<(usize, u64), usize>,
+    expected: DetHashMap<(usize, u64), usize>,
     rng: DetRng,
     /// Per-server issue counters; the wire seq for a submission from
     /// `slot` is `issue[server] * window + slot` — strictly monotonic
@@ -216,7 +239,7 @@ pub struct TxSim<T: RpcTransport + OneSidedAccess> {
     stop_at: SimTime,
     /// Outstanding one-sided validation reads:
     /// wr_id → (coordinator, slot, scratch offset, expected version).
-    pending_reads: HashMap<WrId, (usize, usize, usize, u64)>,
+    pending_reads: DetHashMap<WrId, (usize, usize, usize, u64)>,
     /// Coordinator machine threads (shared CPU, as in the harness).
     threads: Vec<simcore::FifoResource>,
     /// Coordinator → thread index.
@@ -288,13 +311,13 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                             },
                             phase: Phase::Idle,
                             pending: 0,
-                            exec: HashMap::new(),
+                            exec: DetHashMap::default(),
                             phase_ok: true,
                             locked_servers: Vec::new(),
                             first_started: SimTime::ZERO,
                         })
                         .collect(),
-                    expected: HashMap::new(),
+                    expected: DetHashMap::default(),
                     rng: rng.split(c as u64),
                     issue: vec![0; cfg.servers],
                     scratch_mr,
@@ -321,12 +344,13 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                 committed: 0,
                 aborted: 0,
                 latency: Histogram::new(),
+                slot_latency: vec![Histogram::new(); cfg.window],
                 window_start,
                 window_end,
             },
             stop_at: window_end,
             cfg,
-            pending_reads: HashMap::new(),
+            pending_reads: DetHashMap::default(),
             threads,
             thread_of,
             scratch_stride,
@@ -531,6 +555,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         if cx.now >= self.metrics.window_start && cx.now <= self.metrics.window_end {
             self.metrics.committed += 1;
             self.metrics.latency.record_duration(latency);
+            self.metrics.slot_latency[slot].record_duration(latency);
         }
         self.coords[c].slots[slot].phase = Phase::Idle;
         cx.at(cx.now, TxEv::Start(c));

@@ -150,7 +150,7 @@ impl TxWorkload {
                 servers,
             } => {
                 let total = keys_per_server * servers;
-                let mut keys = std::collections::HashSet::new();
+                let mut keys = simcore::DetHashSet::default();
                 while keys.len() < reads + writes {
                     keys.insert(rng.below(total));
                 }

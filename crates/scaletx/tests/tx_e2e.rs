@@ -271,6 +271,37 @@ fn deterministic_given_seed() {
     assert_eq!(a, b);
 }
 
+#[test]
+fn per_slot_latency_partitions_the_aggregate() {
+    let mut cfg = small_cfg(
+        TxWorkload::ObjectStore {
+            reads: 2,
+            writes: 1,
+            keys_per_server: 200,
+            servers: 3,
+        },
+        true,
+        12,
+    );
+    cfg.window = 4;
+    let sim = run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO);
+    let m = &sim.logic.metrics;
+    assert_eq!(m.slot_latency.len(), 4);
+    // Every commit was recorded in exactly one slot histogram.
+    let per_slot: u64 = m.slot_latency.iter().map(|h| h.count()).sum();
+    assert_eq!(per_slot, m.latency.count());
+    assert_eq!(per_slot, m.committed);
+    // With W = 4 the pipeline keeps all slots busy, so each slot
+    // commits something and reports sane quantiles.
+    for slot in 0..4 {
+        let p50 = m.slot_quantile_us(slot, 0.5).expect("slot committed");
+        let p99 = m.slot_quantile_us(slot, 0.99).expect("slot committed");
+        assert!(p50 > 0.0 && p99 >= p50, "slot {slot}: p50={p50} p99={p99}");
+    }
+    // Out-of-range slots answer None instead of panicking.
+    assert_eq!(m.slot_quantile_us(4, 0.5), None);
+}
+
 /// ScaleRPC handler type alias sanity (compile-time): the deployment is
 /// generic over the transport.
 #[allow(dead_code)]

@@ -136,7 +136,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         let slot = match self.free.pop() {
             Some(s) => {
-                self.slots[s as usize].event = Some(event);
+                self.slots[s as usize].event = Some(event); // s popped from the free list: a live slot index
                 s
             }
             None => {
@@ -151,9 +151,9 @@ impl<E> EventQueue<E> {
         };
         let pos = self.heap.len();
         self.heap.push(HeapEnt { time, seq, slot });
-        self.slots[slot as usize].pos = pos as u32;
+        self.slots[slot as usize].pos = pos as u32; // slot was just allocated or reused above: in bounds
         self.sift_up(pos);
-        EventId::new(slot, self.slots[slot as usize].gen)
+        EventId::new(slot, self.slots[slot as usize].gen) // slot is in bounds (linked just above)
     }
 
     /// Cancels a previously scheduled event, removing its heap entry in
@@ -189,7 +189,7 @@ impl<E> EventQueue<E> {
             if s.gen != id.gen() || s.event.is_none() {
                 continue;
             }
-            self.heap[s.pos as usize].slot = TOMBSTONE;
+            self.heap[s.pos as usize].slot = TOMBSTONE; // s.pos is kept current by update_pos on every heap move
             self.tombstones += 1;
             self.vacate(id.slot());
             cancelled += 1;
@@ -206,10 +206,10 @@ impl<E> EventQueue<E> {
                 self.tombstones -= 1;
                 continue;
             }
-            let event = self.slots[ent.slot as usize]
+            let event = self.slots[ent.slot as usize] // ent.slot != TOMBSTONE: a live slot index
                 .event
                 .take()
-                .expect("live heap entry has a payload");
+                .expect("live heap entry has a payload"); // simlint: allow(R3): non-tombstone heap entries always hold a payload
             self.vacate_taken(ent.slot);
             self.now = ent.time;
             return Some((ent.time, event));
@@ -251,7 +251,7 @@ impl<E> EventQueue<E> {
 
     /// Returns `slot` to the free list and invalidates outstanding ids.
     fn vacate(&mut self, slot: u32) {
-        let s = &mut self.slots[slot as usize];
+        let s = &mut self.slots[slot as usize]; // slot ids handed out by schedule() index self.slots
         s.event = None;
         s.gen = s.gen.wrapping_add(1);
         self.free.push(slot);
@@ -260,7 +260,7 @@ impl<E> EventQueue<E> {
     /// Like [`vacate`](Self::vacate) for a slot whose payload was
     /// already taken by `pop`.
     fn vacate_taken(&mut self, slot: u32) {
-        let s = &mut self.slots[slot as usize];
+        let s = &mut self.slots[slot as usize]; // slot ids handed out by schedule() index self.slots
         s.gen = s.gen.wrapping_add(1);
         self.free.push(slot);
     }
@@ -280,16 +280,16 @@ impl<E> EventQueue<E> {
 
     #[inline]
     fn update_pos(&mut self, pos: usize) {
-        let slot = self.heap[pos].slot;
+        let slot = self.heap[pos].slot; // callers pass heap positions < heap.len()
         if slot != TOMBSTONE {
-            self.slots[slot as usize].pos = pos as u32;
+            self.slots[slot as usize].pos = pos as u32; // non-tombstone slots are live indices
         }
     }
 
     fn sift_up(&mut self, mut pos: usize) {
         while pos > 0 {
             let parent = (pos - 1) / 4;
-            if self.heap[pos].key() >= self.heap[parent].key() {
+            if self.heap[pos].key() >= self.heap[parent].key() { // pos > 0 loop guard; parent < pos
                 break;
             }
             self.heap.swap(pos, parent);
@@ -308,11 +308,11 @@ impl<E> EventQueue<E> {
             }
             let mut best = first;
             for child in first + 1..(first + 4).min(len) {
-                if self.heap[child].key() < self.heap[best].key() {
+                if self.heap[child].key() < self.heap[best].key() { // child/best < len by the loop bounds
                     best = child;
                 }
             }
-            if self.heap[best].key() >= self.heap[pos].key() {
+            if self.heap[best].key() >= self.heap[pos].key() { // best/pos < len by the loop bounds
                 break;
             }
             self.heap.swap(pos, best);

@@ -8,6 +8,9 @@
 //!   tie-breaking for simultaneous events.
 //! - [`DetRng`]: seeded, splittable randomness so that every experiment is
 //!   exactly reproducible.
+//! - [`DetHashMap`] / [`DetHashSet`]: fixed-hasher maps with run-to-run
+//!   deterministic iteration order (enforced workspace-wide by simlint
+//!   rule R1).
 //! - [`FifoResource`]: the classic single-server queueing resource used to
 //!   model NIC engines, links and CPU threads.
 //! - [`SkewedClock`]: a per-node wall clock with configurable drift, used
@@ -21,7 +24,10 @@
 //! traces), and the experiment *sweeps* parallelize across whole
 //! simulations instead.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
+pub mod detmap;
 pub mod event;
 pub mod resource;
 pub mod rng;
@@ -30,6 +36,9 @@ pub mod time;
 pub mod units;
 
 pub use clock::SkewedClock;
+pub use detmap::{
+    det_map_with_capacity, det_set_with_capacity, DetHashMap, DetHashSet, FxBuildHasher, FxHasher,
+};
 pub use event::{EventId, EventQueue};
 pub use resource::{FifoResource, MultiResource};
 pub use rng::DetRng;

@@ -166,7 +166,7 @@ impl MultiResource {
             self.watermark = at;
             // Promote every server that has gone idle by `at`.
             while let Some(&std::cmp::Reverse((t, i))) = self.busy.peek() {
-                if self.servers[i].busy_until() != t {
+                if self.servers[i].busy_until() != t { // heap entries hold valid server indices
                     self.busy.pop();
                     continue;
                 }
@@ -186,7 +186,7 @@ impl MultiResource {
                     let std::cmp::Reverse((t, i)) = self
                         .busy
                         .pop()
-                        .expect("every non-idle server has a live heap entry");
+                        .expect("every non-idle server has a live heap entry"); // simlint: allow(R3): the busy heap is non-empty when no server is idle
                     if self.servers[i].busy_until() == t {
                         break i;
                     }
@@ -214,9 +214,9 @@ impl MultiResource {
             idx
         };
         self.idle.remove(&idx);
-        let grant = self.servers[idx].acquire(at, service);
+        let grant = self.servers[idx].acquire(at, service); // idx came from the idle set or the busy heap: < servers.len()
         self.busy
-            .push(std::cmp::Reverse((self.servers[idx].busy_until(), idx)));
+            .push(std::cmp::Reverse((self.servers[idx].busy_until(), idx))); // idx < servers.len()
         grant
     }
 

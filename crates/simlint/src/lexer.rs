@@ -1,0 +1,424 @@
+//! A hand-rolled Rust lexer, sufficient for lint-level analysis.
+//!
+//! Produces a token stream of identifiers, lifetimes, literals,
+//! punctuation and comments with line/column positions. It understands
+//! the parts of the grammar that trip up naive `grep`-style linters:
+//!
+//! - raw strings with arbitrary hash fences (`r#"…"#`, `br##"…"##`),
+//! - byte strings and byte literals,
+//! - nested block comments (`/* /* */ */`),
+//! - char literals vs. lifetimes (`'a'` vs. `'a`),
+//! - numeric literals with suffixes and underscores.
+//!
+//! Comments are kept as tokens (the rule engine reads `// simlint:` and
+//! `// SAFETY:` directives out of them). Literals keep their raw text
+//! (the rule engine compares `feature = "trace"` values) but stay
+//! `Literal`-kinded, so identifier rules never fire inside strings.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`) — distinct from char literals.
+    Lifetime,
+    /// String, raw string, byte string, char or byte literal.
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// A `// …` comment (content preserved, `//` included).
+    LineComment,
+    /// A `/* … */` comment (content preserved).
+    BlockComment,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Text of the token (raw source slice, quotes included for
+    /// string/char literals).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is punctuation with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// Whether the token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `source` into tokens. Unterminated constructs (strings,
+/// comments) consume to end of input rather than erroring: the linter
+/// must keep going on files that do not currently compile.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::with_capacity(source.len() / 4),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, maintaining line/column bookkeeping.
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let (line, col) = (self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(line, col),
+                b'/' if self.peek(1) == b'*' => self.block_comment(line, col),
+                b'r' if self.raw_string_ahead(0) => self.raw_string(line, col, 1),
+                b'b' if self.peek(1) == b'r' && self.raw_string_ahead(1) => {
+                    self.raw_string(line, col, 2)
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.quoted(b'"', line, col);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump();
+                    self.quoted(b'\'', line, col);
+                }
+                b'"' => self.quoted(b'"', line, col),
+                b'\'' => self.char_or_lifetime(line, col),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line, col),
+                b'0'..=b'9' => self.number(line, col),
+                _ => {
+                    let c = self.bump();
+                    // Multi-byte UTF-8 inside code is always literal
+                    // content or doc text in practice; emit the lead byte
+                    // as punctuation and skip continuations.
+                    while self.pos < self.src.len() && self.peek(0) & 0xC0 == 0x80 {
+                        self.bump();
+                    }
+                    self.push(TokKind::Punct, (c as char).to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether a raw-string fence (`r"`, `r#"`, `r##"`, …) starts at
+    /// `self.pos + offset` (which must point at the `r`).
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset + 1;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        i > offset && self.peek(i) == b'"'
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::BlockComment, text, line, col);
+    }
+
+    /// Raw (byte) string: `prefix_len` covers `r` / `br`, then hashes.
+    fn raw_string(&mut self, line: u32, col: u32, prefix_len: usize) {
+        let start = self.pos;
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        debug_assert_eq!(self.peek(0), b'"');
+        self.bump(); // opening quote
+        'body: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == b'#' {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break 'body;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Literal, text, line, col);
+    }
+
+    /// A `"…"` or `b'…'` quoted literal with escapes.
+    fn quoted(&mut self, quote: u8, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            let b = self.bump();
+            if b == b'\\' && self.pos < self.src.len() {
+                self.bump();
+            } else if b == quote {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Literal, text, line, col);
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // A lifetime is `'` + ident-start + ident-continue* NOT followed
+        // by a closing `'`. Everything else (escape, punctuation char,
+        // `'x'`) is a char literal.
+        let n1 = self.peek(1);
+        let starts_ident = n1 == b'_' || n1.is_ascii_alphabetic();
+        if starts_ident {
+            let mut i = 2;
+            while {
+                let b = self.peek(i);
+                b == b'_' || b.is_ascii_alphanumeric()
+            } {
+                i += 1;
+            }
+            if self.peek(i) != b'\'' {
+                // Lifetime: consume quote + identifier.
+                self.bump();
+                let start = self.pos;
+                for _ in 1..i {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push(TokKind::Lifetime, text, line, col);
+                return;
+            }
+        }
+        self.quoted(b'\'', line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            // Underscores, hex/bin digits, suffixes (`u64`), exponents
+            // and the dot of float literals. `1..2` range syntax stops at
+            // the first dot because the next char is another dot.
+            if b == b'_'
+                || b.is_ascii_alphanumeric()
+                || (b == b'.' && self.peek(1) != b'.' && self.peek(1).is_ascii_digit())
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Number, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = foo::bar(1);");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Number && t.1 == "1"));
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let toks = lex(r#"let s = "HashMap::new() Instant::now()";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = lex(r###"let s = r#"thread_rng " inside"#; let t = 1;"###);
+        assert!(!toks.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(toks.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"let a = b"SystemTime"; let c = b'x';"#);
+        assert!(!toks.iter().any(|t| t.is_ident("SystemTime")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* HashMap */ still comment */ fn f() {}");
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::BlockComment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_comments_keep_text() {
+        let toks = lex("x(); // simlint: allow(R1)\ny();");
+        let c = toks.iter().find(|t| t.kind == TokKind::LineComment).unwrap();
+        assert!(c.text.contains("simlint: allow(R1)"));
+        assert_eq!(c.line, 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn static_lifetime_and_label() {
+        let toks = lex("let s: &'static str = x; 'outer: loop { break 'outer; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  bb\n    ccc");
+        let b = toks.iter().find(|t| t.is_ident("bb")).unwrap();
+        assert_eq!((b.line, b.col), (2, 3));
+        let c = toks.iter().find(|t| t.is_ident("ccc")).unwrap();
+        assert_eq!((c.line, c.col), (3, 5));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("0x9E37_79B9u64 1.5e3 0..RING 1_000");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Number)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0x9E37_79B9u64", "1.5e3", "0", "1_000"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        lex("/* never closed");
+        lex("let s = \"never closed");
+        lex("let r = r#\"never closed");
+    }
+}

@@ -1,0 +1,123 @@
+//! simlint CLI.
+//!
+//! ```text
+//! cargo run -p simlint --               # report findings, exit 0
+//! cargo run -p simlint -- --deny        # exit 1 if any finding (CI)
+//! cargo run -p simlint -- --list-rules  # print the rule set + allowlist
+//! cargo run -p simlint -- --only R3     # restrict to one rule
+//! cargo run -p simlint -- --root PATH   # lint another workspace root
+//! ```
+
+#![forbid(unsafe_code)]
+
+use simlint::rules::{Rule, BUILTIN_ALLOW};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list_rules = false;
+    let mut only: Option<Rule> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => list_rules = true,
+            "--only" => match args.next().as_deref().and_then(Rule::parse) {
+                Some(r) => only = Some(r),
+                None => {
+                    eprintln!("simlint: --only expects one of R1..R5");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("simlint: --root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "simlint — workspace determinism & model-invariant lint\n\n\
+                     USAGE: simlint [--deny] [--only R#] [--root PATH] [--list-rules]\n\n\
+                     --deny        exit 1 if any finding remains (CI gate)\n\
+                     --only R#     run a single rule (R1..R5)\n\
+                     --root PATH   workspace root (default: nearest ancestor with a\n\
+                                   [workspace] Cargo.toml, else cwd)\n\
+                     --list-rules  print each rule's id, name, summary, and the\n\
+                                   built-in allowlist"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in Rule::ALL {
+            println!("{} {}\n    {}", r.id(), r.name(), r.summary());
+        }
+        if !BUILTIN_ALLOW.is_empty() {
+            println!("\nbuilt-in allowlist:");
+            for (r, path, why) in BUILTIN_ALLOW {
+                println!("    [{}] {path}\n        {why}", r.id());
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let started = std::time::Instant::now();
+    let findings = match simlint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("simlint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings: Vec<_> = findings
+        .into_iter()
+        .filter(|f| only.map(|r| f.rule == r).unwrap_or(true))
+        .collect();
+
+    for f in &findings {
+        println!("{f}");
+    }
+    let elapsed = started.elapsed();
+    eprintln!(
+        "simlint: {} finding{} in {:.0?}{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        elapsed,
+        if deny { " (--deny)" } else { "" },
+    );
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Nearest ancestor of the cwd whose Cargo.toml declares `[workspace]`,
+/// falling back to the cwd itself.
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

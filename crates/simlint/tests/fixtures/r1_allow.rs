@@ -1,0 +1,7 @@
+//! R1 fixture: the same banned type, suppressed by an inline directive.
+
+pub fn escape_hatch() -> usize {
+    // simlint: allow(R1): reference model only, iteration order unused
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    m.len()
+}

@@ -1,0 +1,12 @@
+//! R1 fixture: ambient nondeterminism a sim crate must not contain.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn ambient() -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let _t = Instant::now();
+    let _s = std::time::SystemTime::now();
+    m.len()
+}

@@ -1,0 +1,13 @@
+//! R1 fixture (clean): deterministic replacements for everything the
+//! bad twin does.
+
+use simcore::{DetHashMap, DetHashSet};
+use std::collections::BTreeMap;
+
+pub fn det() -> usize {
+    let mut m: DetHashMap<u32, u32> = DetHashMap::default();
+    m.insert(1, 2);
+    let s: DetHashSet<u32> = DetHashSet::default();
+    let b: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len() + s.len() + b.len()
+}

@@ -1,0 +1,12 @@
+//! R2 fixture: a trace-only type leaking into always-built code, plus a
+//! cfg referencing a feature the manifest never declares.
+
+#[cfg(feature = "trace")]
+pub struct SpanRecorder;
+
+#[cfg(feature = "tracing")]
+pub fn misspelled_feature() {}
+
+pub fn always_on() -> SpanRecorder {
+    SpanRecorder
+}

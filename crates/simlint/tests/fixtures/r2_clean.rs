@@ -1,0 +1,18 @@
+//! R2 fixture (clean): the ZST no-op twin pattern — the name exists in
+//! both configurations, so ungated references are fine.
+
+#[cfg(feature = "trace")]
+mod imp {
+    pub struct Recorder;
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    pub struct Recorder;
+}
+
+pub use imp::Recorder;
+
+pub fn mk() -> Recorder {
+    Recorder
+}

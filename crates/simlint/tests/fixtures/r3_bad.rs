@@ -1,0 +1,8 @@
+//! R3 fixture: panics waiting to happen on a per-event path.
+
+pub fn hot(v: &mut [u64], i: usize, o: Option<u64>) -> u64 {
+    let x = v[i];
+    let y = o.unwrap();
+    let z = o.expect("boom");
+    x + y + z
+}

@@ -1,0 +1,15 @@
+//! R3 fixture (clean): the same shapes with the panic argued away or
+//! structured out.
+
+pub fn hot(v: &mut [u64], i: usize, o: Option<u64>) -> u64 {
+    // i < v.len(): callers mask i by the ring capacity
+    let x = v[i];
+    let y = o.unwrap_or(0);
+    let first = v.first().copied().unwrap_or_default();
+    x + y + first
+}
+
+pub fn hot_allowed(o: Option<u64>) -> u64 {
+    // simlint: allow(R3): filled by the caller on the same event
+    o.unwrap()
+}

@@ -1,0 +1,8 @@
+//! R4 fixture: imports that drifted away from the vendored stub.
+
+use bytes::{Bytes, Missing};
+
+pub fn f() -> Bytes {
+    let _ = bytes::absent::Thing;
+    Bytes
+}

@@ -1,0 +1,8 @@
+//! R4 fixture (clean): every import resolves in the stub.
+
+use bytes::buf::BufMut;
+use bytes::{Bytes, BytesMut};
+
+pub fn f(_: &dyn BufMut) -> (Bytes, BytesMut) {
+    (Bytes, BytesMut)
+}

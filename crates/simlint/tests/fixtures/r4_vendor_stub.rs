@@ -1,0 +1,12 @@
+//! R4 fixture: a miniature vendored `bytes` stub surface.
+
+#![forbid(unsafe_code)]
+
+pub struct Bytes;
+pub struct BytesMut;
+
+pub mod buf {
+    pub trait BufMut {}
+}
+
+pub use buf::BufMut;

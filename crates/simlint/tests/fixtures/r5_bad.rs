@@ -1,0 +1,5 @@
+//! R5 fixture: an unsafe block with no SAFETY argument.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,3 @@
+//! R5 fixture: an unsafe-free crate root missing the forbid stamp.
+
+pub fn safe() {}

@@ -1,0 +1,8 @@
+//! R5 fixture (clean): the SAFETY contract is stated where the unsafe
+//! block is.
+
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer into the live arena; reads of one
+    // byte cannot cross its end.
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+//! R5 fixture (clean): unsafe-free target root with the forbid stamp.
+
+#![forbid(unsafe_code)]
+
+pub fn safe() {}

@@ -1,4 +1,5 @@
-//! Trace exporters: Chrome `trace_event` JSON and compact CSV.
+//! Trace exporters: Chrome `trace_event` JSON, compact CSV, and
+//! collapsed flamegraph stacks.
 //!
 //! The JSON exporter emits the legacy Chrome trace format (an object
 //! with a `traceEvents` array) that both `chrome://tracing` and
@@ -14,7 +15,8 @@
 //! Everything is hand-serialized: names are `&'static str` identifiers
 //! and all other fields are numbers, so no string escaping is needed.
 
-use crate::{Stage, TraceLog};
+use crate::{InstantKind, Stage, TraceLog};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Process id used for the scheduler/fabric instant-event track.
@@ -137,6 +139,55 @@ pub fn csv(log: &TraceLog) -> String {
     out
 }
 
+/// Folds span time into collapsed flamegraph stacks, one line per
+/// `(scheduler group, pipeline stage)` pair:
+///
+/// ```text
+/// group_0;handler 48210
+/// group_1;rx_nic 9040
+/// ungrouped;client_post 1200
+/// ```
+///
+/// The first frame is the group whose time slice was being served when
+/// the span *started*, reconstructed from the `slice_start` /
+/// `group_switch` instant timeline; spans that begin before the first
+/// slice (warmup, connection setup) fold under `ungrouped`. Values are
+/// total virtual nanoseconds, so `flamegraph.pl` or speedscope renders
+/// where pipeline time went per group directly. Output order is the
+/// `BTreeMap` iteration order — deterministic for identical traces.
+pub fn collapsed_stacks(log: &TraceLog) -> String {
+    // (time_ns, group) checkpoints, in recording order (instants are
+    // recorded with nondecreasing virtual time).
+    let timeline: Vec<(u64, u64)> = log
+        .instants
+        .iter()
+        .filter(|i| matches!(i.kind, InstantKind::SliceStart | InstantKind::GroupSwitch))
+        .map(|i| (i.at.as_nanos(), i.a))
+        .collect();
+    let group_at = |t: u64| -> Option<u64> {
+        let at = timeline.partition_point(|&(tt, _)| tt <= t);
+        at.checked_sub(1).map(|i| timeline[i].1)
+    };
+    let mut folded: BTreeMap<(Option<u64>, usize), u64> = BTreeMap::new();
+    for s in &log.spans {
+        let stage = Stage::ALL.iter().position(|&g| g == s.stage).unwrap_or(0);
+        let key = (group_at(s.start.as_nanos()), stage);
+        *folded.entry(key).or_insert(0) += s.duration().as_nanos();
+    }
+    let mut out = String::new();
+    for ((group, stage), ns) in folded {
+        match group {
+            Some(g) => {
+                let _ = writeln!(out, "group_{};{} {}", g, Stage::ALL[stage].name(), ns);
+            }
+            None => {
+                let _ = writeln!(out, "ungrouped;{} {}", Stage::ALL[stage].name(), ns);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +248,50 @@ mod tests {
         assert_eq!(lines[1], "span,handler,12000,15000,1,3");
         assert_eq!(lines[2], "instant,slice_end,20000,,1,4");
         assert_eq!(lines[3], "sample,PCIeItoM,30000,4898,,");
+    }
+
+    #[test]
+    fn collapsed_stacks_fold_by_group_and_stage() {
+        let mut log = TraceLog::default();
+        // Group 0's slice serves [10_000, 50_000), then a switch to
+        // group 2.
+        log.instants.push(Instant {
+            kind: InstantKind::SliceStart,
+            at: SimTime(10_000),
+            a: 0,
+            b: 0,
+        });
+        log.instants.push(Instant {
+            kind: InstantKind::GroupSwitch,
+            at: SimTime(50_000),
+            a: 2,
+            b: 1,
+        });
+        let span = |stage, start: u64, end: u64| Span {
+            id: 0,
+            stage,
+            start: SimTime(start),
+            end: SimTime(end),
+            client: 0,
+        };
+        log.spans.push(span(Stage::Handler, 12_000, 15_000)); // group 0
+        log.spans.push(span(Stage::Handler, 20_000, 21_000)); // group 0
+        log.spans.push(span(Stage::RxNic, 55_000, 56_500)); // group 2
+        log.spans.push(span(Stage::ClientPost, 2_000, 2_400)); // pre-slice
+        let text = collapsed_stacks(&log);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "ungrouped;client_post 400",
+                "group_0;handler 4000",
+                "group_2;rx_nic 1500",
+            ]
+        );
+    }
+
+    #[test]
+    fn collapsed_stacks_of_empty_log_is_empty() {
+        assert_eq!(collapsed_stacks(&TraceLog::default()), "");
     }
 }

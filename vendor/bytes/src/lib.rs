@@ -7,6 +7,8 @@
 //! methods of [`BufMut`]. Semantics match the real crate for this
 //! subset; anything else is intentionally absent.
 
+#![forbid(unsafe_code)]
+
 use std::borrow::Borrow;
 use std::fmt;
 use std::ops::{Deref, DerefMut};

@@ -8,6 +8,8 @@
 //! `name  time: [..]` lines so existing tooling that greps bench output
 //! keeps working.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

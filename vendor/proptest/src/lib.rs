@@ -9,6 +9,8 @@
 //! so it can be replayed by re-running the test (generation is fully
 //! deterministic per test name and case index).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Number of cases per property (override with `PROPTEST_CASES`).

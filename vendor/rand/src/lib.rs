@@ -11,6 +11,8 @@
 //! deterministic experiment traces stable if the real dependency ever
 //! returns.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
 
