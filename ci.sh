@@ -33,7 +33,7 @@ echo "== clippy (deny warnings, trace on) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== simlint (deny, trace on) =="
-# Lexer-level workspace lint: determinism + model invariants (R1-R5,
+# Lexer-level workspace lint: determinism + model invariants (R1-R6,
 # `simlint --list-rules` prints the catalog + built-in allowlist).
 # Scans sources, not cfg-expanded builds, so it sees *both* sides of
 # every trace gate; it runs again after the no-trace clippy so a rule
@@ -49,6 +49,12 @@ cargo run -q -p simlint -- --deny
 
 echo "== simperf smoke (no-trace build) =="
 ./target/release/simperf --quick --label ci-smoke --out target/BENCH_simperf_ci.json
+
+echo "== simperf smoke, sharded engine (--nthreads 8) =="
+# Exercises the parallel windowed/isolated paths end-to-end; the
+# fingerprint columns must match the nt1 smoke above (determinism.rs
+# pins this bit-for-bit, the smoke just proves the wiring in release).
+./target/release/simperf --quick --nthreads 8 --label ci-smoke-nt8 --out target/BENCH_simperf_ci.json
 
 echo "== simperf perf gate (no-trace build, full windows) =="
 ./target/release/simperf --check BENCH_simperf.json

@@ -18,7 +18,7 @@
 
 use rdma_fabric::{Fabric, FabricParams};
 use rpc_core::cluster::{Cluster, ClusterSpec};
-use rpc_core::driver::Sim;
+use rpc_core::sharded::ShardedSim;
 use rpc_core::harness::{Harness, HarnessConfig};
 use rpc_core::transport::EchoHandler;
 use rpc_core::workload::ThinkTime;
@@ -76,6 +76,7 @@ fn main() {
             server_threads: 10,
             client_machines: 11,
             threads_per_machine: 8,
+            cores_per_machine: 8,
             clients,
         },
     );
@@ -97,6 +98,7 @@ fn main() {
             think: vec![ThinkTime::None],
             seed: 1,
             window: 1,
+            nthreads: 1,
         },
     );
     harness.sample_counters(
@@ -105,15 +107,15 @@ fn main() {
         SimDuration::micros(sample_us),
     );
     let stop = harness.stop_at();
-    let mut sim = Sim::new(fabric, harness);
-    let events = sim.run_until(stop + SimDuration::millis(1));
+    let mut sim = ShardedSim::new_sequential(fabric, harness);
+    let events = sim.run_sequential(stop + SimDuration::millis(1));
 
     let log = tracer.snapshot().expect("tracer enabled");
     let q = TraceQuery::new(&log);
     eprintln!(
         "fig_timeline: {clients} clients, {} ops, {events} events, \
          {} spans / {} instants / {} samples",
-        sim.logic.metrics.ops,
+        sim.logic(0).metrics.ops,
         log.spans.len(),
         log.instants.len(),
         log.samples.len()

@@ -2,13 +2,17 @@
 //! merges wall-time / events-per-second numbers into a JSON report.
 //!
 //! ```text
-//! simperf [--label NAME] [--out PATH] [--quick]
+//! simperf [--label NAME] [--out PATH] [--quick] [--nthreads N]
 //! simperf --check PATH
 //! ```
 //!
 //! `--label before` / `--label after` populate the two slots the repo's
 //! committed `BENCH_simperf.json` compares; any other label just records
 //! a run. `--quick` shrinks the simulated windows for CI smoke tests.
+//!
+//! `--nthreads N` runs the multi-pod workload on N engine threads
+//! (sharded isolated mode); the hub workloads always run sequentially.
+//! Event counts are identical at every N — only wall time moves.
 //!
 //! `--check PATH` is the CI regression gate: it runs the full workload
 //! set, compares total wall time against the *latest* labeled run in
@@ -25,6 +29,7 @@ fn main() {
     let mut label = "run".to_string();
     let mut out = "BENCH_simperf.json".to_string();
     let mut quick = false;
+    let mut nthreads = 1usize;
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -32,9 +37,20 @@ fn main() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
             "--quick" => quick = true,
+            "--nthreads" => {
+                nthreads = args
+                    .next()
+                    .expect("--nthreads needs a value")
+                    .parse()
+                    .expect("--nthreads must be a positive integer");
+                assert!(nthreads >= 1, "--nthreads must be >= 1");
+            }
             "--check" => check = Some(args.next().expect("--check needs a baseline path")),
             "--help" | "-h" => {
-                println!("usage: simperf [--label NAME] [--out PATH] [--quick] [--check BASELINE]");
+                println!(
+                    "usage: simperf [--label NAME] [--out PATH] [--quick] \
+                     [--nthreads N] [--check BASELINE]"
+                );
                 return;
             }
             other => panic!("unknown argument {other:?}"),
@@ -46,8 +62,12 @@ fn main() {
         panic!("--check runs the full workload set; drop --quick");
     }
 
-    eprintln!("simperf: running fixed workload set ({})...", if quick { "quick" } else { "full" });
-    let results = run_all(quick);
+    eprintln!(
+        "simperf: running fixed workload set ({}, {nthreads} engine thread{})...",
+        if quick { "quick" } else { "full" },
+        if nthreads == 1 { "" } else { "s" }
+    );
+    let results = run_all(quick, nthreads);
     for r in &results {
         eprintln!(
             "  {:<28} {:>9.1} ms  {:>10} events  {:>12.0} events/s  ops={}",

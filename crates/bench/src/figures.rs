@@ -696,7 +696,7 @@ fn run_tx_system(
     let _ = label;
     match transport {
         "scalerpc" => run_scalerpc_tx(cfg, scaletx::tx_scale_cfg(), SimDuration::ZERO)
-            .logic
+            .logic(0)
             .metrics
             .clone(),
         "rawwrite" => {
@@ -705,9 +705,9 @@ fn run_tx_system(
                 rpc_baselines::RawWrite::new(f, cl, 8, 4096, part)
             });
             let stop = tx.stop_at();
-            let mut sim = rpc_core::Sim::new(fabric, tx);
-            sim.run_until(stop + SimDuration::millis(3));
-            sim.logic.metrics.clone()
+            let mut sim = rpc_core::ShardedSim::new_sequential(fabric, tx);
+            sim.run_sequential(stop + SimDuration::millis(3));
+            sim.logic(0).metrics.clone()
         }
         "herd" => {
             let mut fabric = rdma_fabric::Fabric::new(rdma_fabric::FabricParams::default());
@@ -715,9 +715,9 @@ fn run_tx_system(
                 rpc_baselines::Herd::new(f, cl, 8, 4096, part)
             });
             let stop = tx.stop_at();
-            let mut sim = rpc_core::Sim::new(fabric, tx);
-            sim.run_until(stop + SimDuration::millis(3));
-            sim.logic.metrics.clone()
+            let mut sim = rpc_core::ShardedSim::new_sequential(fabric, tx);
+            sim.run_sequential(stop + SimDuration::millis(3));
+            sim.logic(0).metrics.clone()
         }
         "fasst" => {
             let mut fabric = rdma_fabric::Fabric::new(rdma_fabric::FabricParams::default());
@@ -725,9 +725,9 @@ fn run_tx_system(
                 rpc_baselines::Fasst::new(f, cl, 4096, part)
             });
             let stop = tx.stop_at();
-            let mut sim = rpc_core::Sim::new(fabric, tx);
-            sim.run_until(stop + SimDuration::millis(3));
-            sim.logic.metrics.clone()
+            let mut sim = rpc_core::ShardedSim::new_sequential(fabric, tx);
+            sim.run_sequential(stop + SimDuration::millis(3));
+            sim.logic(0).metrics.clone()
         }
         other => panic!("unknown transport {other}"),
     }

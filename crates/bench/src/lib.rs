@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod figures;
+pub mod pods;
 pub mod json;
 pub mod rawverbs;
 pub mod simperf;

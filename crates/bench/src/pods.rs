@@ -1,0 +1,310 @@
+//! Multi-pod parallel workload for the sharded engine.
+//!
+//! The hub-shaped workloads (Figs. 1, 3, 8) funnel every message
+//! through one server node, so the conservative 400 ns lookahead
+//! windows of DESIGN.md §10 cannot buy them wall-clock parallelism —
+//! the server shard serializes everything. Real RDMA deployments are
+//! rarely one hub: a rack runs many independent server *pods* (one
+//! ScaleRPC/KV instance per machine, disjoint client sets). This module
+//! models that shape directly — `pods` independent inbound RC-write
+//! closed loops with no cross-pod traffic — which the sharded engine
+//! executes in *isolated* mode: one shard per pod, no windowing, pods
+//! spread over the thread pool. Per-pod results are bit-identical to
+//! the sequential engine at any `nthreads` (the pods never interact),
+//! making this the aggregate-throughput workload for `simperf
+//! --nthreads`.
+
+use std::sync::Arc;
+
+use rdma_fabric::{
+    Fabric, FabricParams, MrId, NodeId, RemoteAddr, Transport, Upcall, WcOpcode, WorkRequest,
+};
+use rpc_core::driver::{Cx, Logic};
+use rpc_core::sharded::{AppRoute, ShardSpec, ShardedSim};
+use simcore::{SimDuration, SimTime};
+
+/// Configuration of the multi-pod sweep.
+#[derive(Clone, Debug)]
+pub struct PodsConfig {
+    /// Number of independent server pods.
+    pub pods: usize,
+    /// Closed-loop clients per pod.
+    pub clients_per_pod: usize,
+    /// Outstanding writes per client.
+    pub window: usize,
+    /// Message size in bytes.
+    pub msg_size: usize,
+    /// Pool block size at each pod server.
+    pub block_size: usize,
+    /// Message blocks per client in a pod's pool.
+    pub blocks_per_client: usize,
+    /// Warmup excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measured run length.
+    pub run: SimDuration,
+    /// Engine threads. `1` runs the sequential engine; more run one
+    /// shard per pod in isolated mode on a thread pool — per-pod
+    /// counters are bit-identical either way.
+    pub nthreads: usize,
+}
+
+impl Default for PodsConfig {
+    fn default() -> Self {
+        PodsConfig {
+            pods: 8,
+            clients_per_pod: 25,
+            window: 4,
+            msg_size: 32,
+            block_size: 512,
+            blocks_per_client: 16,
+            warmup: SimDuration::millis(1),
+            run: SimDuration::millis(9),
+            nthreads: 1,
+        }
+    }
+}
+
+/// Measured outcome of one multi-pod run.
+#[derive(Clone, Debug)]
+pub struct PodsResult {
+    /// Aggregate verb throughput over all pods, Mops/s.
+    pub mops: f64,
+    /// Completed verbs inside the measured window, all pods.
+    pub ops: u64,
+    /// Per-pod completed verbs (determinism witness — must match the
+    /// sequential engine pod-for-pod).
+    pub pod_ops: Vec<u64>,
+    /// Simulator events processed over the whole run.
+    pub events: u64,
+}
+
+/// Shard-replication contract (ownership audit for the sharded
+/// engine): a pod server's events touch only `ops[pod]` and the pod's
+/// server fabric node; a client's events touch only its own
+/// `block_cursor` slot and client-side fabric state. `qp_client`,
+/// `mr_pod` and the geometry fields are immutable after construction.
+#[derive(Clone)]
+struct PodsLogic {
+    cfg: PodsConfig,
+    /// Dense map: client-side QP index → global client index.
+    qp_client: Vec<u32>,
+    /// Dense map: MR index → owning pod (pool MRs only).
+    mr_pod: Vec<u32>,
+    /// Global client index → that client's QP.
+    client_qps: Vec<rdma_fabric::QpId>,
+    /// Pod index → the pod's pool MR.
+    pool_mrs: Vec<MrId>,
+    /// Per-client next block cursor.
+    block_cursor: Vec<usize>,
+    /// Per-pod verbs completed inside the measurement window.
+    ops: Vec<u64>,
+    window_start: SimTime,
+    window_end: SimTime,
+    stop: SimTime,
+}
+
+/// The only app event: a client posts its next write.
+#[derive(Clone)]
+struct PodPost(usize);
+
+impl PodsLogic {
+    fn post(&mut self, cg: usize, cx: &mut Cx<'_, PodPost>) {
+        if cx.now >= self.stop {
+            return;
+        }
+        let blocks = self.cfg.blocks_per_client;
+        let cursor = self.block_cursor[cg];
+        self.block_cursor[cg] = cursor + 1;
+        let pod = cg / self.cfg.clients_per_pod;
+        let local = cg % self.cfg.clients_per_pod;
+        let block = (local * blocks + cursor % blocks) * self.cfg.block_size;
+        cx.post(
+            self.client_qps[cg],
+            WorkRequest::Write {
+                data: bytes::Bytes::from(vec![0x6B; self.cfg.msg_size]),
+                remote: RemoteAddr::new(self.pool_mrs[pod], block),
+                imm: None,
+            },
+            true,
+            None,
+        )
+        .expect("pod write");
+    }
+}
+
+impl Logic for PodsLogic {
+    type Ev = PodPost;
+
+    fn init(&mut self, cx: &mut Cx<'_, PodPost>) {
+        // Staggered start, same rationale as the raw-verb loops: a
+        // synchronized t=0 wave is an artifact no real benchmark keeps.
+        let total = self.cfg.pods * self.cfg.clients_per_pod;
+        let mut slot = 0u64;
+        for _k in 0..self.cfg.window {
+            for cg in 0..total {
+                cx.at(SimTime(slot * 45), PodPost(cg));
+                slot += 1;
+            }
+        }
+    }
+
+    fn on_upcall(&mut self, up: Upcall, cx: &mut Cx<'_, PodPost>) {
+        match up {
+            // Landing at a pod server: count and model the consuming
+            // CPU touching the block (keeps the LLC model honest).
+            Upcall::MemWrite { mr, offset, .. } => {
+                let pod = self.mr_pod[mr.index()] as usize;
+                if cx.now >= self.window_start && cx.now <= self.window_end {
+                    self.ops[pod] += 1;
+                }
+                let block_start = offset - offset % self.cfg.block_size;
+                let _ = cx.fabric.cpu_access(mr, block_start, self.cfg.block_size);
+            }
+            // The client's completion re-arms its window slot.
+            Upcall::Completion { wc, .. } if wc.opcode == WcOpcode::RdmaWrite => {
+                let cg = self.qp_client[wc.qp.index()] as usize;
+                self.post(cg, cx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_app(&mut self, ev: PodPost, cx: &mut Cx<'_, PodPost>) {
+        self.post(ev.0, cx);
+    }
+}
+
+/// Runs the multi-pod experiment.
+pub fn run_pods(cfg: PodsConfig) -> PodsResult {
+    let mut fabric = Fabric::new(FabricParams::default());
+    let mut servers: Vec<NodeId> = Vec::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    let mut client_nodes: Vec<NodeId> = Vec::new();
+    let mut client_qps = Vec::new();
+    let mut pool_mrs = Vec::new();
+    let mut qp_client = Vec::new();
+    let mut mr_pod = Vec::new();
+
+    for p in 0..cfg.pods {
+        let server = fabric.add_node(&format!("pod{p}"));
+        servers.push(server);
+        let mut group = vec![server];
+        let scq = fabric.create_cq(server).expect("cq");
+        let pool = fabric
+            .register_mr(
+                server,
+                cfg.clients_per_pod * cfg.blocks_per_client * cfg.block_size,
+            )
+            .expect("pool");
+        if mr_pod.len() <= pool.index() {
+            mr_pod.resize(pool.index() + 1, 0);
+        }
+        mr_pod[pool.index()] = p as u32;
+        pool_mrs.push(pool);
+        for c in 0..cfg.clients_per_pod {
+            let node = fabric.add_node(&format!("p{p}c{c}"));
+            client_nodes.push(node);
+            group.push(node);
+            let ccq = fabric.create_cq(node).expect("cq");
+            let sqp = fabric.create_qp(server, Transport::Rc, scq, scq).expect("qp");
+            let cqp = fabric.create_qp(node, Transport::Rc, ccq, ccq).expect("qp");
+            fabric.connect(sqp, cqp).expect("connect");
+            if qp_client.len() <= cqp.index() {
+                qp_client.resize(cqp.index() + 1, 0);
+            }
+            qp_client[cqp.index()] = (p * cfg.clients_per_pod + c) as u32;
+            client_qps.push(cqp);
+        }
+        groups.push(group);
+    }
+
+    let nthreads = cfg.nthreads.max(1);
+    let pods = cfg.pods;
+    let clients_per_pod = cfg.clients_per_pod;
+    let window_start = SimTime::ZERO + cfg.warmup;
+    let window_end = window_start + cfg.run;
+    let logic = PodsLogic {
+        qp_client,
+        mr_pod,
+        client_qps,
+        pool_mrs,
+        block_cursor: vec![0; pods * clients_per_pod],
+        ops: vec![0; pods],
+        window_start,
+        window_end,
+        stop: window_end,
+        cfg,
+    };
+    // Pods never exchange messages, so multi-threaded runs use isolated
+    // mode: one shard per pod, straight to the deadline, no windows.
+    let spec = if nthreads == 1 {
+        let mut all = servers.clone();
+        all.extend_from_slice(&client_nodes);
+        ShardSpec::sequential(all)
+    } else {
+        ShardSpec {
+            groups,
+            nthreads,
+            isolated: true,
+        }
+    };
+    let route: AppRoute<PodPost> = Arc::new(move |ev| {
+        // A post executes on the posting client's node.
+        client_nodes[ev.0]
+    });
+    let mut sim = ShardedSim::new(fabric, logic, spec, route);
+    let events = sim.run_until(window_end + SimDuration::millis(1));
+    // Each pod's counters are authoritative only on the shard that owns
+    // the pod's server (in sequential mode that is shard 0 for all).
+    let pod_ops: Vec<u64> = servers
+        .iter()
+        .enumerate()
+        .map(|(p, &s)| sim.logic(sim.shard_of(s)).ops[p])
+        .collect();
+    let ops: u64 = pod_ops.iter().sum();
+    let secs = (window_end.saturating_since(window_start)).as_secs_f64();
+    PodsResult {
+        mops: ops as f64 / secs / 1e6,
+        ops,
+        pod_ops,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(nthreads: usize) -> PodsConfig {
+        PodsConfig {
+            pods: 4,
+            clients_per_pod: 10,
+            warmup: SimDuration::micros(200),
+            run: SimDuration::micros(400),
+            nthreads,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pods_make_progress_and_balance() {
+        let r = run_pods(quick_cfg(1));
+        assert!(r.ops > 1_000, "ops {}", r.ops);
+        let (min, max) = (
+            *r.pod_ops.iter().min().unwrap(),
+            *r.pod_ops.iter().max().unwrap(),
+        );
+        // Identical pods: the closed loops must stay near-symmetric.
+        assert!(min * 10 >= max * 9, "pod skew: {:?}", r.pod_ops);
+    }
+
+    #[test]
+    fn isolated_mode_matches_the_sequential_engine_pod_for_pod() {
+        let seq = run_pods(quick_cfg(1));
+        for nthreads in [2, 4] {
+            let par = run_pods(quick_cfg(nthreads));
+            assert_eq!(par.pod_ops, seq.pod_ops, "nthreads={nthreads}");
+            assert_eq!(par.events, seq.events, "nthreads={nthreads}");
+        }
+    }
+}

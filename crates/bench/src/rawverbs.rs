@@ -12,10 +12,13 @@
 //! - **UD send**: the server sends datagrams from its 10 thread QPs —
 //!   flat regardless of client count.
 
+use std::sync::Arc;
+
 use rdma_fabric::{
-    Fabric, FabricParams, MrId, QpId, RemoteAddr, Transport, Upcall, WcOpcode, WorkRequest,
+    Fabric, FabricParams, MrId, NodeId, QpId, RemoteAddr, Transport, Upcall, WcOpcode, WorkRequest,
 };
-use rpc_core::driver::{Cx, Logic, Sim};
+use rpc_core::driver::{Cx, Logic};
+use rpc_core::sharded::{AppRoute, ShardSpec, ShardedSim};
 use simcore::{SimDuration, SimTime};
 
 /// Which verb pattern to measure.
@@ -51,6 +54,10 @@ pub struct RawVerbConfig {
     pub warmup: SimDuration,
     /// Measured run length.
     pub run: SimDuration,
+    /// Engine threads. `1` runs the sequential engine; more shard the
+    /// clients across a thread pool under the deterministic windowed
+    /// merge — results are bit-identical either way (DESIGN.md §10).
+    pub nthreads: usize,
 }
 
 impl Default for RawVerbConfig {
@@ -65,6 +72,7 @@ impl Default for RawVerbConfig {
             window: 4,
             warmup: SimDuration::millis(1),
             run: SimDuration::millis(4),
+            nthreads: 1,
         }
     }
 }
@@ -90,6 +98,7 @@ pub struct RawVerbResult {
     pub pcie_itom: u64,
 }
 
+#[derive(Clone)]
 struct ThreadState {
     qp_cursor: usize,
     /// Clients owned by this thread (fixed partition, precomputed —
@@ -98,6 +107,12 @@ struct ThreadState {
     clients: Vec<usize>,
 }
 
+/// Shard-replication contract (ownership audit for the sharded engine):
+/// server events touch only `threads`, `ops`, `counter_base` and the
+/// server fabric node; a client `c`'s events touch only
+/// `block_cursor[c]` and client-side fabric state. Everything else is
+/// immutable after construction, so replicas never read stale state.
+#[derive(Clone)]
 struct RawVerbLogic {
     cfg: RawVerbConfig,
     server: rdma_fabric::NodeId,
@@ -118,6 +133,7 @@ struct RawVerbLogic {
     counter_base: Option<(u64, u64)>,
 }
 
+#[derive(Clone)]
 enum RvEv {
     /// A server thread (outbound/UD) or client (inbound) posts its next
     /// verb; payload identifies the poster.
@@ -305,12 +321,14 @@ pub fn run_raw_verbs(cfg: RawVerbConfig) -> RawVerbResult {
     let mut qps = Vec::new();
     let mut client_mrs = Vec::new();
     let mut client_ud_qps = Vec::new();
+    let mut client_nodes: Vec<NodeId> = Vec::new();
     let mut pool_mr = None;
 
     match cfg.kind {
         RawVerbKind::OutboundWrite => {
             for c in 0..cfg.clients {
                 let node = fabric.add_node(&format!("c{c}"));
+                client_nodes.push(node);
                 let ccq = fabric.create_cq(node).expect("cq");
                 let mr = fabric.register_mr(node, 4096).expect("mr");
                 let sqp = fabric
@@ -329,6 +347,7 @@ pub fn run_raw_verbs(cfg: RawVerbConfig) -> RawVerbResult {
             pool_mr = Some(pool);
             for c in 0..cfg.clients {
                 let node = fabric.add_node(&format!("c{c}"));
+                client_nodes.push(node);
                 let ccq = fabric.create_cq(node).expect("cq");
                 let sqp = fabric
                     .create_qp(server, Transport::Rc, server_cq, server_cq)
@@ -348,6 +367,7 @@ pub fn run_raw_verbs(cfg: RawVerbConfig) -> RawVerbResult {
             }
             for c in 0..cfg.clients {
                 let node = fabric.add_node(&format!("c{c}"));
+                client_nodes.push(node);
                 let ccq = fabric.create_cq(node).expect("cq");
                 let qp = fabric.create_qp(node, Transport::Ud, ccq, ccq).expect("qp");
                 let mr = fabric.register_mr(node, 64 * 4096).expect("mr");
@@ -360,6 +380,8 @@ pub fn run_raw_verbs(cfg: RawVerbConfig) -> RawVerbResult {
         }
     }
 
+    let nthreads = cfg.nthreads.max(1);
+    let kind = cfg.kind;
     let window_start = SimTime::ZERO + cfg.warmup;
     let window_end = window_start + cfg.run;
     let threads = (0..cfg.server_threads)
@@ -386,23 +408,58 @@ pub fn run_raw_verbs(cfg: RawVerbConfig) -> RawVerbResult {
         counter_base: None,
         cfg,
     };
-    let mut sim = Sim::new(fabric, logic);
+    // Partition: the server is one shard; clients spread round-robin
+    // over the remaining groups. `nthreads = 1` collapses to a single
+    // group — the plain sequential engine, no windowing at all.
+    let spec = if nthreads == 1 {
+        let mut all = vec![server];
+        all.extend_from_slice(&client_nodes);
+        ShardSpec::sequential(all)
+    } else {
+        let mut groups = vec![vec![server]];
+        groups.extend((0..nthreads).map(|g| {
+            client_nodes
+                .iter()
+                .copied()
+                .skip(g)
+                .step_by(nthreads)
+                .collect::<Vec<_>>()
+        }));
+        groups.retain(|g| !g.is_empty());
+        ShardSpec {
+            groups,
+            nthreads,
+            isolated: false,
+        }
+    };
+    let route: AppRoute<RvEv> = Arc::new(move |ev| match ev {
+        // Posts execute where the poster lives: server threads for
+        // outbound/UD, the client itself for inbound.
+        RvEv::Post(i) => match kind {
+            RawVerbKind::InboundWrite => client_nodes[*i],
+            _ => server,
+        },
+        RvEv::SnapshotCounters => server,
+    });
+    let mut sim = ShardedSim::new(fabric, logic, spec, route);
     let events = sim.run_until(window_end + SimDuration::millis(1));
-    let secs = sim
-        .logic
+    let ssid = sim.shard_of(server);
+    let logic = sim.logic(ssid);
+    let fabric = sim.fabric(ssid);
+    let secs = logic
         .window_end
-        .saturating_since(sim.logic.window_start)
+        .saturating_since(logic.window_start)
         .as_secs_f64();
-    let counters = sim.fabric.counters(server).expect("server");
-    let (rd0, itom0) = sim.logic.counter_base.unwrap_or((0, 0));
+    let counters = fabric.counters(server).expect("server");
+    let (rd0, itom0) = logic.counter_base.unwrap_or((0, 0));
     let pcie_rd = counters.get("PCIeRdCur").saturating_sub(rd0);
     let pcie_itom = counters.get("PCIeItoM").saturating_sub(itom0);
     RawVerbResult {
-        mops: sim.logic.ops as f64 / secs / 1e6,
+        mops: logic.ops as f64 / secs / 1e6,
         pcie_rd_mops: pcie_rd as f64 / secs / 1e6,
         pcie_itom_mops: pcie_itom as f64 / secs / 1e6,
-        l3_miss_rate: sim.fabric.llc_miss_rate(server).unwrap_or(0.0),
-        ops: sim.logic.ops,
+        l3_miss_rate: fabric.llc_miss_rate(server).unwrap_or(0.0),
+        ops: logic.ops,
         events,
         pcie_rd,
         pcie_itom,

@@ -3,8 +3,8 @@
 use rdma_fabric::{Fabric, FabricParams};
 use rpc_baselines::{Fasst, Herd, RawWrite, SelfRpc};
 use rpc_core::cluster::{Cluster, ClusterSpec};
-use rpc_core::driver::Sim;
 use rpc_core::harness::{Harness, HarnessConfig};
+use rpc_core::sharded::ShardedSim;
 use rpc_core::transport::EchoHandler;
 use rpc_core::workload::ThinkTime;
 use scalerpc::{ScaleRpc, ScaleRpcConfig};
@@ -77,6 +77,13 @@ pub struct RpcRunConfig {
     pub run: SimDuration,
     /// Seed.
     pub seed: u64,
+    /// Engine threads requested. Hub RPC topologies funnel every
+    /// request through one server, so the sharded engine runs them
+    /// single-shard regardless (the 400 ns lookahead window would just
+    /// serialize on the server shard); the knob is accepted for
+    /// interface parity with the raw-verb and pod workloads and future
+    /// per-server-thread sharding.
+    pub nthreads: usize,
 }
 
 impl Default for RpcRunConfig {
@@ -93,6 +100,7 @@ impl Default for RpcRunConfig {
             warmup: SimDuration::millis(2),
             run: SimDuration::millis(6),
             seed: 42,
+            nthreads: 1,
         }
     }
 }
@@ -131,6 +139,7 @@ pub fn run_rpc(cfg: RpcRunConfig) -> RpcRunResult {
             server_threads: cfg.server_threads,
             client_machines: cfg.machines,
             threads_per_machine: cfg.threads_per_machine,
+            cores_per_machine: 8,
             clients: cfg.clients,
         },
     );
@@ -143,24 +152,28 @@ pub fn run_rpc(cfg: RpcRunConfig) -> RpcRunResult {
         think: cfg.think.clone(),
         seed: cfg.seed,
         window: cfg.window,
+        nthreads: cfg.nthreads,
     };
     macro_rules! drive {
         ($t:expr) => {{
             let h = Harness::new($t, cluster, hcfg);
             let stop = h.stop_at();
-            let mut sim = Sim::new(fabric, h);
+            // Single-shard handle on the sharded engine (see
+            // `RpcRunConfig::nthreads` for why hub topologies do not
+            // partition further).
+            let mut sim = ShardedSim::new_sequential(fabric, h);
             // Let things settle, snapshot counters at window start by
             // running to it first.
-            let mut events = sim.run_until(SimTime::ZERO + cfg.warmup);
-            let snap = sim.fabric.counters(server).expect("server").snapshot();
-            events += sim.run_until(stop);
+            let mut events = sim.run_sequential(SimTime::ZERO + cfg.warmup);
+            let snap = sim.fabric(0).counters(server).expect("server").snapshot();
+            events += sim.run_sequential(stop);
             let delta = sim
-                .fabric
+                .fabric(0)
                 .counters(server)
                 .expect("server")
                 .delta_since(&snap);
-            events += sim.run_until(stop + SimDuration::millis(3));
-            let m = &sim.logic.metrics;
+            events += sim.run_sequential(stop + SimDuration::millis(3));
+            let m = &sim.logic(0).metrics;
             let secs = cfg.run.as_secs_f64();
             RpcRunResult {
                 mops: m.mops(),

@@ -10,6 +10,7 @@
 //! file gains a `speedup` section once both labels are present.
 
 use crate::json::Json;
+use crate::pods::{run_pods, PodsConfig};
 use crate::rawverbs::{run_raw_verbs, RawVerbConfig, RawVerbKind};
 use crate::rpcbench::{run_rpc, RpcRunConfig, TransportKind};
 use scalerpc::ScaleRpcConfig;
@@ -48,8 +49,13 @@ fn timed(name: &'static str, f: impl FnOnce() -> (u64, u64)) -> WorkloadResult {
 }
 
 /// Runs the fixed workload set. `quick` shrinks the simulated windows
-/// for CI smoke runs (same code paths, ~10× less work).
-pub fn run_all(quick: bool) -> Vec<WorkloadResult> {
+/// for CI smoke runs (same code paths, ~10× less work). `nthreads`
+/// feeds the sharded engine: the hub workloads (one server node) stay
+/// pinned to the sequential engine — the 400 ns lookahead windows
+/// cannot parallelize a single hub — while the multi-pod workload
+/// spreads its independent pods over the thread pool. Event and op
+/// counts are bit-identical at every `nthreads`.
+pub fn run_all(quick: bool, nthreads: usize) -> Vec<WorkloadResult> {
     let ms = |full: u64, q: u64| SimDuration::millis(if quick { q } else { full });
     vec![
         // Fig. 1(b): 10 server threads RC-write to 800 clients — the QP
@@ -115,6 +121,26 @@ pub fn run_all(quick: bool) -> Vec<WorkloadResult> {
                 window: 4,
                 warmup: ms(2, 1),
                 run: ms(6, 1),
+                ..Default::default()
+            });
+            (r.events, r.ops)
+        }),
+        // Eight independent server pods — the rack-shaped workload the
+        // sharded engine accelerates (isolated mode, one shard per
+        // pod). The only row whose wall time responds to `--nthreads`.
+        timed("pods8_inbound_200c", move || {
+            let r = run_pods(PodsConfig {
+                warmup: if quick {
+                    SimDuration::micros(200)
+                } else {
+                    SimDuration::millis(1)
+                },
+                run: if quick {
+                    SimDuration::micros(400)
+                } else {
+                    SimDuration::millis(4)
+                },
+                nthreads,
                 ..Default::default()
             });
             (r.events, r.ops)
@@ -366,9 +392,9 @@ mod tests {
 
     #[test]
     fn quick_run_is_deterministic_and_counts_events() {
-        let a = run_all(true);
-        let b = run_all(true);
-        assert_eq!(a.len(), 5);
+        let a = run_all(true, 1);
+        let b = run_all(true, 2);
+        assert_eq!(a.len(), 6);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.name, y.name);
             assert_eq!(x.events, y.events, "{} events drifted", x.name);

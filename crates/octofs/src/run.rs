@@ -10,7 +10,7 @@ use crate::proto::FsOp;
 use rdma_fabric::{Fabric, FabricParams};
 use rpc_baselines::{RawWrite, SelfRpc};
 use rpc_core::cluster::{Cluster, ClusterSpec};
-use rpc_core::driver::Sim;
+use rpc_core::sharded::ShardedSim;
 use rpc_core::harness::{Harness, HarnessConfig};
 use rpc_core::workload::ThinkTime;
 use scalerpc::{ScaleRpc, ScaleRpcConfig};
@@ -91,6 +91,7 @@ pub fn run_mdtest(cfg: &MdtestRun) -> MdtestResult {
             server_threads: 10,
             client_machines: 11,
             threads_per_machine: 8,
+            cores_per_machine: 8,
             clients: cfg.clients,
         },
     );
@@ -104,15 +105,16 @@ pub fn run_mdtest(cfg: &MdtestRun) -> MdtestResult {
         think: vec![ThinkTime::None],
         seed: 17,
         window: 1,
+        nthreads: 1,
     };
     let gen = Box::new(MdtestGen::new(cfg.op, cfg.files_per_dir as u64));
     macro_rules! drive {
         ($transport:expr) => {{
             let h = Harness::with_generator($transport, cluster, hcfg, gen);
             let stop = h.stop_at();
-            let mut sim = Sim::new(fabric, h);
-            sim.run_until(stop + SimDuration::millis(3));
-            let m = &sim.logic.metrics;
+            let mut sim = ShardedSim::new_sequential(fabric, h);
+            sim.run_sequential(stop + SimDuration::millis(3));
+            let m = &sim.logic(0).metrics;
             MdtestResult {
                 ops_per_sec: m.ops_per_sec(),
                 ops: m.ops,

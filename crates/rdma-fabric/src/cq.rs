@@ -54,7 +54,7 @@ pub struct Wc {
 }
 
 /// A completion queue: an ordered list of [`Wc`] drained by polling.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CompletionQueue {
     id: CqId,
     entries: std::collections::VecDeque<Wc>,

@@ -146,7 +146,7 @@ enum Inner {
 #[derive(Debug)]
 pub struct FabricEvent(Inner);
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Node {
     #[allow(dead_code)]
     name: String,
@@ -160,7 +160,7 @@ struct Node {
 
 /// The simulated RDMA fabric: all nodes, regions, queue pairs and
 /// completion queues, plus the models that price every operation.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Fabric {
     params: FabricParams,
     nodes: Vec<Node>,
@@ -617,6 +617,55 @@ impl Fabric {
     }
 
     // ---- event handling --------------------------------------------------
+
+    /// The node whose state [`handle`](Self::handle) will mutate for
+    /// this event — the shard-routing key of the parallel engine.
+    ///
+    /// Every handler arm touches exactly one node's mutable state
+    /// (counters, NIC engines, caches, owned memory regions): tx
+    /// processing runs at the posting QP's node, rx processing at the
+    /// destination QP's node — except read/atomic *responses*, which
+    /// arrive back at the requester (the packet keeps its original
+    /// src/dst orientation) — and delivery/completion effects land on
+    /// the node recorded in the event. Connection metadata read across
+    /// that boundary (QP transport, state, peer) is immutable after
+    /// setup; the sharded driver forbids runtime `connect`/`destroy_qp`
+    /// for exactly this reason.
+    pub fn event_node(&self, ev: &FabricEvent) -> NodeId {
+        match &ev.0 {
+            Inner::TxProcess { pkt, .. } => self.qps[pkt.src_qp.index()].node(), // QpId indexes self.qps: QPs error out but are never freed
+            Inner::RxProcess { pkt } => match &pkt.kind {
+                PacketKind::ReadResp { .. } | PacketKind::AtomicResp { .. } => {
+                    self.qps[pkt.src_qp.index()].node() // QpId indexes self.qps: QPs error out but are never freed
+                }
+                _ => self.qps[pkt.dst_qp.index()].node(), // QpId indexes self.qps: QPs error out but are never freed
+            },
+            Inner::Deliver { node, .. } => *node,
+            Inner::Complete { qp, .. } => self.qps[qp.index()].node(), // QpId indexes self.qps: QPs error out but are never freed
+        }
+    }
+
+    /// A shard's private copy of the fabric: full topology and
+    /// connection metadata, but with the *bytes* of memory regions owned
+    /// by other shards stripped to zero length.
+    ///
+    /// Per-node mutable state (NIC engines, caches, counters, CQs) is
+    /// replicated wholesale; only the replica whose shard owns a node
+    /// ever executes events against it (see [`event_node`]
+    /// (Self::event_node)), so the non-owned copies simply go stale.
+    /// Stripping foreign MR bytes keeps replica memory proportional to
+    /// the shard's own footprint — and turns any accidental cross-shard
+    /// memory access into a loud bounds error instead of a silent read
+    /// of stale bytes.
+    pub fn shard_replica(&self, owned: &[NodeId]) -> Fabric {
+        let mut replica = self.clone();
+        for (i, owner) in replica.mr_owner.iter().enumerate() {
+            if !owned.contains(owner) {
+                replica.mrs[i] = MemoryRegion::new(replica.mrs[i].id(), 0); // mr_owner and mrs are parallel vecs
+            }
+        }
+        replica
+    }
 
     /// Advances the fabric over one event, scheduling follow-ups through
     /// `sched` and appending application-visible effects to `upcalls`.

@@ -53,7 +53,7 @@ pub struct CpuAccessOutcome {
 }
 
 /// The LLC + DDIO model for one node.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct LlcModel {
     /// General LLC lines (CPU-allocated + promoted DDIO lines).
     main: RandomSet<(MrId, u64)>,

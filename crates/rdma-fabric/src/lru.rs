@@ -9,6 +9,7 @@ use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
 
+#[derive(Clone)]
 struct Entry<K> {
     key: K,
     prev: usize,
@@ -32,6 +33,7 @@ struct Entry<K> {
 /// assert_eq!(lru.touch(1), (true, None));       // hit, refreshes 1
 /// assert_eq!(lru.touch(3), (false, Some(2)));   // miss, evicts LRU=2
 /// ```
+#[derive(Clone)]
 pub struct LruSet<K> {
     map: DetHashMap<K, usize>,
     slab: Vec<Entry<K>>,
@@ -270,6 +272,7 @@ pub(crate) fn fx_line_hash32(prefix: u64, line: u64) -> u32 {
 /// with residency, so a simulation with hundreds of mostly-idle nodes
 /// (every node owns two LLC domains) does not pre-allocate
 /// capacity-sized maps.
+#[derive(Clone)]
 pub struct RandomSet<K> {
     /// Resident keys. Insertion pushes, eviction replaces in place and
     /// removal swap-removes — victim selection indexes this vector, so

@@ -46,7 +46,7 @@ impl NicAccess {
 /// caches are hashed/set-associative, so an oversized cyclic working set
 /// degrades *proportionally* (hit rate ≈ capacity / active QPs) — the
 /// gradual decline of Fig. 1(b) — instead of falling off a cliff.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct NicCache {
     qp_ctx: RandomSet<QpId>,
     hits: u64,

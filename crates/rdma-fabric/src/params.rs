@@ -154,6 +154,20 @@ impl FabricParams {
         self.link_propagation * 2 + self.switch_latency
     }
 
+    /// The minimum delay between an event on one node and any event it
+    /// can cause on *another* node — the conservative lookahead of the
+    /// sharded engine (DESIGN.md §10).
+    ///
+    /// Every cross-node edge in the fabric pipeline is at least one of:
+    /// the one-way wire latency (tx engine → remote rx engine, and
+    /// responder → requester for read/atomic responses) or the ack
+    /// latency (responder rx engine → requester completion). Payload
+    /// serialization, NIC occupancy, and DMA costs only ever *add* to
+    /// these floors.
+    pub fn min_cross_delay(&self) -> SimDuration {
+        self.wire_latency().min(self.ack_latency)
+    }
+
     /// Number of 64-byte cachelines covering `bytes`.
     pub fn lines(bytes: usize) -> usize {
         bytes.div_ceil(64).max(1)

@@ -79,7 +79,7 @@ pub struct RecvWqe {
 }
 
 /// A queue pair endpoint.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct QueuePair {
     id: QpId,
     node: NodeId,

@@ -155,6 +155,10 @@ impl<H: ServerHandler> Fasst<H> {
                 // pre-posted receive; each response costs a CQ poll.
                 per_post: p.post_cpu + p.post_recv_cpu + SimDuration::nanos(25),
                 per_response: p.cq_poll_cpu + SimDuration::nanos(20),
+                // Coroutine RPC client work per op (marshalling, demux,
+                // ring upkeep): ~2.6 µs including the verb costs above,
+                // matching the UD saturation behaviour of Fig. 8-right.
+                per_dispatch: SimDuration::nanos(2_400),
             },
             post_cpu: p.post_cpu,
             post_recv_cpu: p.post_recv_cpu,

@@ -152,6 +152,12 @@ impl<H: ServerHandler> Herd<H> {
                 per_post: p.post_cpu + SimDuration::nanos(25),
                 // Poll the CQ and replenish the receive ring per response.
                 per_response: p.cq_poll_cpu + p.post_recv_cpu + SimDuration::nanos(20),
+                // Datagram client loop: marshal the request into a
+                // registered slot, demux the UD completion, re-arm the
+                // ring — ~2.6 µs/op of client CPU all told (the
+                // Fig. 8-right cost that makes UD need more client
+                // machines).
+                per_dispatch: SimDuration::nanos(2_400),
             },
             post_cpu: p.post_cpu,
             pool_check: p.pool_check_cpu,

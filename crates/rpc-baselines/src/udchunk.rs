@@ -11,7 +11,8 @@ use bytes::Bytes;
 use rdma_fabric::{
     Fabric, FabricParams, MrId, QpId, RemoteAddr, Transport, Upcall, WcOpcode, WorkRequest,
 };
-use rpc_core::driver::{Cx, Logic, Sim};
+use rpc_core::driver::{Cx, Logic};
+use rpc_core::sharded::ShardedSim;
 use simcore::SimTime;
 
 /// Stop-and-wait UD transfer of `total` bytes in 4 KB slices.
@@ -102,9 +103,9 @@ pub fn measure_ud_bandwidth(params: FabricParams, total_bytes: usize) -> f64 {
         sent: 0,
         finished_at: None,
     };
-    let mut sim = Sim::new(fabric, logic);
-    sim.run_to_quiescence();
-    let end = sim.logic.finished_at.expect("transfer completes");
+    let mut sim = ShardedSim::new_sequential(fabric, logic);
+    sim.run_sequential_to_quiescence();
+    let end = sim.logic(0).finished_at.expect("transfer completes");
     total_bytes as f64 / end.as_secs_f64() / 1e9
 }
 
@@ -154,7 +155,7 @@ pub fn measure_rc_bandwidth(params: FabricParams, total_bytes: usize) -> f64 {
     let qb = fabric.create_qp(b, Transport::Rc, cq_b, cq_b).unwrap();
     fabric.connect(qa, qb).unwrap();
     let dst_mr = fabric.register_mr(b, total_bytes).unwrap();
-    let mut sim = Sim::new(
+    let mut sim = ShardedSim::new_sequential(
         fabric,
         RcXferLogic {
             qp: qa,
@@ -163,8 +164,8 @@ pub fn measure_rc_bandwidth(params: FabricParams, total_bytes: usize) -> f64 {
             finished_at: None,
         },
     );
-    sim.run_to_quiescence();
-    let end = sim.logic.finished_at.expect("transfer completes");
+    sim.run_sequential_to_quiescence();
+    let end = sim.logic(0).finished_at.expect("transfer completes");
     total_bytes as f64 / end.as_secs_f64() / 1e9
 }
 

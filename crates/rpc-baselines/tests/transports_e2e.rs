@@ -15,6 +15,7 @@ fn spec(clients: usize) -> ClusterSpec {
         server_threads: 4,
         client_machines: 2,
         threads_per_machine: 4,
+        cores_per_machine: 8,
         clients,
     }
 }
@@ -28,6 +29,7 @@ fn cfg(batch: usize) -> HarnessConfig {
         think: vec![ThinkTime::None],
         seed: 7,
         window: 1,
+        nthreads: 1,
     }
 }
 
@@ -104,12 +106,14 @@ fn rawwrite_collapses_with_many_clients_fasst_does_not() {
         server_threads: 8,
         client_machines: 8,
         threads_per_machine: 6,
+        cores_per_machine: 8,
         clients: many,
     };
     let spec_few = ClusterSpec {
         server_threads: 8,
         client_machines: 8,
         threads_per_machine: 6,
+        cores_per_machine: 8,
         clients: few,
     };
 

@@ -21,6 +21,13 @@ pub struct ClusterSpec {
     /// Worker threads per client machine that coroutine clients share
     /// (two 12-core Xeons ⇒ up to 24; the harness pins fewer by default).
     pub threads_per_machine: usize,
+    /// Physical cores per client machine available to those threads.
+    /// When a sweep packs more threads than cores onto a machine (the
+    /// Fig. 8-right 40-threads-over-N-machines shape), every thread's
+    /// CPU charges stretch by the oversubscription ratio — timeslicing,
+    /// not magic parallelism. Calibrated to the per-machine CPU budget
+    /// the paper's client loops actually get, not the socket datasheet.
+    pub cores_per_machine: usize,
     /// Total number of coroutine clients.
     pub clients: usize,
 }
@@ -31,6 +38,7 @@ impl Default for ClusterSpec {
             server_threads: 10,
             client_machines: 11,
             threads_per_machine: 8,
+            cores_per_machine: 8,
             clients: 80,
         }
     }
@@ -55,6 +63,7 @@ impl Cluster {
     pub fn build(fabric: &mut Fabric, spec: ClusterSpec) -> Cluster {
         assert!(spec.client_machines > 0, "need at least one client machine");
         assert!(spec.threads_per_machine > 0, "need at least one thread");
+        assert!(spec.cores_per_machine > 0, "need at least one core");
         assert!(spec.server_threads > 0, "need at least one server thread");
         let server = fabric.add_node("rpcserver");
         let machines = (0..spec.client_machines)
@@ -129,6 +138,22 @@ impl Cluster {
         self.machines.len() * self.spec.threads_per_machine
     }
 
+    /// Stretches a client-thread CPU charge by the machine's thread
+    /// oversubscription ratio. With `threads_per_machine` at or under
+    /// `cores_per_machine` this is the identity; packing 40 threads
+    /// onto an 8-core machine makes every charge 5× longer — the OS
+    /// timeslices, it does not conjure cores. Integer arithmetic keeps
+    /// the simulation deterministic.
+    pub fn scale_cpu(&self, cost: simcore::SimDuration) -> simcore::SimDuration {
+        let t = self.spec.threads_per_machine as u64;
+        let c = self.spec.cores_per_machine as u64;
+        if t <= c {
+            cost
+        } else {
+            simcore::SimDuration::nanos(cost.as_nanos() * t / c)
+        }
+    }
+
     /// Number of clients sharing the thread of client `c` (for sanity
     /// checks and per-thread pacing).
     pub fn clients_on_thread(&self, thread: usize) -> usize {
@@ -151,6 +176,7 @@ mod tests {
                 server_threads: 10,
                 client_machines: machines,
                 threads_per_machine: threads,
+                cores_per_machine: 8,
                 clients,
             },
         )

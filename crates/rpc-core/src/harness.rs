@@ -44,6 +44,12 @@ pub struct HarnessConfig {
     /// batching). Transports with slot-addressed client buffers (8
     /// message slots) support windows up to 8.
     pub window: usize,
+    /// Engine threads requested for the run. The harness itself is a
+    /// monolithic hub logic (one server, shared request generator), so
+    /// it always executes on a single shard of the sharded engine;
+    /// the knob exists for config plumbing parity and is forwarded by
+    /// the benchmark runners.
+    pub nthreads: usize,
 }
 
 impl Default for HarnessConfig {
@@ -53,6 +59,7 @@ impl Default for HarnessConfig {
             request_size: 32,
             warmup: SimDuration::millis(2),
             run: SimDuration::millis(8),
+            nthreads: 1,
             think: vec![ThinkTime::None],
             seed: 42,
             window: 1,
@@ -79,8 +86,14 @@ pub enum HarnessEv<TEv> {
     Transport(TEv),
     /// A client is ready to think about its next batch.
     Wake(ClientId),
-    /// A client's thread got around to actually posting the batch.
-    Post(ClientId),
+    /// A client's thread got around to actually posting the batch. The
+    /// count is how many posts the thread grant paid for at schedule
+    /// time; the windowed path must not submit more than that, however
+    /// many slots have freed up since (each later completion books and
+    /// schedules its own post). Without the cap a backlogged thread's
+    /// deferred posts would refill whole windows they never paid for,
+    /// and the closed loop would run faster than the client CPU allows.
+    Post(ClientId, usize),
     /// Periodic counter-sampling tick (only scheduled while tracing).
     Sample,
 }
@@ -250,21 +263,23 @@ impl<T: RpcTransport> Harness<T> {
             return;
         }
         let overhead = self.transport.client_overhead();
-        let cost = overhead.per_post * posts as u64;
+        let cost = self.cluster.scale_cpu(overhead.per_post * posts as u64);
         let thread = self.cluster.thread_of(client);
         let grant = self.threads[thread].acquire(cx.now, cost);
-        cx.at(grant.begin, HarnessEv::Post(client));
+        cx.at(grant.begin, HarnessEv::Post(client, posts));
     }
 
-    /// Fills the client's window back up to `W` outstanding requests
+    /// Posts up to `paid` requests into the client's free window slots
     /// (the asynchronous client's replenish step). Mirrors the batch
     /// `Post` arm, but tracks each request in its own window slot with
-    /// its own submit time.
-    fn post_windowed(&mut self, c: ClientId, cx: &mut Cx<'_, HarnessEv<T::Ev>>) {
+    /// its own submit time. `paid` is the post count the thread grant
+    /// covered when this event was scheduled; slots freed since then
+    /// belong to the completions that freed them.
+    fn post_windowed(&mut self, c: ClientId, paid: usize, cx: &mut Cx<'_, HarnessEv<T::Ev>>) {
         let per_post = self.transport.client_overhead().per_post;
         let mut out = Vec::new();
         let mut i = 0u64;
-        while !self.clients[c].window.is_full() {
+        while (i as usize) < paid && !self.clients[c].window.is_full() {
             let seq = self.clients[c].next_seq;
             self.clients[c].next_seq += 1;
             let payload = self.gen.gen(c, seq);
@@ -293,20 +308,33 @@ impl<T: RpcTransport> Harness<T> {
             let c = resp.client;
             let overhead = self.transport.client_overhead();
             let thread = self.cluster.thread_of(c);
-            self.threads[thread].acquire(cx.now, overhead.per_response);
+            // One completed op: response detection plus the transport's
+            // fixed dispatch work, stretched when the machine timeslices
+            // more threads than cores.
+            let cost = self
+                .cluster
+                .scale_cpu(overhead.per_response + overhead.per_dispatch);
+            let grant = self.threads[thread].acquire(cx.now, cost);
             let st = &mut self.clients[c];
             if self.cfg.window > 1 {
                 // Asynchronous client: each completion retires one window
-                // slot (per-request latency) and wakes the client to
-                // replenish. Unknown seqs are duplicate notifications.
+                // slot and wakes the client to replenish. The client
+                // cannot *observe* the completion before its thread gets
+                // CPU to poll it, so the op retires — and the next post
+                // is woken — at the grant's completion, not at NIC
+                // arrival. This is what lets a high per-op client cost
+                // cap windowed throughput at the machine's core budget
+                // (Fig. 8 right) instead of being hidden behind the
+                // window. Unknown seqs are duplicate notifications.
                 let Some(done) = st.window.complete(resp.seq) else {
                     continue;
                 };
-                let latency = cx.now.saturating_since(done.tag);
-                self.metrics.record_batch(cx.now, 1, latency);
+                let polled = grant.complete;
+                let latency = polled.saturating_since(done.tag);
+                self.metrics.record_batch(polled, 1, latency);
                 if cx.now < self.stop_at && !st.stopped {
                     let think = st.think.sample(&mut st.rng);
-                    cx.at(cx.now + think, HarnessEv::Wake(c));
+                    cx.at(polled + think, HarnessEv::Wake(c));
                 } else {
                     st.stopped = true;
                 }
@@ -372,9 +400,9 @@ impl<T: RpcTransport> Logic for Harness<T> {
                 }
                 self.schedule_post(c, cx);
             }
-            HarnessEv::Post(c) => {
+            HarnessEv::Post(c, paid) => {
                 if self.cfg.window > 1 {
-                    self.post_windowed(c, cx);
+                    self.post_windowed(c, paid, cx);
                     return;
                 }
                 let batch = self.cfg.batch_size;

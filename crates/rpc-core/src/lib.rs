@@ -4,6 +4,9 @@
 //!   of §3.1 of the paper, plus the RPC header all transports share.
 //! - [`driver`]: the generic simulation driver wiring a
 //!   [`rdma_fabric::Fabric`] to application logic.
+//! - [`sharded`]: the multi-core counterpart of the driver — per-shard
+//!   logical processes under conservative-lookahead windows with a
+//!   deterministic cross-shard merge (DESIGN.md §10).
 //! - [`transport`]: the [`RpcTransport`](transport::RpcTransport) trait
 //!   every RPC implementation (ScaleRPC and the baselines) provides.
 //! - [`cluster`]: topology builder for the paper's testbed shape (one
@@ -22,6 +25,7 @@ pub mod driver;
 pub mod harness;
 pub mod message;
 pub mod metrics;
+pub mod sharded;
 pub mod transport;
 pub mod window;
 pub mod workers;
@@ -32,6 +36,7 @@ pub use driver::{Cx, Logic, Sim};
 pub use harness::{Harness, HarnessConfig};
 pub use message::{MsgBuf, RpcHeader};
 pub use metrics::RpcMetrics;
+pub use sharded::{AppRoute, ShardSpec, ShardedSim};
 pub use transport::{ClientOverhead, Response, RpcTransport, ServerHandler};
 pub use window::{Completed, InFlight, RequestWindow};
 pub use workers::WorkerPool;

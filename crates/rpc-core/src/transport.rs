@@ -37,6 +37,16 @@ pub struct ClientOverhead {
     pub per_post: SimDuration,
     /// CPU time per received response (detection + bookkeeping).
     pub per_response: SimDuration,
+    /// Fixed per-operation client CPU work above the verb mechanics:
+    /// request marshalling, completion demultiplexing, receive-ring
+    /// accounting. Near zero for the pool-based RC transports (their
+    /// clients check one cacheline), but measured at roughly 2.6 µs/op
+    /// for the UD RPC stacks — the cost that makes HERD/FaSST need
+    /// more physical client machines to saturate the server (right
+    /// half of Fig. 8). Charged by the harness per completed op; the
+    /// transaction driver deliberately ignores it (coordinators model
+    /// their CPU via `coord_cpu_mult` instead).
+    pub per_dispatch: SimDuration,
 }
 
 /// Server-side request handler.

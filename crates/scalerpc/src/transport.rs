@@ -296,6 +296,9 @@ impl<H: ServerHandler> ScaleRpc<H> {
             overhead: ClientOverhead {
                 per_post: p.post_cpu + SimDuration::nanos(25),
                 per_response: p.pool_check_cpu + SimDuration::nanos(10),
+                // Pool-based RC client: the response is one local
+                // cacheline check, there is no dispatch machinery.
+                per_dispatch: SimDuration::ZERO,
             },
             post_cpu: p.post_cpu,
             pool_check: p.pool_check_cpu,

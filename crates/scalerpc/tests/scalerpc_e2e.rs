@@ -14,6 +14,7 @@ fn spec(clients: usize, machines: usize) -> ClusterSpec {
         server_threads: 10,
         client_machines: machines,
         threads_per_machine: 8,
+        cores_per_machine: 8,
         clients,
     }
 }
@@ -27,6 +28,7 @@ fn cfg(batch: usize, run_ms: u64) -> HarnessConfig {
         think: vec![ThinkTime::None],
         seed: 11,
         window: 1,
+        nthreads: 1,
     }
 }
 

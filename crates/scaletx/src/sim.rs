@@ -18,7 +18,8 @@ use rdma_fabric::{
     Fabric, FabricParams, MrId, RemoteAddr, Upcall, WcOpcode, WorkRequest, WrId,
 };
 use rpc_core::cluster::{Cluster, ClusterSpec};
-use rpc_core::driver::{Cx, Logic, Sim};
+use rpc_core::driver::{Cx, Logic};
+use rpc_core::sharded::ShardedSim;
 use rpc_core::transport::{OneSidedAccess, Response, RpcTransport};
 use simcore::stats::Histogram;
 use simcore::{DetRng, SimDuration, SimTime};
@@ -274,6 +275,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             server_threads: 10,
             client_machines: cfg.client_machines,
             threads_per_machine: 8,
+            cores_per_machine: 8,
             clients: cfg.coordinators,
         };
         let mut transports = Vec::new();
@@ -905,7 +907,7 @@ pub fn run_scalerpc_tx(
     cfg: TxConfig,
     scale_cfg: scalerpc::ScaleRpcConfig,
     stagger: SimDuration,
-) -> Sim<TxSim<scalerpc::ScaleRpc<TxParticipant>>> {
+) -> ShardedSim<TxSim<scalerpc::ScaleRpc<TxParticipant>>> {
     let mut fabric = Fabric::new(FabricParams::default());
     let window = cfg.window;
     let tx = TxSim::build(&mut fabric, cfg, |fabric, cluster, part, s| {
@@ -918,7 +920,7 @@ pub fn run_scalerpc_tx(
         scalerpc::ScaleRpc::new(fabric, cluster, sc, part)
     });
     let stop = tx.stop_at();
-    let mut sim = Sim::new(fabric, tx);
-    sim.run_until(stop + SimDuration::millis(3));
+    let mut sim = ShardedSim::new_sequential(fabric, tx);
+    sim.run_sequential(stop + SimDuration::millis(3));
     sim
 }

@@ -2,7 +2,7 @@
 //! comparative shapes (Fig. 16, in miniature).
 
 use rdma_fabric::{Fabric, FabricParams};
-use rpc_core::driver::Sim;
+use rpc_core::ShardedSim;
 use scalerpc::{ScaleRpc, ScaleRpcConfig};
 use scaletx::sim::run_scalerpc_tx;
 use scaletx::workload::{checking_key, savings_key, TxWorkload};
@@ -49,7 +49,7 @@ fn object_store_commits_transactions() {
         24,
     );
     let sim = run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO);
-    let m = &sim.logic.metrics;
+    let m = &sim.logic(0).metrics;
     assert!(m.committed > 1_000, "committed only {}", m.committed);
     assert!(m.abort_rate() < 0.2, "abort rate {}", m.abort_rate());
 }
@@ -69,16 +69,16 @@ fn one_sided_commit_actually_installs_values() {
         12,
     );
     let sim = run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO);
-    let committed = sim.logic.metrics.committed;
+    let committed = sim.logic(0).metrics.committed;
     assert!(committed > 500, "committed {committed}");
     let mut bumped = 0u64;
     for s in 0..3 {
-        let part = sim.logic.transports[s].handler();
+        let part = sim.logic(0).transports[s].handler();
         for key in 0..300u64 {
             if scaletx::sim::shard_of(key, 3) != s {
                 continue;
             }
-            let it = part.peek(&sim.fabric, key).expect("preloaded");
+            let it = part.peek(sim.fabric(0), key).expect("preloaded");
             assert_eq!(it.lock, 0, "key {key} left locked");
             bumped += it.version - 1;
         }
@@ -106,15 +106,15 @@ fn smallbank_send_payments_conserve_money() {
     let cfg = small_cfg(w, true, 24);
     let total_accounts = (400u64 * 3) / 2;
     let sim = run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO);
-    assert!(sim.logic.metrics.committed > 500);
+    assert!(sim.logic(0).metrics.committed > 500);
     for s in 0..3 {
-        let part = sim.logic.transports[s].handler();
+        let part = sim.logic(0).transports[s].handler();
         for a in 0..total_accounts {
             for key in [checking_key(a), savings_key(a)] {
                 if scaletx::sim::shard_of(key, 3) != s {
                     continue;
                 }
-                let it = part.peek(&sim.fabric, key).expect("account exists");
+                let it = part.peek(sim.fabric(0), key).expect("account exists");
                 assert_eq!(it.lock, 0, "key {key} stuck locked");
                 assert_eq!(it.value.len(), 8, "torn value");
             }
@@ -135,10 +135,10 @@ fn rpc_only_ablation_also_commits() {
         24,
     );
     let sim = run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO);
-    assert!(sim.logic.metrics.committed > 800);
+    assert!(sim.logic(0).metrics.committed > 800);
     // RPC commits must have run server-side.
     let rpc_commits: u64 = (0..3)
-        .map(|s| sim.logic.transports[s].handler().rpc_commits)
+        .map(|s| sim.logic(0).transports[s].handler().rpc_commits)
         .sum();
     assert!(rpc_commits > 800, "rpc commits {rpc_commits}");
 }
@@ -156,7 +156,7 @@ fn one_sided_beats_rpc_only_on_write_heavy_load() {
                 let mut cfg = small_cfg(TxWorkload::smallbank(400, 3), one_sided, 48);
                 cfg.seed = seed;
                 run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO)
-                    .logic
+                    .logic(0)
                     .metrics
                     .tps()
             })
@@ -190,7 +190,7 @@ fn misaligned_schedules_hurt_throughput() {
     );
     let aligned = run_scalerpc_tx(cfg.clone(), scale_cfg(), SimDuration::ZERO);
     let staggered = run_scalerpc_tx(cfg, scale_cfg(), SimDuration::micros(50));
-    let (a, s) = (&aligned.logic.metrics, &staggered.logic.metrics);
+    let (a, s) = (&aligned.logic(0).metrics, &staggered.logic(0).metrics);
     // Our implementation eagerly fetches endpoint entries whenever the
     // client's group is being served, which largely rescues *throughput*
     // under misalignment; the §4.2 cost survives as transaction latency
@@ -228,9 +228,9 @@ fn works_over_baseline_transports_too() {
         RawWrite::new(f, cl, 8, 2048, part)
     });
     let stop = tx.stop_at();
-    let mut sim = Sim::new(fabric, tx);
-    sim.run_until(stop + SimDuration::millis(3));
-    assert!(sim.logic.metrics.committed > 500, "RawWrite TX");
+    let mut sim = ShardedSim::new_sequential(fabric, tx);
+    sim.run_sequential(stop + SimDuration::millis(3));
+    assert!(sim.logic(0).metrics.committed > 500, "RawWrite TX");
 
     // FaSST-based transactions (UD: one-sided request silently downgraded
     // to RPC because client_qp() is None).
@@ -239,11 +239,11 @@ fn works_over_baseline_transports_too() {
         Fasst::new(f, cl, 2048, part)
     });
     let stop = tx.stop_at();
-    let mut sim = Sim::new(fabric, tx);
-    sim.run_until(stop + SimDuration::millis(3));
-    assert!(sim.logic.metrics.committed > 500, "FaSST TX");
+    let mut sim = ShardedSim::new_sequential(fabric, tx);
+    sim.run_sequential(stop + SimDuration::millis(3));
+    assert!(sim.logic(0).metrics.committed > 500, "FaSST TX");
     let rpc_commits: u64 = (0..3)
-        .map(|s| sim.logic.transports[s].handler().rpc_commits)
+        .map(|s| sim.logic(0).transports[s].handler().rpc_commits)
         .sum();
     assert!(rpc_commits > 0, "UD must fall back to RPC commits");
 }
@@ -261,11 +261,11 @@ fn deterministic_given_seed() {
         12,
     );
     let a = run_scalerpc_tx(cfg.clone(), scale_cfg(), SimDuration::ZERO)
-        .logic
+        .logic(0)
         .metrics
         .committed;
     let b = run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO)
-        .logic
+        .logic(0)
         .metrics
         .committed;
     assert_eq!(a, b);
@@ -285,7 +285,7 @@ fn per_slot_latency_partitions_the_aggregate() {
     );
     cfg.window = 4;
     let sim = run_scalerpc_tx(cfg, scale_cfg(), SimDuration::ZERO);
-    let m = &sim.logic.metrics;
+    let m = &sim.logic(0).metrics;
     assert_eq!(m.slot_latency.len(), 4);
     // Every commit was recorded in exactly one slot histogram.
     let per_slot: u64 = m.slot_latency.iter().map(|h| h.count()).sum();

@@ -156,6 +156,109 @@ impl<E> EventQueue<E> {
         EventId::new(slot, self.slots[slot as usize].gen) // slot is in bounds (linked just above)
     }
 
+    /// Schedules `event` at `time` under an explicit sequence key
+    /// instead of the queue's own insertion counter.
+    ///
+    /// This is the shard-merge entry point: a parallel engine replays
+    /// the sequential engine's global push order by assigning each
+    /// event the sequence number it would have received from the single
+    /// global queue, so `(time, seq)` ordering — and therefore every
+    /// same-instant tie-break — stays bit-identical to a sequential
+    /// run. The internal counter is bumped past `seq` so later plain
+    /// [`push`](Self::push) calls still sort after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current simulation time.
+    pub fn push_with_seq(&mut self, time: SimTime, seq: u64, event: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "scheduled event at {time:?} before now={:?}",
+            self.now
+        );
+        self.next_seq = self.next_seq.max(seq.wrapping_add(1));
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].event = Some(event); // s popped from the free list: a live slot index
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    pos: 0,
+                    event: Some(event),
+                });
+                s
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(HeapEnt { time, seq, slot });
+        self.slots[slot as usize].pos = pos as u32; // slot was just allocated or reused above: in bounds
+        self.sift_up(pos);
+        EventId::new(slot, self.slots[slot as usize].gen) // slot is in bounds (linked just above)
+    }
+
+    /// Rewrites the sequence key of a still-pending event in place
+    /// (O(log n)), restoring heap order. Returns `false` for fired,
+    /// cancelled, or unknown ids.
+    ///
+    /// The shard merge uses this to resolve *provisional* sequence
+    /// numbers (handed out while a shard executes a window in
+    /// isolation) to the *final* global numbers computed by the
+    /// deterministic cross-shard merge.
+    pub fn set_seq(&mut self, id: EventId, seq: u64) -> bool {
+        let slot = id.slot() as usize;
+        let Some(s) = self.slots.get(slot) else {
+            return false;
+        };
+        if s.gen != id.gen() || s.event.is_none() {
+            return false;
+        }
+        let pos = s.pos as usize;
+        self.next_seq = self.next_seq.max(seq.wrapping_add(1));
+        self.heap[pos].seq = seq; // s.pos is kept current by update_pos on every heap move
+        // Exactly one of these applies; the other is a no-op.
+        self.sift_down(pos);
+        self.sift_up(pos);
+        true
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the event's sequence
+    /// key, which the shard merge logs to reconstruct the global pop
+    /// order.
+    pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
+        loop {
+            let ent = *self.heap.first()?;
+            self.remove_at(0);
+            if ent.slot == TOMBSTONE {
+                self.tombstones -= 1;
+                continue;
+            }
+            let event = self.slots[ent.slot as usize] // ent.slot != TOMBSTONE: a live slot index
+                .event
+                .take()
+                .expect("live heap entry has a payload"); // simlint: allow(R3): non-tombstone heap entries always hold a payload
+            self.vacate_taken(ent.slot);
+            self.now = ent.time;
+            return Some((ent.time, ent.seq, event));
+        }
+    }
+
+    /// Returns the `(time, seq)` key of the next pending event without
+    /// popping it (tombstones at the front are discarded).
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            let ent = *self.heap.first()?;
+            if ent.slot == TOMBSTONE {
+                self.remove_at(0);
+                self.tombstones -= 1;
+                continue;
+            }
+            return Some((ent.time, ent.seq));
+        }
+    }
+
     /// Cancels a previously scheduled event, removing its heap entry in
     /// place (O(log n), no tombstone).
     ///
@@ -470,6 +573,49 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime(2)));
         assert_eq!(q.pop(), Some((SimTime(2), 2)));
         assert_eq!(q.pop(), Some((SimTime(5), 5)));
+    }
+
+    #[test]
+    fn push_with_seq_orders_by_explicit_key() {
+        let mut q = EventQueue::new();
+        q.push_with_seq(SimTime(5), 10, "late");
+        q.push_with_seq(SimTime(5), 3, "early");
+        q.push_with_seq(SimTime(1), 99, "first");
+        assert_eq!(q.pop_with_seq(), Some((SimTime(1), 99, "first")));
+        assert_eq!(q.pop_with_seq(), Some((SimTime(5), 3, "early")));
+        assert_eq!(q.pop_with_seq(), Some((SimTime(5), 10, "late")));
+    }
+
+    #[test]
+    fn push_with_seq_bumps_internal_counter() {
+        let mut q = EventQueue::new();
+        q.push_with_seq(SimTime(5), 40, "explicit");
+        q.push(SimTime(5), "plain"); // must sort after seq 40
+        assert_eq!(q.pop(), Some((SimTime(5), "explicit")));
+        assert_eq!(q.pop(), Some((SimTime(5), "plain")));
+    }
+
+    #[test]
+    fn set_seq_reorders_pending_events() {
+        let mut q = EventQueue::new();
+        let a = q.push_with_seq(SimTime(7), 100, "a");
+        q.push_with_seq(SimTime(7), 50, "b");
+        assert_eq!(q.peek_key(), Some((SimTime(7), 50)));
+        assert!(q.set_seq(a, 1)); // provisional → final, now ahead of b
+        assert_eq!(q.peek_key(), Some((SimTime(7), 1)));
+        assert_eq!(q.pop_with_seq(), Some((SimTime(7), 1, "a")));
+        assert_eq!(q.pop_with_seq(), Some((SimTime(7), 50, "b")));
+    }
+
+    #[test]
+    fn set_seq_rejects_fired_and_stale_ids() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        q.pop();
+        assert!(!q.set_seq(a, 0), "fired id must reject");
+        let b = q.push(SimTime(2), "b");
+        assert!(q.cancel(b));
+        assert!(!q.set_seq(b, 0), "cancelled id must reject");
     }
 
     /// The pre-optimization queue — `BinaryHeap` plus a lazily-consulted

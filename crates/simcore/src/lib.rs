@@ -18,11 +18,17 @@
 //!   the paper).
 //! - [`stats`]: counters, log-bucketed latency histograms, CDF extraction
 //!   and throughput windows used by the benchmark harness.
+//! - [`shard`]: the deterministic cross-shard merge behind the parallel
+//!   engine — conservative-lookahead windows, provisional sequence
+//!   keys, and the sweep that reconstructs the sequential engine's
+//!   global push order bit-for-bit at any thread count.
 //!
-//! The kernel is intentionally single-threaded: determinism is a core
-//! requirement (identical seeds must produce identical hardware-counter
-//! traces), and the experiment *sweeps* parallelize across whole
-//! simulations instead.
+//! Determinism is the core requirement (identical seeds must produce
+//! identical hardware-counter traces). The kernel was single-threaded
+//! through PR 5; the sharded engine keeps the same contract — golden
+//! fingerprints are bit-identical run-to-run, across `nthreads`, and
+//! vs. the sequential loop — by merging shard-local event orders with
+//! a fixed `(time, seq, shard)` total order (DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 
@@ -31,6 +37,7 @@ pub mod detmap;
 pub mod event;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod units;

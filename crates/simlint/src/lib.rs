@@ -8,13 +8,16 @@
 //!   `Instant::now`, `SystemTime`, `thread_rng`, or RandomState-seeded
 //!   `HashMap`/`HashSet`;
 //! - **R2 trace-feature-hygiene** — `cfg(feature = "…")` names must be
-//!   declared, and trace-only symbols must not leak into untraced builds;
+//!   declared, trace-only symbols must not leak into untraced builds,
+//!   and `cfg_attr` must gate a real attribute (not another condition);
 //! - **R3 hot-path-panic-audit** — no unwrap/expect/uncommented indexing
 //!   in event-dispatch and per-packet files;
 //! - **R4 vendored-stub-drift** — imports from `vendor/*` must resolve
 //!   against the stubs;
 //! - **R5 unsafe-audit** — `unsafe` needs `// SAFETY:`, unsafe-free
-//!   crates get `#![forbid(unsafe_code)]`.
+//!   crates get `#![forbid(unsafe_code)]`;
+//! - **R6 engine-queue-isolation** — model crates never touch a raw
+//!   `EventQueue`; events route through `Cx` / the sharded engine.
 //!
 //! Findings are suppressed by inline `// simlint: allow(R1, …)`
 //! directives (same line or the line above) or by the built-in
@@ -96,9 +99,11 @@ impl Analysis {
             rules::r1(f, &mut raw);
             rules::r2_features(f, &self.features, &mut raw);
             rules::r2_refs(f, &trace_only, &mut raw);
+            rules::r2_cfg_attr(f, &mut raw);
             rules::r3(f, &mut raw);
             rules::r4(f, &exports, &mut raw);
             rules::r5_safety(f, &mut raw);
+            rules::r6(f, &mut raw);
             // R5(b): unsafe-free crates must forbid unsafe_code on every
             // target root.
             if is_target_root(&f.path)

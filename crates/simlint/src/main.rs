@@ -28,7 +28,7 @@ fn main() -> ExitCode {
             "--only" => match args.next().as_deref().and_then(Rule::parse) {
                 Some(r) => only = Some(r),
                 None => {
-                    eprintln!("simlint: --only expects one of R1..R5");
+                    eprintln!("simlint: --only expects one of R1..R6");
                     return ExitCode::from(2);
                 }
             },
@@ -44,7 +44,7 @@ fn main() -> ExitCode {
                     "simlint — workspace determinism & model-invariant lint\n\n\
                      USAGE: simlint [--deny] [--only R#] [--root PATH] [--list-rules]\n\n\
                      --deny        exit 1 if any finding remains (CI gate)\n\
-                     --only R#     run a single rule (R1..R5)\n\
+                     --only R#     run a single rule (R1..R6)\n\
                      --root PATH   workspace root (default: nearest ancestor with a\n\
                                    [workspace] Cargo.toml, else cwd)\n\
                      --list-rules  print each rule's id, name, summary, and the\n\

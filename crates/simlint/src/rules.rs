@@ -1,4 +1,4 @@
-//! The rule set: R1–R5, plus the constants that scope them.
+//! The rule set: R1–R6, plus the constants that scope them.
 //!
 //! Each rule is a pure function from analyzed sources to findings; the
 //! driver in `lib.rs` assembles the cross-file context (vendor exports,
@@ -9,7 +9,7 @@ use crate::lexer::{TokKind, Token};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// The five lint rules.
+/// The six lint rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// No ambient nondeterminism in sim crates.
@@ -22,10 +22,12 @@ pub enum Rule {
     R4,
     /// Unsafe audit.
     R5,
+    /// Engine-queue isolation.
+    R6,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5];
+    pub const ALL: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
 
     pub fn id(self) -> &'static str {
         match self {
@@ -34,6 +36,7 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
         }
     }
 
@@ -44,6 +47,7 @@ impl Rule {
             Rule::R3 => "hot-path-panic-audit",
             Rule::R4 => "vendored-stub-drift",
             Rule::R5 => "unsafe-audit",
+            Rule::R6 => "engine-queue-isolation",
         }
     }
 
@@ -56,9 +60,11 @@ impl Rule {
             }
             Rule::R2 => {
                 "cfg(feature = \"…\") must name a feature the crate's Cargo.toml declares, \
-                 and symbols defined only under cfg(feature = \"trace\") must not be \
+                 symbols defined only under cfg(feature = \"trace\") must not be \
                  referenced from ungated code (trace call sites route through the dual \
-                 Tracer, which exists in both configs)"
+                 Tracer, which exists in both configs), and cfg_attr must carry a \
+                 predicate plus at least one gated attribute that is not itself \
+                 cfg/cfg_attr"
             }
             Rule::R3 => {
                 "event-dispatch and per-packet files must not call .unwrap()/.expect() or \
@@ -75,6 +81,12 @@ impl Rule {
                  crates with no unsafe at all must stamp #![forbid(unsafe_code)] on every \
                  target root (src/lib.rs, src/main.rs, src/bin/*.rs)"
             }
+            Rule::R6 => {
+                "model crates must not touch the engine's EventQueue (or its seq-level \
+                 push_with_seq/pop_with_seq/set_seq surface) directly; events route \
+                 through the driver's Cx / the sharded engine's handles so the \
+                 deterministic total order (time, shard, seq) cannot be bypassed"
+            }
         }
     }
 
@@ -85,6 +97,7 @@ impl Rule {
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
             _ => None,
         }
     }
@@ -157,6 +170,29 @@ pub const HOT_PATHS: &[&str] = &[
 /// The vendored stub crates R4 audits.
 pub const VENDOR_CRATES: &[&str] = &["bytes", "rand", "proptest", "criterion"];
 
+/// Crates that model *behavior on top of* the event engine: transports,
+/// applications, the fabric. R6 applies to their `src/` trees — they
+/// schedule through [`Cx`](../../rpc-core/src/driver.rs) or the sharded
+/// engine's handles, never against a raw `EventQueue`, because a direct
+/// push chooses its own sequence number and can break the engine's
+/// deterministic (time, shard, seq) total order. `simcore` (defines the
+/// queue) is out of scope; the two rpc-core engine files that *own*
+/// queues are allowlisted below.
+pub const MODEL_CRATES: &[&str] = &[
+    "rdma-fabric",
+    "rpc-core",
+    "scalerpc",
+    "scaletx",
+    "rpc-baselines",
+    "mica-kv",
+    "octofs",
+    "simtrace",
+];
+
+/// Identifiers R6 bans in model-crate sources: the queue type itself and
+/// the seq-level mutation surface only the engine may use.
+const R6_BANNED: &[&str] = &["EventQueue", "push_with_seq", "pop_with_seq", "set_seq"];
+
 /// Built-in per-rule allowlist: `(rule, path suffix, reason)`. Entries
 /// here are policy decisions; point fixes use inline
 /// `// simlint: allow(..)` directives instead. `--list-rules` prints
@@ -172,6 +208,17 @@ pub const BUILTIN_ALLOW: &[(Rule, &str, &str)] = &[
         Rule::R4,
         "crates/simlint/src/rules.rs",
         "names vendor crates in prose and heuristics, not as imports",
+    ),
+    (
+        Rule::R6,
+        "crates/rpc-core/src/driver.rs",
+        "the sequential engine: owns its shard's EventQueue by definition",
+    ),
+    (
+        Rule::R6,
+        "crates/rpc-core/src/sharded.rs",
+        "the parallel engine: owns every shard queue and the cross-shard \
+         merge, the only place seq-level queue access is the point",
     ),
 ];
 
@@ -450,6 +497,95 @@ pub fn r2_features(
             }
         }
         i += 1;
+    }
+}
+
+/// R2(c): cross-checks `#[cfg_attr(…)]` attributes. A `cfg_attr` must
+/// carry a predicate plus at least one attribute to apply, and the
+/// applied attribute must not itself be `cfg`/`cfg_attr` — conditionally
+/// *introducing a condition* compiles, but it silently changes what the
+/// inner gate means between configs and is a typo for `all(…)`/`any(…)`
+/// in every case this workspace has hit.
+pub fn r2_cfg_attr(file: &SourceFile, out: &mut Vec<Finding>) {
+    if matches!(origin(&file.path), Origin::Vendor(_)) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("cfg_attr") {
+            continue;
+        }
+        // Only attribute position: preceded (modulo `!` and comments) by
+        // `#[`, or nested directly inside another cfg_attr's argument
+        // list — a plain `cfg_attr` ident elsewhere is someone's fn name.
+        let attr_position = file
+            .prev_code(i)
+            .map(|p| p.is_punct('[') || p.is_punct(','))
+            .unwrap_or(false);
+        let open = file.skip_comments(i + 1);
+        if !attr_position || !toks.get(open).map(|t| t.is_punct('(')).unwrap_or(false) {
+            continue;
+        }
+        // Walk the argument list, splitting on depth-1 commas.
+        let mut depth = 0usize;
+        let mut k = open;
+        let mut args = 0usize;
+        let mut arg_head: Option<&Token> = None;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(',') && depth == 1 {
+                if arg_head.is_some() {
+                    args += 1;
+                }
+                arg_head = None;
+            } else if !t.is_comment() && arg_head.is_none() {
+                arg_head = Some(t);
+                // Arguments past the predicate are the attributes
+                // this cfg_attr applies.
+                if args >= 1
+                    && t.kind == TokKind::Ident
+                    && (t.text == "cfg" || t.text == "cfg_attr")
+                {
+                    out.push(Finding {
+                        path: file.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        rule: Rule::R2,
+                        msg: format!(
+                            "cfg_attr applies `{}` as its gated attribute; gating a \
+                             condition under a condition silently changes the inner \
+                             gate's meaning between configs — combine predicates with \
+                             all(…)/any(…) in one cfg instead",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            k += 1;
+        }
+        if arg_head.is_some() {
+            args += 1;
+        }
+        if args < 2 {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: toks[i].line,
+                col: toks[i].col,
+                rule: Rule::R2,
+                msg: format!(
+                    "cfg_attr has {args} argument{}; it needs a predicate plus at least \
+                     one attribute to apply (a bare predicate gates nothing)",
+                    if args == 1 { "" } else { "s" }
+                ),
+            });
+        }
     }
 }
 
@@ -1112,6 +1248,55 @@ pub fn is_target_root(path: &str) -> bool {
     path.ends_with("src/lib.rs")
         || path.ends_with("src/main.rs")
         || (path.contains("/src/bin/") && path.ends_with(".rs"))
+}
+
+// ---------------------------------------------------------------------------
+// R6 — engine-queue isolation
+// ---------------------------------------------------------------------------
+
+/// Whether R6 applies to this file: a model crate's `src/` tree.
+fn r6_in_scope(path: &str) -> bool {
+    match origin(path) {
+        Origin::Crate(n) => MODEL_CRATES.contains(&n) && path.contains("/src/"),
+        _ => false,
+    }
+}
+
+/// R6: bans direct `EventQueue` access (and its seq-level mutation
+/// surface) in model-crate sources. Test modules are exempt — driving a
+/// queue by hand is exactly what an engine test does.
+pub fn r6(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !r6_in_scope(&file.path) {
+        return;
+    }
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || file.gates[i] & IN_TEST != 0
+            || !R6_BANNED.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        // The seq methods only count as queue access in call position
+        // (`.push_with_seq(`); a same-named local fn is someone else's.
+        if t.text != "EventQueue"
+            && !file.prev_code(i).map(|p| p.is_punct('.')).unwrap_or(false)
+        {
+            continue;
+        }
+        out.push(Finding {
+            path: file.path.clone(),
+            line: t.line,
+            col: t.col,
+            rule: Rule::R6,
+            msg: format!(
+                "`{}` is engine-internal: model code schedules through Cx::at / the \
+                 sharded engine's handles so the deterministic (time, shard, seq) \
+                 total order cannot be bypassed; if this file *is* an engine, add it \
+                 to the R6 allowlist",
+                t.text
+            ),
+        });
+    }
 }
 
 #[cfg(test)]

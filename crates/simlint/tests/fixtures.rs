@@ -98,6 +98,30 @@ fn r2_clean_fixture_is_silent() {
     assert!(out.is_empty(), "{out:?}");
 }
 
+#[test]
+fn r2_cfg_attr_bad_fixture_flags_all_three_forms() {
+    let out = lint_one(
+        "crates/simtrace/src/fixture.rs",
+        include_str!("fixtures/r2_cfg_attr_bad.rs"),
+    );
+    assert!(out.iter().all(|f| f.rule == Rule::R2), "{out:?}");
+    assert_eq!(out.len(), 3, "{out:?}");
+    let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![5, 10, 14]);
+    assert!(out[0].msg.contains("needs a predicate"), "{}", out[0].msg);
+    assert!(out[1].msg.contains("`cfg`"), "{}", out[1].msg);
+    assert!(out[2].msg.contains("`cfg_attr`"), "{}", out[2].msg);
+}
+
+#[test]
+fn r2_cfg_attr_clean_fixture_is_silent() {
+    let out = lint_one(
+        "crates/simtrace/src/fixture.rs",
+        include_str!("fixtures/r2_cfg_attr_clean.rs"),
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
 // ---------------------------------------------------------------- R3 --
 
 #[test]
@@ -206,6 +230,59 @@ fn r5_clean_fixtures_are_silent() {
     let out = lint_one(
         "crates/demo/src/lib.rs",
         include_str!("fixtures/r5_forbid_clean.rs"),
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---------------------------------------------------------------- R6 --
+
+#[test]
+fn r6_bad_fixture_catches_type_and_seq_methods() {
+    let out = lint_one(
+        "crates/scalerpc/src/fixture.rs",
+        include_str!("fixtures/r6_bad.rs"),
+    );
+    assert!(out.iter().all(|f| f.rule == Rule::R6), "{out:?}");
+    // Import, field type, and the two seq-method calls.
+    assert_eq!(out.len(), 4, "{out:?}");
+    let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![2, 5, 10, 11]);
+}
+
+#[test]
+fn r6_bad_fixture_is_ignored_outside_model_crates() {
+    // The engine crate itself and non-model crates are out of scope.
+    for path in ["crates/simcore/src/fixture.rs", "crates/bench/src/fixture.rs"] {
+        let out = lint_one(path, include_str!("fixtures/r6_bad.rs"));
+        assert!(out.is_empty(), "{path}: {out:?}");
+    }
+}
+
+#[test]
+fn r6_clean_fixture_is_silent() {
+    let out = lint_one(
+        "crates/scalerpc/src/fixture.rs",
+        include_str!("fixtures/r6_clean.rs"),
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn r6_inline_allow_suppresses() {
+    let out = lint_one(
+        "crates/scalerpc/src/fixture.rs",
+        include_str!("fixtures/r6_allow.rs"),
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn r6_engine_files_are_allowlisted() {
+    // driver.rs and sharded.rs own their queues; BUILTIN_ALLOW covers
+    // them so the real engine sources lint clean under --deny.
+    let out = lint_one(
+        "crates/rpc-core/src/sharded.rs",
+        include_str!("fixtures/r6_bad.rs"),
     );
     assert!(out.is_empty(), "{out:?}");
 }

@@ -1,0 +1,15 @@
+//! R2(c) known-bad: malformed and condition-gating cfg_attr forms.
+#![forbid(unsafe_code)]
+
+// Bare predicate, nothing to apply.
+#[cfg_attr(test)]
+pub fn a() {}
+
+// Gates a *condition* instead of an attribute: the inner cfg's meaning
+// now depends on the outer predicate — a typo for all(…).
+#[cfg_attr(feature = "trace", cfg(test))]
+pub fn b() {}
+
+// Nested cfg_attr as the applied attribute: same trap, one level down.
+#[cfg_attr(test, cfg_attr(feature = "trace", allow(dead_code)))]
+pub fn c() {}

@@ -1,0 +1,22 @@
+//! R2(c) clean twin: well-formed cfg_attr uses, including multiple
+//! applied attributes, combined predicates, and a same-named local fn
+//! that is not in attribute position.
+#![forbid(unsafe_code)]
+
+#[cfg_attr(test, allow(dead_code))]
+pub fn a() {}
+
+#[cfg_attr(feature = "trace", derive(Debug), allow(dead_code))]
+pub struct B;
+
+// Combining predicates the right way: one cfg, all(…).
+#[cfg(all(test, feature = "trace"))]
+pub fn c() {}
+
+pub fn cfg_attr(x: u64) -> u64 {
+    x
+}
+
+pub fn caller() -> u64 {
+    cfg_attr(1)
+}

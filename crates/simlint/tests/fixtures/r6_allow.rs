@@ -1,0 +1,15 @@
+//! R6 inline-allow escape: a sanctioned direct queue access with the
+//! directive on the line above.
+use simcore::SimTime;
+
+pub struct Engine {
+    // simlint: allow(R6): this file is an engine shim owning its queue
+    queue: simcore::EventQueue<u64>,
+}
+
+impl Engine {
+    pub fn inject(&mut self, t: SimTime) {
+        // simlint: allow(R6): replays a recorded seq for resume
+        self.queue.push_with_seq(t, 3, 9);
+    }
+}

@@ -1,0 +1,24 @@
+//! R6 clean twin: the same scheduling routed through the driver's Cx,
+//! plus a test module that drives a queue by hand (exempt) and a local
+//! fn whose name collides with a banned method (not call position).
+use rpc_core::driver::Cx;
+use simcore::SimDuration;
+
+pub fn set_seq(x: u64) -> u64 {
+    x + 1
+}
+
+pub fn schedule(cx: &mut Cx<'_, u64>) {
+    cx.at(cx.now + SimDuration::nanos(set_seq(41)), 0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn drives_a_queue_directly() {
+        use simcore::{EventQueue, SimTime};
+        let mut q = EventQueue::new();
+        q.push_with_seq(SimTime::ZERO, 0, 1u64);
+        assert!(q.pop_with_seq().is_some());
+    }
+}

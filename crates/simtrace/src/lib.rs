@@ -241,16 +241,20 @@ impl TraceLog {
 #[cfg(feature = "trace")]
 mod tracer_impl {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// A clonable recording handle threaded through fabric, harness, and
     /// transports. Disabled by default ([`Tracer::disabled`]): every hook
-    /// is then a single `Option` branch. The simulation is
-    /// single-threaded, so the log lives behind `Rc<RefCell<…>>`.
+    /// is then a single `Option` branch. The log lives behind
+    /// `Arc<Mutex<…>>` so the fabric stays `Send` for the sharded
+    /// engine; the mutex is uncontended in practice because the parallel
+    /// engine only shards runs whose tracer is disabled (an enabled
+    /// tracer's interleaved log order would not be deterministic across
+    /// thread counts — the engine asserts this rather than record a
+    /// scrambled log).
     #[derive(Clone, Debug, Default)]
     pub struct Tracer {
-        log: Option<Rc<RefCell<TraceLog>>>,
+        log: Option<Arc<Mutex<TraceLog>>>,
     }
 
     impl Tracer {
@@ -262,7 +266,7 @@ mod tracer_impl {
         /// A tracer that records into a fresh log.
         pub fn enabled() -> Tracer {
             Tracer {
-                log: Some(Rc::new(RefCell::new(TraceLog::default()))),
+                log: Some(Arc::new(Mutex::new(TraceLog::default()))),
             }
         }
 
@@ -272,12 +276,19 @@ mod tracer_impl {
             self.log.is_some()
         }
 
+        /// Takes the log mutex; a poisoned lock means a sibling thread
+        /// panicked mid-record, and the whole run is already lost.
+        #[inline]
+        fn locked_log(log: &Arc<Mutex<TraceLog>>) -> std::sync::MutexGuard<'_, TraceLog> {
+            log.lock().unwrap_or_else(|p| p.into_inner())
+        }
+
         /// Allocates the next trace id (0 when disabled — a valid,
         /// never-recorded id).
         #[inline]
         pub fn next_id(&self) -> TraceId {
             match &self.log {
-                Some(log) => log.borrow_mut().alloc_id(),
+                Some(log) => Self::locked_log(log).alloc_id(),
                 None => 0,
             }
         }
@@ -286,7 +297,7 @@ mod tracer_impl {
         #[inline]
         pub fn span(&self, id: TraceId, stage: Stage, start: SimTime, end: SimTime, client: u64) {
             if let Some(log) = &self.log {
-                log.borrow_mut().spans.push(Span {
+                Self::locked_log(log).spans.push(Span {
                     id,
                     stage,
                     start,
@@ -301,7 +312,7 @@ mod tracer_impl {
         #[inline]
         pub fn begin(&self, id: TraceId, stage: Stage, at: SimTime, client: u64) {
             if let Some(log) = &self.log {
-                log.borrow_mut().begin(id, stage, at, client);
+                Self::locked_log(log).begin(id, stage, at, client);
             }
         }
 
@@ -310,7 +321,7 @@ mod tracer_impl {
         #[inline]
         pub fn end(&self, id: TraceId, stage: Stage, at: SimTime) {
             if let Some(log) = &self.log {
-                log.borrow_mut().end(id, stage, at);
+                Self::locked_log(log).end(id, stage, at);
             }
         }
 
@@ -318,7 +329,7 @@ mod tracer_impl {
         #[inline]
         pub fn instant(&self, kind: InstantKind, at: SimTime, a: u64, b: u64) {
             if let Some(log) = &self.log {
-                log.borrow_mut().instants.push(Instant { kind, at, a, b });
+                Self::locked_log(log).instants.push(Instant { kind, at, a, b });
             }
         }
 
@@ -326,13 +337,13 @@ mod tracer_impl {
         #[inline]
         pub fn sample(&self, counter: &'static str, at: SimTime, value: u64) {
             if let Some(log) = &self.log {
-                log.borrow_mut().samples.push(Sample { counter, at, value });
+                Self::locked_log(log).samples.push(Sample { counter, at, value });
             }
         }
 
         /// A copy of the log recorded so far (`None` when disabled).
         pub fn snapshot(&self) -> Option<TraceLog> {
-            self.log.as_ref().map(|log| log.borrow().clone())
+            self.log.as_ref().map(|log| Self::locked_log(log).clone())
         }
     }
 }
@@ -346,7 +357,7 @@ mod tracer_impl {
     /// fields of state, and no dependencies on recording internals.
     ///
     /// Deliberately `Clone` but not `Copy`: the recording tracer cannot
-    /// be `Copy` (it holds an `Rc`), and keeping the two APIs identical
+    /// be `Copy` (it holds an `Arc`), and keeping the two APIs identical
     /// means instrumented code compiles — and lints — the same way in
     /// both configurations.
     #[derive(Clone, Debug, Default)]

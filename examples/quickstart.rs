@@ -31,6 +31,7 @@ fn main() {
             server_threads: 10,
             client_machines: 11,
             threads_per_machine: 8,
+            cores_per_machine: 8,
             clients: 120,
         },
     );
@@ -58,6 +59,7 @@ fn main() {
             think: vec![ThinkTime::None],
             seed: 1,
             window: 1,
+            nthreads: 1,
         },
     );
 

@@ -38,7 +38,7 @@ fn main() {
     println!("SmallBank over 3 participants, 80 coordinators");
 
     let scaletx = run_scalerpc_tx(cfg(true), ScaleRpcConfig::default(), SimDuration::ZERO);
-    let m = &scaletx.logic.metrics;
+    let m = &scaletx.logic(0).metrics;
     println!(
         "  ScaleTX   : {:>7.0} tx/s  (abort rate {:.1}%, median {:.1} us)",
         m.tps(),
@@ -47,7 +47,7 @@ fn main() {
     );
 
     let rpc_only = run_scalerpc_tx(cfg(false), ScaleRpcConfig::default(), SimDuration::ZERO);
-    let m = &rpc_only.logic.metrics;
+    let m = &rpc_only.logic(0).metrics;
     println!(
         "  ScaleTX-O : {:>7.0} tx/s  (RPC-only validation and commit)",
         m.tps()
@@ -58,7 +58,7 @@ fn main() {
         ScaleRpcConfig::default(),
         SimDuration::micros(33),
     );
-    let m = &staggered.logic.metrics;
+    let m = &staggered.logic(0).metrics;
     println!(
         "  ScaleTX, misaligned group switches: {:>7.0} tx/s, median {:.1} us",
         m.tps(),

@@ -18,6 +18,7 @@ fn spec(clients: usize) -> ClusterSpec {
         server_threads: 8,
         client_machines: 4,
         threads_per_machine: 6,
+        cores_per_machine: 8,
         clients,
     }
 }
@@ -31,6 +32,7 @@ fn cfg() -> HarnessConfig {
         think: vec![ThinkTime::None],
         seed: 5,
         window: 1,
+        nthreads: 1,
     }
 }
 
@@ -111,6 +113,7 @@ where
             server_threads: 10,
             client_machines: 11,
             threads_per_machine: 8,
+            cores_per_machine: 8,
             clients: 240,
         },
     );

@@ -40,6 +40,7 @@ fn long_running_rpcs_move_to_legacy_mode() {
             server_threads: 4,
             client_machines: 2,
             threads_per_machine: 4,
+            cores_per_machine: 8,
             clients: 8,
         },
     );
@@ -63,6 +64,7 @@ fn long_running_rpcs_move_to_legacy_mode() {
             think: vec![ThinkTime::None],
             seed: 3,
             window: 1,
+            nthreads: 1,
         },
     );
     let stop = h.stop_at();
@@ -199,23 +201,23 @@ fn windowed_lock_storm_converges_without_stuck_slots() {
         },
         SimDuration::ZERO,
     );
-    let m = &sim.logic.metrics;
+    let m = &sim.logic(0).metrics;
     // 128 concurrent transactions on 12 keys abort far more often than
     // the synchronous storm; the bar is liveness, not rate.
     assert!(m.committed > 100, "committed {}", m.committed);
     assert!(m.aborted > 50, "contention must cause aborts: {}", m.aborted);
     assert_eq!(
-        sim.logic.busy_slots(),
+        sim.logic(0).busy_slots(),
         0,
         "coordinator slots still busy after the drain — pipeline deadlock"
     );
     for s in 0..3 {
-        let part = sim.logic.transports[s].handler();
+        let part = sim.logic(0).transports[s].handler();
         for key in 0..12u64 {
             if scalerpc_repro::scaletx::sim::shard_of(key, 3) != s {
                 continue;
             }
-            if let Some(it) = part.peek(&sim.fabric, key) {
+            if let Some(it) = part.peek(sim.fabric(0), key) {
                 assert_eq!(it.lock, 0, "key {key} left locked");
             }
         }
@@ -263,20 +265,20 @@ fn windowed_smallbank_holds_serializability_witnesses() {
         SimDuration::ZERO,
     );
     assert!(
-        sim.logic.metrics.committed > 500,
+        sim.logic(0).metrics.committed > 500,
         "committed {}",
-        sim.logic.metrics.committed
+        sim.logic(0).metrics.committed
     );
-    assert_eq!(sim.logic.busy_slots(), 0, "slot deadlock after drain");
+    assert_eq!(sim.logic(0).busy_slots(), 0, "slot deadlock after drain");
     let total_accounts = (400u64 * 3) / 2;
     for s in 0..3 {
-        let part = sim.logic.transports[s].handler();
+        let part = sim.logic(0).transports[s].handler();
         for a in 0..total_accounts {
             for key in [checking_key(a), savings_key(a)] {
                 if shard_of(key, 3) != s {
                     continue;
                 }
-                let it = part.peek(&sim.fabric, key).expect("account exists");
+                let it = part.peek(sim.fabric(0), key).expect("account exists");
                 assert_eq!(it.lock, 0, "key {key} stuck locked");
                 assert_eq!(it.value.len(), 8, "torn value");
             }
@@ -322,17 +324,17 @@ fn lock_storm_converges() {
         },
         SimDuration::ZERO,
     );
-    let m = &sim.logic.metrics;
+    let m = &sim.logic(0).metrics;
     assert!(m.committed > 200, "committed {}", m.committed);
     assert!(m.aborted > 50, "contention must cause aborts: {}", m.aborted);
     // All locks eventually released.
     for s in 0..3 {
-        let part = sim.logic.transports[s].handler();
+        let part = sim.logic(0).transports[s].handler();
         for key in 0..12u64 {
             if scalerpc_repro::scaletx::sim::shard_of(key, 3) != s {
                 continue;
             }
-            if let Some(it) = part.peek(&sim.fabric, key) {
+            if let Some(it) = part.peek(sim.fabric(0), key) {
                 assert_eq!(it.lock, 0, "key {key} left locked");
             }
         }

@@ -14,7 +14,7 @@
 
 use scalerpc_repro::rdma_fabric::{Fabric, FabricParams};
 use scalerpc_repro::rpc_baselines::{Fasst, Herd, RawWrite};
-use scalerpc_repro::rpc_core::Sim;
+use scalerpc_repro::rpc_core::ShardedSim;
 use scalerpc_repro::scaletx::sim::{run_scalerpc_tx, tx_scale_cfg};
 use scalerpc_repro::scaletx::{TxConfig, TxSim, TxWorkload};
 use scalerpc_repro::simcore::SimDuration;
@@ -63,7 +63,7 @@ fn cfg(workload: TxWorkload, keys: u64, value_size: usize, one_sided: bool, wind
 fn scaletx_tps(workload: &(TxWorkload, u64, usize), one_sided: bool, window: usize) -> f64 {
     let (w, keys, vs) = workload.clone();
     run_scalerpc_tx(cfg(w, keys, vs, one_sided, window), tx_scale_cfg(), SimDuration::ZERO)
-        .logic
+        .logic(0)
         .metrics
         .tps()
 }
@@ -75,9 +75,9 @@ fn baseline_tps(workload: &(TxWorkload, u64, usize), transport: &str, window: us
     use scalerpc_repro::rpc_core::transport::{OneSidedAccess, RpcTransport};
     fn drive<T: RpcTransport + OneSidedAccess>(fabric: Fabric, tx: TxSim<T>) -> f64 {
         let stop = tx.stop_at();
-        let mut sim = Sim::new(fabric, tx);
-        sim.run_until(stop + SimDuration::millis(3));
-        sim.logic.metrics.tps()
+        let mut sim = ShardedSim::new_sequential(fabric, tx);
+        sim.run_sequential(stop + SimDuration::millis(3));
+        sim.logic(0).metrics.tps()
     }
     let mut fabric = Fabric::new(FabricParams::default());
     match transport {

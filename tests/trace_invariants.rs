@@ -68,6 +68,7 @@ fn run_scalerpc_traced_w(
             server_threads: 10,
             client_machines: 11,
             threads_per_machine: 8,
+            cores_per_machine: 8,
             clients,
         },
     );
@@ -86,6 +87,7 @@ fn run_scalerpc_traced_w(
             think: vec![ThinkTime::None],
             seed: 1,
             window,
+            nthreads: 1,
         },
     );
     if sample {
@@ -254,6 +256,7 @@ where
             server_threads: 10,
             client_machines: 8,
             threads_per_machine: 8,
+            cores_per_machine: 8,
             clients: 80,
         },
     );
@@ -269,6 +272,7 @@ where
             think: vec![ThinkTime::None],
             seed: 1,
             window: 1,
+            nthreads: 1,
         },
     );
     let stop = harness.stop_at();
