@@ -47,6 +47,26 @@ cargo clippy -p simtrace -p scalerpc-bench --no-default-features --all-targets -
 echo "== simlint (deny, trace off) =="
 cargo run -q -p simlint -- --deny
 
+echo "== scenario check (all checked-in scenarios) =="
+# Parse + compile every scenario file; rejects drift between the
+# scenario format and the checked-in battery.
+cargo run -q --release -p simscenario --bin scenario -- check scenarios
+
+echo "== scenario smoke (trace off) =="
+# The baseline scenario pins the simperf fig03b fingerprint via its
+# [expect] table, so this run proves the scenario layer reproduces the
+# benchmark workload bit-exactly. The fuzzer asserts the four liveness
+# invariants (conservation, no stuck clients, all locks freed, replay
+# determinism) over 8 generated scenarios.
+./target/release/scenario run scenarios/baseline.toml
+./target/release/scenario fuzz --seeds 8
+
+echo "== scenario smoke (trace on) =="
+cargo run -q --release -p simscenario --features trace --bin scenario -- \
+    run scenarios/baseline.toml
+cargo run -q --release -p simscenario --features trace --bin scenario -- \
+    fuzz --seeds 8
+
 echo "== simperf smoke (no-trace build) =="
 ./target/release/simperf --quick --label ci-smoke --out target/BENCH_simperf_ci.json
 

@@ -33,7 +33,7 @@ pub enum RawVerbKind {
 }
 
 /// Raw-verb experiment configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RawVerbConfig {
     /// The verb pattern.
     pub kind: RawVerbKind,

@@ -20,7 +20,7 @@ use crate::error::{VerbError, VerbResult};
 use crate::llc::LlcModel;
 use crate::mr::MemoryRegion;
 use crate::niccache::NicCache;
-use crate::params::FabricParams;
+use crate::params::{FabricParams, LinkDegrade};
 use crate::qp::{QpState, QueuePair, RecvWqe, Transport};
 use crate::types::{CqId, MrId, NodeId, QpId, RemoteAddr, WrId};
 use crate::verbs::{AtomicOp, WorkRequest};
@@ -173,6 +173,28 @@ pub struct Fabric {
     next_wr: WrId,
     tracer: Tracer,
     trace_ctx: TraceId,
+    /// Active wire impairment, if any (`None` is bit-exactly the
+    /// nominal fabric — scenario-free runs never read past the
+    /// `is_none` check).
+    degrade: Option<LinkDegrade>,
+}
+
+/// Wire serialization cost under the current impairment.
+fn ser_cost(p: &FabricParams, degrade: Option<LinkDegrade>, bytes: usize) -> SimDuration {
+    let nominal = p.serialize(bytes);
+    match degrade {
+        None => nominal,
+        Some(d) => d.stretch(nominal),
+    }
+}
+
+/// One-way wire latency under the current impairment.
+fn wire_cost(p: &FabricParams, degrade: Option<LinkDegrade>) -> SimDuration {
+    let nominal = p.wire_latency();
+    match degrade {
+        None => nominal,
+        Some(d) => d.stretch(nominal) + d.extra,
+    }
 }
 
 impl Fabric {
@@ -190,12 +212,47 @@ impl Fabric {
             next_wr: 1,
             tracer: Tracer::disabled(),
             trace_ctx: 0,
+            degrade: None,
         }
     }
 
     /// The model parameters.
     pub fn params(&self) -> &FabricParams {
         &self.params
+    }
+
+    /// Installs (or clears, with `None`) a wire impairment. Takes effect
+    /// for every operation priced after the call; in-flight packets keep
+    /// the latencies they were scheduled with. Degrades must only add
+    /// latency (`num >= den`) — enforced by the panic below — so the
+    /// sharded engine's `min_cross_delay` lookahead stays conservative.
+    pub fn set_link_degrade(&mut self, degrade: Option<LinkDegrade>) {
+        if let Some(d) = degrade {
+            assert!(
+                d.den > 0 && d.num >= d.den,
+                "link degrade factor {}/{} must be >= 1",
+                d.num,
+                d.den
+            );
+        }
+        self.degrade = degrade;
+    }
+
+    /// The active wire impairment, if any.
+    pub fn link_degrade(&self) -> Option<LinkDegrade> {
+        self.degrade
+    }
+
+    /// Stalls both NIC engines of `node` for `dur` starting at `now`
+    /// (firmware hiccup, host GC pause): every queued or newly priced
+    /// operation on that node waits the pause out behind the stall
+    /// occupancy. Counted under `NodeStalls`.
+    pub fn stall_node(&mut self, node: NodeId, now: SimTime, dur: SimDuration) {
+        // simlint: allow(R3): NodeId is fabric-allocated, so an OOB index is a driver bug
+        let n = &mut self.nodes[node.index()];
+        n.tx.acquire(now, dur);
+        n.rx.acquire(now, dur);
+        n.counters.inc("NodeStalls");
     }
 
     // ---- tracing --------------------------------------------------------
@@ -731,6 +788,7 @@ impl Fabric {
             PacketKind::AtomicResp { .. } => 8,
         };
         let p = &self.params;
+        let degrade = self.degrade;
         let lines = FabricParams::lines(payload) as u64;
         let node = &mut self.nodes[src_node.index()]; // NodeId indexes self.nodes: nodes are never removed
         let access = node.nic.access(pkt.src_qp, slot);
@@ -754,10 +812,10 @@ impl Fabric {
         } else {
             0
         };
-        let serialize = p.serialize(payload + ud_extra);
+        let serialize = ser_cost(p, degrade, payload + ud_extra);
         occupancy = occupancy.max(serialize);
         let grant = node.tx.acquire(now, occupancy);
-        let arrival = grant.complete + p.wire_latency();
+        let arrival = grant.complete + wire_cost(p, degrade);
         if let Some(victim) = access.evicted {
             self.tracer.instant(
                 InstantKind::QpCacheEvict,
@@ -1081,11 +1139,12 @@ impl Fabric {
                 }
                 // Responder NIC DMA-reads the payload from host memory.
                 let lines = FabricParams::lines(len) as u64;
+                let degrade = self.degrade;
                 let node = &mut self.nodes[dst_node_id.index()]; // NodeId indexes self.nodes: nodes are never removed
                 node.counters.add("PCIeRdCur", lines);
                 node.counters.inc("RxMsgs");
                 let occ = (self.params.nic_rx_base + self.params.dma_read_per_line * lines)
-                    .max(self.params.serialize(len));
+                    .max(ser_cost(&self.params, degrade, len));
                 let grant = node.rx.acquire(now, occ);
                 let data = Bytes::copy_from_slice(
                     self.mrs[remote.mr.index()] // MrId indexes self.mrs: regions are never deregistered
@@ -1105,7 +1164,7 @@ impl Fabric {
                     },
                 };
                 sched(
-                    grant.complete + self.params.wire_latency(),
+                    grant.complete + wire_cost(&self.params, degrade),
                     FabricEvent(Inner::RxProcess { pkt: resp }),
                 );
             }
@@ -1230,7 +1289,7 @@ impl Fabric {
                     },
                 };
                 sched(
-                    grant.complete + self.params.wire_latency(),
+                    grant.complete + wire_cost(&self.params, self.degrade),
                     FabricEvent(Inner::RxProcess { pkt: resp }),
                 );
             }

@@ -40,7 +40,7 @@ pub use fabric::{Fabric, FabricEvent, PostInfo, Upcall};
 pub use llc::LlcModel;
 pub use mr::MemoryRegion;
 pub use niccache::NicCache;
-pub use params::FabricParams;
+pub use params::{FabricParams, LinkDegrade};
 pub use qp::{QpState, QueuePair, Transport};
 pub use types::{CqId, MrId, NodeId, QpId, RemoteAddr, WrId};
 pub use verbs::{AtomicOp, WorkRequest};

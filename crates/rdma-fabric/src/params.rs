@@ -141,6 +141,36 @@ impl Default for FabricParams {
     }
 }
 
+/// A transient wire impairment (cable errors, congested uplink,
+/// rate-limited tenant): serialization and propagation are stretched by
+/// `num/den` and `extra` is added to every wire hop. Constructors must
+/// keep `num >= den` and `den > 0` — degradation only ever *adds*
+/// latency, so [`FabricParams::min_cross_delay`] remains a valid
+/// conservative lookahead for the sharded engine while a degrade is
+/// active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkDegrade {
+    /// Slowdown numerator.
+    pub num: u32,
+    /// Slowdown denominator.
+    pub den: u32,
+    /// Flat extra propagation delay per wire hop.
+    pub extra: SimDuration,
+}
+
+impl LinkDegrade {
+    /// Stretches a nominal duration by `num/den` (integer arithmetic,
+    /// bit-exactly reproducible).
+    pub fn stretch(&self, d: SimDuration) -> SimDuration {
+        SimDuration(d.0 * self.num as u64 / self.den as u64)
+    }
+
+    /// True when the impairment cannot change any latency.
+    pub fn is_identity(&self) -> bool {
+        self.num == self.den && self.extra == SimDuration::ZERO
+    }
+}
+
 impl FabricParams {
     /// Wire serialization time for `bytes` of payload plus headers.
     pub fn serialize(&self, bytes: usize) -> SimDuration {

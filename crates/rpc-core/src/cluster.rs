@@ -12,7 +12,7 @@ use rdma_fabric::{Fabric, NodeId};
 pub type ClientId = usize;
 
 /// Shape of the simulated cluster.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClusterSpec {
     /// Worker threads at the RPC server (the paper uses 10).
     pub server_threads: usize,

@@ -11,17 +11,19 @@
 
 use crate::cluster::{ClientId, Cluster};
 use crate::driver::{Cx, Logic};
+use crate::inject::{ClientStart, Injection, ScenarioError, ScenarioSpec};
 use crate::metrics::RpcMetrics;
 use crate::transport::{Response, RpcTransport};
 use crate::window::RequestWindow;
 use crate::workload::ThinkTime;
 use bytes::Bytes;
-use rdma_fabric::{NodeId, Upcall};
+use rdma_fabric::{LinkDegrade, NodeId, Upcall};
 use simcore::{DetRng, FifoResource, SimDuration, SimTime};
 use simtrace::{Stage, Tracer};
+use std::fmt;
 
 /// Harness configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HarnessConfig {
     /// Requests per batch ("batch size" in Fig. 8/9).
     pub batch_size: usize,
@@ -67,6 +69,80 @@ impl Default for HarnessConfig {
     }
 }
 
+/// Why a [`HarnessConfig`] was rejected at construction. Every variant
+/// used to be a mid-run assert (or, for the traced multi-shard combo, a
+/// panic deep inside `ShardedSim`); the typed form lets config-driven
+/// frontends like `simscenario` report the problem with a source span
+/// instead of crashing the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HarnessConfigError {
+    /// `batch_size == 0`.
+    ZeroBatch,
+    /// `window == 0`.
+    ZeroWindow,
+    /// `window > 1` with `batch_size > 1`.
+    WindowSupersedesBatching,
+    /// `think` has neither 1 nor one-per-client entries.
+    ThinkLen { clients: usize, got: usize },
+    /// The client population is empty.
+    ZeroClients,
+    /// `nthreads > 1` while tracing is enabled — multi-shard engines
+    /// cannot merge per-shard tracers deterministically.
+    TracedMultiShard { nthreads: usize },
+}
+
+impl fmt::Display for HarnessConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HarnessConfigError::ZeroBatch => write!(f, "batch size must be positive"),
+            HarnessConfigError::ZeroWindow => write!(f, "window must be positive"),
+            HarnessConfigError::WindowSupersedesBatching => {
+                write!(f, "window > 1 supersedes batching; use batch_size 1")
+            }
+            HarnessConfigError::ThinkLen { clients, got } => {
+                write!(f, "think-time list must have 1 or {clients} entries, got {got}")
+            }
+            HarnessConfigError::ZeroClients => write!(f, "need at least one client"),
+            HarnessConfigError::TracedMultiShard { nthreads } => {
+                write!(f, "nthreads {nthreads} > 1 requires tracing disabled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessConfigError {}
+
+impl HarnessConfig {
+    /// Checks the whole config against a client population size and the
+    /// tracing mode of the fabric the run will use.
+    pub fn validate(&self, clients: usize, tracing: bool) -> Result<(), HarnessConfigError> {
+        if self.batch_size == 0 {
+            return Err(HarnessConfigError::ZeroBatch);
+        }
+        if self.window == 0 {
+            return Err(HarnessConfigError::ZeroWindow);
+        }
+        if self.window > 1 && self.batch_size > 1 {
+            return Err(HarnessConfigError::WindowSupersedesBatching);
+        }
+        if clients == 0 {
+            return Err(HarnessConfigError::ZeroClients);
+        }
+        if self.think.len() != 1 && self.think.len() != clients {
+            return Err(HarnessConfigError::ThinkLen {
+                clients,
+                got: self.think.len(),
+            });
+        }
+        if self.nthreads > 1 && tracing {
+            return Err(HarnessConfigError::TracedMultiShard {
+                nthreads: self.nthreads,
+            });
+        }
+        Ok(())
+    }
+}
+
 struct ClientState {
     next_seq: u64,
     inflight: usize,
@@ -96,6 +172,11 @@ pub enum HarnessEv<TEv> {
     Post(ClientId, usize),
     /// Periodic counter-sampling tick (only scheduled while tracing).
     Sample,
+    /// The next scenario-timeline entry fires (index into the installed
+    /// [`ScenarioSpec`]'s timeline). Only scheduled when a scenario with
+    /// a non-empty timeline is installed, so scenario-free runs carry no
+    /// injection cost at all.
+    Inject(usize),
 }
 
 /// Produces the request payload for `(client, seq)`. The default
@@ -159,6 +240,21 @@ pub struct Harness<T: RpcTransport> {
     /// `sample_every` of virtual time.
     sampled: Vec<(NodeId, &'static str)>,
     sample_every: SimDuration,
+    /// Installed scenario, if any (`None` must behave bit-exactly like
+    /// the pre-scenario harness).
+    scenario: Option<ScenarioSpec>,
+    /// Per-client CPU slowdown `(num, den)` from `Straggle` events;
+    /// empty until the first straggler appears, so the hot path pays
+    /// one `is_empty` check in scenario-free runs.
+    cpu_mult: Vec<(u32, u32)>,
+    /// Requests submitted to the transport (all clients, whole run —
+    /// the fuzzer's conservation invariant needs totals, not just the
+    /// measurement window `metrics` covers).
+    issued: u64,
+    /// Responses retired (whole run).
+    completed: u64,
+    /// Per-client retired counts (per-tenant reporting).
+    completed_by_client: Vec<u64>,
 }
 
 impl<T: RpcTransport> Harness<T> {
@@ -173,6 +269,19 @@ impl<T: RpcTransport> Harness<T> {
         Self::with_generator(transport, cluster, cfg, Box::new(FixedSizeGen::new(size)))
     }
 
+    /// Fallible form of [`Harness::new`]: rejects invalid configs with a
+    /// typed error instead of panicking. Tracing-dependent checks run
+    /// against `tracing = false`; frontends that know the fabric's
+    /// tracing mode should call [`HarnessConfig::validate`] themselves.
+    pub fn try_new(
+        transport: T,
+        cluster: Cluster,
+        cfg: HarnessConfig,
+    ) -> Result<Self, HarnessConfigError> {
+        let size = cfg.request_size;
+        Self::try_with_generator(transport, cluster, cfg, Box::new(FixedSizeGen::new(size)))
+    }
+
     /// Builds a harness with a custom request generator (application
     /// workloads like mdtest or the transaction drivers).
     pub fn with_generator(
@@ -181,17 +290,21 @@ impl<T: RpcTransport> Harness<T> {
         cfg: HarnessConfig,
         gen: Box<dyn RequestGen>,
     ) -> Self {
-        assert!(cfg.batch_size > 0, "batch size must be positive");
-        assert!(cfg.window > 0, "window must be positive");
-        assert!(
-            cfg.window == 1 || cfg.batch_size == 1,
-            "window > 1 supersedes batching; use batch_size 1"
-        );
+        match Self::try_with_generator(transport, cluster, cfg, gen) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Harness::with_generator`].
+    pub fn try_with_generator(
+        transport: T,
+        cluster: Cluster,
+        cfg: HarnessConfig,
+        gen: Box<dyn RequestGen>,
+    ) -> Result<Self, HarnessConfigError> {
         let n = cluster.clients();
-        assert!(
-            cfg.think.len() == 1 || cfg.think.len() == n,
-            "think-time list must have 1 or {n} entries"
-        );
+        cfg.validate(n, false)?;
         let rng = DetRng::new(cfg.seed);
         let clients = (0..n)
             .map(|c| ClientState {
@@ -207,7 +320,7 @@ impl<T: RpcTransport> Harness<T> {
         let threads = vec![FifoResource::new(); cluster.total_client_threads()];
         let window_start = SimTime::ZERO + cfg.warmup;
         let window_end = window_start + cfg.run;
-        Harness {
+        Ok(Harness {
             transport,
             cluster,
             cfg,
@@ -220,7 +333,83 @@ impl<T: RpcTransport> Harness<T> {
             tracer: Tracer::disabled(),
             sampled: Vec::new(),
             sample_every: SimDuration::micros(50),
+            scenario: None,
+            cpu_mult: Vec::new(),
+            issued: 0,
+            completed: 0,
+            completed_by_client: vec![0; n],
+        })
+    }
+
+    /// Installs a scenario (client activation plan plus chaos timeline).
+    /// Must be called before the sim runs `init`. The empty spec is
+    /// bit-exactly equivalent to not installing one.
+    pub fn set_scenario(&mut self, spec: ScenarioSpec) -> Result<(), ScenarioError> {
+        spec.validate(self.clients.len())?;
+        self.scenario = Some(spec);
+        Ok(())
+    }
+
+    /// Requests submitted to the transport over the whole run.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Responses retired over the whole run.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Responses retired per client (per-tenant accounting).
+    pub fn completed_by_client(&self) -> &[u64] {
+        &self.completed_by_client
+    }
+
+    /// Requests currently outstanding across all clients. After a run
+    /// drains to quiescence this must satisfy
+    /// `issued == completed + in_flight` (conservation) and be zero
+    /// unless a client's pipeline wedged.
+    pub fn in_flight(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|st| {
+                if self.cfg.window > 1 {
+                    st.window.in_flight() as u64
+                } else {
+                    st.inflight as u64
+                }
+            })
+            .sum()
+    }
+
+    /// Clients that still hold in-flight requests (the fuzzer's
+    /// no-stuck-clients invariant: empty after drain).
+    pub fn stuck_clients(&self) -> Vec<ClientId> {
+        self.clients
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| {
+                if self.cfg.window > 1 {
+                    st.window.in_flight() > 0
+                } else {
+                    st.inflight > 0
+                }
+            })
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Client-CPU charge for `client`: machine-oversubscription scaling
+    /// plus any straggler slowdown a scenario injected. Scenario-free
+    /// runs take the `is_empty` fast path and are bit-identical to the
+    /// pre-scenario cost model.
+    fn client_cpu(&self, client: ClientId, base: SimDuration) -> SimDuration {
+        let scaled = self.cluster.scale_cpu(base);
+        if self.cpu_mult.is_empty() {
+            return scaled;
         }
+        let (num, den) = self.cpu_mult[client];
+        SimDuration(scaled.0 * num as u64 / den as u64)
     }
 
     /// Samples the named counters of `node` into the trace every `every`
@@ -263,7 +452,7 @@ impl<T: RpcTransport> Harness<T> {
             return;
         }
         let overhead = self.transport.client_overhead();
-        let cost = self.cluster.scale_cpu(overhead.per_post * posts as u64);
+        let cost = self.client_cpu(client, overhead.per_post * posts as u64);
         let thread = self.cluster.thread_of(client);
         let grant = self.threads[thread].acquire(cx.now, cost);
         cx.at(grant.begin, HarnessEv::Post(client, posts));
@@ -290,6 +479,7 @@ impl<T: RpcTransport> Harness<T> {
                     .span(id, Stage::ClientPost, start, start + per_post, c as u64);
             }
             self.clients[c].window.submit(seq, start);
+            self.issued += 1;
             cx.fabric.set_trace_ctx(id);
             with_transport_cx(cx, |tcx| {
                 self.transport.submit(c, seq, payload, tcx, &mut out)
@@ -311,9 +501,7 @@ impl<T: RpcTransport> Harness<T> {
             // One completed op: response detection plus the transport's
             // fixed dispatch work, stretched when the machine timeslices
             // more threads than cores.
-            let cost = self
-                .cluster
-                .scale_cpu(overhead.per_response + overhead.per_dispatch);
+            let cost = self.client_cpu(c, overhead.per_response + overhead.per_dispatch);
             let grant = self.threads[thread].acquire(cx.now, cost);
             let st = &mut self.clients[c];
             if self.cfg.window > 1 {
@@ -329,6 +517,9 @@ impl<T: RpcTransport> Harness<T> {
                 let Some(done) = st.window.complete(resp.seq) else {
                     continue;
                 };
+                self.completed += 1;
+                self.completed_by_client[c] += 1;
+                let st = &mut self.clients[c];
                 let polled = grant.complete;
                 let latency = polled.saturating_since(done.tag);
                 self.metrics.record_batch(polled, 1, latency);
@@ -346,6 +537,9 @@ impl<T: RpcTransport> Harness<T> {
                 continue;
             }
             st.inflight -= 1;
+            self.completed += 1;
+            self.completed_by_client[c] += 1;
+            let st = &mut self.clients[c];
             if st.inflight == 0 {
                 let latency = cx.now.saturating_since(st.batch_started);
                 self.metrics
@@ -369,9 +563,22 @@ impl<T: RpcTransport> Logic for Harness<T> {
         // Adapt the Cx event type for the transport's init.
         with_transport_cx(cx, |tcx| self.transport.init(tcx));
         // Stagger client start to avoid a thundering herd at t=0.
+        // Scenario `At` starts replace the jitter draw wholesale;
+        // `Immediate` draws it from the same per-client stream so an
+        // all-immediate scenario is bit-identical to no scenario.
         for c in 0..self.clients.len() {
-            let jitter = self.clients[c].rng.below(2_000);
-            cx.at(SimTime(jitter), HarnessEv::Wake(c));
+            let start = match self.scenario.as_ref().map(|s| s.starts[c]) {
+                None | Some(ClientStart::Immediate) => {
+                    SimTime(self.clients[c].rng.below(2_000))
+                }
+                Some(ClientStart::At(t)) => t,
+            };
+            cx.at(start, HarnessEv::Wake(c));
+        }
+        if let Some(spec) = &self.scenario {
+            if let Some(&(at, _)) = spec.timeline.first() {
+                cx.at(at, HarnessEv::Inject(0));
+            }
         }
         if self.tracer.is_enabled() && !self.sampled.is_empty() {
             cx.at(SimTime::ZERO + self.sample_every, HarnessEv::Sample);
@@ -394,7 +601,9 @@ impl<T: RpcTransport> Logic for Harness<T> {
                 self.drain_responses(cx);
             }
             HarnessEv::Wake(c) => {
-                if cx.now >= self.stop_at {
+                // `stopped` also covers scenario departures: a departed
+                // client may still have a think-time wake queued.
+                if cx.now >= self.stop_at || self.clients[c].stopped {
                     self.clients[c].stopped = true;
                     return;
                 }
@@ -408,6 +617,7 @@ impl<T: RpcTransport> Logic for Harness<T> {
                 let batch = self.cfg.batch_size;
                 self.clients[c].batch_started = cx.now;
                 self.clients[c].inflight = batch;
+                self.issued += batch as u64;
                 let per_post = self.transport.client_overhead().per_post;
                 let mut out = Vec::new();
                 for i in 0..batch {
@@ -432,6 +642,43 @@ impl<T: RpcTransport> Logic for Harness<T> {
                 self.responses.extend(out);
                 self.drain_responses(cx);
             }
+            HarnessEv::Inject(i) => {
+                let spec = self.scenario.as_ref().expect("Inject without scenario");
+                let (_, inj) = spec.timeline[i];
+                if let Some(&(at, _)) = spec.timeline.get(i + 1) {
+                    cx.at(at, HarnessEv::Inject(i + 1));
+                }
+                match inj {
+                    Injection::Depart { first, last } => {
+                        for c in first..=last {
+                            self.clients[c].stopped = true;
+                        }
+                    }
+                    Injection::Straggle {
+                        first,
+                        last,
+                        num,
+                        den,
+                    } => {
+                        if self.cpu_mult.is_empty() {
+                            self.cpu_mult = vec![(1, 1); self.clients.len()];
+                        }
+                        for c in first..=last {
+                            self.cpu_mult[c] = (num, den);
+                        }
+                    }
+                    Injection::LinkDegrade { num, den, extra } => {
+                        cx.fabric.set_link_degrade(Some(LinkDegrade { num, den, extra }));
+                    }
+                    Injection::LinkRestore => {
+                        cx.fabric.set_link_degrade(None);
+                    }
+                    Injection::ServerStall { dur } => {
+                        let server = self.cluster.server;
+                        cx.fabric.stall_node(server, cx.now, dur);
+                    }
+                }
+            }
             HarnessEv::Sample => {
                 for &(node, counter) in &self.sampled {
                     if let Ok(cs) = cx.fabric.counters(node) {
@@ -453,4 +700,92 @@ fn with_transport_cx<TEv, R>(
     f: impl FnOnce(&mut Cx<'_, TEv>) -> R,
 ) -> R {
     cx.scoped(HarnessEv::Transport, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> HarnessConfig {
+        HarnessConfig::default()
+    }
+
+    #[test]
+    fn validate_accepts_default() {
+        assert_eq!(base().validate(40, false), Ok(()));
+        assert_eq!(base().validate(40, true), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_batch() {
+        let cfg = HarnessConfig {
+            batch_size: 0,
+            ..base()
+        };
+        assert_eq!(cfg.validate(40, false), Err(HarnessConfigError::ZeroBatch));
+    }
+
+    #[test]
+    fn validate_rejects_zero_window() {
+        let cfg = HarnessConfig { window: 0, ..base() };
+        assert_eq!(cfg.validate(40, false), Err(HarnessConfigError::ZeroWindow));
+    }
+
+    #[test]
+    fn validate_rejects_window_with_batching() {
+        let cfg = HarnessConfig {
+            window: 4,
+            batch_size: 8,
+            ..base()
+        };
+        assert_eq!(
+            cfg.validate(40, false),
+            Err(HarnessConfigError::WindowSupersedesBatching)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_clients() {
+        assert_eq!(base().validate(0, false), Err(HarnessConfigError::ZeroClients));
+    }
+
+    #[test]
+    fn validate_rejects_bad_think_len() {
+        let cfg = HarnessConfig {
+            think: vec![ThinkTime::None; 3],
+            ..base()
+        };
+        assert_eq!(
+            cfg.validate(40, false),
+            Err(HarnessConfigError::ThinkLen {
+                clients: 40,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_traced_multi_shard() {
+        let cfg = HarnessConfig {
+            nthreads: 8,
+            ..base()
+        };
+        assert_eq!(cfg.validate(40, false), Ok(()));
+        assert_eq!(
+            cfg.validate(40, true),
+            Err(HarnessConfigError::TracedMultiShard { nthreads: 8 })
+        );
+    }
+
+    #[test]
+    fn errors_render_the_legacy_assert_messages() {
+        assert_eq!(
+            HarnessConfigError::ZeroBatch.to_string(),
+            "batch size must be positive"
+        );
+        assert_eq!(
+            HarnessConfigError::WindowSupersedesBatching.to_string(),
+            "window > 1 supersedes batching; use batch_size 1"
+        );
+    }
 }

@@ -1,0 +1,259 @@
+//! Scenario event injection for the closed-loop harness.
+//!
+//! A [`ScenarioSpec`] describes *when clients come alive* and a sorted
+//! timeline of phased chaos events — departures, straggler slowdowns,
+//! link degradation, server pauses. `crates/simscenario` compiles its
+//! declarative TOML scenarios into this type and installs it with
+//! [`Harness::set_scenario`](crate::harness::Harness::set_scenario);
+//! the harness threads each event into the simulator timeline as an
+//! ordinary app event, so injected runs stay bit-exactly deterministic
+//! and replayable.
+//!
+//! The empty spec (all clients [`ClientStart::Immediate`], no timeline
+//! entries) is defined to reproduce a scenario-free harness run
+//! bit-exactly: immediate starts draw the same per-client jitter from
+//! the same per-client RNG streams, and no injection event is ever
+//! scheduled.
+
+use crate::cluster::ClientId;
+use simcore::{SimDuration, SimTime};
+use std::fmt;
+
+/// When a client first enters the closed loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientStart {
+    /// Wake within the usual `[0, 2 µs)` start jitter, exactly like a
+    /// scenario-free run.
+    Immediate,
+    /// First wake at the given time (flash-crowd surge arrivals; the
+    /// compiler spreads Poisson arrival processes into per-client
+    /// `At` times).
+    At(SimTime),
+}
+
+/// One phased chaos event. Client ranges are inclusive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Injection {
+    /// Clients `first..=last` leave the closed loop: in-flight requests
+    /// complete and are counted, but no new requests are posted.
+    Depart { first: ClientId, last: ClientId },
+    /// Clients `first..=last` become stragglers: their per-post and
+    /// per-response client-CPU charges are multiplied by `num/den`
+    /// (`num >= den`, so slowdowns only). The multiplier applies on top
+    /// of machine oversubscription scaling and also slows co-located
+    /// clients through the shared thread `FifoResource` — a straggling
+    /// coroutine hogs its thread, as on real hardware.
+    Straggle {
+        first: ClientId,
+        last: ClientId,
+        num: u32,
+        den: u32,
+    },
+    /// The fabric's wire degrades: serialization and propagation
+    /// latencies are multiplied by `num/den` (`num >= den`) and `extra`
+    /// is added to every wire hop. Conservative-only so the sharded
+    /// engine's cross-shard lookahead stays valid.
+    LinkDegrade {
+        num: u32,
+        den: u32,
+        extra: SimDuration,
+    },
+    /// The wire returns to nominal parameters.
+    LinkRestore,
+    /// The server's NIC engines stall for `dur` (GC pause, firmware
+    /// hiccup): both its tx and rx pipelines are occupied and every
+    /// queued operation waits the pause out.
+    ServerStall { dur: SimDuration },
+}
+
+/// A compiled scenario: per-client activation plus a time-sorted event
+/// timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// One entry per client, in client-id order.
+    pub starts: Vec<ClientStart>,
+    /// Chaos events, sorted by time (ties keep list order).
+    pub timeline: Vec<(SimTime, Injection)>,
+}
+
+/// Why a [`ScenarioSpec`] was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// `starts` does not have one entry per client.
+    StartsLen { expected: usize, got: usize },
+    /// Timeline entries are not sorted by time.
+    UnsortedTimeline { index: usize },
+    /// A client range is empty or out of bounds.
+    ClientRange {
+        index: usize,
+        first: ClientId,
+        last: ClientId,
+        clients: usize,
+    },
+    /// A slowdown factor is below 1 (`num < den`) or has a zero
+    /// denominator.
+    BadFactor { index: usize, num: u32, den: u32 },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScenarioError::StartsLen { expected, got } => {
+                write!(f, "scenario starts list has {got} entries, need {expected}")
+            }
+            ScenarioError::UnsortedTimeline { index } => {
+                write!(f, "timeline entry {index} is earlier than its predecessor")
+            }
+            ScenarioError::ClientRange {
+                index,
+                first,
+                last,
+                clients,
+            } => write!(
+                f,
+                "timeline entry {index}: client range {first}..={last} invalid for {clients} clients"
+            ),
+            ScenarioError::BadFactor { index, num, den } => write!(
+                f,
+                "timeline entry {index}: factor {num}/{den} must be >= 1 with nonzero denominator"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl ScenarioSpec {
+    /// The empty scenario for `clients` clients — bit-exactly equivalent
+    /// to running without a scenario at all.
+    pub fn empty(clients: usize) -> Self {
+        ScenarioSpec {
+            starts: vec![ClientStart::Immediate; clients],
+            timeline: Vec::new(),
+        }
+    }
+
+    /// True when the spec cannot perturb a run (all immediate starts,
+    /// nothing on the timeline).
+    pub fn is_empty(&self) -> bool {
+        self.timeline.is_empty()
+            && self
+                .starts
+                .iter()
+                .all(|s| matches!(s, ClientStart::Immediate))
+    }
+
+    /// Validates the spec against a client population size.
+    pub fn validate(&self, clients: usize) -> Result<(), ScenarioError> {
+        if self.starts.len() != clients {
+            return Err(ScenarioError::StartsLen {
+                expected: clients,
+                got: self.starts.len(),
+            });
+        }
+        let mut prev = SimTime::ZERO;
+        for (index, &(at, inj)) in self.timeline.iter().enumerate() {
+            if at < prev {
+                return Err(ScenarioError::UnsortedTimeline { index });
+            }
+            prev = at;
+            let range = match inj {
+                Injection::Depart { first, last } => Some((first, last)),
+                Injection::Straggle { first, last, .. } => Some((first, last)),
+                _ => None,
+            };
+            if let Some((first, last)) = range {
+                if first > last || last >= clients {
+                    return Err(ScenarioError::ClientRange {
+                        index,
+                        first,
+                        last,
+                        clients,
+                    });
+                }
+            }
+            let factor = match inj {
+                Injection::Straggle { num, den, .. } => Some((num, den)),
+                Injection::LinkDegrade { num, den, .. } => Some((num, den)),
+                _ => None,
+            };
+            if let Some((num, den)) = factor {
+                if den == 0 || num < den {
+                    return Err(ScenarioError::BadFactor { index, num, den });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_empty_and_valid() {
+        let s = ScenarioSpec::empty(4);
+        assert!(s.is_empty());
+        assert_eq!(s.validate(4), Ok(()));
+        assert_eq!(
+            s.validate(3),
+            Err(ScenarioError::StartsLen {
+                expected: 3,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_and_bad_ranges() {
+        let mut s = ScenarioSpec::empty(8);
+        s.timeline = vec![
+            (SimTime(100), Injection::LinkRestore),
+            (
+                SimTime(50),
+                Injection::ServerStall {
+                    dur: SimDuration::micros(1),
+                },
+            ),
+        ];
+        assert_eq!(
+            s.validate(8),
+            Err(ScenarioError::UnsortedTimeline { index: 1 })
+        );
+
+        s.timeline = vec![(SimTime(10), Injection::Depart { first: 4, last: 9 })];
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::ClientRange { index: 0, .. })
+        ));
+
+        s.timeline = vec![(
+            SimTime(10),
+            Injection::Straggle {
+                first: 0,
+                last: 1,
+                num: 1,
+                den: 2,
+            },
+        )];
+        assert_eq!(
+            s.validate(8),
+            Err(ScenarioError::BadFactor {
+                index: 0,
+                num: 1,
+                den: 2
+            })
+        );
+
+        s.timeline = vec![(
+            SimTime(10),
+            Injection::LinkDegrade {
+                num: 3,
+                den: 2,
+                extra: SimDuration::ZERO,
+            },
+        )];
+        assert_eq!(s.validate(8), Ok(()));
+    }
+}

@@ -14,6 +14,9 @@
 //!   coroutine-like clients).
 //! - [`harness`]: the closed-loop benchmark driver that plays the role of
 //!   the paper's coroutine client loops and records throughput/latency.
+//! - [`inject`]: scenario event injection — phased chaos events
+//!   (departure, stragglers, link degradation, server pauses) threaded
+//!   into the harness timeline by `crates/simscenario`.
 //! - [`workload`]: think-time distributions (uniform and the Gaussian
 //!   skew of Fig. 12) and request-size generators.
 //! - [`metrics`]: per-experiment result collection.
@@ -23,6 +26,7 @@
 pub mod cluster;
 pub mod driver;
 pub mod harness;
+pub mod inject;
 pub mod message;
 pub mod metrics;
 pub mod sharded;
@@ -33,7 +37,8 @@ pub mod workload;
 
 pub use cluster::{ClientId, Cluster, ClusterSpec};
 pub use driver::{Cx, Logic, Sim};
-pub use harness::{Harness, HarnessConfig};
+pub use harness::{Harness, HarnessConfig, HarnessConfigError};
+pub use inject::{ClientStart, Injection, ScenarioError, ScenarioSpec};
 pub use message::{MsgBuf, RpcHeader};
 pub use metrics::RpcMetrics;
 pub use sharded::{AppRoute, ShardSpec, ShardedSim};

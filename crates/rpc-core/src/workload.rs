@@ -9,7 +9,7 @@ use simcore::{DetRng, SimDuration};
 
 /// Think-time model applied between a batch completing and the next one
 /// being posted.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ThinkTime {
     /// No delay: the closed loop re-posts immediately.
     None,

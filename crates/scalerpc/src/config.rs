@@ -3,7 +3,7 @@
 use simcore::SimDuration;
 
 /// Tunable parameters of a ScaleRPC server.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScaleRpcConfig {
     /// Default connection-group size. The paper's evaluation settles on
     /// 40 for its hardware (Fig. 11(b)): small groups cannot saturate the
@@ -36,6 +36,17 @@ pub struct ScaleRpcConfig {
     /// republishes the endpoint entry instead of stranding them). Must
     /// not exceed `slots`.
     pub client_window: usize,
+    /// Per-client tenant tags, one per connected client (empty = the
+    /// single-tenant deployments of the paper). Tags feed multi-tenant
+    /// accounting and, with [`tenant_isolate`](Self::tenant_isolate),
+    /// the scheduler's grouping.
+    pub tenant_of: Vec<u32>,
+    /// When true (and `tenant_of` is set), the scheduler never places
+    /// clients of different tenants in the same connection group — the
+    /// per-tenant group cap defense against noisy neighbors evaluated
+    /// in EXPERIMENTS.md. When false, grouping is tenant-oblivious and
+    /// only the priority tiers separate an adversarial tenant.
+    pub tenant_isolate: bool,
 }
 
 impl Default for ScaleRpcConfig {
@@ -49,6 +60,8 @@ impl Default for ScaleRpcConfig {
             regroup_rotations: 4,
             first_slice_offset: SimDuration::ZERO,
             client_window: 1,
+            tenant_of: Vec::new(),
+            tenant_isolate: false,
         }
     }
 }
@@ -71,6 +84,10 @@ impl ScaleRpcConfig {
         assert!(
             self.client_window >= 1 && self.client_window <= self.slots,
             "client_window must be in 1..=slots"
+        );
+        assert!(
+            !self.tenant_isolate || !self.tenant_of.is_empty(),
+            "tenant_isolate requires tenant_of tags"
         );
     }
 }

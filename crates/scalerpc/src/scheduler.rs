@@ -70,6 +70,11 @@ pub struct Scheduler {
     pub base_slice: SimDuration,
     /// Whether priority-based (dynamic) scheduling is enabled.
     pub dynamic: bool,
+    /// Per-client tenant tags. Empty (the default) reproduces the
+    /// single-tenant grouping bit-exactly; when set (one tag per
+    /// client), no group ever mixes clients of different tenants — the
+    /// per-tenant group cap defense against noisy neighbors.
+    pub tenants: Vec<u32>,
 }
 
 impl Scheduler {
@@ -84,14 +89,66 @@ impl Scheduler {
             default_group,
             base_slice,
             dynamic,
+            tenants: Vec::new(),
         }
     }
 
+    /// Enables tenant-isolated grouping with one tag per client.
+    pub fn with_tenants(mut self, tenants: Vec<u32>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Splits one tier's clients into the units grouping may not cross:
+    /// the whole tier when single-tenant, otherwise one partition per
+    /// tenant (ascending tag order, input order preserved inside each —
+    /// priority order in dynamic mode).
+    fn partitions(&self, ids: &[ClientId]) -> Vec<Vec<ClientId>> {
+        if self.tenants.is_empty() {
+            return vec![ids.to_vec()];
+        }
+        assert!(
+            ids.iter().all(|&c| c < self.tenants.len()),
+            "tenant list shorter than client population"
+        );
+        let mut tags: Vec<u32> = ids.iter().map(|&c| self.tenants[c]).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags.iter()
+            .map(|&t| {
+                ids.iter()
+                    .copied()
+                    .filter(|&c| self.tenants[c] == t)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Chunks one tier into groups of at most `size`, never crossing a
+    /// tenant partition.
+    fn tier_chunks(&self, ids: &[ClientId], size: usize) -> Vec<Vec<ClientId>> {
+        self.partitions(ids)
+            .iter()
+            .flat_map(|p| chunk(p, size))
+            .collect()
+    }
+
+    /// Like [`tier_chunks`](Self::tier_chunks) but with the lazy
+    /// split/merge size band applied inside each partition, so band
+    /// merges cannot fuse two tenants either.
+    fn banded_tier(&self, ids: &[ClientId], size: usize) -> Vec<Vec<ClientId>> {
+        self.partitions(ids)
+            .iter()
+            .flat_map(|p| enforce_size_band(chunk(p, size), self.default_group))
+            .collect()
+    }
+
     /// Builds the initial plan for `clients` connected clients (no stats
-    /// yet): contiguous groups of the default size, uniform slices.
+    /// yet): contiguous groups of the default size, uniform slices
+    /// (split per tenant when isolation is on).
     pub fn initial_plan(&self, clients: usize) -> GroupPlan {
         let ids: Vec<ClientId> = (0..clients).collect();
-        let groups = chunk(&ids, self.default_group);
+        let groups = self.tier_chunks(&ids, self.default_group);
         let slices = vec![self.base_slice; groups.len()];
         GroupPlan { groups, slices }
     }
@@ -138,9 +195,10 @@ impl Scheduler {
         let busy_size = self.default_group.max(1);
         let idle_size = (self.default_group * 3 / 2).max(1);
         // Enforce the size band within each tier so merges never mix a
-        // busy group into an idle one (their slices differ).
-        let busy_groups = enforce_size_band(chunk(busy, busy_size), self.default_group);
-        let idle_groups = enforce_size_band(chunk(idle, idle_size), self.default_group);
+        // busy group into an idle one (their slices differ), and within
+        // each tenant partition so they never mix tenants.
+        let busy_groups = self.banded_tier(busy, busy_size);
+        let idle_groups = self.banded_tier(idle, idle_size);
         let n_busy = busy_groups.len();
         let mut groups = busy_groups;
         groups.extend(idle_groups);
@@ -298,6 +356,47 @@ mod tests {
         let groups = vec![(0..8).collect::<Vec<_>>(), (8..16).collect()];
         let out = enforce_size_band(groups.clone(), 8);
         assert_eq!(out, groups);
+    }
+
+    #[test]
+    fn tenant_isolation_never_mixes_tenants() {
+        // Tenants interleaved 0,1,0,1,... across 60 clients.
+        let tenants: Vec<u32> = (0..60).map(|c| (c % 2) as u32).collect();
+        let s = Scheduler::new(8, SimDuration::micros(100), true).with_tenants(tenants.clone());
+        let plan = s.initial_plan(60);
+        assert_eq!(plan.client_count(), 60);
+        for g in &plan.groups {
+            let t0 = tenants[g[0]];
+            assert!(g.iter().all(|&c| tenants[c] == t0), "mixed group {g:?}");
+        }
+        // Dynamic replan with skewed stats keeps the property.
+        let mut stats = vec![ClientStats { ops: 1, bytes: 32 }; 60];
+        for c in (0..60).step_by(3) {
+            stats[c] = ClientStats {
+                ops: 1000,
+                bytes: 32_000,
+            };
+        }
+        let plan = s.replan(&stats);
+        assert_eq!(plan.client_count(), 60);
+        for g in &plan.groups {
+            let t0 = tenants[g[0]];
+            assert!(g.iter().all(|&c| tenants[c] == t0), "mixed group {g:?}");
+        }
+    }
+
+    #[test]
+    fn empty_tenants_reproduce_untenanted_plans() {
+        let stats = vec![ClientStats { ops: 5, bytes: 160 }; 100];
+        for dynamic in [false, true] {
+            let a = sched(dynamic).replan(&stats);
+            let b = sched(dynamic).with_tenants(Vec::new()).replan(&stats);
+            assert_eq!(a, b);
+            assert_eq!(
+                sched(dynamic).initial_plan(100),
+                sched(dynamic).with_tenants(Vec::new()).initial_plan(100)
+            );
+        }
     }
 
     #[test]

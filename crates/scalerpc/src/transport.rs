@@ -235,7 +235,15 @@ impl<H: ServerHandler> ScaleRpc<H> {
             .register_mr(cluster.server, n * ENTRY)
             .expect("endpoint region");
         let server_cq = fabric.create_cq(cluster.server).expect("server cq");
-        let scheduler = Scheduler::new(cfg.group_size, cfg.time_slice, cfg.dynamic_scheduling);
+        let mut scheduler = Scheduler::new(cfg.group_size, cfg.time_slice, cfg.dynamic_scheduling);
+        if cfg.tenant_isolate {
+            assert_eq!(
+                cfg.tenant_of.len(),
+                n,
+                "tenant_of needs one tag per client"
+            );
+            scheduler = scheduler.with_tenants(cfg.tenant_of.clone());
+        }
         let plan = scheduler.initial_plan(n);
         let mut clients = Vec::with_capacity(n);
         let mut local_index = DetHashMap::default();
@@ -324,6 +332,43 @@ impl<H: ServerHandler> ScaleRpc<H> {
         self.rotations
     }
 
+    /// Compact post-mortem of one client's transport-side state, for
+    /// liveness triage (the scenario fuzzer prints this for any client
+    /// the harness reports as stuck).
+    pub fn client_diag(&self, fabric: &Fabric, client: ClientId) -> String {
+        let st = &self.clients[client];
+        let slots: Vec<String> = (0..self.cfg.slots)
+            .filter_map(|s| {
+                let mr = fabric.mr(st.local_mr).ok()?;
+                let raw = mr.read(self.staging_off(s), self.cfg.block_size).ok()?;
+                let (h, _) = MsgBuf::decode(raw).and_then(RpcHeader::decode)?;
+                Some(format!("slot{s}=seq{}", h.seq))
+            })
+            .collect();
+        let entry_word = fabric
+            .mr(self.endpoint_mr)
+            .and_then(|mr| mr.read_u64(client * ENTRY + 16))
+            .unwrap_or(u64::MAX);
+        let wnd: Vec<u64> = st.fsm.window().iter_in_flight().map(|(_, f)| f.seq).collect();
+        format!(
+            "client {client}: fsm={:?} inflight={:?} entry_valid={} entry_word={} \
+             publish_inflight={} needs_ctx={} inflight_responses={} last_fetch_epoch={} \
+             group={:?} cur={} epoch={} staged=[{}]",
+            st.fsm.state(),
+            wnd,
+            st.entry_valid,
+            entry_word,
+            st.publish_inflight,
+            st.needs_ctx,
+            st.inflight_responses,
+            st.last_fetch_epoch,
+            self.plan.group_of(client),
+            self.cur,
+            self.slice_epoch,
+            slots.join(",")
+        )
+    }
+
     // ---- geometry helpers -------------------------------------------------
 
     /// Offset of a client's staging block `slot` in its local region.
@@ -368,10 +413,48 @@ impl<H: ServerHandler> ScaleRpc<H> {
 
     // ---- client side -------------------------------------------------------
 
+    /// Picks the staging block for `seq`. The natural slot is
+    /// `seq % slots`, but a windowed client's outstanding sequences need
+    /// not be consecutive: one request can stall while its window
+    /// siblings complete and are replaced, until a fresh sequence maps to
+    /// the stalled request's slot and would overwrite its staged bytes
+    /// before any warmup fetch reads them — stranding it forever. Probe
+    /// forward to the first slot not holding a *different, still
+    /// in-flight* request (stale already-answered copies are fair game).
+    /// `window <= slots`, so a free slot always exists.
+    fn staging_slot_for(&self, client: ClientId, seq: u64, fabric: &Fabric) -> usize {
+        let base = self.geom.slot_of_seq(seq);
+        let st = &self.clients[client];
+        if st.fsm.window().capacity() <= 1 {
+            return base; // synchronous client: at most one staged request
+        }
+        for probe in 0..self.cfg.slots {
+            let s = (base + probe) % self.cfg.slots;
+            let staged_seq = fabric
+                .mr(st.local_mr)
+                .ok()
+                .and_then(|mr| mr.read(self.staging_off(s), self.cfg.block_size).ok())
+                .and_then(|raw| MsgBuf::decode(raw).and_then(RpcHeader::decode))
+                .map(|(h, _)| h.seq);
+            let occupied = staged_seq.is_some_and(|ss| {
+                ss != seq
+                    && st
+                        .fsm
+                        .window()
+                        .iter_in_flight()
+                        .any(|(_, f)| f.seq == ss)
+            });
+            if !occupied {
+                return s;
+            }
+        }
+        base
+    }
+
     fn stage_request(&mut self, client: ClientId, seq: u64, payload: &[u8], cx: &mut Cx<'_, ScaleEv>) {
         // Compose the message into the local staging block: an ordinary
         // CPU store, no verbs.
-        let slot = self.geom.slot_of_seq(seq);
+        let slot = self.staging_slot_for(client, seq, cx.fabric);
         let buf = Self::frame(client, seq, 0, payload);
         let (enc_off, bytes) =
             MsgBuf::encode(&buf, self.cfg.block_size).expect("request fits block");
@@ -837,27 +920,28 @@ impl<H: ServerHandler> ScaleRpc<H> {
             self.tracer.end(tid, Stage::Response, cx.now);
         }
         // Clear the staging copy of this request so a later warmup read
-        // cannot re-fetch it — but only if the staging slot still holds
-        // *this* request. With several requests outstanding, a newer
-        // request can legitimately occupy the same slot (`seq % slots`)
-        // by the time an older response arrives; clearing blindly would
-        // drop it before it is ever fetched.
-        let stage_block = self.staging_off(self.geom.slot_of_seq(header.seq));
-        let staged_seq = {
-            let mr = cx.fabric.mr(local_mr).expect("local mr");
-            let raw = mr
-                .read(stage_block, self.cfg.block_size)
-                .expect("staging bounds");
-            MsgBuf::decode(raw)
-                .and_then(RpcHeader::decode)
-                .map(|(h, _)| h.seq)
-        };
-        if staged_seq == Some(header.seq) {
-            cx.fabric
-                .mr_mut(local_mr)
-                .expect("local mr")
-                .write(MsgBuf::valid_offset(self.cfg.block_size) + stage_block, &[0])
-                .expect("staging clear");
+        // cannot re-fetch it. The copy normally sits at `seq % slots`,
+        // but collision probing (see `staging_slot_for`) may have placed
+        // it in a neighbouring slot, so scan for the block holding this
+        // sequence; slots staging *other* requests are left untouched.
+        for s in 0..self.cfg.slots {
+            let stage_block = self.staging_off(s);
+            let staged_seq = {
+                let mr = cx.fabric.mr(local_mr).expect("local mr");
+                let raw = mr
+                    .read(stage_block, self.cfg.block_size)
+                    .expect("staging bounds");
+                MsgBuf::decode(raw)
+                    .and_then(RpcHeader::decode)
+                    .map(|(h, _)| h.seq)
+            };
+            if staged_seq == Some(header.seq) {
+                cx.fabric
+                    .mr_mut(local_mr)
+                    .expect("local mr")
+                    .write(MsgBuf::valid_offset(self.cfg.block_size) + stage_block, &[0])
+                    .expect("staging clear");
+            }
         }
         out.push(Response {
             client,

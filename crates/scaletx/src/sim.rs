@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 const TRANSPORT_SLOTS: usize = 8;
 
 /// Deployment and workload configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TxConfig {
     /// Number of coordinators (the paper evaluates 80 and 160).
     pub coordinators: usize,

@@ -70,7 +70,7 @@ impl TxSpec {
 }
 
 /// Workload generators.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum TxWorkload {
     /// Random-key object store with `(reads, writes)` per transaction,
     /// as in the FaSST-style OLTP benchmark of Fig. 16(a).

@@ -150,6 +150,7 @@ pub const SIM_CRATES: &[&str] = &[
     "mica-kv",
     "octofs",
     "simtrace",
+    "simscenario",
 ];
 
 /// Event-dispatch and per-packet files: R3 applies here. These run once
@@ -187,6 +188,7 @@ pub const MODEL_CRATES: &[&str] = &[
     "mica-kv",
     "octofs",
     "simtrace",
+    "simscenario",
 ];
 
 /// Identifiers R6 bans in model-crate sources: the queue type itself and

@@ -1,0 +1,598 @@
+//! Lowers a validated [`Scenario`] onto the simulator's config types.
+//!
+//! Compilation is pure: it produces configuration values (plus an
+//! injection [`ScenarioSpec`]) and never touches a fabric, so the same
+//! compiled scenario can be executed, compared against hand-built
+//! configs in tests, or serialized back out. All semantic errors —
+//! invalid harness combinations, oversized requests, bad arrival rates
+//! — surface here as typed [`ScenarioError`]s rather than panics deep
+//! inside a run.
+
+use crate::scenario::{
+    RawVerb, RpcTransport, Scenario, ScenarioError, SizeModel, StartModel, ThinkModel,
+    TxProfileKind, Workload,
+};
+use bytes::Bytes;
+use rpc_core::cluster::ClusterSpec;
+use rpc_core::harness::{HarnessConfig, RequestGen};
+use rpc_core::inject::{ClientStart, Injection, ScenarioSpec};
+use rpc_core::workload::ThinkTime;
+use scalerpc::ScaleRpcConfig;
+use scalerpc_bench::rawverbs::{RawVerbConfig, RawVerbKind};
+use scaletx::sim::{tx_scale_cfg, TxConfig};
+use scaletx::workload::TxWorkload as TxWorkloadCfg;
+use simcore::{DetRng, SimDuration, SimTime};
+use std::sync::Arc;
+
+fn err(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError {
+        span: None,
+        msg: msg.into(),
+    }
+}
+
+/// A compiled raw-verb scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledRaw {
+    /// The microbenchmark configuration.
+    pub cfg: RawVerbConfig,
+}
+
+/// A compiled closed-loop RPC scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledRpc {
+    /// Cluster shape.
+    pub cluster: ClusterSpec,
+    /// Harness configuration (validated).
+    pub harness: HarnessConfig,
+    /// Which transport serves the run.
+    pub transport: RpcTransport,
+    /// ScaleRPC configuration when `transport` is
+    /// [`RpcTransport::ScaleRpc`] (with `client_window` already adjusted
+    /// the way the benchmark runner does).
+    pub scale: Option<ScaleRpcConfig>,
+    /// Client activation plan plus chaos timeline.
+    pub spec: ScenarioSpec,
+    /// Per-client tenant tags, in client-id order.
+    pub tenants: Vec<u32>,
+    /// Per-client request-size models, in client-id order.
+    pub sizes: Vec<SizeModel>,
+}
+
+/// A compiled transaction scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledTx {
+    /// Deployment + workload configuration.
+    pub tx: TxConfig,
+    /// The ScaleRPC operating point the deployment runs over.
+    pub scale: ScaleRpcConfig,
+}
+
+/// A fully lowered scenario, ready to execute.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Compiled {
+    /// Raw verbs.
+    Raw(CompiledRaw),
+    /// Closed-loop RPC.
+    Rpc(Box<CompiledRpc>),
+    /// Transactions.
+    Tx(CompiledTx),
+}
+
+/// Lowers `sc` onto the simulator's configuration types.
+pub fn compile(sc: &Scenario) -> Result<Compiled, ScenarioError> {
+    let warmup = SimDuration::micros(sc.warmup_us);
+    let run = SimDuration::micros(sc.run_us);
+    match &sc.workload {
+        Workload::Raw(w) => {
+            if w.window == 0 {
+                return Err(err("raw workload window must be positive"));
+            }
+            if w.server_threads == 0 {
+                return Err(err("raw workload needs at least one server thread"));
+            }
+            let p = &sc.populations[0];
+            let msg_size = match p.size {
+                SizeModel::Fixed(s) => s,
+                SizeModel::Zipf { .. } => unreachable!("rejected by check_semantics"),
+            };
+            let _ = w.msg_size; // population size wins; [workload] msg_size is the default
+            Ok(Compiled::Raw(CompiledRaw {
+                cfg: RawVerbConfig {
+                    kind: match w.verb {
+                        RawVerb::OutboundWrite => RawVerbKind::OutboundWrite,
+                        RawVerb::InboundWrite => RawVerbKind::InboundWrite,
+                        RawVerb::UdSend => RawVerbKind::UdSend,
+                    },
+                    clients: p.clients,
+                    msg_size,
+                    block_size: w.block_size,
+                    blocks_per_client: w.blocks_per_client,
+                    server_threads: w.server_threads,
+                    window: w.window,
+                    warmup,
+                    run,
+                    nthreads: w.nthreads.max(1),
+                },
+            }))
+        }
+        Workload::Rpc(w) => {
+            let n = sc.total_clients();
+            let cluster = ClusterSpec {
+                server_threads: w.server_threads,
+                client_machines: w.machines,
+                threads_per_machine: w.threads_per_machine,
+                cores_per_machine: 8,
+                clients: n,
+            };
+            if w.machines == 0 || w.threads_per_machine == 0 || w.server_threads == 0 {
+                return Err(err("rpc workload needs machines, threads and server threads"));
+            }
+
+            // Think times: the harness accepts one entry or one per
+            // client; emit per-client entries only when some population
+            // actually thinks.
+            let think = if sc.populations.iter().all(|p| p.think == ThinkModel::None) {
+                vec![ThinkTime::None]
+            } else {
+                let mut v = Vec::with_capacity(n);
+                for p in &sc.populations {
+                    let t = match p.think {
+                        ThinkModel::None => ThinkTime::None,
+                        ThinkModel::FixedUs(us) => ThinkTime::Fixed(SimDuration::micros(us)),
+                        ThinkModel::UniformUs(lo, hi) => ThinkTime::Uniform {
+                            lo: SimDuration::micros(lo),
+                            hi: SimDuration::micros(hi),
+                        },
+                    };
+                    v.extend(std::iter::repeat_n(t, p.clients));
+                }
+                v
+            };
+
+            // A uniform fixed size compiles to the classic fixed-size
+            // request stream; anything else rides the scenario generator.
+            let uniform_size = match sc.populations[0].size {
+                SizeModel::Fixed(s)
+                    if sc
+                        .populations
+                        .iter()
+                        .all(|p| p.size == SizeModel::Fixed(s)) =>
+                {
+                    Some(s)
+                }
+                _ => None,
+            };
+
+            let harness = HarnessConfig {
+                batch_size: w.batch,
+                request_size: uniform_size.unwrap_or(32),
+                warmup,
+                run,
+                think,
+                seed: sc.seed,
+                window: w.window,
+                nthreads: w.nthreads,
+            };
+            harness
+                .validate(n, false)
+                .map_err(|e| err(format!("invalid harness config: {e}")))?;
+
+            // Request sizes must fit the transports' message blocks with
+            // headroom for headers (the paper's messages are tiny; the
+            // simulator's blocks are 4 KB).
+            let block = if w.transport == RpcTransport::ScaleRpc {
+                w.block_size
+            } else {
+                4096
+            };
+            for p in &sc.populations {
+                let max = match p.size {
+                    SizeModel::Fixed(s) => s,
+                    SizeModel::Zipf { max, .. } => max,
+                };
+                if max == 0 || max * 2 > block {
+                    return Err(err(format!(
+                        "population `{}`: request sizes must be in 1..={} (half a {} B block)",
+                        p.name,
+                        block / 2,
+                        block
+                    )));
+                }
+            }
+
+            let tenants: Vec<u32> = sc
+                .populations
+                .iter()
+                .flat_map(|p| std::iter::repeat_n(p.tenant, p.clients))
+                .collect();
+            let sizes: Vec<SizeModel> = sc
+                .populations
+                .iter()
+                .flat_map(|p| std::iter::repeat_n(p.size, p.clients))
+                .collect();
+
+            let scale = if w.transport == RpcTransport::ScaleRpc {
+                let mut cfg = ScaleRpcConfig {
+                    group_size: w.group_size,
+                    time_slice: SimDuration::micros(w.time_slice_us),
+                    slots: w.slots,
+                    block_size: w.block_size,
+                    dynamic_scheduling: w.dynamic,
+                    regroup_rotations: w.regroup_rotations,
+                    ..Default::default()
+                };
+                // Same adjustment the benchmark runner applies: deep
+                // client windows need matching message-slot windows.
+                cfg.client_window = cfg.client_window.max(w.window.min(cfg.slots));
+                if w.tenant_isolate {
+                    cfg.tenant_of = tenants.clone();
+                    cfg.tenant_isolate = true;
+                }
+                Some(cfg)
+            } else {
+                if w.tenant_isolate {
+                    return Err(err(
+                        "tenant_isolate requires the scalerpc transport (group scheduling)",
+                    ));
+                }
+                None
+            };
+
+            let spec = compile_spec(sc, n)?;
+            spec.validate(n)
+                .map_err(|e| err(format!("invalid scenario spec: {e}")))?;
+
+            Ok(Compiled::Rpc(Box::new(CompiledRpc {
+                cluster,
+                harness,
+                transport: w.transport,
+                scale,
+                spec,
+                tenants,
+                sizes,
+            })))
+        }
+        Workload::Tx(w) => {
+            if w.coordinators == 0 || w.servers == 0 || w.client_machines == 0 {
+                return Err(err("tx workload needs coordinators, servers and machines"));
+            }
+            if !(w.window >= 1 && 8 % w.window == 0) {
+                return Err(err(format!(
+                    "tx window {} must divide the transports' 8 message slots (1/2/4/8)",
+                    w.window
+                )));
+            }
+            if w.keys_per_server == 0 {
+                return Err(err("tx workload needs keys_per_server > 0"));
+            }
+            let workload = match w.profile {
+                TxProfileKind::ObjectStore => {
+                    if w.reads + w.writes == 0 {
+                        return Err(err("object_store needs reads + writes > 0"));
+                    }
+                    TxWorkloadCfg::ObjectStore {
+                        reads: w.reads,
+                        writes: w.writes,
+                        keys_per_server: w.keys_per_server,
+                        servers: w.servers as u64,
+                    }
+                }
+                TxProfileKind::SmallBank => {
+                    let hot_ok = w.hot_fraction > 0.0
+                        && w.hot_fraction <= 1.0
+                        && (0.0..=1.0).contains(&w.hot_prob);
+                    if !hot_ok {
+                        return Err(err(
+                            "small_bank needs hot_fraction in (0, 1] and hot_prob in [0, 1]",
+                        ));
+                    }
+                    TxWorkloadCfg::SmallBank {
+                        accounts_per_server: w.keys_per_server,
+                        servers: w.servers as u64,
+                        hot_fraction: w.hot_fraction,
+                        hot_prob: w.hot_prob,
+                    }
+                }
+            };
+            Ok(Compiled::Tx(CompiledTx {
+                tx: TxConfig {
+                    coordinators: w.coordinators,
+                    servers: w.servers,
+                    client_machines: w.client_machines,
+                    workload,
+                    one_sided: w.one_sided,
+                    value_size: w.value_size.max(8),
+                    keys_per_server: w.keys_per_server,
+                    initial_balance: 1_000,
+                    warmup,
+                    run,
+                    coord_cpu_mult: 8,
+                    window: w.window,
+                    seed: sc.seed,
+                },
+                scale: tx_scale_cfg(),
+            }))
+        }
+    }
+}
+
+/// Builds the injection spec: per-client starts (Poisson processes
+/// expanded to explicit arrival times) plus the lowered chaos timeline.
+fn compile_spec(sc: &Scenario, clients: usize) -> Result<ScenarioSpec, ScenarioError> {
+    let mut starts = Vec::with_capacity(clients);
+    for (pi, p) in sc.populations.iter().enumerate() {
+        match p.start {
+            StartModel::Immediate => {
+                starts.extend(std::iter::repeat_n(ClientStart::Immediate, p.clients));
+            }
+            StartModel::At { at_us } => {
+                let t = SimTime(at_us.saturating_mul(1_000));
+                starts.extend(std::iter::repeat_n(ClientStart::At(t), p.clients));
+            }
+            StartModel::Poisson { rate_per_ms, from_us } => {
+                if rate_per_ms <= 0.0 || !rate_per_ms.is_finite() {
+                    return Err(err(format!(
+                        "population `{}`: poisson rate_per_ms must be positive and finite",
+                        p.name
+                    )));
+                }
+                // Exponential inter-arrival gaps on a per-population RNG
+                // stream: mean gap = 1 ms / rate.
+                let mut rng = DetRng::new(sc.seed).split(0x9015).split(pi as u64);
+                let mean_ns = 1.0e6 / rate_per_ms;
+                let mut t = from_us.saturating_mul(1_000);
+                for _ in 0..p.clients {
+                    let u = rng.unit_f64();
+                    let gap = (-(1.0 - u).ln() * mean_ns) as u64;
+                    t = t.saturating_add(gap);
+                    starts.push(ClientStart::At(SimTime(t)));
+                }
+            }
+        }
+    }
+
+    // Population name → inclusive client-id range, in declaration order.
+    let range_of = |name: &str| -> (usize, usize) {
+        let mut base = 0;
+        for p in &sc.populations {
+            if p.name == name {
+                return (base, base + p.clients - 1);
+            }
+            base += p.clients;
+        }
+        unreachable!("event targets were validated against population names");
+    };
+
+    let mut timeline = Vec::with_capacity(sc.events.len());
+    for e in &sc.events {
+        let at = SimTime(e.at_us.saturating_mul(1_000));
+        let inj = match &e.kind {
+            crate::scenario::EventKind::LinkDegrade { num, den, extra_ns } => {
+                Injection::LinkDegrade {
+                    num: *num,
+                    den: *den,
+                    extra: SimDuration::nanos(*extra_ns),
+                }
+            }
+            crate::scenario::EventKind::LinkRestore => Injection::LinkRestore,
+            crate::scenario::EventKind::ServerPause { dur_us } => Injection::ServerStall {
+                dur: SimDuration::micros(*dur_us),
+            },
+            crate::scenario::EventKind::Depart { population } => {
+                let (first, last) = range_of(population);
+                Injection::Depart { first, last }
+            }
+            crate::scenario::EventKind::Straggle { population, num, den } => {
+                let (first, last) = range_of(population);
+                Injection::Straggle {
+                    first,
+                    last,
+                    num: *num,
+                    den: *den,
+                }
+            }
+        };
+        timeline.push((at, inj));
+    }
+    Ok(ScenarioSpec { starts, timeline })
+}
+
+// ---- request-size generator --------------------------------------------
+
+/// Per-client sampling plan inside [`ScenarioGen`].
+enum SizePlan {
+    Fixed(Bytes),
+    Zipf {
+        /// Cumulative zipf weights for sizes `min..=max` (shared across
+        /// the population's clients).
+        cum: Arc<Vec<f64>>,
+        min: usize,
+        rng: DetRng,
+    },
+}
+
+/// Request generator driven by the scenario's per-client size models:
+/// fixed sizes hand out a shared template, zipfian sizes sample a
+/// per-client deterministic RNG stream against the population's
+/// cumulative weight table.
+pub struct ScenarioGen {
+    plans: Vec<SizePlan>,
+}
+
+impl ScenarioGen {
+    /// Builds the generator for per-client size models (client-id
+    /// order), deriving per-client RNG streams from `seed`.
+    pub fn new(sizes: &[SizeModel], seed: u64) -> ScenarioGen {
+        let root = DetRng::new(seed).split(0x512e);
+        let mut tables: Vec<(SizeModel, Arc<Vec<f64>>)> = Vec::new();
+        let plans = sizes
+            .iter()
+            .enumerate()
+            .map(|(c, &m)| match m {
+                SizeModel::Fixed(s) => SizePlan::Fixed(Bytes::from(vec![0u8; s])),
+                SizeModel::Zipf { min, max, theta } => {
+                    let cum = match tables.iter().find(|(k, _)| *k == m) {
+                        Some((_, t)) => t.clone(),
+                        None => {
+                            let mut acc = 0.0;
+                            let t: Vec<f64> = (min..=max)
+                                .map(|s| {
+                                    acc += 1.0 / ((s - min + 1) as f64).powf(theta);
+                                    acc
+                                })
+                                .collect();
+                            let t = Arc::new(t);
+                            tables.push((m, t.clone()));
+                            t
+                        }
+                    };
+                    SizePlan::Zipf {
+                        cum,
+                        min,
+                        rng: root.split(c as u64),
+                    }
+                }
+            })
+            .collect();
+        ScenarioGen { plans }
+    }
+}
+
+impl RequestGen for ScenarioGen {
+    fn gen(&mut self, client: usize, _seq: u64) -> Bytes {
+        match &mut self.plans[client] {
+            SizePlan::Fixed(b) => b.clone(),
+            SizePlan::Zipf { cum, min, rng } => {
+                let total = *cum.last().expect("non-empty zipf table");
+                let u = rng.unit_f64() * total;
+                let idx = cum.partition_point(|&c| c < u).min(cum.len() - 1);
+                Bytes::from(vec![0u8; *min + idx])
+            }
+        }
+    }
+}
+
+impl CompiledRpc {
+    /// Builds the request generator for this run: the classic fixed-size
+    /// stream when every client sends `harness.request_size` bytes,
+    /// otherwise a [`ScenarioGen`] over the per-client models.
+    pub fn make_gen(&self) -> Box<dyn RequestGen> {
+        let uniform = self
+            .sizes
+            .iter()
+            .all(|m| *m == SizeModel::Fixed(self.harness.request_size));
+        if uniform {
+            Box::new(rpc_core::harness::FixedSizeGen::new(self.harness.request_size))
+        } else {
+            Box::new(ScenarioGen::new(&self.sizes, self.harness.seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_rpc() -> String {
+        "[scenario]\nname = \"t\"\nrun_us = 500\n\n[workload]\nkind = \"rpc\"\ntransport = \"scalerpc\"\n\n[[population]]\nname = \"a\"\nclients = 8\n"
+            .to_string()
+    }
+
+    #[test]
+    fn compiles_simple_rpc_scenario() {
+        let sc = Scenario::parse(&base_rpc()).unwrap();
+        let Compiled::Rpc(c) = compile(&sc).unwrap() else {
+            panic!("expected rpc");
+        };
+        assert_eq!(c.cluster.clients, 8);
+        assert_eq!(c.harness.window, 1);
+        assert!(c.scale.is_some());
+        assert!(c.spec.is_empty());
+        assert_eq!(c.tenants, vec![0; 8]);
+    }
+
+    #[test]
+    fn rejects_invalid_harness_combo_via_typed_error() {
+        let txt = base_rpc().replace(
+            "kind = \"rpc\"\n",
+            "kind = \"rpc\"\nbatch = 4\nwindow = 2\n",
+        );
+        let sc = Scenario::parse(&txt).unwrap();
+        let e = compile(&sc).unwrap_err();
+        assert!(e.msg.contains("supersedes"), "{e}");
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_ordered() {
+        let txt = base_rpc().replace(
+            "clients = 8\n",
+            "clients = 8\narrival = \"poisson\"\nrate_per_ms = 100.0\n",
+        );
+        let sc = Scenario::parse(&txt).unwrap();
+        let Compiled::Rpc(a) = compile(&sc).unwrap() else {
+            panic!()
+        };
+        let Compiled::Rpc(b) = compile(&sc).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.spec, b.spec);
+        let ts: Vec<u64> = a
+            .spec
+            .starts
+            .iter()
+            .map(|s| match s {
+                ClientStart::At(t) => t.0,
+                ClientStart::Immediate => panic!("poisson must compile to At"),
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "unsorted: {ts:?}");
+        assert!(ts[7] > 0);
+    }
+
+    #[test]
+    fn zipf_generator_respects_bounds_and_determinism() {
+        let sizes = vec![
+            SizeModel::Zipf {
+                min: 32,
+                max: 256,
+                theta: 0.99,
+            };
+            4
+        ];
+        let mut g1 = ScenarioGen::new(&sizes, 7);
+        let mut g2 = ScenarioGen::new(&sizes, 7);
+        for c in 0..4 {
+            for seq in 0..200 {
+                let a = g1.gen(c, seq);
+                let b = g2.gen(c, seq);
+                assert_eq!(a.len(), b.len());
+                assert!((32..=256).contains(&a.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn depart_event_maps_population_to_client_range() {
+        let txt = "[scenario]\nname = \"t\"\nrun_us = 500\n\n[workload]\nkind = \"rpc\"\ntransport = \"scalerpc\"\n\n[[population]]\nname = \"a\"\nclients = 8\n\n[[population]]\nname = \"b\"\nclients = 4\n\n[[event]]\nat_us = 100\nkind = \"depart\"\npopulation = \"b\"\n";
+        let sc = Scenario::parse(txt).unwrap();
+        let Compiled::Rpc(c) = compile(&sc).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            c.spec.timeline,
+            vec![(
+                SimTime(100_000),
+                Injection::Depart { first: 8, last: 11 }
+            )]
+        );
+    }
+
+    #[test]
+    fn tx_window_must_divide_slots() {
+        let txt = "[scenario]\nname = \"t\"\nrun_us = 500\n\n[workload]\nkind = \"tx\"\nprofile = \"object_store\"\nwindow = 3\n";
+        let sc = Scenario::parse(txt).unwrap();
+        let e = compile(&sc).unwrap_err();
+        assert!(e.msg.contains("divide"), "{e}");
+    }
+}

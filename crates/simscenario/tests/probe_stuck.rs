@@ -1,0 +1,53 @@
+//! Liveness regression for the windowed ScaleRpc path: a group_size-20
+//! deployment of 80 four-deep clients must drain completely. This is the
+//! smallest configuration found (by the scenario fuzzer's conservation
+//! invariant) to strand a request in the seed's windowed client path.
+
+use rdma_fabric::{Fabric, FabricParams};
+use rpc_core::cluster::Cluster;
+use rpc_core::harness::Harness;
+use rpc_core::sharded::ShardedSim;
+use rpc_core::transport::EchoHandler;
+use scalerpc::ScaleRpc;
+use simcore::SimDuration;
+use simscenario::{compile, Compiled, Scenario};
+
+#[test]
+fn windowed_group20_run_drains_clean() {
+    let sc = Scenario::parse(
+        "[scenario]\nname = \"probe\"\nseed = 42\nwarmup_us = 1000\nrun_us = 5000\n\n\
+         [workload]\nkind = \"rpc\"\ntransport = \"scalerpc\"\ngroup_size = 20\nwindow = 4\n\n\
+         [[population]]\nname = \"all\"\nclients = 80\n",
+    )
+    .unwrap();
+    let Compiled::Rpc(c) = compile(&sc).unwrap() else {
+        panic!("rpc scenario expected")
+    };
+    let mut fabric = Fabric::new(FabricParams::default());
+    let cluster = Cluster::build(&mut fabric, c.cluster.clone());
+    let t = ScaleRpc::new(
+        &mut fabric,
+        &cluster,
+        c.scale.clone().unwrap(),
+        EchoHandler::default(),
+    );
+    let mut h = Harness::try_with_generator(t, cluster, c.harness.clone(), c.make_gen()).unwrap();
+    h.set_scenario(c.spec.clone()).unwrap();
+    let stop = h.stop_at();
+    let mut sim = ShardedSim::new_sequential(fabric, h);
+    sim.run_sequential(stop + SimDuration::millis(3));
+    let h = sim.logic(0);
+    let stuck = h.stuck_clients();
+    for &cid in &stuck {
+        eprintln!("{}", h.transport.client_diag(sim.fabric(0), cid));
+    }
+    assert_eq!(
+        h.in_flight(),
+        0,
+        "stranded requests: issued={} completed={} stuck={:?}",
+        h.issued(),
+        h.completed(),
+        stuck
+    );
+    assert!(stuck.is_empty());
+}

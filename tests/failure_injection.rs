@@ -12,6 +12,7 @@ use scalerpc_repro::rpc_core::transport::ServerHandler;
 use scalerpc_repro::rpc_core::workload::ThinkTime;
 use scalerpc_repro::scalerpc::{ScaleRpc, ScaleRpcConfig};
 use scalerpc_repro::simcore::{SimDuration, SimTime};
+use simscenario::{compile, Compiled, Scenario};
 
 /// A handler whose every call is long-running: forces §3.5 legacy mode.
 struct SlowHandler;
@@ -33,29 +34,30 @@ impl ServerHandler for SlowHandler {
 
 #[test]
 fn long_running_rpcs_move_to_legacy_mode() {
-    let mut fabric = Fabric::new(FabricParams::default());
-    let cluster = Cluster::build(
-        &mut fabric,
+    // The deployment is described declaratively; the compiled configs
+    // must match the hand-built originals this test used before the
+    // scenario layer existed.
+    let toml = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/legacy_slow.toml"
+    ))
+    .expect("scenario file");
+    let sc = Scenario::parse(&toml).expect("scenario parses");
+    let Compiled::Rpc(c) = compile(&sc).expect("scenario compiles") else {
+        panic!("legacy_slow.toml must compile to an rpc run");
+    };
+    assert_eq!(
+        c.cluster,
         ClusterSpec {
             server_threads: 4,
             client_machines: 2,
             threads_per_machine: 4,
             cores_per_machine: 8,
             clients: 8,
-        },
+        }
     );
-    let t = ScaleRpc::new(
-        &mut fabric,
-        &cluster,
-        ScaleRpcConfig {
-            group_size: 4,
-            ..Default::default()
-        },
-        SlowHandler,
-    );
-    let h = Harness::new(
-        t,
-        cluster,
+    assert_eq!(
+        c.harness,
         HarnessConfig {
             batch_size: 1,
             request_size: 32,
@@ -65,8 +67,26 @@ fn long_running_rpcs_move_to_legacy_mode() {
             seed: 3,
             window: 1,
             nthreads: 1,
-        },
+        }
     );
+    assert_eq!(
+        c.scale,
+        Some(ScaleRpcConfig {
+            group_size: 4,
+            ..Default::default()
+        })
+    );
+    assert!(c.spec.is_empty(), "no chaos events in this scenario");
+
+    let mut fabric = Fabric::new(FabricParams::default());
+    let cluster = Cluster::build(&mut fabric, c.cluster.clone());
+    let t = ScaleRpc::new(
+        &mut fabric,
+        &cluster,
+        c.scale.clone().expect("scalerpc config"),
+        SlowHandler,
+    );
+    let h = Harness::new(t, cluster, c.harness.clone());
     let stop = h.stop_at();
     let mut sim = Sim::new(fabric, h);
     sim.run_until(stop + SimDuration::millis(4));
