@@ -61,11 +61,28 @@ echo "== scenario smoke (trace off) =="
 ./target/release/scenario run scenarios/baseline.toml
 ./target/release/scenario fuzz --seeds 8
 
+echo "== scenario churn gate (trace off) =="
+# churn.toml drives the elastic control plane end-to-end — lazy setup,
+# connection churn, a mid-run server crash with failover retries and a
+# late reconnect wave — and pins the recovered fingerprint via its
+# [expect] table. The seed window 64..88 of the fuzzer is lifecycle-rich
+# (five of the generated scenarios draw server_crash / client_reconnect
+# / conn_churn events), so this batch keeps the crash-recovery paths
+# under the four liveness invariants, not just the steady-state ones.
+./target/release/scenario run scenarios/churn.toml
+./target/release/scenario fuzz --seeds 24 --start 64
+
 echo "== scenario smoke (trace on) =="
 cargo run -q --release -p simscenario --features trace --bin scenario -- \
     run scenarios/baseline.toml
 cargo run -q --release -p simscenario --features trace --bin scenario -- \
     fuzz --seeds 8
+
+echo "== scenario churn gate (trace on) =="
+cargo run -q --release -p simscenario --features trace --bin scenario -- \
+    run scenarios/churn.toml
+cargo run -q --release -p simscenario --features trace --bin scenario -- \
+    fuzz --seeds 24 --start 64
 
 echo "== simperf smoke (no-trace build) =="
 ./target/release/simperf --quick --label ci-smoke --out target/BENCH_simperf_ci.json

@@ -32,7 +32,9 @@ fn bench_event_queue(c: &mut Criterion) {
         // produce. Exercises the indexed heap's O(log n) remove_at.
         b.iter(|| {
             let mut q = EventQueue::new();
-            let ids: Vec<_> = (0..1000u64).map(|i| q.push(SimTime(i * 7 % 997), i)).collect();
+            let ids: Vec<_> = (0..1000u64)
+                .map(|i| q.push(SimTime(i * 7 % 997), i))
+                .collect();
             for id in ids.iter().skip(1).step_by(2) {
                 q.cancel(*id);
             }

@@ -18,8 +18,8 @@
 
 use rdma_fabric::{Fabric, FabricParams};
 use rpc_core::cluster::{Cluster, ClusterSpec};
-use rpc_core::sharded::ShardedSim;
 use rpc_core::harness::{Harness, HarnessConfig};
+use rpc_core::sharded::ShardedSim;
 use rpc_core::transport::EchoHandler;
 use rpc_core::workload::ThinkTime;
 use scalerpc::{ScaleRpc, ScaleRpcConfig};
@@ -99,6 +99,7 @@ fn main() {
             seed: 1,
             window: 1,
             nthreads: 1,
+            retry: None,
         },
     );
     harness.sample_counters(

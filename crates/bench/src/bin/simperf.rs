@@ -21,9 +21,7 @@
 
 #![forbid(unsafe_code)]
 
-use scalerpc_bench::simperf::{
-    check_against, merge_report, run_all, run_to_json, CHECK_TOLERANCE,
-};
+use scalerpc_bench::simperf::{check_against, merge_report, run_all, run_to_json, CHECK_TOLERANCE};
 
 fn main() {
     let mut label = "run".to_string();

@@ -111,6 +111,14 @@ pub fn fig01b() {
             let r = run_raw_verbs(RawVerbConfig {
                 kind: k,
                 clients: c,
+                // The client-count sweeps move 32-byte messages, so the
+                // pool uses message-sized (line-granular) blocks — the
+                // consuming CPU reads exactly what the NIC delivered.
+                // The 4 KB default belongs to the Fig. 3(b) block-size
+                // sweep; reading a 4 KB block per 32 B message inflated
+                // the consumer's working set 64× and sagged the inbound
+                // curve past 200 clients (EXPERIMENTS.md, Fig. 1(b)).
+                block_size: 64,
                 ..Default::default()
             });
             (c, k, r.mops)
@@ -159,6 +167,10 @@ pub fn fig03a() {
             let r = run_raw_verbs(RawVerbConfig {
                 kind: k,
                 clients: c,
+                // Message-sized pool blocks, as in fig01b: this is the
+                // same 32-byte-message client sweep, not the Fig. 3(b)
+                // block-size sweep.
+                block_size: 64,
                 ..Default::default()
             });
             (c, k, r)
@@ -340,7 +352,9 @@ pub fn fig08_machines() {
             (m, name, r.mops)
         });
         let mut t = Table::new(
-            &format!("Fig 8 (right, async window {window}): 40 client threads over N machines, Mops/s"),
+            &format!(
+                "Fig 8 (right, async window {window}): 40 client threads over N machines, Mops/s"
+            ),
             &["machines", "ScaleRPC", "RawWrite", "HERD", "FaSST"],
         );
         for m in 1..=5usize {
@@ -380,9 +394,7 @@ pub fn fig09() {
         });
         let mut t = Table::new(
             &format!("Fig 9 (batch {batch}, 120 clients): latency and throughput"),
-            &[
-                "RPC", "median us", "avg us", "p99 us", "max us", "Mops/s",
-            ],
+            &["RPC", "median us", "avg us", "p99 us", "max us", "Mops/s"],
         );
         for (name, r) in &results {
             t.row(vec![
@@ -896,8 +908,16 @@ pub fn fig_ud_bw() {
         "Sec 5.1: single-thread ordered 4 MB transfer bandwidth",
         &["scheme", "GB/s", "fraction of RC"],
     );
-    t.row(vec!["UD 4KB chunked".into(), format!("{ud:.2}"), format!("{:.1}%", ud / rc * 100.0)]);
-    t.row(vec!["RC single write".into(), format!("{rc:.2}"), "100%".into()]);
+    t.row(vec![
+        "UD 4KB chunked".into(),
+        format!("{ud:.2}"),
+        format!("{:.1}%", ud / rc * 100.0),
+    ]);
+    t.row(vec![
+        "RC single write".into(),
+        format!("{rc:.2}"),
+        "100%".into(),
+    ]);
     t.print();
     t.save_csv("fig_ud_bw");
 }

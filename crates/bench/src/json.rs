@@ -232,7 +232,8 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         }
         Some(_) => {
             let start = *pos;
-            while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
             {
                 *pos += 1;
             }

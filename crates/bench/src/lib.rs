@@ -15,10 +15,10 @@
 #![forbid(unsafe_code)]
 
 pub mod figures;
-pub mod pods;
 pub mod json;
+pub mod pods;
 pub mod rawverbs;
-pub mod simperf;
 pub mod report;
 pub mod rpcbench;
 pub mod runner;
+pub mod simperf;

@@ -206,7 +206,9 @@ pub fn run_pods(cfg: PodsConfig) -> PodsResult {
             client_nodes.push(node);
             group.push(node);
             let ccq = fabric.create_cq(node).expect("cq");
-            let sqp = fabric.create_qp(server, Transport::Rc, scq, scq).expect("qp");
+            let sqp = fabric
+                .create_qp(server, Transport::Rc, scq, scq)
+                .expect("qp");
             let cqp = fabric.create_qp(node, Transport::Rc, ccq, ccq).expect("qp");
             fabric.connect(sqp, cqp).expect("connect");
             if qp_client.len() <= cqp.index() {

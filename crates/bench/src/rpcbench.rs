@@ -153,6 +153,7 @@ pub fn run_rpc(cfg: RpcRunConfig) -> RpcRunResult {
         seed: cfg.seed,
         window: cfg.window,
         nthreads: cfg.nthreads,
+        retry: None,
     };
     macro_rules! drive {
         ($t:expr) => {{

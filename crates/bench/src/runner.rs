@@ -39,14 +39,19 @@ where
     for (i, o) in results.into_inner().expect("results poisoned") {
         slots[i] = Some(o);
     }
-    slots.into_iter().map(|s| s.expect("all jobs ran")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("all jobs ran"))
+        .collect()
 }
 
 /// Whether the full (paper-length) parameter sweeps were requested via
 /// the `SCALERPC_FULL` environment variable; the default keeps `cargo
 /// bench` runs short.
 pub fn full_sweeps() -> bool {
-    std::env::var("SCALERPC_FULL").map(|v| v != "0").unwrap_or(false)
+    std::env::var("SCALERPC_FULL")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -212,7 +212,10 @@ pub struct CheckReport {
 impl CheckReport {
     /// Human-readable one-line verdict.
     pub fn verdict(&self) -> String {
-        let drift = if self.baseline_events.is_some_and(|b| b != self.current_events) {
+        let drift = if self
+            .baseline_events
+            .is_some_and(|b| b != self.current_events)
+        {
             " [events drifted vs baseline — workload changed, wall comparison is approximate]"
         } else {
             ""

@@ -54,7 +54,7 @@ impl KvTable {
         KvTable {
             buckets: vec![Bucket::Empty; buckets],
             mask: buckets - 1,
-            slot_bytes: (item::ITEM_HEADER + value_capacity).div_ceil(8) * 8,
+            slot_bytes: Self::slot_bytes_for(value_capacity),
             value_capacity,
             next_slot: 0,
             capacity,
@@ -170,6 +170,31 @@ impl KvTable {
         item::write_lock(mem, off, 0);
         Ok(())
     }
+
+    /// Releases every held lock regardless of owner, returning how many
+    /// were freed. This is the crash-recovery sweep: a restarted server
+    /// presumes every transaction that held a lock across the crash
+    /// aborted, so its recovery manager walks the region and clears the
+    /// lock words before re-admitting traffic.
+    pub fn release_all_locks(&self, mem: &mut [u8]) -> u32 {
+        let mut freed = 0;
+        for slot in 0..self.next_slot {
+            let off = self.slot_offset(slot);
+            if item::read_lock(mem, off) != 0 {
+                item::write_lock(mem, off, 0);
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Slot stride (bytes) for items with `value_capacity`-byte values —
+    /// the same 8-byte-aligned layout [`new`](Self::new) uses, exposed so
+    /// region-level recovery sweeps can walk a table's memory without
+    /// holding the table itself.
+    pub fn slot_bytes_for(value_capacity: usize) -> usize {
+        (item::ITEM_HEADER + value_capacity).div_ceil(8) * 8
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +274,25 @@ mod tests {
     }
 
     #[test]
+    fn release_all_locks_frees_every_owner() {
+        let (mut t, mut mem) = setup(8);
+        for k in 0..5 {
+            t.insert(&mut mem, k, b"v").unwrap();
+        }
+        t.try_lock(&mut mem, 1, 10).unwrap();
+        t.try_lock(&mut mem, 3, 20).unwrap();
+        t.try_lock(&mut mem, 4, 30).unwrap();
+        assert_eq!(t.release_all_locks(&mut mem), 3);
+        for k in 0..5 {
+            let off = t.lookup(k).unwrap();
+            assert_eq!(crate::item::read_lock(&mem, off), 0, "key {k}");
+        }
+        // Values and versions untouched, and the sweep is idempotent.
+        assert_eq!(t.get(&mem, 1).unwrap().value, b"v");
+        assert_eq!(t.release_all_locks(&mut mem), 0);
+    }
+
+    #[test]
     fn commit_local_bumps_and_unlocks() {
         let (mut t, mut mem) = setup(8);
         t.insert(&mut mem, 4, b"v1").unwrap();
@@ -279,7 +323,9 @@ mod tests {
         // Deterministic pseudo-random workload.
         let mut x = 0x12345678u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x >> 33) % 400;
             let val = format!("v{}", x % 97).into_bytes();
             match t.insert(&mut mem, key, &val) {

@@ -7,8 +7,8 @@
 //! insertion, journaling — while `Stat`/`Readdir` are cheap lookups whose
 //! end-to-end rate is dominated by the RPC layer.
 
-use simcore::SimDuration;
 use simcore::DetHashMap;
+use simcore::SimDuration;
 use std::collections::BTreeSet;
 
 /// Metadata operation failures.
@@ -192,10 +192,9 @@ impl MetaStore {
     pub fn readdir(&self, dir: &str) -> (Result<Vec<String>, FsError>, SimDuration) {
         match self.listing.get(dir) {
             Some(names) => {
-                let page: Vec<String> =
-                    names.iter().take(self.readdir_page).cloned().collect();
-                let cost = self.costs.readdir_base
-                    + self.costs.readdir_per_entry * page.len() as u64;
+                let page: Vec<String> = names.iter().take(self.readdir_page).cloned().collect();
+                let cost =
+                    self.costs.readdir_base + self.costs.readdir_per_entry * page.len() as u64;
                 (Ok(page), cost)
             }
             None => (Err(FsError::NotFound), self.costs.readdir_base),
@@ -250,10 +249,7 @@ mod tests {
         }
         let (page, cost) = fs.readdir("/dir");
         assert_eq!(page.unwrap(), vec!["f0", "f1", "f2"]);
-        assert_eq!(
-            cost,
-            fs.costs.readdir_base + fs.costs.readdir_per_entry * 3
-        );
+        assert_eq!(cost, fs.costs.readdir_base + fs.costs.readdir_per_entry * 3);
         assert_eq!(fs.readdir("/missing").0, Err(FsError::NotFound));
     }
 

@@ -151,8 +151,7 @@ impl FsResponse {
                 let mut out = Vec::with_capacity(n);
                 let mut at = 5;
                 for _ in 0..n {
-                    let len =
-                        u16::from_le_bytes(raw.get(at..at + 2)?.try_into().ok()?) as usize;
+                    let len = u16::from_le_bytes(raw.get(at..at + 2)?.try_into().ok()?) as usize;
                     at += 2;
                     out.push(String::from_utf8(raw.get(at..at + len)?.to_vec()).ok()?);
                     at += len;

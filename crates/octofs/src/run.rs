@@ -10,8 +10,8 @@ use crate::proto::FsOp;
 use rdma_fabric::{Fabric, FabricParams};
 use rpc_baselines::{RawWrite, SelfRpc};
 use rpc_core::cluster::{Cluster, ClusterSpec};
-use rpc_core::sharded::ShardedSim;
 use rpc_core::harness::{Harness, HarnessConfig};
+use rpc_core::sharded::ShardedSim;
 use rpc_core::workload::ThinkTime;
 use scalerpc::{ScaleRpc, ScaleRpcConfig};
 use simcore::SimDuration;
@@ -106,6 +106,7 @@ pub fn run_mdtest(cfg: &MdtestRun) -> MdtestResult {
         seed: 17,
         window: 1,
         nthreads: 1,
+        retry: None,
     };
     let gen = Box::new(MdtestGen::new(cfg.op, cfg.files_per_dir as u64));
     macro_rules! drive {

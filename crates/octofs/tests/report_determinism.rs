@@ -74,11 +74,11 @@ fn report_identical_across_differently_seeded_runs() {
     assert_eq!(a.report_line(), b.report_line());
     // And the order is the paper's figure order, pinned.
     let ops: Vec<FsOp> = a.op_report().iter().map(|&(op, _)| op).collect();
-    assert_eq!(ops, vec![FsOp::Mknod, FsOp::Rmnod, FsOp::Stat, FsOp::Readdir]);
     assert_eq!(
-        a.report_line(),
-        "Mknod=128 Rmnod=128 Stat=128 ReadDir=128"
+        ops,
+        vec![FsOp::Mknod, FsOp::Rmnod, FsOp::Stat, FsOp::Readdir]
     );
+    assert_eq!(a.report_line(), "Mknod=128 Rmnod=128 Stat=128 ReadDir=128");
 }
 
 #[test]

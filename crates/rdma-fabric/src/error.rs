@@ -117,7 +117,10 @@ mod tests {
             size: 120,
         };
         assert_eq!(format!("{e}"), "access [100, 150) outside mr2 of size 120");
-        let e = VerbError::MtuExceeded { len: 8192, mtu: 4096 };
+        let e = VerbError::MtuExceeded {
+            len: 8192,
+            mtu: 4096,
+        };
         assert!(format!("{e}").contains("8192"));
         let e = VerbError::UnsupportedVerb {
             transport: "UD",

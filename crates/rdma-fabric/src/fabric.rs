@@ -71,6 +71,16 @@ pub enum Upcall {
         /// Number of bytes written.
         len: usize,
     },
+    /// A deferred connection ([`Fabric::connect_deferred`]) reached RTS
+    /// on both ends and is now usable.
+    ConnEstablished {
+        /// Node owning the initiating endpoint.
+        node: NodeId,
+        /// The initiating queue pair.
+        qp: QpId,
+        /// The remote queue pair it connected to.
+        peer: QpId,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -135,10 +145,10 @@ enum Inner {
         wc: Option<(CqId, Wc)>,
     },
     /// Requester-side completion (ack arrival or local completion).
-    Complete {
-        qp: QpId,
-        wc: Option<Wc>,
-    },
+    Complete { qp: QpId, wc: Option<Wc> },
+    /// A deferred connection's modify-QP chain finishes: both ends go
+    /// RTS (unless torn down in the meantime).
+    ConnRts { a: QpId, b: QpId },
 }
 
 /// An internal fabric event. Opaque to applications: they only move these
@@ -375,6 +385,77 @@ impl Fabric {
     pub fn destroy_qp(&mut self, qp: QpId) -> VerbResult<()> {
         self.qp_mut(qp)?.tear_down();
         Ok(())
+    }
+
+    /// Begins a *modelled* connection establishment between two RC/UC
+    /// queue pairs: validates like [`connect`](Self::connect) but leaves
+    /// both pairs in `Reset` until the modify-QP chain completes at
+    /// `now + conn_setup_cpu + qp_rts_latency`, when a scheduled
+    /// [`FabricEvent`] flips both ends to RTS and emits
+    /// [`Upcall::ConnEstablished`].
+    ///
+    /// Returns the CPU time the initiating thread spends on the verbs
+    /// calls ([`FabricParams::conn_setup_cpu`]); like [`PostInfo::cpu`],
+    /// the caller owns its own timeline and must account for it.
+    ///
+    /// Only usable on single-shard runs: the RTS event mutates both
+    /// endpoints, so the sharded driver's no-runtime-connect rule
+    /// applies to it exactly as to [`connect`](Self::connect).
+    pub fn connect_deferred(
+        &mut self,
+        now: SimTime,
+        a: QpId,
+        b: QpId,
+        sched: &mut Sched<'_>,
+    ) -> VerbResult<SimDuration> {
+        let ta = self.qp(a)?.transport();
+        let tb = self.qp(b)?.transport();
+        if ta != tb || !ta.is_connected() || a == b {
+            return Err(VerbError::ConnectionMismatch(a, b));
+        }
+        if self.qp(a)?.state() != QpState::Reset || self.qp(b)?.state() != QpState::Reset {
+            return Err(VerbError::ConnectionMismatch(a, b));
+        }
+        let cpu = self.params.conn_setup_cpu();
+        let node = self.qp(a)?.node();
+        self.nodes[node.index()].counters.inc("ConnSetupsStarted"); // NodeId indexes self.nodes: nodes are never removed
+        sched(
+            now + cpu + self.params.qp_rts_latency,
+            FabricEvent(Inner::ConnRts { a, b }),
+        );
+        Ok(cpu)
+    }
+
+    /// Recovers a queue pair from any state back to its creation state
+    /// (Error → Reset for connected transports), making it eligible for
+    /// re-connection. See [`QueuePair::reset`].
+    pub fn reset_qp(&mut self, qp: QpId) -> VerbResult<()> {
+        self.qp_mut(qp)?.reset();
+        Ok(())
+    }
+
+    /// Crashes a node: every queue pair it owns is torn down, so
+    /// in-flight packets toward them drop at rx (reliable requesters see
+    /// error completions). Memory regions and CQs survive — recovery is
+    /// a warm restart of the same process image. Returns the number of
+    /// QPs torn down.
+    pub fn crash_node(&mut self, node: NodeId, now: SimTime) -> usize {
+        let mut torn = 0;
+        for qp in &mut self.qps {
+            if qp.node() == node && qp.state() != QpState::Error {
+                qp.tear_down();
+                self.tracer.instant(
+                    InstantKind::ConnTeardown,
+                    now,
+                    qp.id().0 as u64,
+                    node.0 as u64,
+                );
+                torn += 1;
+            }
+        }
+        // simlint: allow(R3): NodeId is fabric-allocated, so an OOB index is a driver bug
+        self.nodes[node.index()].counters.inc("NodeCrashes");
+        torn
     }
 
     fn qp(&self, id: QpId) -> VerbResult<&QueuePair> {
@@ -699,6 +780,9 @@ impl Fabric {
             },
             Inner::Deliver { node, .. } => *node,
             Inner::Complete { qp, .. } => self.qps[qp.index()].node(), // QpId indexes self.qps: QPs error out but are never freed
+            // ConnRts mutates both endpoints; routed to the initiator's
+            // node. Only legal on single-shard runs (see connect_deferred).
+            Inner::ConnRts { a, .. } => self.qps[a.index()].node(), // QpId indexes self.qps: QPs error out but are never freed
         }
     }
 
@@ -774,6 +858,28 @@ impl Fabric {
                     upcalls.push(Upcall::Completion { node, cq, wc });
                 }
             }
+            Inner::ConnRts { a, b } => {
+                let node = self.qps[a.index()].node(); // QpId indexes self.qps: QPs error out but are never freed
+                let still_reset = self.qps[a.index()].state() == QpState::Reset
+                    && self.qps[b.index()].state() == QpState::Reset; // same QpId invariant
+                if still_reset {
+                    // Mirrors Fabric::connect, pre-validated above.
+                    self.qps[a.index()].connect_to(b).expect("validated reset"); // simlint: allow(R3): state checked above
+                    self.qps[b.index()].connect_to(a).expect("validated reset"); // simlint: allow(R3): state checked above
+                    self.nodes[node.index()].counters.inc("ConnSetups"); // NodeId indexes self.nodes: nodes are never removed
+                    self.tracer
+                        .instant(InstantKind::ConnSetup, now, a.0 as u64, b.0 as u64);
+                    upcalls.push(Upcall::ConnEstablished {
+                        node,
+                        qp: a,
+                        peer: b,
+                    });
+                } else {
+                    // One end crashed or was reused while the modify-QP
+                    // chain was in flight; the setup is abandoned.
+                    self.nodes[node.index()].counters.inc("ConnSetupsAborted"); // NodeId indexes self.nodes: nodes are never removed
+                }
+            }
         }
     }
 
@@ -827,10 +933,20 @@ impl Fabric {
         if pkt.trace != 0 {
             // Span covers queueing delay behind earlier WQEs plus the
             // engine's own occupancy (grant.begin - now is the wait).
-            self.tracer
-                .span(pkt.trace, Stage::TxNic, now, grant.complete, pkt.src_qp.0 as u64);
-            self.tracer
-                .span(pkt.trace, Stage::Link, grant.complete, arrival, pkt.src_qp.0 as u64);
+            self.tracer.span(
+                pkt.trace,
+                Stage::TxNic,
+                now,
+                grant.complete,
+                pkt.src_qp.0 as u64,
+            );
+            self.tracer.span(
+                pkt.trace,
+                Stage::Link,
+                grant.complete,
+                arrival,
+                pkt.src_qp.0 as u64,
+            );
         }
 
         // Unreliable transports complete locally once the NIC has sent
@@ -850,10 +966,7 @@ impl Fabric {
             });
             sched(
                 grant.complete + p.dma_write_latency,
-                FabricEvent(Inner::Complete {
-                    qp: pkt.src_qp,
-                    wc,
-                }),
+                FabricEvent(Inner::Complete { qp: pkt.src_qp, wc }),
             );
         }
         sched(arrival, FabricEvent(Inner::RxProcess { pkt }));
@@ -919,8 +1032,7 @@ impl Fabric {
                         node.counters.add("PCIeItoM", dma.allocated);
                         node.counters.add("DdioAllocBursts", dma.alloc_runs);
                         node.counters.inc("RxMsgs");
-                        let occ = self.params.nic_rx_base
-                            + self.params.ddio_cost(dma.allocated);
+                        let occ = self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
                         let grant = node.rx.acquire(now, occ);
                         if dma.allocated > 0 {
                             self.tracer.instant(
@@ -1030,8 +1142,7 @@ impl Fabric {
                 node.counters.add("DmaHitMain", dma.hit_main);
                 node.counters.add("DmaHitDdio", dma.hit_ddio);
                 node.counters.inc("RxMsgs");
-                let occ =
-                    self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
+                let occ = self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
                 let grant = node.rx.acquire(now, occ);
                 if dma.allocated > 0 {
                     self.tracer.instant(
@@ -1060,7 +1171,8 @@ impl Fabric {
                 // write_imm additionally consumes a receive and yields a
                 // receive-side completion carrying the immediate.
                 let wc = if let Some(imm_v) = imm {
-                    match self.qps[pkt.dst_qp.index()].take_recv() { // QpId indexes self.qps: QPs error out but are never freed
+                    // QpId indexes self.qps: QPs error out but are never freed
+                    match self.qps[pkt.dst_qp.index()].take_recv() {
                         Some(r) => Some((
                             self.qps[pkt.dst_qp.index()].recv_cq(), // QpId indexes self.qps: QPs error out but are never freed
                             Wc {
@@ -1181,8 +1293,7 @@ impl Fabric {
                 node.counters.add("RFO", dma.partial_lines);
                 node.counters.add("PCIeItoM", dma.allocated);
                 node.counters.add("DdioAllocBursts", dma.alloc_runs);
-                let occ =
-                    self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
+                let occ = self.params.nic_rx_base + self.params.ddio_cost(dma.allocated);
                 let grant = node.rx.acquire(now, occ);
                 if dma.allocated > 0 {
                     self.tracer.instant(

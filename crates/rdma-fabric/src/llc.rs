@@ -188,7 +188,9 @@ impl LlcModel {
                 let select = span_select(n);
                 let in_main = self.main.span_residency(mr, base, &hashes[..n], select); // n <= SPAN_CHUNK == hashes.len()
                 out.hit_main += in_main.count_ones() as u64;
-                let so = self.ddio.span_access(mr, base, &hashes[..n], select & !in_main); // n <= SPAN_CHUNK == hashes.len()
+                let so = self
+                    .ddio
+                    .span_access(mr, base, &hashes[..n], select & !in_main); // n <= SPAN_CHUNK == hashes.len()
                 out.hit_ddio += so.hits;
                 out.allocated += so.misses;
                 // Each maximal run of consecutive allocated lines is one
@@ -232,13 +234,16 @@ impl LlcModel {
             while base < lines.end {
                 let n = ((lines.end - base) as usize).min(SPAN_CHUNK);
                 line_span_hashes(mr, base, &mut hashes[..n]); // n <= SPAN_CHUNK == hashes.len()
-                let so = self.main.span_access(mr, base, &hashes[..n], span_select(n));
+                let so = self
+                    .main
+                    .span_access(mr, base, &hashes[..n], span_select(n)); // n <= hashes.len()
                 let mut promoted = 0u64;
                 let mut mm = so.miss_mask;
                 while mm != 0 {
                     let i = mm.trailing_zeros() as usize;
                     mm &= mm - 1;
-                    promoted += self.ddio.remove_h(&(mr, base + i as u64), hashes[i]) as u64; // i < n: miss_mask only has bits below n set
+                    // i < n: miss_mask only has bits below n set
+                    promoted += self.ddio.remove_h(&(mr, base + i as u64), hashes[i]) as u64;
                 }
                 out.hits += so.hits + promoted;
                 out.misses += so.misses - promoted;
@@ -329,7 +334,10 @@ mod tests {
         // — the range is ~2^58 lines, far too many to iterate).
         let r = line_range(usize::MAX - 64, usize::MAX);
         assert_eq!(r.start, (usize::MAX as u64 - 64) / 64);
-        assert_eq!(r.end, ((usize::MAX as u128 + usize::MAX as u128 - 65) / 64) as u64 + 1);
+        assert_eq!(
+            r.end,
+            ((usize::MAX as u128 + usize::MAX as u128 - 65) / 64) as u64 + 1
+        );
     }
 
     #[test]
@@ -393,9 +401,9 @@ mod tests {
     #[test]
     fn working_set_larger_than_llc_misses() {
         let mut llc = small_llc(); // 1024 lines total
-        // Touch 4096 distinct lines round-robin, twice. With random
-        // replacement a 4x-capacity cyclic working set misses heavily
-        // (h = exp(-4(1-h)) ≈ 0.02) though not on every single access.
+                                   // Touch 4096 distinct lines round-robin, twice. With random
+                                   // replacement a 4x-capacity cyclic working set misses heavily
+                                   // (h = exp(-4(1-h)) ≈ 0.02) though not on every single access.
         for _ in 0..2 {
             for line in 0..4096usize {
                 llc.cpu_access(MrId(1), line * 64, 64);
@@ -422,9 +430,9 @@ mod tests {
     #[test]
     fn ddio_partition_thrashes_independently() {
         let mut llc = small_llc(); // 256 DDIO lines
-        // Stream DMA writes over 1024 distinct lines repeatedly: nearly
-        // every write allocates because the partition holds a quarter of
-        // the working set (random replacement keeps a small residue).
+                                   // Stream DMA writes over 1024 distinct lines repeatedly: nearly
+                                   // every write allocates because the partition holds a quarter of
+                                   // the working set (random replacement keeps a small residue).
         let mut allocated = 0;
         for _ in 0..2 {
             for line in 0..1024usize {

@@ -412,7 +412,8 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
             if e == 0 {
                 return Err(i);
             }
-            if slot_hash(e) == h32 && self.keys[slot_idx(e)] == *key { // occupied entries hold live key indices
+            // occupied entries hold live key indices
+            if slot_hash(e) == h32 && self.keys[slot_idx(e)] == *key {
                 return Ok(i);
             }
             i = (i + 1) & mask;
@@ -462,7 +463,8 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
                 continue;
             }
             let mut i = (slot_hash(e) as usize) & mask;
-            while self.table[i] != 0 { // i is masked by the new table's mask
+            // i is masked by the new table's mask
+            while self.table[i] != 0 {
                 i = (i + 1) & mask;
             }
             self.table[i] = e; // masked position; occupied entries hold live key indices
@@ -496,10 +498,10 @@ impl<K: Eq + Hash + Clone> RandomSet<K> {
                     let old_slot = self.slots[victim] as usize;
                     self.erase_slot(old_slot);
                     let old = std::mem::replace(&mut self.keys[victim], key); // victim < capacity == keys.len() here
-                    // Re-probe: the backward shift may have opened a hole
-                    // earlier in the new key's chain than the slot the
-                    // first probe found, and inserting past a hole would
-                    // make the key unfindable.
+                                                                              // Re-probe: the backward shift may have opened a hole
+                                                                              // earlier in the new key's chain than the slot the
+                                                                              // first probe found, and inserting past a hole would
+                                                                              // make the key unfindable.
                     let ins = self
                         .probe(&self.keys[victim], h32) // victim is a live key index
                         .expect_err("fresh key cannot be resident");
@@ -698,7 +700,8 @@ impl RandomSet<(crate::types::MrId, u64)> {
             if let Some(j) = ahead.next() {
                 self.prefetch(hashes[j]); // j from select bits: j < n == hashes.len()
             }
-            if self.probe(&(mr, base + i as u64), hashes[i]).is_ok() { // i from select bits: i < n == hashes.len()
+            // i from select bits: i < n == hashes.len()
+            if self.probe(&(mr, base + i as u64), hashes[i]).is_ok() {
                 resident |= 1u128 << i;
             }
         }
@@ -771,13 +774,14 @@ impl RandomSet<(crate::types::MrId, u64)> {
                 let victim = vq[vq_head] as usize; // vq_head < vq_len: the queue was refilled above when drained
                 vq_head += 1;
                 if vq_head + VICTIM_PREFETCH <= vq_len {
-                    self.prefetch_victim_idx(vq[vq_head + VICTIM_PREFETCH - 1] as usize); // in bounds per the check on the previous line
+                    // in bounds per the check on the previous line
+                    self.prefetch_victim_idx(vq[vq_head + VICTIM_PREFETCH - 1] as usize);
                 }
                 let old_slot = self.slots[victim] as usize; // victim < capacity == keys.len(); slots is keys-parallel
                 self.erase_slot(old_slot);
                 let old = std::mem::replace(&mut self.keys[victim], key); // victim < keys.len()
-                // Re-probe for the insert position: the backward shift
-                // may have opened an earlier hole in the new key's chain.
+                                                                          // Re-probe for the insert position: the backward shift
+                                                                          // may have opened an earlier hole in the new key's chain.
                 let ins = self
                     .probe(&self.keys[victim], h32) // victim is a live key index
                     .expect_err("fresh key cannot be resident");

@@ -44,7 +44,10 @@ impl MemoryRegion {
 
     /// Bounds-checks an access.
     pub fn check(&self, offset: usize, len: usize) -> VerbResult<()> {
-        if offset.checked_add(len).is_none_or(|end| end > self.buf.len()) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.buf.len())
+        {
             Err(VerbError::OutOfBounds {
                 mr: self.id,
                 offset,
@@ -76,7 +79,9 @@ impl MemoryRegion {
             return Err(VerbError::BadAtomicTarget);
         }
         let bytes = self.read(offset, 8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("length checked")))
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("length checked"),
+        ))
     }
 
     /// Writes an aligned little-endian `u64`.

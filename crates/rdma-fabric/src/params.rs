@@ -95,6 +95,24 @@ pub struct FabricParams {
     /// CPU time for a load that misses to DRAM.
     pub cpu_read_miss: SimDuration,
 
+    // ---- Connection control plane (Swift-calibrated) ----
+    /// CPU time to create a QP (`ibv_create_qp`: driver allocates queue
+    /// buffers, pins pages, writes the hardware context). Swift
+    /// ("Rethinking RDMA Control Plane for Elastic Computing", PAPERS.md)
+    /// measures QP creation in the tens of microseconds on ConnectX-class
+    /// HCAs — the control plane, not the data path, dominates elastic
+    /// workloads.
+    pub qp_create_cpu: SimDuration,
+    /// CPU time for the modify-QP chain (RESET→INIT→RTR→RTS): three
+    /// verbs calls, each a command-queue round trip to the HCA firmware.
+    pub qp_transition_cpu: SimDuration,
+    /// Latency (not CPU occupancy) between the final modify-QP doorbell
+    /// and the connection being usable: firmware installs the context and
+    /// the first packet can flow. Charged once per `connect_deferred`.
+    pub qp_rts_latency: SimDuration,
+    /// CPU time to destroy a QP (flush, unpin, free the context).
+    pub qp_destroy_cpu: SimDuration,
+
     // ---- Transport limits (Table 1) ----
     /// UD maximum transmission unit in bytes.
     pub ud_mtu: usize,
@@ -134,6 +152,11 @@ impl Default for FabricParams {
             ddio_fraction: 0.10,
             cpu_read_hit: SimDuration::nanos(14),
             cpu_read_miss: SimDuration::nanos(90),
+
+            qp_create_cpu: SimDuration::nanos(15_000),
+            qp_transition_cpu: SimDuration::nanos(10_000),
+            qp_rts_latency: SimDuration::nanos(5_000),
+            qp_destroy_cpu: SimDuration::nanos(8_000),
 
             ud_mtu: 4096,
             rc_max_msg: 2 * 1024 * 1024 * 1024,
@@ -208,6 +231,13 @@ impl FabricParams {
         (self.llc_bytes as f64 * self.ddio_fraction) as usize
     }
 
+    /// Total CPU time the initiating thread spends establishing one RC/UC
+    /// connection: QP creation plus the modify-QP chain. The remote RTS
+    /// install latency (`qp_rts_latency`) is paid on top as pure delay.
+    pub fn conn_setup_cpu(&self) -> SimDuration {
+        self.qp_create_cpu + self.qp_transition_cpu
+    }
+
     /// Receive-engine occupancy surcharge for a DMA write that had to
     /// Write-Allocate `allocated` lines: a per-message penalty plus a
     /// small per-line tail for bulk transfers.
@@ -257,5 +287,18 @@ mod tests {
     fn wire_latency_combines_hops() {
         let p = FabricParams::default();
         assert_eq!(p.wire_latency(), SimDuration::nanos(650));
+    }
+
+    #[test]
+    fn conn_setup_dwarfs_data_path() {
+        // Swift's core observation: one connection setup costs orders of
+        // magnitude more CPU than one data-path post.
+        let p = FabricParams::default();
+        assert_eq!(p.conn_setup_cpu(), SimDuration::nanos(25_000));
+        assert!(p.conn_setup_cpu() > p.post_cpu * 100);
+        assert!(p.qp_destroy_cpu > p.post_cpu * 10);
+        // Setup latencies are intra-node costs and must not shrink the
+        // sharded engine's cross-node lookahead.
+        assert_eq!(p.min_cross_delay(), SimDuration::nanos(400));
     }
 }

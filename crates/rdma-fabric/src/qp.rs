@@ -176,6 +176,24 @@ impl QueuePair {
         self.recv_queue.clear();
     }
 
+    /// Recovers the pair from any state back to its creation state
+    /// (the verbs `ibv_modify_qp(.., IBV_QPS_RESET)` transition).
+    ///
+    /// Connected transports return to [`QpState::Reset`] with no peer
+    /// and may be re-connected; UD pairs go straight back to RTS. Any
+    /// posted receives or in-flight accounting are discarded — a reset
+    /// QP starts from a clean slate.
+    pub fn reset(&mut self) {
+        self.peer = None;
+        self.recv_queue.clear();
+        self.outstanding = 0;
+        self.state = if self.transport.is_connected() {
+            QpState::Reset
+        } else {
+            QpState::ReadyToSend
+        };
+    }
+
     /// Verifies the pair can accept posts.
     pub fn ensure_ready(&self) -> VerbResult<()> {
         if self.state == QpState::ReadyToSend {
@@ -295,6 +313,50 @@ mod tests {
                 len: 64
             })
             .is_err());
+    }
+
+    #[test]
+    fn reset_recovers_errored_rc_pair() {
+        let mut q = qp(Transport::Rc);
+        q.connect_to(QpId(2)).unwrap();
+        q.tear_down();
+        // Error used to be terminal: connect_to from Error fails.
+        assert!(q.connect_to(QpId(3)).is_err());
+        // reset() reopens the lifecycle: Error -> Reset -> RTS.
+        q.reset();
+        assert_eq!(q.state(), QpState::Reset);
+        assert_eq!(q.peer(), None);
+        q.connect_to(QpId(3)).unwrap();
+        assert!(q.ensure_ready().is_ok());
+        assert_eq!(q.peer(), Some(QpId(3)));
+    }
+
+    #[test]
+    fn reset_clears_recvs_and_outstanding() {
+        let mut q = qp(Transport::Rc);
+        q.connect_to(QpId(2)).unwrap();
+        q.post_recv(RecvWqe {
+            wr_id: 7,
+            mr: MrId(0),
+            offset: 0,
+            len: 64,
+        })
+        .unwrap();
+        q.wqe_posted();
+        q.tear_down();
+        q.reset();
+        assert_eq!(q.posted_recvs(), 0);
+        assert_eq!(q.outstanding(), 0);
+    }
+
+    #[test]
+    fn reset_ud_returns_to_rts() {
+        let mut q = qp(Transport::Ud);
+        q.tear_down();
+        assert!(q.ensure_ready().is_err());
+        q.reset();
+        assert_eq!(q.state(), QpState::ReadyToSend);
+        assert!(q.ensure_ready().is_ok());
     }
 
     #[test]

@@ -98,7 +98,10 @@ fn rc_write_places_bytes_and_completes() {
     );
     let ups = run(&mut p.fabric, &mut q);
     // Remote memory holds the payload.
-    assert_eq!(p.fabric.mr(p.mr_b).unwrap().read(100, 8).unwrap(), b"scalerpc");
+    assert_eq!(
+        p.fabric.mr(p.mr_b).unwrap().read(100, 8).unwrap(),
+        b"scalerpc"
+    );
     // A MemWrite hint fired at the destination.
     assert!(ups.iter().any(|(_, u)| matches!(
         u,
@@ -295,7 +298,11 @@ fn uc_supports_write_but_not_read() {
 #[test]
 fn rc_read_fetches_remote_bytes() {
     let mut p = connected_pair(Transport::Rc);
-    p.fabric.mr_mut(p.mr_b).unwrap().write(64, b"version7").unwrap();
+    p.fabric
+        .mr_mut(p.mr_b)
+        .unwrap()
+        .write(64, b"version7")
+        .unwrap();
     let mut q = EventQueue::new();
     let wr_id = post(
         &mut p.fabric,
@@ -311,7 +318,10 @@ fn rc_read_fetches_remote_bytes() {
         None,
     );
     run(&mut p.fabric, &mut q);
-    assert_eq!(p.fabric.mr(p.mr_a).unwrap().read(8, 8).unwrap(), b"version7");
+    assert_eq!(
+        p.fabric.mr(p.mr_a).unwrap().read(8, 8).unwrap(),
+        b"version7"
+    );
     let wcs = p.fabric.poll_cq(p.cq_a, 8).unwrap();
     assert_eq!(wcs.len(), 1);
     assert_eq!(wcs[0].wr_id, wr_id);
@@ -432,7 +442,10 @@ fn write_imm_consumes_recv_and_carries_imm() {
     );
     run(&mut p.fabric, &mut q);
     // Data goes to the write address (not the recv buffer).
-    assert_eq!(p.fabric.mr(p.mr_b).unwrap().read(512, 8).unwrap(), b"imm-data");
+    assert_eq!(
+        p.fabric.mr(p.mr_b).unwrap().read(512, 8).unwrap(),
+        b"imm-data"
+    );
     let wcs = p.fabric.poll_cq(p.cq_b, 8).unwrap();
     assert_eq!(wcs.len(), 1);
     assert_eq!(wcs[0].opcode, WcOpcode::RecvRdmaWithImm);

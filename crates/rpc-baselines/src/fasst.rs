@@ -139,7 +139,9 @@ impl<H: ServerHandler> Fasst<H> {
                 ring_len: CLIENT_RING,
             });
         }
-        let client_thread = (0..cluster.clients()).map(|c| cluster.thread_of(c)).collect();
+        let client_thread = (0..cluster.clients())
+            .map(|c| cluster.thread_of(c))
+            .collect();
         let p = fabric.params();
         Fasst {
             server_eps,

@@ -128,7 +128,9 @@ impl<H: ServerHandler> Herd<H> {
             let server_uc = fabric
                 .create_qp(cluster.server, Transport::Uc, server_cq, server_cq)
                 .expect("qp");
-            let client_uc = fabric.create_qp(cnode, Transport::Uc, ccq, ccq).expect("qp");
+            let client_uc = fabric
+                .create_qp(cnode, Transport::Uc, ccq, ccq)
+                .expect("qp");
             fabric.connect(server_uc, client_uc).expect("connect");
             clients.push(PerClient {
                 uc_qp: client_uc,
@@ -175,13 +177,24 @@ impl<H: ServerHandler> Herd<H> {
             };
             let Some(slot) = slot else { break };
             cx.fabric
-                .post_recv(ep.ud_qp, ep.ring_mr, slot * self.block_size, self.block_size)
+                .post_recv(
+                    ep.ud_qp,
+                    ep.ring_mr,
+                    slot * self.block_size,
+                    self.block_size,
+                )
                 .expect("ring recv");
             ep.ring_order.push_back(slot);
         }
     }
 
-    fn send_request(&mut self, client: ClientId, seq: u64, payload: Bytes, cx: &mut Cx<'_, HerdEv>) {
+    fn send_request(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        payload: Bytes,
+        cx: &mut Cx<'_, HerdEv>,
+    ) {
         let header = RpcHeader {
             call_type: 0,
             flags: 0,
@@ -228,7 +241,10 @@ impl<H: ServerHandler> Herd<H> {
         cx.fabric
             .mr_mut(self.pool_mr)
             .expect("pool mr")
-            .write(MsgBuf::valid_offset(self.pool.block_size) + block_start, &[0])
+            .write(
+                MsgBuf::valid_offset(self.pool.block_size) + block_start,
+                &[0],
+            )
             .expect("valid byte");
         let client = header.client_id as usize;
         let (resp, handler_cost) = self.handler.handle(client, &payload, cx.fabric);
@@ -312,8 +328,7 @@ impl<H: ServerHandler> RpcTransport for Herd<H> {
                     return;
                 };
                 let client = header.client_id as usize;
-                self.clients[client].inflight =
-                    self.clients[client].inflight.saturating_sub(1);
+                self.clients[client].inflight = self.clients[client].inflight.saturating_sub(1);
                 out.push(Response {
                     client,
                     seq: header.seq,

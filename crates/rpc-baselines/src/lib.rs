@@ -22,11 +22,10 @@ pub mod rawwrite;
 pub mod selfrpc;
 pub mod udchunk;
 
-
 pub use fasst::Fasst;
 pub use herd::Herd;
 pub use pool::StaticPool;
 pub use rawwrite::RawWrite;
+pub use rpc_core::workers::WorkerPool;
 pub use selfrpc::SelfRpc;
 pub use udchunk::UdChunk;
-pub use rpc_core::workers::WorkerPool;

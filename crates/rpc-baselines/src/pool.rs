@@ -28,7 +28,10 @@ impl StaticPool {
     ///
     /// Panics on zero dimensions.
     pub fn new(clients: usize, slots: usize, block_size: usize) -> Self {
-        assert!(clients > 0 && slots > 0 && block_size > 0, "degenerate pool");
+        assert!(
+            clients > 0 && slots > 0 && block_size > 0,
+            "degenerate pool"
+        );
         StaticPool {
             clients,
             slots,

@@ -197,7 +197,10 @@ impl<H: ServerHandler> RawWrite<H> {
         cx.fabric
             .mr_mut(self.pool_mr)
             .expect("pool mr")
-            .write(MsgBuf::valid_offset(self.pool.block_size) + block_start, &[0])
+            .write(
+                MsgBuf::valid_offset(self.pool.block_size) + block_start,
+                &[0],
+            )
             .expect("valid byte");
         let client = header.client_id as usize;
         let (resp, handler_cost) = self.handler.handle(client, &payload, cx.fabric);
@@ -311,10 +314,8 @@ impl<H: ServerHandler> RpcTransport for RawWrite<H> {
                 let (enc_off, bytes) =
                     MsgBuf::encode(&buf, block_size).expect("response fits block");
                 let slot = self.pool.slot_of_seq(seq);
-                let remote = RemoteAddr::new(
-                    self.clients[client].resp_mr,
-                    slot * block_size + enc_off,
-                );
+                let remote =
+                    RemoteAddr::new(self.clients[client].resp_mr, slot * block_size + enc_off);
                 if let Some(&tid) = self.trace_ids.get(&(client, seq)) {
                     // Closed when the write lands at the client; the ctx
                     // lets the response packet carry the id through the

@@ -89,7 +89,9 @@ impl<H: ServerHandler> SelfRpc<H> {
             let server_qp = fabric
                 .create_qp(cluster.server, Transport::Rc, server_cq, server_cq)
                 .expect("qp");
-            let client_qp = fabric.create_qp(cnode, Transport::Rc, ccq, ccq).expect("qp");
+            let client_qp = fabric
+                .create_qp(cnode, Transport::Rc, ccq, ccq)
+                .expect("qp");
             fabric.connect(server_qp, client_qp).expect("connect");
             for _ in 0..slots + 2 {
                 fabric.post_recv(server_qp, dummy_mr, 0, 0).expect("recv");
@@ -198,7 +200,11 @@ impl<H: ServerHandler> RpcTransport for SelfRpc<H> {
                 };
                 let read_cost = cx
                     .fabric
-                    .cpu_access(self.pool_mr, block_start, wc.byte_len.min(self.pool.block_size))
+                    .cpu_access(
+                        self.pool_mr,
+                        block_start,
+                        wc.byte_len.min(self.pool.block_size),
+                    )
                     .expect("pool access");
                 cx.fabric
                     .mr_mut(self.pool_mr)
@@ -214,8 +220,11 @@ impl<H: ServerHandler> RpcTransport for SelfRpc<H> {
                     .expect("replenish recv");
                 let (resp, handler_cost) = self.handler.handle(client, &payload, cx.fabric);
                 let w = self.workers.owner_of(client);
-                let service =
-                    self.cq_poll_cpu + read_cost + handler_cost + self.post_recv_cpu + self.post_cpu;
+                let service = self.cq_poll_cpu
+                    + read_cost
+                    + handler_cost
+                    + self.post_recv_cpu
+                    + self.post_cpu;
                 let done = self.workers.run(w, cx.now, service);
                 cx.at(
                     done,
@@ -245,8 +254,7 @@ impl<H: ServerHandler> RpcTransport for SelfRpc<H> {
                         .expect("resp mr")
                         .write(MsgBuf::valid_offset(block_size) + block_start, &[0])
                         .expect("valid byte");
-                    self.clients[client].inflight =
-                        self.clients[client].inflight.saturating_sub(1);
+                    self.clients[client].inflight = self.clients[client].inflight.saturating_sub(1);
                     out.push(Response {
                         client,
                         seq: header.seq,

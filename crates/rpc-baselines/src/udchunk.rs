@@ -206,5 +206,4 @@ mod tests {
         // 56 Gbps ≈ 7 GB/s raw.
         assert!(rc > 4.0 && rc < 7.5, "rc={rc:.2} GB/s");
     }
-
 }

@@ -2,12 +2,12 @@
 //! shared harness.
 
 use rdma_fabric::{Fabric, FabricParams};
+use rpc_baselines::{Fasst, Herd, RawWrite, SelfRpc};
 use rpc_core::cluster::{Cluster, ClusterSpec};
 use rpc_core::driver::Sim;
 use rpc_core::harness::{Harness, HarnessConfig};
 use rpc_core::transport::{EchoHandler, RpcTransport};
 use rpc_core::workload::ThinkTime;
-use rpc_baselines::{Fasst, Herd, RawWrite, SelfRpc};
 use simcore::SimDuration;
 
 fn spec(clients: usize) -> ClusterSpec {
@@ -30,6 +30,7 @@ fn cfg(batch: usize) -> HarnessConfig {
         seed: 7,
         window: 1,
         nthreads: 1,
+        retry: None,
     }
 }
 

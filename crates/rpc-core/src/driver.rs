@@ -57,8 +57,22 @@ impl<'a, A> Cx<'a, A> {
     ) -> VerbResult<PostInfo> {
         let now = self.now;
         let staged = &mut *self.staged_fabric;
+        self.fabric.post(now, qp, wr, signaled, dst, &mut |t, ev| {
+            staged.push((t, ev))
+        })
+    }
+
+    /// Begins a modelled connection establishment between two RC/UC
+    /// queue pairs at the current time; both ends reach RTS after the
+    /// setup cost and the logic sees [`Upcall::ConnEstablished`].
+    ///
+    /// See [`Fabric::connect_deferred`] for semantics; the returned CPU
+    /// duration is the caller's to account.
+    pub fn connect_deferred(&mut self, a: QpId, b: QpId) -> VerbResult<SimDuration> {
+        let now = self.now;
+        let staged = &mut *self.staged_fabric;
         self.fabric
-            .post(now, qp, wr, signaled, dst, &mut |t, ev| staged.push((t, ev)))
+            .connect_deferred(now, a, b, &mut |t, ev| staged.push((t, ev)))
     }
 
     /// Schedules an application event at absolute time `at`.
@@ -313,7 +327,10 @@ mod tests {
         sim.run_to_quiescence();
         assert_eq!(sim.logic.rounds, 10);
         assert!(sim.logic.timer_fired);
-        assert_eq!(sim.fabric.mr(sim.logic.mr_a).unwrap().read(0, 4).unwrap(), b"pong");
+        assert_eq!(
+            sim.fabric.mr(sim.logic.mr_a).unwrap().read(0, 4).unwrap(),
+            b"pong"
+        );
     }
 
     #[test]

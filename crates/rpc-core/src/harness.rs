@@ -13,14 +13,50 @@ use crate::cluster::{ClientId, Cluster};
 use crate::driver::{Cx, Logic};
 use crate::inject::{ClientStart, Injection, ScenarioError, ScenarioSpec};
 use crate::metrics::RpcMetrics;
-use crate::transport::{Response, RpcTransport};
+use crate::transport::{LifecycleEv, Response, RpcTransport};
 use crate::window::RequestWindow;
 use crate::workload::ThinkTime;
 use bytes::Bytes;
 use rdma_fabric::{LinkDegrade, NodeId, Upcall};
-use simcore::{DetRng, FifoResource, SimDuration, SimTime};
-use simtrace::{Stage, Tracer};
+use simcore::{DetHashMap, DetRng, FifoResource, SimDuration, SimTime};
+use simtrace::{InstantKind, Stage, Tracer};
 use std::fmt;
+
+/// Client-side failover policy: when a windowed request has seen no
+/// response for `timeout`, the harness presumes it lost (server crash,
+/// dropped packet, torn connection) and retransmits it with the same
+/// sequence number, backing off exponentially between attempts.
+///
+/// Retransmissions reuse the original `(client, seq)` identity, so the
+/// guarantee is end-to-end exactly-once: the transport's server-side
+/// sequence window suppresses duplicate executions, and the client
+/// window ignores duplicate responses — no RPC is lost (retry) and none
+/// is double-counted (both dedup layers). `None` (the default) schedules
+/// no timers at all, keeping steady-state runs event-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Time after submit before the first retransmission.
+    pub timeout: SimDuration,
+    /// Backoff factor: attempt `n` waits `timeout * backoff^(n-1)`
+    /// (exponent capped to keep the arithmetic in range).
+    pub backoff: u32,
+    /// Attempts before the harness gives up and leaves the request
+    /// in flight (a stuck client the invariant checks will flag).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            // Well above any healthy round trip (single-digit µs) so
+            // steady traffic never spuriously retransmits, well below
+            // typical chaos horizons so crash recovery converges.
+            timeout: SimDuration::micros(500),
+            backoff: 2,
+            max_attempts: 16,
+        }
+    }
+}
 
 /// Harness configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,6 +88,12 @@ pub struct HarnessConfig {
     /// the knob exists for config plumbing parity and is forwarded by
     /// the benchmark runners.
     pub nthreads: usize,
+    /// Client-side failover retransmission, required for scenarios with
+    /// server crashes. `None` (the default) schedules no retry timers,
+    /// keeping steady-state runs event-identical to the pre-failover
+    /// harness. Requires `window > 1`: the synchronous batch loop has no
+    /// per-sequence identity to retransmit.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for HarnessConfig {
@@ -65,6 +107,7 @@ impl Default for HarnessConfig {
             think: vec![ThinkTime::None],
             seed: 42,
             window: 1,
+            retry: None,
         }
     }
 }
@@ -89,6 +132,12 @@ pub enum HarnessConfigError {
     /// `nthreads > 1` while tracing is enabled — multi-shard engines
     /// cannot merge per-shard tracers deterministically.
     TracedMultiShard { nthreads: usize },
+    /// A retry policy with `window == 1` — the synchronous batch loop
+    /// tracks only an in-flight count, not per-sequence identity, so it
+    /// cannot retransmit a specific request.
+    RetryNeedsWindow,
+    /// A retry policy with a zero timeout, backoff or attempt budget.
+    BadRetryPolicy,
 }
 
 impl fmt::Display for HarnessConfigError {
@@ -100,11 +149,23 @@ impl fmt::Display for HarnessConfigError {
                 write!(f, "window > 1 supersedes batching; use batch_size 1")
             }
             HarnessConfigError::ThinkLen { clients, got } => {
-                write!(f, "think-time list must have 1 or {clients} entries, got {got}")
+                write!(
+                    f,
+                    "think-time list must have 1 or {clients} entries, got {got}"
+                )
             }
             HarnessConfigError::ZeroClients => write!(f, "need at least one client"),
             HarnessConfigError::TracedMultiShard { nthreads } => {
                 write!(f, "nthreads {nthreads} > 1 requires tracing disabled")
+            }
+            HarnessConfigError::RetryNeedsWindow => {
+                write!(f, "retry requires window > 1 (per-sequence identity)")
+            }
+            HarnessConfigError::BadRetryPolicy => {
+                write!(
+                    f,
+                    "retry timeout, backoff and max_attempts must be positive"
+                )
             }
         }
     }
@@ -138,6 +199,14 @@ impl HarnessConfig {
             return Err(HarnessConfigError::TracedMultiShard {
                 nthreads: self.nthreads,
             });
+        }
+        if let Some(rp) = self.retry {
+            if self.window == 1 {
+                return Err(HarnessConfigError::RetryNeedsWindow);
+            }
+            if rp.timeout == SimDuration::ZERO || rp.backoff == 0 || rp.max_attempts == 0 {
+                return Err(HarnessConfigError::BadRetryPolicy);
+            }
         }
         Ok(())
     }
@@ -177,6 +246,14 @@ pub enum HarnessEv<TEv> {
     /// a non-empty timeline is installed, so scenario-free runs carry no
     /// injection cost at all.
     Inject(usize),
+    /// Failover retransmission timer for `(client, seq)`; the counter is
+    /// the attempt number (1-based). Only scheduled when a
+    /// [`RetryPolicy`] is configured.
+    Retry(ClientId, u64, u32),
+    /// The crashed server's recovery completes (scheduled by the
+    /// `ServerCrash` injection): QPs become resettable and the transport
+    /// is told to re-establish its connections.
+    ServerRecover,
 }
 
 /// Produces the request payload for `(client, seq)`. The default
@@ -255,6 +332,15 @@ pub struct Harness<T: RpcTransport> {
     completed: u64,
     /// Per-client retired counts (per-tenant reporting).
     completed_by_client: Vec<u64>,
+    /// Failover retransmissions posted (whole run). Separate from
+    /// `issued`: a retransmission reuses its original request's identity
+    /// and completion, so conservation stays `issued == completed +
+    /// in_flight` however many times a request was resent.
+    retries: u64,
+    /// Payloads of in-flight requests, kept only while a retry policy is
+    /// installed so retransmissions resend the *original* bytes instead
+    /// of re-drawing from a stateful generator. Never touched otherwise.
+    retry_payloads: DetHashMap<(ClientId, u64), Bytes>,
 }
 
 impl<T: RpcTransport> Harness<T> {
@@ -338,6 +424,8 @@ impl<T: RpcTransport> Harness<T> {
             issued: 0,
             completed: 0,
             completed_by_client: vec![0; n],
+            retries: 0,
+            retry_payloads: DetHashMap::default(),
         })
     }
 
@@ -346,6 +434,15 @@ impl<T: RpcTransport> Harness<T> {
     /// bit-exactly equivalent to not installing one.
     pub fn set_scenario(&mut self, spec: ScenarioSpec) -> Result<(), ScenarioError> {
         spec.validate(self.clients.len())?;
+        if self.cfg.retry.is_none() {
+            if let Some(index) = spec
+                .timeline
+                .iter()
+                .position(|(_, inj)| matches!(inj, Injection::ServerCrash { .. }))
+            {
+                return Err(ScenarioError::CrashNeedsRetry { index });
+            }
+        }
         self.scenario = Some(spec);
         Ok(())
     }
@@ -363,6 +460,11 @@ impl<T: RpcTransport> Harness<T> {
     /// Responses retired per client (per-tenant accounting).
     pub fn completed_by_client(&self) -> &[u64] {
         &self.completed_by_client
+    }
+
+    /// Failover retransmissions posted over the whole run.
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Requests currently outstanding across all clients. After a run
@@ -416,12 +518,7 @@ impl<T: RpcTransport> Harness<T> {
     /// of virtual time (time-series for Fig. 3/10-style plots). Only
     /// takes effect when the fabric has an enabled tracer installed;
     /// sampling reads counters and never perturbs the simulation.
-    pub fn sample_counters(
-        &mut self,
-        node: NodeId,
-        counters: &[&'static str],
-        every: SimDuration,
-    ) {
+    pub fn sample_counters(&mut self, node: NodeId, counters: &[&'static str], every: SimDuration) {
         assert!(every.as_nanos() > 0, "sampling interval must be positive");
         self.sampled.extend(counters.iter().map(|&c| (node, c)));
         self.sample_every = every;
@@ -480,6 +577,10 @@ impl<T: RpcTransport> Harness<T> {
             }
             self.clients[c].window.submit(seq, start);
             self.issued += 1;
+            if let Some(rp) = self.cfg.retry {
+                self.retry_payloads.insert((c, seq), payload.clone());
+                cx.at(start + rp.timeout, HarnessEv::Retry(c, seq, 1));
+            }
             cx.fabric.set_trace_ctx(id);
             with_transport_cx(cx, |tcx| {
                 self.transport.submit(c, seq, payload, tcx, &mut out)
@@ -517,6 +618,9 @@ impl<T: RpcTransport> Harness<T> {
                 let Some(done) = st.window.complete(resp.seq) else {
                     continue;
                 };
+                if self.cfg.retry.is_some() {
+                    self.retry_payloads.remove(&(c, resp.seq));
+                }
                 self.completed += 1;
                 self.completed_by_client[c] += 1;
                 let st = &mut self.clients[c];
@@ -568,9 +672,7 @@ impl<T: RpcTransport> Logic for Harness<T> {
         // all-immediate scenario is bit-identical to no scenario.
         for c in 0..self.clients.len() {
             let start = match self.scenario.as_ref().map(|s| s.starts[c]) {
-                None | Some(ClientStart::Immediate) => {
-                    SimTime(self.clients[c].rng.below(2_000))
-                }
+                None | Some(ClientStart::Immediate) => SimTime(self.clients[c].rng.below(2_000)),
                 Some(ClientStart::At(t)) => t,
             };
             cx.at(start, HarnessEv::Wake(c));
@@ -668,7 +770,8 @@ impl<T: RpcTransport> Logic for Harness<T> {
                         }
                     }
                     Injection::LinkDegrade { num, den, extra } => {
-                        cx.fabric.set_link_degrade(Some(LinkDegrade { num, den, extra }));
+                        cx.fabric
+                            .set_link_degrade(Some(LinkDegrade { num, den, extra }));
                     }
                     Injection::LinkRestore => {
                         cx.fabric.set_link_degrade(None);
@@ -677,7 +780,86 @@ impl<T: RpcTransport> Logic for Harness<T> {
                         let server = self.cluster.server;
                         cx.fabric.stall_node(server, cx.now, dur);
                     }
+                    Injection::ServerCrash { down } => {
+                        let server = self.cluster.server;
+                        cx.fabric.crash_node(server, cx.now);
+                        with_transport_cx(cx, |tcx| {
+                            self.transport.on_lifecycle(LifecycleEv::ServerCrash, tcx)
+                        });
+                        cx.after(down, HarnessEv::ServerRecover);
+                    }
+                    Injection::Reconnect { first, last } => {
+                        for c in first..=last {
+                            if !self.clients[c].stopped || cx.now >= self.stop_at {
+                                continue;
+                            }
+                            self.clients[c].stopped = false;
+                            with_transport_cx(cx, |tcx| {
+                                self.transport.on_lifecycle(LifecycleEv::ConnReset(c), tcx)
+                            });
+                            // Rejoin with per-client jitter so a range
+                            // reconnect is not a thundering herd.
+                            let jitter = SimDuration(self.clients[c].rng.below(2_000));
+                            cx.after(jitter, HarnessEv::Wake(c));
+                        }
+                    }
+                    Injection::ConnChurn { first, last } => {
+                        // Each churned client pays the control-plane CPU
+                        // (destroy + re-setup) on its own thread — the
+                        // Swift cost model — before the transport's
+                        // deferred reconnect adds the RTS latency.
+                        let p = cx.fabric.params();
+                        let setup = p.qp_destroy_cpu + p.conn_setup_cpu();
+                        for c in first..=last {
+                            let cost = self.client_cpu(c, setup);
+                            let thread = self.cluster.thread_of(c);
+                            self.threads[thread].acquire(cx.now, cost);
+                            with_transport_cx(cx, |tcx| {
+                                self.transport.on_lifecycle(LifecycleEv::ConnReset(c), tcx)
+                            });
+                        }
+                    }
                 }
+            }
+            HarnessEv::Retry(c, seq, attempt) => {
+                let Some(rp) = self.cfg.retry else {
+                    return;
+                };
+                let Some(payload) = self.retry_payloads.get(&(c, seq)).cloned() else {
+                    return; // completed in the meantime
+                };
+                if attempt > rp.max_attempts {
+                    return; // give up; the client stays stuck and is flagged
+                }
+                self.retries += 1;
+                self.tracer
+                    .instant(InstantKind::Failover, cx.now, c as u64, attempt as u64);
+                // The retransmission costs one post of client CPU.
+                let cost = self.client_cpu(c, self.transport.client_overhead().per_post);
+                let thread = self.cluster.thread_of(c);
+                self.threads[thread].acquire(cx.now, cost);
+                let mut out = Vec::new();
+                cx.fabric.set_trace_ctx(0);
+                with_transport_cx(cx, |tcx| {
+                    self.transport.submit(c, seq, payload, tcx, &mut out)
+                });
+                self.responses.extend(out);
+                self.drain_responses(cx);
+                // Attempt n+1 waits timeout * backoff^n (capped exponent
+                // keeps the arithmetic in range).
+                let exp = attempt.min(16);
+                let delay = SimDuration(
+                    rp.timeout
+                        .0
+                        .saturating_mul((rp.backoff as u64).saturating_pow(exp)),
+                );
+                cx.at(cx.now + delay, HarnessEv::Retry(c, seq, attempt + 1));
+            }
+            HarnessEv::ServerRecover => {
+                with_transport_cx(cx, |tcx| {
+                    self.transport.on_lifecycle(LifecycleEv::ServerRecover, tcx)
+                });
+                self.drain_responses(cx);
             }
             HarnessEv::Sample => {
                 for &(node, counter) in &self.sampled {
@@ -727,7 +909,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_window() {
-        let cfg = HarnessConfig { window: 0, ..base() };
+        let cfg = HarnessConfig {
+            window: 0,
+            ..base()
+        };
         assert_eq!(cfg.validate(40, false), Err(HarnessConfigError::ZeroWindow));
     }
 
@@ -746,7 +931,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_clients() {
-        assert_eq!(base().validate(0, false), Err(HarnessConfigError::ZeroClients));
+        assert_eq!(
+            base().validate(0, false),
+            Err(HarnessConfigError::ZeroClients)
+        );
     }
 
     #[test]

@@ -64,6 +64,23 @@ pub enum Injection {
     /// hiccup): both its tx and rx pipelines are occupied and every
     /// queued operation waits the pause out.
     ServerStall { dur: SimDuration },
+    /// The server process crashes: every QP it owns is torn down (in-
+    /// flight packets toward them drop; reliable requesters see error
+    /// completions) and recovery begins after `down` — QPs reset, the
+    /// transport notified to reconnect. Requires a retry policy on the
+    /// harness for the closed loop to survive (otherwise requests lost
+    /// in the crash window would strand their clients forever).
+    ServerCrash { down: SimDuration },
+    /// Departed clients `first..=last` rejoin the closed loop: each
+    /// client's connection is re-established (lazily or eagerly, per the
+    /// transport) and posting resumes. A no-op for clients that never
+    /// departed.
+    Reconnect { first: ClientId, last: ClientId },
+    /// Connection churn: clients `first..=last` have their connections
+    /// torn down and immediately re-established while they keep
+    /// running — the Swift elastic-workload stressor. Each client pays
+    /// the full modelled setup cost before its next request flows.
+    ConnChurn { first: ClientId, last: ClientId },
 }
 
 /// A compiled scenario: per-client activation plus a time-sorted event
@@ -93,6 +110,10 @@ pub enum ScenarioError {
     /// A slowdown factor is below 1 (`num < den`) or has a zero
     /// denominator.
     BadFactor { index: usize, num: u32, den: u32 },
+    /// The timeline crashes the server but the harness has no retry
+    /// policy: requests lost in the crash window would strand their
+    /// clients forever, so the combination is rejected up front.
+    CrashNeedsRetry { index: usize },
 }
 
 impl fmt::Display for ScenarioError {
@@ -116,6 +137,10 @@ impl fmt::Display for ScenarioError {
             ScenarioError::BadFactor { index, num, den } => write!(
                 f,
                 "timeline entry {index}: factor {num}/{den} must be >= 1 with nonzero denominator"
+            ),
+            ScenarioError::CrashNeedsRetry { index } => write!(
+                f,
+                "timeline entry {index}: server_crash requires a harness retry policy"
             ),
         }
     }
@@ -160,6 +185,8 @@ impl ScenarioSpec {
             let range = match inj {
                 Injection::Depart { first, last } => Some((first, last)),
                 Injection::Straggle { first, last, .. } => Some((first, last)),
+                Injection::Reconnect { first, last } => Some((first, last)),
+                Injection::ConnChurn { first, last } => Some((first, last)),
                 _ => None,
             };
             if let Some((first, last)) = range {

@@ -126,8 +126,7 @@ impl MsgBuf {
             return None;
         }
         let len_start = block.len() - TRAILER;
-        let msg_len =
-            u32::from_le_bytes(block[len_start..len_start + 4].try_into().ok()?) as usize;
+        let msg_len = u32::from_le_bytes(block[len_start..len_start + 4].try_into().ok()?) as usize;
         if msg_len > len_start {
             return None;
         }

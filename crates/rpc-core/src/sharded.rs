@@ -713,7 +713,9 @@ fn stage_push<L: Logic>(
     if dst == sid {
         let k = shard.log.provisional;
         shard.log.provisional += 1;
-        let id = shard.queue.push_with_seq(t, PROVISIONAL_BASE + k as u64, ev);
+        let id = shard
+            .queue
+            .push_with_seq(t, PROVISIONAL_BASE + k as u64, ev);
         shard.prov_ids.push(id);
         shard.log.pushes.push(PushRec {
             dst,

@@ -59,8 +59,12 @@ pub trait ServerHandler {
     /// Processes one request. `fabric` gives the handler access to the
     /// server's registered memory (e.g. a KV store laid out in an MR so
     /// one-sided verbs can address it); simple handlers ignore it.
-    fn handle(&mut self, client: ClientId, request: &[u8], fabric: &mut Fabric)
-        -> (Bytes, SimDuration);
+    fn handle(
+        &mut self,
+        client: ClientId,
+        request: &[u8],
+        fabric: &mut Fabric,
+    ) -> (Bytes, SimDuration);
 }
 
 /// A fixed-cost echo handler used by the microbenchmarks: the paper's raw
@@ -100,6 +104,27 @@ impl ServerHandler for EchoHandler {
     }
 }
 
+/// Control-plane lifecycle notifications the workload driver pushes down
+/// to a transport (PR 8, "elastic control plane"). All variants are
+/// chaos-/churn-driven: a steady-state run never constructs one, so the
+/// default no-op implementation of
+/// [`RpcTransport::on_lifecycle`] keeps existing transports bit-exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleEv {
+    /// The server process crashed: its QPs are in the error state and
+    /// in-flight packets toward it are dropping. Transports should mark
+    /// themselves down and stop posting on server-owned QPs.
+    ServerCrash,
+    /// The server came back (warm restart: regions/CQs intact, QPs
+    /// reset). Transports should re-establish connections and re-arm
+    /// their timers.
+    ServerRecover,
+    /// One client's connection was torn down and must be re-established
+    /// before its next request (connection churn, or a client
+    /// reconnecting after a departure).
+    ConnReset(ClientId),
+}
+
 /// An RPC implementation over the simulated fabric.
 ///
 /// Transports are event-driven: the harness forwards fabric upcalls and
@@ -130,6 +155,14 @@ pub trait RpcTransport {
         cx: &mut Cx<'_, Self::Ev>,
         out: &mut Vec<Response>,
     );
+
+    /// Handles a control-plane lifecycle notification (server crash or
+    /// recovery, connection churn). The default is a no-op: transports
+    /// that predate the elastic control plane simply keep posting and
+    /// rely on the fabric dropping packets toward errored QPs.
+    fn on_lifecycle(&mut self, ev: LifecycleEv, cx: &mut Cx<'_, Self::Ev>) {
+        let _ = (ev, cx);
+    }
 
     /// The client-side CPU cost profile.
     fn client_overhead(&self) -> ClientOverhead;

@@ -88,6 +88,14 @@ impl<Tag> RequestWindow<Tag> {
         Some(Completed { slot, seq, tag })
     }
 
+    /// Whether `seq` currently occupies a slot. Retransmissions consult
+    /// this so a retried request does not claim a second slot.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.slots
+            .iter()
+            .any(|s| matches!(s, Some(f) if f.seq == seq))
+    }
+
     /// Iterate over occupied slots as `(slot index, in-flight entry)`.
     pub fn iter_in_flight(&self) -> impl Iterator<Item = (usize, &InFlight<Tag>)> {
         self.slots

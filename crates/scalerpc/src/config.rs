@@ -41,6 +41,24 @@ pub struct ScaleRpcConfig {
     /// accounting and, with [`tenant_isolate`](Self::tenant_isolate),
     /// the scheduler's grouping.
     pub tenant_of: Vec<u32>,
+    /// Lazy connection establishment (the elastic control plane): when
+    /// true, clients join with *zero* established connections and the
+    /// first RPC pays the full modelled QP setup cost
+    /// (`FabricParams::conn_setup_cpu` + RTS transition latency) before
+    /// any byte flows; requests submitted while setup is in flight are
+    /// buffered client-side and flushed in order on
+    /// `Upcall::ConnEstablished`. When false (the default) connections
+    /// are established eagerly at construction, exactly like the seed —
+    /// steady-state runs stay bit-identical.
+    pub lazy_connect: bool,
+    /// Arms the failover machinery for chaos runs: every response is
+    /// kept in the per-client replay cache so a retransmission whose
+    /// original response was lost (crash window, connection churn) can
+    /// be answered instead of silently dropped by the exactly-once
+    /// guard. The scenario compiler sets this whenever a timeline
+    /// contains lifecycle events; steady-state runs leave it false and
+    /// stay bit-identical (the cache is pure state, never events).
+    pub elastic: bool,
     /// When true (and `tenant_of` is set), the scheduler never places
     /// clients of different tenants in the same connection group — the
     /// per-tenant group cap defense against noisy neighbors evaluated
@@ -60,6 +78,8 @@ impl Default for ScaleRpcConfig {
             regroup_rotations: 4,
             first_slice_offset: SimDuration::ZERO,
             client_window: 1,
+            lazy_connect: false,
+            elastic: false,
             tenant_of: Vec::new(),
             tenant_isolate: false,
         }
@@ -78,9 +98,15 @@ impl ScaleRpcConfig {
             self.time_slice > SimDuration::ZERO,
             "time_slice must be positive"
         );
-        assert!(self.slots > 0 && self.slots < 256, "slots must be in 1..256");
+        assert!(
+            self.slots > 0 && self.slots < 256,
+            "slots must be in 1..256"
+        );
         assert!(self.block_size >= 64, "block_size must hold a message");
-        assert!(self.regroup_rotations > 0, "regroup_rotations must be positive");
+        assert!(
+            self.regroup_rotations > 0,
+            "regroup_rotations must be positive"
+        );
         assert!(
             self.client_window >= 1 && self.client_window <= self.slots,
             "client_window must be in 1..=slots"

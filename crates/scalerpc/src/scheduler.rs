@@ -50,9 +50,7 @@ pub struct GroupPlan {
 impl GroupPlan {
     /// The group index containing `client`, if any.
     pub fn group_of(&self, client: ClientId) -> Option<usize> {
-        self.groups
-            .iter()
-            .position(|g| g.contains(&client))
+        self.groups.iter().position(|g| g.contains(&client))
     }
 
     /// Total clients across groups.

@@ -28,16 +28,16 @@
 
 use bytes::{Bytes, BytesMut};
 use rdma_fabric::{
-    CqId, Fabric, MrId, QpId, RemoteAddr, Transport, Upcall, WcOpcode, WorkRequest, WrId,
+    CqId, Fabric, MrId, PostInfo, QpId, RemoteAddr, Transport, Upcall, WcOpcode, WorkRequest, WrId,
 };
 use rpc_core::cluster::{ClientId, Cluster};
 use rpc_core::driver::Cx;
 use rpc_core::message::{MsgBuf, RpcHeader, FLAG_CTX_SWITCH, FLAG_LEGACY, HEADER};
-use rpc_core::transport::{ClientOverhead, Response, RpcTransport, ServerHandler};
+use rpc_core::transport::{ClientOverhead, LifecycleEv, Response, RpcTransport, ServerHandler};
 use rpc_core::workers::WorkerPool;
-use simcore::{FifoResource, SimDuration};
-use simtrace::{InstantKind, Stage, TraceId, Tracer};
 use simcore::{DetHashMap, DetHashSet};
+use simcore::{FifoResource, SimDuration, SimTime};
+use simtrace::{InstantKind, Stage, TraceId, Tracer};
 
 use crate::client::{ClientFsm, SubmitAction};
 use crate::config::ScaleRpcConfig;
@@ -77,6 +77,26 @@ pub enum ScaleEv {
         /// dropped.
         epoch: u64,
     },
+    /// A staggered post-recovery reconnect is due for `client` (the
+    /// server's control plane re-establishes connections serially).
+    Reconnect {
+        /// Client whose connection to re-establish.
+        client: ClientId,
+    },
+}
+
+/// Where a client's connection stands (the elastic control plane).
+///
+/// Eager (seed) deployments are `Ready` from construction and never
+/// leave it on the steady-state path, so the variants are free there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// No connection; the next submit triggers establishment.
+    Absent,
+    /// Setup in flight; submits are buffered until `ConnEstablished`.
+    Pending,
+    /// Both QPs at RTS; the data path is open.
+    Ready,
 }
 
 struct PerClient {
@@ -107,7 +127,26 @@ struct PerClient {
     /// staged request whose response is still in flight. Handlers with
     /// side effects (locks, transactions) need exactly-once execution.
     seq_window: SeqWindow,
+    /// Connection state (the elastic control plane).
+    conn: ConnState,
+    /// Requests submitted while the connection was down or being set up,
+    /// flushed in order on `ConnEstablished`.
+    pending: Vec<(u64, Bytes)>,
+    /// Response-replay cache. A retransmitted request whose original
+    /// *response* was lost (sent into a crash window, or on the wire
+    /// when churn tore the client's QP down) hits the `seq_window`
+    /// duplicate guard — exactly-once execution — and without this
+    /// cache the duplicate would be dropped silently, stranding the
+    /// client. Populated for every response when `cfg.elastic` (chaos
+    /// runs), and always for sends intercepted while `down`; replayed
+    /// only once a lifecycle event has occurred, so steady-state
+    /// duplicate handling stays bit-exact.
+    resp_cache: Vec<(u64, Bytes)>,
 }
+
+/// Per-client response-replay cache depth: bounds accumulation across
+/// repeated crash windows (one window holds at most `slots` entries).
+const RESP_CACHE: usize = 256;
 
 /// Sliding 1024-bit executed-sequence bitmap: bit `back` records whether
 /// `seq_high - back` was executed. 1024 bits (vs the seed's 128) leaves
@@ -212,6 +251,25 @@ pub struct ScaleRpc<H: ServerHandler> {
     pub direct_requests: u64,
     /// Duplicate request executions suppressed (observability).
     pub dup_drops: u64,
+    /// Reverse map from QPs to their owning client, for routing
+    /// `ConnEstablished` upcalls.
+    qp_index: DetHashMap<QpId, ClientId>,
+    /// The server is crashed: its QPs are errored, posts toward it drop
+    /// and server-side timers/upcalls are suppressed until recovery.
+    down: bool,
+    /// A lifecycle event (crash, churn, reconnect) has occurred this
+    /// run; gates response replay so steady-state duplicate handling
+    /// stays bit-exact.
+    elastic_seen: bool,
+    /// Posts dropped because a QP was torn down or not yet connected
+    /// (observability; always 0 on a healthy run).
+    pub dropped_posts: u64,
+    /// Lost responses re-sent from the replay cache (observability).
+    pub replayed_responses: u64,
+    /// `(time, group count)` at every dynamic-scheduler replan — the
+    /// re-convergence measurement for churn experiments (how long after
+    /// a disturbance the group structure settles).
+    pub replan_history: Vec<(SimTime, usize)>,
 }
 
 impl<H: ServerHandler> ScaleRpc<H> {
@@ -237,16 +295,13 @@ impl<H: ServerHandler> ScaleRpc<H> {
         let server_cq = fabric.create_cq(cluster.server).expect("server cq");
         let mut scheduler = Scheduler::new(cfg.group_size, cfg.time_slice, cfg.dynamic_scheduling);
         if cfg.tenant_isolate {
-            assert_eq!(
-                cfg.tenant_of.len(),
-                n,
-                "tenant_of needs one tag per client"
-            );
+            assert_eq!(cfg.tenant_of.len(), n, "tenant_of needs one tag per client");
             scheduler = scheduler.with_tenants(cfg.tenant_of.clone());
         }
         let plan = scheduler.initial_plan(n);
         let mut clients = Vec::with_capacity(n);
         let mut local_index = DetHashMap::default();
+        let mut qp_index = DetHashMap::default();
         for c in 0..n {
             let cnode = cluster.node_of(c);
             let local_mr = fabric
@@ -259,8 +314,14 @@ impl<H: ServerHandler> ScaleRpc<H> {
             let client_qp = fabric
                 .create_qp(cnode, Transport::Rc, ccq, ccq)
                 .expect("client qp");
-            fabric.connect(server_qp, client_qp).expect("connect");
+            if !cfg.lazy_connect {
+                // Eager (seed) setup: connections exist before time zero,
+                // their cost outside the measured run.
+                fabric.connect(server_qp, client_qp).expect("connect");
+            }
             local_index.insert(local_mr, c);
+            qp_index.insert(server_qp, c);
+            qp_index.insert(client_qp, c);
             clients.push(PerClient {
                 server_qp,
                 client_qp,
@@ -277,6 +338,13 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 served_this_slice: false,
                 seq_high: 0,
                 seq_window: SeqWindow::default(),
+                conn: if cfg.lazy_connect {
+                    ConnState::Absent
+                } else {
+                    ConnState::Ready
+                },
+                pending: Vec::new(),
+                resp_cache: Vec::new(),
             });
         }
         let p = fabric.params();
@@ -318,6 +386,12 @@ impl<H: ServerHandler> ScaleRpc<H> {
             scan_requests: 0,
             direct_requests: 0,
             dup_drops: 0,
+            qp_index,
+            down: false,
+            elastic_seen: false,
+            dropped_posts: 0,
+            replayed_responses: 0,
+            replan_history: Vec::new(),
             cfg,
         }
     }
@@ -349,7 +423,12 @@ impl<H: ServerHandler> ScaleRpc<H> {
             .mr(self.endpoint_mr)
             .and_then(|mr| mr.read_u64(client * ENTRY + 16))
             .unwrap_or(u64::MAX);
-        let wnd: Vec<u64> = st.fsm.window().iter_in_flight().map(|(_, f)| f.seq).collect();
+        let wnd: Vec<u64> = st
+            .fsm
+            .window()
+            .iter_in_flight()
+            .map(|(_, f)| f.seq)
+            .collect();
         format!(
             "client {client}: fsm={:?} inflight={:?} entry_valid={} entry_word={} \
              publish_inflight={} needs_ctx={} inflight_responses={} last_fetch_epoch={} \
@@ -411,6 +490,26 @@ impl<H: ServerHandler> ScaleRpc<H> {
         buf
     }
 
+    /// Posts a work request, tolerating a torn-down or not-yet-ready QP:
+    /// on a healthy run this behaves exactly like an `.expect`ing post;
+    /// under churn the post is dropped and counted instead of panicking,
+    /// and the harness retry layer re-drives the lost work.
+    fn post_or_drop(
+        &mut self,
+        qp: QpId,
+        wr: WorkRequest,
+        signaled: bool,
+        cx: &mut Cx<'_, ScaleEv>,
+    ) -> Option<PostInfo> {
+        match cx.post(qp, wr, signaled, None) {
+            Ok(info) => Some(info),
+            Err(_) => {
+                self.dropped_posts += 1;
+                None
+            }
+        }
+    }
+
     // ---- client side -------------------------------------------------------
 
     /// Picks the staging block for `seq`. The natural slot is
@@ -437,12 +536,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 .and_then(|raw| MsgBuf::decode(raw).and_then(RpcHeader::decode))
                 .map(|(h, _)| h.seq);
             let occupied = staged_seq.is_some_and(|ss| {
-                ss != seq
-                    && st
-                        .fsm
-                        .window()
-                        .iter_in_flight()
-                        .any(|(_, f)| f.seq == ss)
+                ss != seq && st.fsm.window().iter_in_flight().any(|(_, f)| f.seq == ss)
             });
             if !occupied {
                 return s;
@@ -451,7 +545,13 @@ impl<H: ServerHandler> ScaleRpc<H> {
         base
     }
 
-    fn stage_request(&mut self, client: ClientId, seq: u64, payload: &[u8], cx: &mut Cx<'_, ScaleEv>) {
+    fn stage_request(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        payload: &[u8],
+        cx: &mut Cx<'_, ScaleEv>,
+    ) {
         // Compose the message into the local staging block: an ordinary
         // CPU store, no verbs.
         let slot = self.staging_slot_for(client, seq, cx.fabric);
@@ -474,7 +574,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
         entry[0..8].copy_from_slice(&0u64.to_le_bytes()); // staging offset
         entry[8..12].copy_from_slice(&(self.cfg.slots as u32).to_le_bytes());
         entry[16..24].copy_from_slice(&1u64.to_le_bytes()); // valid
-        cx.post(
+        self.post_or_drop(
             self.clients[client].client_qp,
             WorkRequest::Write {
                 data: Bytes::copy_from_slice(&entry),
@@ -482,12 +582,17 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 imm: None,
             },
             false,
-            None,
-        )
-        .expect("endpoint write");
+            cx,
+        );
     }
 
-    fn direct_write(&mut self, client: ClientId, seq: u64, payload: &[u8], cx: &mut Cx<'_, ScaleEv>) {
+    fn direct_write(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        payload: &[u8],
+        cx: &mut Cx<'_, ScaleEv>,
+    ) {
         let Some((_, zone)) = self.zone_of(client) else {
             return;
         };
@@ -498,7 +603,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
             MsgBuf::encode(&buf, self.cfg.block_size).expect("request fits block");
         let pool = self.pools[self.pool_pair.processing()];
         let remote = RemoteAddr::new(pool, self.geom.offset(zone, slot) + enc_off);
-        cx.post(
+        self.post_or_drop(
             self.clients[client].client_qp,
             WorkRequest::Write {
                 data: bytes,
@@ -506,9 +611,8 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 imm: None,
             },
             false,
-            None,
-        )
-        .expect("direct request write");
+            cx,
+        );
     }
 
     // ---- server side: warmup ----------------------------------------------
@@ -544,19 +648,21 @@ impl<H: ServerHandler> ScaleRpc<H> {
             .expect("endpoint mr")
             .write(client * ENTRY + 16, &0u64.to_le_bytes())
             .expect("entry clear");
-        let info = cx
-            .post(
-                self.clients[client].server_qp,
-                WorkRequest::Read {
-                    local_mr: self.pools[pool_idx],
-                    local_offset: self.geom.zone_offset(zone),
-                    remote: RemoteAddr::new(self.clients[client].local_mr, 0),
-                    len: self.geom.zone_bytes(),
-                },
-                true,
-                None,
-            )
-            .expect("warmup read");
+        let Some(info) = self.post_or_drop(
+            self.clients[client].server_qp,
+            WorkRequest::Read {
+                local_mr: self.pools[pool_idx],
+                local_offset: self.geom.zone_offset(zone),
+                remote: RemoteAddr::new(self.clients[client].local_mr, 0),
+                len: self.geom.zone_bytes(),
+            },
+            true,
+            cx,
+        ) else {
+            // QP torn down under us: the fetch is lost; the client
+            // republishes (or the retry layer re-drives) after recovery.
+            return;
+        };
         self.warmup_fetches += 1;
         self.tracer.instant(
             InstantKind::WarmupFetchIssue,
@@ -630,8 +736,39 @@ impl<H: ServerHandler> ScaleRpc<H> {
             cx.fabric
                 .mr_mut(pool_mr)
                 .expect("pool mr")
-                .write(MsgBuf::valid_offset(self.cfg.block_size) + block_start, &[0])
+                .write(
+                    MsgBuf::valid_offset(self.cfg.block_size) + block_start,
+                    &[0],
+                )
                 .expect("valid clear");
+            // After a lifecycle disturbance, a duplicate may be the
+            // retransmission of a request whose *response* was lost
+            // (crash window, churned QP): answer from the replay cache
+            // instead of stranding the client. The handler does not run
+            // again — exactly-once execution holds.
+            if self.elastic_seen {
+                let hit = self.clients[client]
+                    .resp_cache
+                    .iter()
+                    .find(|e| e.0 == header.seq)
+                    .map(|e| e.1.clone());
+                if let Some(resp) = hit {
+                    self.replayed_responses += 1;
+                    self.clients[client].inflight_responses += 1;
+                    self.clients[client].served_this_slice = true;
+                    let service = self.pool_check + self.post_cpu;
+                    let w = self.workers.owner_of(zone);
+                    let done = self.workers.run(w, cx.now, service);
+                    cx.at(
+                        done,
+                        ScaleEv::SendResponse {
+                            client,
+                            seq: header.seq,
+                            payload: resp,
+                        },
+                    );
+                }
+            }
             return;
         }
         // Consume the message (stateless pool: clearing Valid is the only
@@ -639,7 +776,10 @@ impl<H: ServerHandler> ScaleRpc<H> {
         cx.fabric
             .mr_mut(pool_mr)
             .expect("pool mr")
-            .write(MsgBuf::valid_offset(self.cfg.block_size) + block_start, &[0])
+            .write(
+                MsgBuf::valid_offset(self.cfg.block_size) + block_start,
+                &[0],
+            )
             .expect("valid clear");
         let (touch_off, touch_len) = touched.unwrap_or((
             block_start,
@@ -679,7 +819,8 @@ impl<H: ServerHandler> ScaleRpc<H> {
         if let Some(&tid) = self.trace_ids.get(&(client, header.seq)) {
             // Includes queueing behind the zone's worker, so slice-wait
             // shows up in the stage breakdown.
-            self.tracer.span(tid, Stage::Handler, cx.now, done, client as u64);
+            self.tracer
+                .span(tid, Stage::Handler, cx.now, done, client as u64);
         }
         cx.at(
             done,
@@ -781,6 +922,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 let before = self.plan.groups.len();
                 self.plan = self.scheduler.replan(&self.stats_last);
                 let after = self.plan.groups.len();
+                self.replan_history.push((cx.now, after));
                 self.tracer.instant(
                     InstantKind::GroupReprioritize,
                     cx.now,
@@ -846,7 +988,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
             self.clients[client].local_mr,
             self.resp_off(self.cfg.slots) + enc_off,
         );
-        cx.post(
+        self.post_or_drop(
             self.clients[client].server_qp,
             WorkRequest::Write {
                 data: bytes,
@@ -854,9 +996,8 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 imm: None,
             },
             false,
-            None,
-        )
-        .expect("ctx notify write");
+            cx,
+        );
     }
 
     // ---- client side: response handling --------------------------------------
@@ -889,7 +1030,10 @@ impl<H: ServerHandler> ScaleRpc<H> {
         cx.fabric
             .mr_mut(local_mr)
             .expect("local mr")
-            .write(MsgBuf::valid_offset(self.cfg.block_size) + block_start, &[0])
+            .write(
+                MsgBuf::valid_offset(self.cfg.block_size) + block_start,
+                &[0],
+            )
             .expect("valid clear");
         if header.seq == NOTIFY_SEQ {
             self.clients[client].fsm.on_ctx_notify();
@@ -906,8 +1050,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
             }
             return;
         }
-        if self
-            .clients[client]
+        if self.clients[client]
             .fsm
             .complete(header.seq, header.is_ctx_switch())
             .is_none()
@@ -939,15 +1082,198 @@ impl<H: ServerHandler> ScaleRpc<H> {
                 cx.fabric
                     .mr_mut(local_mr)
                     .expect("local mr")
-                    .write(MsgBuf::valid_offset(self.cfg.block_size) + stage_block, &[0])
+                    .write(
+                        MsgBuf::valid_offset(self.cfg.block_size) + stage_block,
+                        &[0],
+                    )
                     .expect("staging clear");
             }
         }
+        // A delivered response can never need replay again: the client
+        // FSM has completed this sequence, so no retransmission of it
+        // will arrive. Pruning keeps the bounded replay cache holding
+        // only *undelivered* responses — the exact failover replay set —
+        // instead of letting steady traffic evict the stuck entries
+        // (lowest-seq eviction would discard precisely the oldest,
+        // still-unacknowledged request a retry is about to ask for).
+        self.clients[client].resp_cache.retain(|e| e.0 != header.seq);
         out.push(Response {
             client,
             seq: header.seq,
             payload: Bytes::from(payload),
         });
+    }
+
+    /// Drives one request through the client FSM and onto the wire (the
+    /// post-connection-setup half of `submit`).
+    fn dispatch(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        payload: Bytes,
+        tid: TraceId,
+        cx: &mut Cx<'_, ScaleEv>,
+    ) {
+        // Track the request in the FSM's in-flight window (per-slot
+        // TraceIds). A retransmission of a sequence the window already
+        // tracks must not claim a second slot; should a caller overcommit
+        // past the slot count, fall back to the untracked Fig. 7
+        // transition so the state machine itself never diverges.
+        let action = if self.clients[client].fsm.window().contains(seq) {
+            self.clients[client].fsm.on_submit()
+        } else {
+            self.clients[client]
+                .fsm
+                .submit(seq, tid)
+                .unwrap_or_else(|| self.clients[client].fsm.on_submit())
+        };
+        match action {
+            SubmitAction::DirectWrite => self.direct_write(client, seq, &payload, cx),
+            SubmitAction::StageAndPublish => {
+                self.stage_request(client, seq, &payload, cx);
+                self.publish_entry(client, cx);
+            }
+            SubmitAction::StageOnly => {
+                self.stage_request(client, seq, &payload, cx);
+                // If the entry was already consumed this cycle (and no
+                // publish is on the wire), republish so the batch is not
+                // stranded until the next rotation.
+                if !self.clients[client].entry_valid && !self.clients[client].publish_inflight {
+                    self.publish_entry(client, cx);
+                }
+            }
+        }
+    }
+
+    // ---- elastic control plane ---------------------------------------------
+
+    /// Kicks off a modelled connection establishment for `client`. While
+    /// the server is crashed the attempt fails verb-side; the client
+    /// stays `Pending` with its requests buffered and `recover`
+    /// re-drives the setup.
+    fn begin_connect(&mut self, client: ClientId, cx: &mut Cx<'_, ScaleEv>) {
+        self.clients[client].conn = ConnState::Pending;
+        let (cq, sq) = (
+            self.clients[client].client_qp,
+            self.clients[client].server_qp,
+        );
+        // The deferred-setup path models the full control-plane cost
+        // (QP create + RTS transition) before `ConnEstablished` fires.
+        let _ = cx.connect_deferred(cq, sq);
+    }
+
+    /// Both ends of `qp`'s connection reached RTS: open the data path
+    /// and flush requests buffered during setup, in submission order.
+    fn on_conn_established(&mut self, qp: QpId, cx: &mut Cx<'_, ScaleEv>) {
+        let Some(&client) = self.qp_index.get(&qp) else {
+            return;
+        };
+        if self.clients[client].conn == ConnState::Ready {
+            return;
+        }
+        self.clients[client].conn = ConnState::Ready;
+        let pending = std::mem::take(&mut self.clients[client].pending);
+        for (seq, payload) in pending {
+            let tid = self
+                .trace_ids
+                .get(&(client, seq))
+                .copied()
+                .unwrap_or_default();
+            self.dispatch(client, seq, payload, tid, cx);
+        }
+    }
+
+    /// Clears server-side per-client connection state (endpoint entry,
+    /// fetch/publish bookkeeping) that refers to a connection that no
+    /// longer exists. Memory regions survive — this is the warm-restart
+    /// model.
+    fn forget_conn_state(&mut self, client: ClientId, cx: &mut Cx<'_, ScaleEv>) {
+        cx.fabric
+            .mr_mut(self.endpoint_mr)
+            .expect("endpoint mr")
+            .write(client * ENTRY + 16, &0u64.to_le_bytes())
+            .expect("entry scrub");
+        let st = &mut self.clients[client];
+        st.entry_valid = false;
+        st.publish_inflight = false;
+        st.last_fetch_epoch = u64::MAX;
+        st.inflight_responses = 0;
+        st.needs_ctx = false;
+    }
+
+    /// Connection churn for one client: both QPs torn down (in-flight
+    /// packets drop) and re-established, the full setup cost paid before
+    /// the client's next request flows.
+    fn conn_reset(&mut self, client: ClientId, cx: &mut Cx<'_, ScaleEv>) {
+        let (sq, cq) = (
+            self.clients[client].server_qp,
+            self.clients[client].client_qp,
+        );
+        // Tear both ends down, then bring them back to Reset so a fresh
+        // establishment can run (the legal Error → Reset → RTS path).
+        let _ = cx.fabric.destroy_qp(sq);
+        let _ = cx.fabric.destroy_qp(cq);
+        let _ = cx.fabric.reset_qp(sq);
+        let _ = cx.fabric.reset_qp(cq);
+        self.forget_conn_state(client, cx);
+        if self.down {
+            // Reconnection waits for server recovery.
+            self.clients[client].conn = ConnState::Pending;
+        } else if self.cfg.lazy_connect && self.clients[client].pending.is_empty() {
+            // Lazy clients with nothing buffered reconnect on demand.
+            self.clients[client].conn = ConnState::Absent;
+        } else {
+            self.begin_connect(client, cx);
+        }
+    }
+
+    /// Warm server restart after a crash: QPs leave the error state,
+    /// connections are re-established (staggered — the control plane
+    /// brings them up serially), and the slice schedule restarts.
+    fn recover(&mut self, cx: &mut Cx<'_, ScaleEv>) {
+        self.down = false;
+        let setup = cx.fabric.params().conn_setup_cpu();
+        for c in 0..self.clients.len() {
+            let (sq, cq) = (self.clients[c].server_qp, self.clients[c].client_qp);
+            let _ = cx.fabric.reset_qp(sq);
+            let _ = cx.fabric.reset_qp(cq);
+            self.forget_conn_state(c, cx);
+            if self.cfg.lazy_connect && self.clients[c].pending.is_empty() {
+                self.clients[c].conn = ConnState::Absent;
+            } else {
+                self.clients[c].conn = ConnState::Pending;
+                // One connection per setup interval: client c re-admits
+                // after c serial establishments.
+                cx.after(
+                    SimDuration::nanos(setup.as_nanos() * c as u64),
+                    ScaleEv::Reconnect { client: c },
+                );
+            }
+        }
+        // Restart the slice schedule; the crash invalidated the old
+        // epoch's timers.
+        let slice = self.plan.slices[self.cur.min(self.plan.slices.len() - 1)];
+        cx.after(
+            slice,
+            ScaleEv::SliceEnd {
+                epoch: self.slice_epoch,
+            },
+        );
+    }
+
+    /// Remembers `payload` as the response to `(client, seq)` for
+    /// post-loss replay. Bounded; evicts the oldest (lowest) sequence.
+    fn cache_response(st: &mut PerClient, seq: u64, payload: Bytes) {
+        if let Some(e) = st.resp_cache.iter_mut().find(|e| e.0 == seq) {
+            e.1 = payload;
+            return;
+        }
+        if st.resp_cache.len() >= RESP_CACHE {
+            if let Some(i) = (0..st.resp_cache.len()).min_by_key(|&i| st.resp_cache[i].0) {
+                st.resp_cache.swap_remove(i);
+            }
+        }
+        st.resp_cache.push((seq, payload));
     }
 }
 
@@ -982,6 +1308,9 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                 mr, offset, len, ..
             } => {
                 if mr == self.pools[0] || mr == self.pools[1] {
+                    if self.down {
+                        return; // crashed server: nothing polls the pools
+                    }
                     // Direct request arrival into a pool.
                     let Some((zone, _slot)) = self.geom.locate(offset) else {
                         return;
@@ -990,6 +1319,9 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                     self.direct_requests += 1;
                     self.execute_block(mr, zone, block_start, Some((offset, len)), cx);
                 } else if mr == self.endpoint_mr {
+                    if self.down {
+                        return; // crashed server: the warmup engine is dead
+                    }
                     let client = offset / ENTRY;
                     if client >= self.clients.len() {
                         return;
@@ -1023,7 +1355,7 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                 }
             }
             Upcall::Completion { cq, wc, .. } => {
-                if cq != self.server_cq || wc.opcode != WcOpcode::RdmaRead {
+                if self.down || cq != self.server_cq || wc.opcode != WcOpcode::RdmaRead {
                     return;
                 }
                 // A warmup fetch completed.
@@ -1052,6 +1384,9 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                 // Same-epoch warmup-pool fetches wait for the context
                 // switch (their zones are reserved until its scan).
             }
+            Upcall::ConnEstablished { qp, .. } => {
+                self.on_conn_established(qp, cx);
+            }
         }
     }
 
@@ -1069,8 +1404,13 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
             } => {
                 // Drop stale fetch timers from a previous slice and
                 // fetches whose entry was already consumed eagerly.
-                if epoch == self.slice_epoch && self.clients[client].entry_valid {
+                if !self.down && epoch == self.slice_epoch && self.clients[client].entry_valid {
                     self.fetch_client(client, pool_idx, cx);
+                }
+            }
+            ScaleEv::Reconnect { client } => {
+                if !self.down && self.clients[client].conn == ConnState::Pending {
+                    self.begin_connect(client, cx);
                 }
             }
             ScaleEv::SendResponse {
@@ -1078,6 +1418,18 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                 seq,
                 payload,
             } => {
+                if self.cfg.elastic || self.down {
+                    Self::cache_response(&mut self.clients[client], seq, payload.clone());
+                }
+                if self.down {
+                    // The response is computed but the server died before
+                    // the write could be posted — the canonical lost-
+                    // response window. The cache above answers the
+                    // retransmission after recovery.
+                    let st = &mut self.clients[client];
+                    st.inflight_responses = st.inflight_responses.saturating_sub(1);
+                    return;
+                }
                 let st = &mut self.clients[client];
                 st.inflight_responses = st.inflight_responses.saturating_sub(1);
                 let mut flags = 0;
@@ -1089,16 +1441,15 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                 let (enc_off, bytes) =
                     MsgBuf::encode(&buf, self.cfg.block_size).expect("response fits block");
                 let slot = self.geom.slot_of_seq(seq);
-                let remote = RemoteAddr::new(
-                    self.clients[client].local_mr,
-                    self.resp_off(slot) + enc_off,
-                );
+                let remote =
+                    RemoteAddr::new(self.clients[client].local_mr, self.resp_off(slot) + enc_off);
                 if let Some(&tid) = self.trace_ids.get(&(client, seq)) {
                     // Closed when the write lands at the client.
-                    self.tracer.begin(tid, Stage::Response, cx.now, client as u64);
+                    self.tracer
+                        .begin(tid, Stage::Response, cx.now, client as u64);
                     cx.fabric.set_trace_ctx(tid);
                 }
-                cx.post(
+                self.post_or_drop(
                     self.clients[client].server_qp,
                     WorkRequest::Write {
                         data: bytes,
@@ -1106,9 +1457,8 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                         imm: None,
                     },
                     false,
-                    None,
-                )
-                .expect("response write");
+                    cx,
+                );
             }
         }
     }
@@ -1125,29 +1475,82 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
         if tid != 0 {
             self.trace_ids.insert((client, seq), tid);
         }
-        // Track the request in the FSM's in-flight window (per-slot
-        // TraceIds). Should a caller overcommit past the slot count, fall
-        // back to the untracked Fig. 7 transition so the state machine
-        // itself never diverges.
-        let action = self.clients[client]
-            .fsm
-            .submit(seq, tid)
-            .unwrap_or_else(|| self.clients[client].fsm.on_submit());
-        match action {
-            SubmitAction::DirectWrite => self.direct_write(client, seq, &payload, cx),
-            SubmitAction::StageAndPublish => {
-                self.stage_request(client, seq, &payload, cx);
-                self.publish_entry(client, cx);
-            }
-            SubmitAction::StageOnly => {
-                self.stage_request(client, seq, &payload, cx);
-                // If the entry was already consumed this cycle (and no
-                // publish is on the wire), republish so the batch is not
-                // stranded until the next rotation.
-                if !self.clients[client].entry_valid && !self.clients[client].publish_inflight {
-                    self.publish_entry(client, cx);
+        match self.clients[client].conn {
+            ConnState::Ready => self.dispatch(client, seq, payload, tid, cx),
+            ConnState::Pending => {
+                // Setup (or recovery) in flight: buffer, dedup retries.
+                let st = &mut self.clients[client];
+                if !st.pending.iter().any(|(s, _)| *s == seq) {
+                    st.pending.push((seq, payload));
                 }
             }
+            ConnState::Absent => {
+                // Lazy establishment: the first RPC pays the setup cost.
+                self.clients[client].pending.push((seq, payload));
+                self.begin_connect(client, cx);
+            }
+        }
+    }
+
+    fn on_lifecycle(&mut self, ev: LifecycleEv, cx: &mut Cx<'_, ScaleEv>) {
+        self.elastic_seen = true;
+        match ev {
+            LifecycleEv::ServerCrash => {
+                self.down = true;
+                // Invalidate every in-flight slice timer and planned
+                // fetch; drop warmup reads that will never complete.
+                self.slice_epoch += 1;
+                self.pending_reads.clear();
+                self.zone_reserved[0].fill(u64::MAX);
+                self.zone_reserved[1].fill(u64::MAX);
+                for c in 0..self.clients.len() {
+                    // Buffer submits until recovery re-establishes the
+                    // connection (posting would only drop at the NIC).
+                    self.clients[c].conn = ConnState::Pending;
+                    // Cancel requests the crash stranded client-side:
+                    // buffered-for-flush and staged-but-unserved ones.
+                    // Letting them flow after recovery would execute
+                    // requests whose issuer already presumed them dead —
+                    // a failover retry re-sends the same sequence (the
+                    // dedup window keeps that exactly-once), but an
+                    // application that aborted and re-issued under a new
+                    // identity (scaletx) would leak the side effects
+                    // (locks) of the zombie request.
+                    self.clients[c].pending.clear();
+                    let local_mr = self.clients[c].local_mr;
+                    for s in 0..self.cfg.slots {
+                        cx.fabric
+                            .mr_mut(local_mr)
+                            .expect("local mr")
+                            .write(
+                                MsgBuf::valid_offset(self.cfg.block_size) + self.staging_off(s),
+                                &[0],
+                            )
+                            .expect("staging cancel");
+                    }
+                }
+                // Warm restart reformats the message rings: a request a
+                // pre-crash warmup fetch already copied into the pools
+                // would otherwise be executed by the post-recovery zone
+                // scan — the same zombie hazard as the staging blocks
+                // above, one copy further downstream.
+                for pi in 0..2 {
+                    let pool_mr = self.pools[pi];
+                    for z in 0..self.geom.zones {
+                        for s in 0..self.cfg.slots {
+                            let off = self.geom.offset(z, s)
+                                + MsgBuf::valid_offset(self.cfg.block_size);
+                            cx.fabric
+                                .mr_mut(pool_mr)
+                                .expect("pool mr")
+                                .write(off, &[0])
+                                .expect("pool scrub");
+                        }
+                    }
+                }
+            }
+            LifecycleEv::ServerRecover => self.recover(cx),
+            LifecycleEv::ConnReset(c) => self.conn_reset(c, cx),
         }
     }
 

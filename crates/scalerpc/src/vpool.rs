@@ -77,13 +77,11 @@ impl VirtualPool {
 }
 
 /// The role-swapping pair of physical pools.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PoolPair {
     /// Index (0/1) of the pool currently used for processing.
     processing: usize,
 }
-
 
 impl PoolPair {
     /// Creates the pair with pool 0 processing, pool 1 warming.

@@ -29,6 +29,7 @@ fn cfg(batch: usize, run_ms: u64) -> HarnessConfig {
         seed: 11,
         window: 1,
         nthreads: 1,
+        retry: None,
     }
 }
 

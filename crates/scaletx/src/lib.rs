@@ -38,5 +38,5 @@ pub mod workload;
 
 pub use participant::TxParticipant;
 pub use proto::{ExecItem, TxRequest, TxResponse};
-pub use sim::{run_scalerpc_tx, tx_scale_cfg, TxConfig, TxMetrics, TxSim};
+pub use sim::{run_scalerpc_tx, run_scalerpc_tx_with, tx_scale_cfg, TxConfig, TxMetrics, TxSim};
 pub use workload::{TxKind, TxSpec, TxWorkload};

@@ -90,10 +90,7 @@ impl TxParticipant {
 
     /// Loads a key with an initial value (setup phase; free of charge).
     pub fn load(&mut self, fabric: &mut Fabric, key: u64, value: &[u8]) {
-        let mem = fabric
-            .mr_mut(self.kv_mr)
-            .expect("kv region")
-            .as_mut_slice();
+        let mem = fabric.mr_mut(self.kv_mr).expect("kv region").as_mut_slice();
         self.table.insert(mem, key, value).expect("preload fits");
     }
 
@@ -101,6 +98,15 @@ impl TxParticipant {
     pub fn peek(&self, fabric: &Fabric, key: u64) -> Option<item::ItemRef> {
         let mem = fabric.mr(self.kv_mr).expect("kv region").as_slice();
         self.table.get(mem, key).ok()
+    }
+
+    /// Crash-recovery lock sweep: releases every held lock regardless of
+    /// owner, returning how many were freed. A warm-restarted server has
+    /// lost the coordinator sessions its lock words refer to, so it
+    /// presumes their transactions aborted.
+    pub fn release_all_locks(&mut self, fabric: &mut Fabric) -> u32 {
+        let mem = fabric.mr_mut(self.kv_mr).expect("kv region").as_mut_slice();
+        self.table.release_all_locks(mem)
     }
 }
 
@@ -282,7 +288,10 @@ mod tests {
         }
         .encode();
         let (resp, _) = p.handle(0, &req, &mut fabric);
-        assert_eq!(TxResponse::decode(&resp), Some(TxResponse::Validate { ok: true }));
+        assert_eq!(
+            TxResponse::decode(&resp),
+            Some(TxResponse::Validate { ok: true })
+        );
         // Commit a change, validation against the old version now fails.
         let commit = TxRequest::Commit {
             txid: 0,

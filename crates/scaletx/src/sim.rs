@@ -15,15 +15,15 @@ use crate::proto::{ExecItem, TxRequest, TxResponse};
 use crate::workload::{TxSpec, TxWorkload};
 use bytes::Bytes;
 use rdma_fabric::{
-    Fabric, FabricParams, MrId, RemoteAddr, Upcall, WcOpcode, WorkRequest, WrId,
+    Fabric, FabricParams, MrId, NodeId, RemoteAddr, Upcall, WcOpcode, WcStatus, WorkRequest, WrId,
 };
 use rpc_core::cluster::{Cluster, ClusterSpec};
 use rpc_core::driver::{Cx, Logic};
 use rpc_core::sharded::ShardedSim;
-use rpc_core::transport::{OneSidedAccess, Response, RpcTransport};
+use rpc_core::transport::{LifecycleEv, OneSidedAccess, Response, RpcTransport};
 use simcore::stats::Histogram;
-use simcore::{DetRng, SimDuration, SimTime};
 use simcore::DetHashMap;
+use simcore::{DetRng, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Message slots the transports expose per client; the transaction
@@ -225,6 +225,12 @@ pub enum TxEv<TEv> {
     Start(usize),
     /// A gated phase transition of `(coordinator, slot)` is due.
     Advance(usize, usize, Action),
+    /// Participant server `i` crashes, staying down for the duration
+    /// (scheduled by [`TxSim::inject_server_crash`]).
+    ServerCrash(usize, SimDuration),
+    /// Participant server `i` warm-restarts: its lock table is swept and
+    /// the transport re-establishes connections.
+    ServerRecover(usize),
 }
 
 /// The multi-server transaction simulation.
@@ -247,6 +253,15 @@ pub struct TxSim<T: RpcTransport + OneSidedAccess> {
     thread_of: Vec<usize>,
     /// Per-slot scratch stride in bytes (validation read buffers).
     scratch_stride: usize,
+    /// Each participant cluster's server node (crash injection target).
+    server_nodes: Vec<NodeId>,
+    /// Scheduled participant crashes: `(at, server, downtime)`.
+    chaos: Vec<(SimTime, usize, SimDuration)>,
+    /// Requests whose response was synthesized as failed because the
+    /// participant crashed while they were outstanding.
+    pub crash_failures: u64,
+    /// Locks the recovery sweep released across all warm restarts.
+    pub locks_swept: u64,
 }
 
 /// Shard owning `key`.
@@ -280,6 +295,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         };
         let mut transports = Vec::new();
         let mut kv_mrs = Vec::new();
+        let mut server_nodes = Vec::new();
         let total_keys = cfg.keys_per_server * cfg.servers as u64;
         for s in 0..cfg.servers {
             let cluster = Cluster::build_shared(
@@ -288,6 +304,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                 machines.clone(),
                 &format!("participant-{s}"),
             );
+            server_nodes.push(cluster.server);
             let capacity = (total_keys / cfg.servers as u64 + cfg.servers as u64 + 8) as u32;
             let mut part = TxParticipant::new(fabric, cluster.server, capacity, cfg.value_size);
             for key in 0..total_keys {
@@ -356,7 +373,22 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             threads,
             thread_of,
             scratch_stride,
+            server_nodes,
+            chaos: Vec::new(),
+            crash_failures: 0,
+            locks_swept: 0,
         }
+    }
+
+    /// Schedules a participant crash: at `at`, every QP `server` owns is
+    /// torn down (in-flight packets toward it drop) and its transport is
+    /// marked down; `down` later the server warm-restarts — regions and
+    /// CQs intact, lock table swept, connections re-established. Must be
+    /// called before the sim runs (`init` plants the timeline).
+    pub fn inject_server_crash(&mut self, at: SimTime, server: usize, down: SimDuration) {
+        assert!(server < self.server_nodes.len(), "no such participant");
+        assert!(down > SimDuration::ZERO, "zero downtime is not a crash");
+        self.chaos.push((at, server, down));
     }
 
     /// Globally unique lock owner for `(coordinator, slot)`. The
@@ -506,13 +538,19 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                     }
                     // Items whose Execute response never arrived (their
                     // server failed) carry no address and hold no lock.
-                    self.coords[c].slots[slot].exec.get(&k).map(|e| (s, e.item_off))
+                    self.coords[c].slots[slot]
+                        .exec
+                        .get(&k)
+                        .map(|e| (s, e.item_off))
                 })
                 .collect();
             for (s, item_off) in writes {
                 let qp = self.transports[s].client_qp(c).expect("one-sided active");
                 with_indexed_cx(cx, s, |tcx| {
-                    tcx.post(
+                    // A refused post means the QP is re-establishing
+                    // after a crash — the restart's lock sweep already
+                    // freed whatever this write would have.
+                    let _ = tcx.post(
                         qp,
                         WorkRequest::Write {
                             data: Bytes::copy_from_slice(&0u64.to_le_bytes()),
@@ -521,8 +559,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                         },
                         false,
                         None,
-                    )
-                    .expect("unlock write");
+                    );
                 });
             }
             self.schedule_retry(c, slot, cx);
@@ -553,7 +590,9 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
     }
 
     fn commit_done(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
-        let latency = cx.now.saturating_since(self.coords[c].slots[slot].first_started);
+        let latency = cx
+            .now
+            .saturating_since(self.coords[c].slots[slot].first_started);
         if cx.now >= self.metrics.window_start && cx.now <= self.metrics.window_end {
             self.metrics.committed += 1;
             self.metrics.latency.record_duration(latency);
@@ -593,7 +632,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                     "read set too large for per-slot scratch stride"
                 );
                 let scratch = self.coords[c].scratch_mr;
-                let info = with_indexed_cx(cx, s, |tcx| {
+                let posted = with_indexed_cx(cx, s, |tcx| {
                     tcx.post(
                         qp,
                         WorkRequest::Read {
@@ -605,11 +644,23 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                         true,
                         None,
                     )
-                    .expect("validation read")
                 });
-                self.coords[c].slots[slot].pending += 1;
-                self.pending_reads
-                    .insert(info.wr_id, (c, slot, scratch_off, version));
+                match posted {
+                    Ok(info) => {
+                        self.coords[c].slots[slot].pending += 1;
+                        self.pending_reads
+                            .insert(info.wr_id, (c, slot, scratch_off, version));
+                    }
+                    Err(_) => {
+                        // The QP is re-establishing after a crash: the
+                        // read cannot run, the validation fails.
+                        self.coords[c].slots[slot].phase_ok = false;
+                    }
+                }
+            }
+            if self.coords[c].slots[slot].pending == 0 {
+                // Every read refused at post time — abort straight away.
+                self.gate(c, slot, 2, Action::Abort, cx);
             }
         } else {
             let mut per_server: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
@@ -682,7 +733,11 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                 let kv_mr = self.kv_mrs[s];
                 let item_off = e.item_off as usize;
                 with_indexed_cx(cx, s, |tcx| {
-                    tcx.post(
+                    // Refused while the QP re-establishes after a crash:
+                    // the install is lost, exactly like an in-flight
+                    // write dropped by the crash itself. The restart's
+                    // sweep already released the item's lock.
+                    let _ = tcx.post(
                         qp,
                         WorkRequest::Write {
                             data: Bytes::from(img),
@@ -691,8 +746,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                         },
                         false,
                         None,
-                    )
-                    .expect("commit write")
+                    );
                 });
             }
             self.commit_done(c, slot, cx);
@@ -715,12 +769,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         }
     }
 
-    fn on_response(
-        &mut self,
-        server: usize,
-        resp: Response,
-        cx: &mut Cx<'_, TxEv<T::Ev>>,
-    ) {
+    fn on_response(&mut self, server: usize, resp: Response, cx: &mut Cx<'_, TxEv<T::Ev>>) {
         let c = resp.client;
         let Some(slot) = self.coords[c].expected.remove(&(server, resp.seq)) else {
             return; // stale or duplicate
@@ -783,19 +832,24 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         }
     }
 
-    /// A one-sided validation read completed: check the version.
-    fn on_read_done(&mut self, wr_id: WrId, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+    /// A one-sided validation read completed: check the version. `ok` is
+    /// false for error completions (the participant crashed under the
+    /// read) — the stale scratch bytes must not be compared, the
+    /// validation simply fails.
+    fn on_read_done(&mut self, wr_id: WrId, ok: bool, cx: &mut Cx<'_, TxEv<T::Ev>>) {
         let Some((c, slot, scratch_off, expect)) = self.pending_reads.remove(&wr_id) else {
             return;
         };
-        let got = cx
-            .fabric
-            .mr(self.coords[c].scratch_mr)
-            .expect("scratch")
-            .read_u64(scratch_off)
-            .expect("aligned");
+        let matches = ok
+            && cx
+                .fabric
+                .mr(self.coords[c].scratch_mr)
+                .expect("scratch")
+                .read_u64(scratch_off)
+                .expect("aligned")
+                == expect;
         let sl = &mut self.coords[c].slots[slot];
-        if got != expect {
+        if !matches {
             sl.phase_ok = false;
         }
         sl.pending -= 1;
@@ -807,6 +861,80 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
                 self.gate(c, slot, 2, Action::Abort, cx);
             }
         }
+    }
+
+    /// Fails every outstanding request toward crashed server `s`: the
+    /// request (or its response) was lost with the server's QPs, or sits
+    /// staged in pool memory nothing will poll. The coordinator gives the
+    /// transaction up — its locks at `s` die with the lock table, so the
+    /// slot aborts and retries as a fresh transaction once `pending`
+    /// drains.
+    fn fail_expected_toward(&mut self, s: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        for c in 0..self.coords.len() {
+            let mut seqs: Vec<u64> = self.coords[c]
+                .expected
+                .keys()
+                .filter(|k| k.0 == s)
+                .map(|k| k.1)
+                .collect();
+            seqs.sort_unstable();
+            for seq in seqs {
+                let Some(slot) = self.coords[c].expected.remove(&(s, seq)) else {
+                    continue;
+                };
+                self.crash_failures += 1;
+                let sl = &mut self.coords[c].slots[slot];
+                sl.pending -= 1;
+                sl.phase_ok = false;
+                sl.locked_servers.retain(|&x| x != s);
+                let (pending, phase) = (sl.pending, sl.phase);
+                if pending == 0 {
+                    if phase == Phase::Unlocking {
+                        // The lost request WAS the unlock; the restart's
+                        // lock sweep finishes the job.
+                        self.schedule_retry(c, slot, cx);
+                    } else {
+                        self.gate(c, slot, 2, Action::Abort, cx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Participant `s` crashes: fabric-level QP teardown, transport
+    /// marked down, outstanding requests toward it failed.
+    fn crash_server(&mut self, s: usize, down: SimDuration, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        cx.fabric.crash_node(self.server_nodes[s], cx.now);
+        with_indexed_cx(cx, s, |tcx| {
+            self.transports[s].on_lifecycle(LifecycleEv::ServerCrash, tcx)
+        });
+        self.fail_expected_toward(s, cx);
+        cx.after(down, TxEv::ServerRecover(s));
+    }
+
+    /// Participant `s` warm-restarts. The region survived, but the
+    /// coordinator sessions its lock words name did not: every lock is
+    /// presumed abandoned and swept before the transport re-admits
+    /// traffic (requests buffered during the outage flush once their
+    /// connection re-establishes).
+    fn recover_server(&mut self, s: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        let slot_bytes = mica_kv::KvTable::slot_bytes_for(self.cfg.value_size);
+        let mem = cx
+            .fabric
+            .mr_mut(self.kv_mrs[s])
+            .expect("kv region")
+            .as_mut_slice();
+        let mut off = 0;
+        while off + slot_bytes <= mem.len() {
+            if mica_kv::item::read_lock(mem, off) != 0 {
+                mica_kv::item::write_lock(mem, off, 0);
+                self.locks_swept += 1;
+            }
+            off += slot_bytes;
+        }
+        with_indexed_cx(cx, s, |tcx| {
+            self.transports[s].on_lifecycle(LifecycleEv::ServerRecover, tcx)
+        });
     }
 }
 
@@ -821,14 +949,22 @@ impl<T: RpcTransport + OneSidedAccess> Logic for TxSim<T> {
             let jitter = self.coords[c].rng.below(3_000);
             cx.at(SimTime(jitter), TxEv::Start(c));
         }
+        let chaos = std::mem::take(&mut self.chaos);
+        for (at, s, down) in chaos {
+            cx.at(at, TxEv::ServerCrash(s, down));
+        }
     }
 
     fn on_upcall(&mut self, up: Upcall, cx: &mut Cx<'_, Self::Ev>) {
-        // One-sided validation completions are ours.
+        // One-sided validation completions are ours. Error completions
+        // for lost reads come back with the generic `Send` opcode, so
+        // ownership is decided by the (fabric-globally unique) wr_id.
         if let Upcall::Completion { ref wc, .. } = up {
-            if wc.opcode == WcOpcode::RdmaRead && self.pending_reads.contains_key(&wc.wr_id) {
-                let id = wc.wr_id;
-                self.on_read_done(id, cx);
+            if self.pending_reads.contains_key(&wc.wr_id)
+                && (wc.opcode == WcOpcode::RdmaRead || wc.status != WcStatus::Success)
+            {
+                let (id, ok) = (wc.wr_id, wc.status == WcStatus::Success);
+                self.on_read_done(id, ok, cx);
                 return;
             }
         }
@@ -849,9 +985,7 @@ impl<T: RpcTransport + OneSidedAccess> Logic for TxSim<T> {
         match ev {
             TxEv::Transport(s, tev) => {
                 let mut out = Vec::new();
-                with_indexed_cx(cx, s, |tcx| {
-                    self.transports[s].on_app(tev, tcx, &mut out)
-                });
+                with_indexed_cx(cx, s, |tcx| self.transports[s].on_app(tev, tcx, &mut out));
                 let all: Vec<_> = out.into_iter().map(|r| (s, r)).collect();
                 self.dispatch_responses(all, cx);
             }
@@ -871,6 +1005,8 @@ impl<T: RpcTransport + OneSidedAccess> Logic for TxSim<T> {
                 Action::Commit => self.start_commit(c, slot, cx),
                 Action::Abort => self.abort_and_retry(c, slot, cx),
             },
+            TxEv::ServerCrash(s, down) => self.crash_server(s, down, cx),
+            TxEv::ServerRecover(s) => self.recover_server(s, cx),
         }
     }
 }
@@ -908,9 +1044,21 @@ pub fn run_scalerpc_tx(
     scale_cfg: scalerpc::ScaleRpcConfig,
     stagger: SimDuration,
 ) -> ShardedSim<TxSim<scalerpc::ScaleRpc<TxParticipant>>> {
+    run_scalerpc_tx_with(cfg, scale_cfg, stagger, |_| {})
+}
+
+/// [`run_scalerpc_tx`] with a pre-run hook on the built [`TxSim`] —
+/// the place to plant chaos ([`TxSim::inject_server_crash`]) before the
+/// timeline starts.
+pub fn run_scalerpc_tx_with(
+    cfg: TxConfig,
+    scale_cfg: scalerpc::ScaleRpcConfig,
+    stagger: SimDuration,
+    setup: impl FnOnce(&mut TxSim<scalerpc::ScaleRpc<TxParticipant>>),
+) -> ShardedSim<TxSim<scalerpc::ScaleRpc<TxParticipant>>> {
     let mut fabric = Fabric::new(FabricParams::default());
     let window = cfg.window;
-    let tx = TxSim::build(&mut fabric, cfg, |fabric, cluster, part, s| {
+    let mut tx = TxSim::build(&mut fabric, cfg, |fabric, cluster, part, s| {
         let mut sc = scale_cfg.clone();
         sc.first_slice_offset = SimDuration::nanos(stagger.as_nanos() * s as u64);
         // The RPC client keeps as many requests open as the transaction
@@ -919,6 +1067,7 @@ pub fn run_scalerpc_tx(
         sc.client_window = sc.client_window.max(window.min(sc.slots));
         scalerpc::ScaleRpc::new(fabric, cluster, sc, part)
     });
+    setup(&mut tx);
     let stop = tx.stop_at();
     let mut sim = ShardedSim::new_sequential(fabric, tx);
     sim.run_sequential(stop + SimDuration::millis(3));

@@ -309,7 +309,7 @@ mod tests {
         let rich = |k: u64| if k == checking_key(1) { 80 } else { 40 };
         let v = i64::from_le_bytes(spec.new_value(checking_key(1), &rich).try_into().unwrap());
         assert_eq!(v, -20); // 80 - 100, no penalty (80+40 >= 100)
-        // Insufficient: extra 1 penalty.
+                            // Insufficient: extra 1 penalty.
         let poor = |k: u64| if k == checking_key(1) { 30 } else { 20 };
         let v = i64::from_le_bytes(spec.new_value(checking_key(1), &poor).try_into().unwrap());
         assert_eq!(v, 30 - 100 - 1);

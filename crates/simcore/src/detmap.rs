@@ -161,7 +161,10 @@ mod tests {
         let mut h2 = FxHasher::default();
         h2.write_u64(0xDEAD_BEEF);
         assert_eq!(one, h2.finish());
-        assert_eq!(one, (0u64.rotate_left(5) ^ 0xDEAD_BEEF).wrapping_mul(FX_SEED));
+        assert_eq!(
+            one,
+            (0u64.rotate_left(5) ^ 0xDEAD_BEEF).wrapping_mul(FX_SEED)
+        );
     }
 
     #[test]

@@ -218,7 +218,7 @@ impl<E> EventQueue<E> {
         let pos = s.pos as usize;
         self.next_seq = self.next_seq.max(seq.wrapping_add(1));
         self.heap[pos].seq = seq; // s.pos is kept current by update_pos on every heap move
-        // Exactly one of these applies; the other is a no-op.
+                                  // Exactly one of these applies; the other is a no-op.
         self.sift_down(pos);
         self.sift_up(pos);
         true
@@ -392,7 +392,8 @@ impl<E> EventQueue<E> {
     fn sift_up(&mut self, mut pos: usize) {
         while pos > 0 {
             let parent = (pos - 1) / 4;
-            if self.heap[pos].key() >= self.heap[parent].key() { // pos > 0 loop guard; parent < pos
+            // pos > 0 loop guard; parent < pos
+            if self.heap[pos].key() >= self.heap[parent].key() {
                 break;
             }
             self.heap.swap(pos, parent);
@@ -411,11 +412,13 @@ impl<E> EventQueue<E> {
             }
             let mut best = first;
             for child in first + 1..(first + 4).min(len) {
-                if self.heap[child].key() < self.heap[best].key() { // child/best < len by the loop bounds
+                // child/best < len by the loop bounds
+                if self.heap[child].key() < self.heap[best].key() {
                     best = child;
                 }
             }
-            if self.heap[best].key() >= self.heap[pos].key() { // best/pos < len by the loop bounds
+            // best/pos < len by the loop bounds
+            if self.heap[best].key() >= self.heap[pos].key() {
                 break;
             }
             self.heap.swap(pos, best);

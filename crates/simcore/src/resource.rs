@@ -166,7 +166,8 @@ impl MultiResource {
             self.watermark = at;
             // Promote every server that has gone idle by `at`.
             while let Some(&std::cmp::Reverse((t, i))) = self.busy.peek() {
-                if self.servers[i].busy_until() != t { // heap entries hold valid server indices
+                // heap entries hold valid server indices
+                if self.servers[i].busy_until() != t {
                     self.busy.pop();
                     continue;
                 }

@@ -354,7 +354,12 @@ mod tests {
         /// count), so both engines agree without sharing state. The
         /// branching factor averages 7/8 — subcritical, so every run
         /// quiesces and both engines can be compared to completion.
-        pub fn children(payload: u64, shard: u32, shards: u32, now: SimTime) -> Vec<(u32, SimTime, u64)> {
+        pub fn children(
+            payload: u64,
+            shard: u32,
+            shards: u32,
+            now: SimTime,
+        ) -> Vec<(u32, SimTime, u64)> {
             let h = mix(payload);
             let n = match h % 8 {
                 0..=2 => 0,
@@ -368,7 +373,11 @@ mod tests {
                 if hi.is_multiple_of(3) && shards > 1 {
                     // Remote: at least the lookahead away.
                     let dst = (shard + 1 + (hi >> 8) as u32 % (shards - 1)) % shards;
-                    out.push((dst, now + crate::SimDuration::nanos(LOOKAHEAD + hi % 700), child));
+                    out.push((
+                        dst,
+                        now + crate::SimDuration::nanos(LOOKAHEAD + hi % 700),
+                        child,
+                    ));
                 } else {
                     out.push((shard, now + crate::SimDuration::nanos(hi % 300), child));
                 }
@@ -444,7 +453,11 @@ mod tests {
                             if dst as usize == sid {
                                 let k = sh.log.provisional;
                                 sh.log.provisional += 1;
-                                let id = sh.q.push_with_seq(time, PROVISIONAL_BASE + k as u64, (dst, child));
+                                let id = sh.q.push_with_seq(
+                                    time,
+                                    PROVISIONAL_BASE + k as u64,
+                                    (dst, child),
+                                );
                                 debug_assert_eq!(sh.ids.len(), k as usize);
                                 sh.ids.push(id);
                                 sh.log.pushes.push(PushRec {

@@ -281,6 +281,9 @@ mod tests {
     fn duration_scalar_math() {
         assert_eq!(SimDuration(100) * 3, SimDuration(300));
         assert_eq!(SimDuration(100) / 4, SimDuration(25));
-        assert_eq!(SimDuration(100).saturating_sub(SimDuration(200)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration(100).saturating_sub(SimDuration(200)),
+            SimDuration::ZERO
+        );
     }
 }

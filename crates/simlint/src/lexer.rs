@@ -314,10 +314,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<(TokKind, String)> {
-        lex(src)
-            .into_iter()
-            .map(|t| (t.kind, t.text))
-            .collect()
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
     }
 
     #[test]
@@ -358,7 +355,9 @@ mod tests {
         assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
         assert!(toks.iter().any(|t| t.is_ident("fn")));
         assert_eq!(
-            toks.iter().filter(|t| t.kind == TokKind::BlockComment).count(),
+            toks.iter()
+                .filter(|t| t.kind == TokKind::BlockComment)
+                .count(),
             1
         );
     }
@@ -366,7 +365,10 @@ mod tests {
     #[test]
     fn line_comments_keep_text() {
         let toks = lex("x(); // simlint: allow(R1)\ny();");
-        let c = toks.iter().find(|t| t.kind == TokKind::LineComment).unwrap();
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .unwrap();
         assert!(c.text.contains("simlint: allow(R1)"));
         assert_eq!(c.line, 1);
     }
@@ -388,9 +390,7 @@ mod tests {
     fn static_lifetime_and_label() {
         let toks = lex("let s: &'static str = x; 'outer: loop { break 'outer; }");
         assert_eq!(
-            toks.iter()
-                .filter(|t| t.kind == TokKind::Lifetime)
-                .count(),
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
             3
         );
     }

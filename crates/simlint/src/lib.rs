@@ -285,13 +285,13 @@ mod tests {
             "crates/simtrace/src/lib.rs",
             "#![forbid(unsafe_code)]\n#[cfg(feature = \"trace\")]\npub fn span_hook() {}\n",
         );
-        an.add_file(
-            "crates/scalerpc/src/x.rs",
-            "fn f() { span_hook(); }\n",
-        );
+        an.add_file("crates/scalerpc/src/x.rs", "fn f() { span_hook(); }\n");
         let f = an.run();
         assert_eq!(f.iter().filter(|x| x.rule == Rule::R2).count(), 1);
-        assert_eq!(f.iter().find(|x| x.rule == Rule::R2).unwrap().path, "crates/scalerpc/src/x.rs");
+        assert_eq!(
+            f.iter().find(|x| x.rule == Rule::R2).unwrap().path,
+            "crates/scalerpc/src/x.rs"
+        );
     }
 
     #[test]

@@ -277,9 +277,7 @@ pub fn crate_key(path: &str) -> String {
 /// Whether R1 applies to this file: a sim crate's `src/` tree.
 fn r1_in_scope(path: &str) -> bool {
     match origin(path) {
-        Origin::Crate(n) => {
-            SIM_CRATES.contains(&n) && path.contains("/src/")
-        }
+        Origin::Crate(n) => SIM_CRATES.contains(&n) && path.contains("/src/"),
         _ => false,
     }
 }
@@ -310,16 +308,15 @@ pub fn r1(file: &SourceFile, out: &mut Vec<Finding>) {
                 },
                 if t.text == "HashMap" { "Map" } else { "Set" },
             )),
-            "RandomState" => Some(
-                "RandomState is ambient-seeded per process; use simcore::FxBuildHasher".into(),
-            ),
+            "RandomState" => {
+                Some("RandomState is ambient-seeded per process; use simcore::FxBuildHasher".into())
+            }
             "thread_rng" => Some(
                 "thread_rng draws from ambient OS entropy; derive a DetRng from the run seed"
                     .into(),
             ),
             "SystemTime" => Some(
-                "SystemTime reads the wall clock; simulated time comes from the event loop"
-                    .into(),
+                "SystemTime reads the wall clock; simulated time comes from the event loop".into(),
             ),
             "Instant" => {
                 // Only `std::time::Instant` is banned (simtrace defines
@@ -467,10 +464,7 @@ pub fn r2_features(
                         first_ident_seen = true;
                         is_cfg = t.text == "cfg" || t.text == "cfg_attr";
                     } else if is_cfg && t.is_ident("feature") {
-                        let eq = toks
-                            .get(k + 1)
-                            .map(|n| n.is_punct('='))
-                            .unwrap_or(false);
+                        let eq = toks.get(k + 1).map(|n| n.is_punct('=')).unwrap_or(false);
                         if eq {
                             if let Some(lit) =
                                 toks.get(k + 2).filter(|n| n.kind == TokKind::Literal)
@@ -663,8 +657,8 @@ pub fn r3(file: &SourceFile, out: &mut Vec<Finding>) {
             // expression-start position (`&mut [u64]`, `return [a, b]`),
             // not subscript position.
             const NON_POSTFIX: &[&str] = &[
-                "mut", "dyn", "ref", "as", "in", "if", "else", "match", "return", "break",
-                "move", "where", "impl", "for",
+                "mut", "dyn", "ref", "as", "in", "if", "else", "match", "return", "break", "move",
+                "where", "impl", "for",
             ];
             let postfix = file
                 .prev_code(i)
@@ -684,7 +678,10 @@ pub fn r3(file: &SourceFile, out: &mut Vec<Finding>) {
                 continue;
             }
             let j = file.skip_comments(i + 1);
-            let literal_subscript = toks.get(j).map(|n| n.kind == TokKind::Number).unwrap_or(false)
+            let literal_subscript = toks
+                .get(j)
+                .map(|n| n.kind == TokKind::Number)
+                .unwrap_or(false)
                 && toks
                     .get(file.skip_comments(j + 1))
                     .map(|n| n.is_punct(']'))
@@ -1000,9 +997,7 @@ pub fn r4(file: &SourceFile, exports: &VendorExports, out: &mut Vec<Finding>) {
         if t.is_ident("use") {
             let root_idx = next_code(toks, i + 1);
             if let Some(root) = toks.get(root_idx).filter(|t| t.kind == TokKind::Ident) {
-                if VENDOR_CRATES.contains(&root.text.as_str())
-                    && exports.has_crate(&root.text)
-                {
+                if VENDOR_CRATES.contains(&root.text.as_str()) && exports.has_crate(&root.text) {
                     let end = check_use_tree(file, toks, root_idx, &root.text, exports, out);
                     for flag in in_use.iter_mut().take(end.min(toks.len())).skip(i) {
                         *flag = true;
@@ -1227,7 +1222,10 @@ pub fn has_forbid_unsafe(file: &SourceFile) -> bool {
     let toks = &file.tokens;
     for i in 0..toks.len() {
         if toks[i].is_punct('#')
-            && toks.get(next_code(toks, i + 1)).map(|t| t.is_punct('!')).unwrap_or(false)
+            && toks
+                .get(next_code(toks, i + 1))
+                .map(|t| t.is_punct('!'))
+                .unwrap_or(false)
         {
             let j = next_code(toks, i + 1);
             let k = next_code(toks, j + 1); // '['
@@ -1235,7 +1233,11 @@ pub fn has_forbid_unsafe(file: &SourceFile) -> bool {
             if toks.get(f).map(|t| t.is_ident("forbid")).unwrap_or(false) {
                 let p = next_code(toks, f + 1);
                 let a = next_code(toks, p + 1);
-                if toks.get(a).map(|t| t.is_ident("unsafe_code")).unwrap_or(false) {
+                if toks
+                    .get(a)
+                    .map(|t| t.is_ident("unsafe_code"))
+                    .unwrap_or(false)
+                {
                     return true;
                 }
             }
@@ -1280,9 +1282,7 @@ pub fn r6(file: &SourceFile, out: &mut Vec<Finding>) {
         }
         // The seq methods only count as queue access in call position
         // (`.push_with_seq(`); a same-named local fn is someone else's.
-        if t.text != "EventQueue"
-            && !file.prev_code(i).map(|p| p.is_punct('.')).unwrap_or(false)
-        {
+        if t.text != "EventQueue" && !file.prev_code(i).map(|p| p.is_punct('.')).unwrap_or(false) {
             continue;
         }
         out.push(Finding {
@@ -1433,10 +1433,12 @@ mod tests {
 
     #[test]
     fn origin_classification() {
-        assert_eq!(origin("crates/simcore/src/lib.rs"), Origin::Crate("simcore"));
+        assert_eq!(
+            origin("crates/simcore/src/lib.rs"),
+            Origin::Crate("simcore")
+        );
         assert_eq!(origin("vendor/rand/src/lib.rs"), Origin::Vendor("rand"));
         assert_eq!(origin("src/lib.rs"), Origin::Root);
         assert_eq!(origin("tests/determinism.rs"), Origin::Root);
     }
 }
-

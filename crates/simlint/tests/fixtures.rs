@@ -252,7 +252,10 @@ fn r6_bad_fixture_catches_type_and_seq_methods() {
 #[test]
 fn r6_bad_fixture_is_ignored_outside_model_crates() {
     // The engine crate itself and non-model crates are out of scope.
-    for path in ["crates/simcore/src/fixture.rs", "crates/bench/src/fixture.rs"] {
+    for path in [
+        "crates/simcore/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+    ] {
         let out = lint_one(path, include_str!("fixtures/r6_bad.rs"));
         assert!(out.is_empty(), "{path}: {out:?}");
     }

@@ -5,12 +5,13 @@
 //! - `scenario run <file>...` — execute each scenario and print its
 //!   report, failing on `[expect]` mismatches;
 //! - `scenario fuzz --seeds N [--start S]` — run the invariant-checking
-//!   fuzzer over seeds `S..S+N`.
+//!   fuzzer over seeds `S..S+N`; failures are greedily shrunk and
+//!   printed as a minimal reproduction TOML.
 
 #![forbid(unsafe_code)]
 
 use simscenario::scenario::Scenario;
-use simscenario::{compile, fuzz_one, run_scenario};
+use simscenario::{compile, fuzz_one, gen_scenario, run_scenario, shrink_failure};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -47,8 +48,7 @@ fn expand(paths: &[String]) -> Result<Vec<PathBuf>, String> {
 }
 
 fn load(path: &Path) -> Result<Scenario, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     Scenario::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
@@ -95,9 +95,9 @@ fn main() -> ExitCode {
             };
             let mut failed = false;
             for f in &files {
-                match load(f).and_then(|sc| {
-                    run_scenario(&sc).map_err(|e| format!("{}: {e}", f.display()))
-                }) {
+                match load(f)
+                    .and_then(|sc| run_scenario(&sc).map_err(|e| format!("{}: {e}", f.display())))
+                {
                     Ok(report) => {
                         println!("{}", report.summary());
                         for (tenant, ops) in &report.tenant_ops {
@@ -147,6 +147,13 @@ fn main() -> ExitCode {
                     Ok(out) => println!("ok seed {seed}: {}", out.report.summary()),
                     Err(e) => {
                         eprintln!("FAIL {e}");
+                        // Shrink invariant violations to a minimal
+                        // reproduction (round-trip failures have no run
+                        // to shrink and come back None).
+                        if let Some((min, me)) = shrink_failure(&gen_scenario(seed)) {
+                            eprintln!("minimal reproduction for seed {seed} ({me}):");
+                            eprint!("{}", min.to_toml());
+                        }
                         failed = true;
                     }
                 }

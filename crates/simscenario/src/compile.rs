@@ -9,12 +9,12 @@
 //! inside a run.
 
 use crate::scenario::{
-    RawVerb, RpcTransport, Scenario, ScenarioError, SizeModel, StartModel, ThinkModel,
+    EventKind, RawVerb, RpcTransport, Scenario, ScenarioError, SizeModel, StartModel, ThinkModel,
     TxProfileKind, Workload,
 };
 use bytes::Bytes;
 use rpc_core::cluster::ClusterSpec;
-use rpc_core::harness::{HarnessConfig, RequestGen};
+use rpc_core::harness::{HarnessConfig, RequestGen, RetryPolicy};
 use rpc_core::inject::{ClientStart, Injection, ScenarioSpec};
 use rpc_core::workload::ThinkTime;
 use scalerpc::ScaleRpcConfig;
@@ -126,7 +126,9 @@ pub fn compile(sc: &Scenario) -> Result<Compiled, ScenarioError> {
                 clients: n,
             };
             if w.machines == 0 || w.threads_per_machine == 0 || w.server_threads == 0 {
-                return Err(err("rpc workload needs machines, threads and server threads"));
+                return Err(err(
+                    "rpc workload needs machines, threads and server threads",
+                ));
             }
 
             // Think times: the harness accepts one entry or one per
@@ -154,14 +156,47 @@ pub fn compile(sc: &Scenario) -> Result<Compiled, ScenarioError> {
             // request stream; anything else rides the scenario generator.
             let uniform_size = match sc.populations[0].size {
                 SizeModel::Fixed(s)
-                    if sc
-                        .populations
-                        .iter()
-                        .all(|p| p.size == SizeModel::Fixed(s)) =>
+                    if sc.populations.iter().all(|p| p.size == SizeModel::Fixed(s)) =>
                 {
                     Some(s)
                 }
                 _ => None,
+            };
+
+            // Lifecycle events ride the elastic control plane, which only
+            // ScaleRPC implements (`on_lifecycle`); the baselines would
+            // silently strand clients after a crash.
+            let has_lifecycle = sc.events.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::ServerCrash { .. }
+                        | EventKind::ClientReconnect { .. }
+                        | EventKind::ConnChurn { .. }
+                )
+            });
+            if (has_lifecycle || w.lazy_connect) && w.transport != RpcTransport::ScaleRpc {
+                return Err(err(
+                    "lifecycle events and lazy_connect require the scalerpc transport \
+                     (the baselines have no reconnect hooks)",
+                ));
+            }
+
+            // A crash without retries strands every request lost in the
+            // crash window, so server_crash arms the default policy when
+            // the scenario does not pick its own timeout.
+            let has_crash = sc
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::ServerCrash { .. }));
+            let retry = if w.retry_timeout_us > 0 {
+                Some(RetryPolicy {
+                    timeout: SimDuration::micros(w.retry_timeout_us),
+                    ..Default::default()
+                })
+            } else if has_crash {
+                Some(RetryPolicy::default())
+            } else {
+                None
             };
 
             let harness = HarnessConfig {
@@ -173,6 +208,7 @@ pub fn compile(sc: &Scenario) -> Result<Compiled, ScenarioError> {
                 seed: sc.seed,
                 window: w.window,
                 nthreads: w.nthreads,
+                retry,
             };
             harness
                 .validate(n, false)
@@ -225,6 +261,11 @@ pub fn compile(sc: &Scenario) -> Result<Compiled, ScenarioError> {
                 // Same adjustment the benchmark runner applies: deep
                 // client windows need matching message-slot windows.
                 cfg.client_window = cfg.client_window.max(w.window.min(cfg.slots));
+                cfg.lazy_connect = w.lazy_connect;
+                // The response-replay cache is only needed when the
+                // timeline can force retransmissions; steady-state
+                // scenarios leave it off and stay bit-identical.
+                cfg.elastic = has_lifecycle;
                 if w.tenant_isolate {
                     cfg.tenant_of = tenants.clone();
                     cfg.tenant_isolate = true;
@@ -330,7 +371,10 @@ fn compile_spec(sc: &Scenario, clients: usize) -> Result<ScenarioSpec, ScenarioE
                 let t = SimTime(at_us.saturating_mul(1_000));
                 starts.extend(std::iter::repeat_n(ClientStart::At(t), p.clients));
             }
-            StartModel::Poisson { rate_per_ms, from_us } => {
+            StartModel::Poisson {
+                rate_per_ms,
+                from_us,
+            } => {
                 if rate_per_ms <= 0.0 || !rate_per_ms.is_finite() {
                     return Err(err(format!(
                         "population `{}`: poisson rate_per_ms must be positive and finite",
@@ -383,7 +427,11 @@ fn compile_spec(sc: &Scenario, clients: usize) -> Result<ScenarioSpec, ScenarioE
                 let (first, last) = range_of(population);
                 Injection::Depart { first, last }
             }
-            crate::scenario::EventKind::Straggle { population, num, den } => {
+            crate::scenario::EventKind::Straggle {
+                population,
+                num,
+                den,
+            } => {
                 let (first, last) = range_of(population);
                 Injection::Straggle {
                     first,
@@ -391,6 +439,17 @@ fn compile_spec(sc: &Scenario, clients: usize) -> Result<ScenarioSpec, ScenarioE
                     num: *num,
                     den: *den,
                 }
+            }
+            crate::scenario::EventKind::ServerCrash { down_us } => Injection::ServerCrash {
+                down: SimDuration::micros(*down_us),
+            },
+            crate::scenario::EventKind::ClientReconnect { population } => {
+                let (first, last) = range_of(population);
+                Injection::Reconnect { first, last }
+            }
+            crate::scenario::EventKind::ConnChurn { population } => {
+                let (first, last) = range_of(population);
+                Injection::ConnChurn { first, last }
             }
         };
         timeline.push((at, inj));
@@ -483,7 +542,9 @@ impl CompiledRpc {
             .iter()
             .all(|m| *m == SizeModel::Fixed(self.harness.request_size));
         if uniform {
-            Box::new(rpc_core::harness::FixedSizeGen::new(self.harness.request_size))
+            Box::new(rpc_core::harness::FixedSizeGen::new(
+                self.harness.request_size,
+            ))
         } else {
             Box::new(ScenarioGen::new(&self.sizes, self.harness.seed))
         }
@@ -581,11 +642,90 @@ mod tests {
         };
         assert_eq!(
             c.spec.timeline,
+            vec![(SimTime(100_000), Injection::Depart { first: 8, last: 11 })]
+        );
+    }
+
+    #[test]
+    fn server_crash_arms_retry_and_elastic_mode() {
+        let txt = format!(
+            "{}\n[[event]]\nat_us = 300\nkind = \"server_crash\"\ndown_us = 50\n",
+            base_rpc().replace("kind = \"rpc\"\n", "kind = \"rpc\"\nwindow = 4\n")
+        );
+        let sc = Scenario::parse(&txt).unwrap();
+        let Compiled::Rpc(c) = compile(&sc).unwrap() else {
+            panic!()
+        };
+        let retry = c.harness.retry.expect("crash arms the default policy");
+        assert_eq!(retry, RetryPolicy::default());
+        let scale = c.scale.expect("scalerpc config");
+        assert!(scale.elastic, "lifecycle events must enable elastic mode");
+        assert_eq!(
+            c.spec.timeline,
             vec![(
-                SimTime(100_000),
-                Injection::Depart { first: 8, last: 11 }
+                SimTime(300_000),
+                Injection::ServerCrash {
+                    down: SimDuration::micros(50)
+                }
             )]
         );
+    }
+
+    #[test]
+    fn retry_timeout_key_overrides_default_policy() {
+        let txt = base_rpc().replace(
+            "kind = \"rpc\"\n",
+            "kind = \"rpc\"\nwindow = 4\nretry_timeout_us = 250\n",
+        );
+        let sc = Scenario::parse(&txt).unwrap();
+        let Compiled::Rpc(c) = compile(&sc).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            c.harness.retry.expect("retry armed").timeout,
+            SimDuration::micros(250)
+        );
+        // No lifecycle events: elastic stays off, steady state unchanged.
+        assert!(!c.scale.expect("scalerpc").elastic);
+    }
+
+    #[test]
+    fn churn_events_map_population_to_client_range() {
+        let txt = format!(
+            "{}\n[[population]]\nname = \"b\"\nclients = 4\n\n[[event]]\nat_us = 200\nkind = \"conn_churn\"\npopulation = \"b\"\n\n[[event]]\nat_us = 400\nkind = \"client_reconnect\"\npopulation = \"b\"\n",
+            base_rpc()
+        );
+        let sc = Scenario::parse(&txt).unwrap();
+        let Compiled::Rpc(c) = compile(&sc).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            c.spec.timeline,
+            vec![
+                (SimTime(200_000), Injection::ConnChurn { first: 8, last: 11 }),
+                (SimTime(400_000), Injection::Reconnect { first: 8, last: 11 }),
+            ]
+        );
+        // No crash in the timeline: nothing auto-arms retries.
+        assert!(c.harness.retry.is_none());
+        assert!(c.scale.expect("scalerpc").elastic);
+    }
+
+    #[test]
+    fn lifecycle_events_require_scalerpc_transport() {
+        let txt = format!(
+            "{}\n[[event]]\nat_us = 300\nkind = \"server_crash\"\ndown_us = 50\n",
+            base_rpc().replace("scalerpc", "herd")
+        );
+        let sc = Scenario::parse(&txt).unwrap();
+        let e = compile(&sc).unwrap_err();
+        assert!(e.msg.contains("scalerpc"), "{e}");
+        let txt = base_rpc()
+            .replace("scalerpc", "fasst")
+            .replace("kind = \"rpc\"\n", "kind = \"rpc\"\nlazy_connect = true\n");
+        let sc = Scenario::parse(&txt).unwrap();
+        let e = compile(&sc).unwrap_err();
+        assert!(e.msg.contains("lazy_connect"), "{e}");
     }
 
     #[test]

@@ -61,7 +61,18 @@ fn gen_rpc(rng: &mut DetRng) -> (Workload, Vec<Population>, Vec<Event>) {
     };
     let npop = 1 + rng.below(3) as usize;
     let tenant_isolate = transport == RpcTransport::ScaleRpc && npop > 1 && rng.chance(0.4);
-    let w = RpcWorkload {
+    // Lifecycle chaos needs the elastic control plane (scalerpc) and a
+    // retry policy, which in turn needs per-sequence identity
+    // (window > 1): connection teardown drops in-flight packets, so a
+    // churned client can only make progress by retransmitting.
+    let elastic_ok = transport == RpcTransport::ScaleRpc && window > 1;
+    let lazy_connect = transport == RpcTransport::ScaleRpc && rng.chance(0.3);
+    let retry_timeout_us = if elastic_ok && rng.chance(0.5) {
+        [200, 300, 500][rng.below(3) as usize]
+    } else {
+        0
+    };
+    let mut w = RpcWorkload {
         transport,
         machines: 2 + rng.below(2) as usize,
         threads_per_machine: 4,
@@ -76,6 +87,8 @@ fn gen_rpc(rng: &mut DetRng) -> (Workload, Vec<Population>, Vec<Event>) {
         dynamic: rng.chance(0.5),
         regroup_rotations: 4,
         tenant_isolate,
+        lazy_connect,
+        retry_timeout_us,
     };
     let mut pops = Vec::new();
     for i in 0..npop {
@@ -116,9 +129,11 @@ fn gen_rpc(rng: &mut DetRng) -> (Workload, Vec<Population>, Vec<Event>) {
     }
     let mut events = Vec::new();
     let mut at_us = 250;
+    let nkinds = if elastic_ok { 8 } else { 5 };
+    let mut lifecycle = false;
     for _ in 0..rng.below(4) {
         at_us += 50 + rng.below(250);
-        let kind = match rng.below(5) {
+        let kind = match rng.below(nkinds) {
             0 => EventKind::LinkDegrade {
                 num: 2 + rng.below(3) as u32,
                 den: 1,
@@ -131,13 +146,36 @@ fn gen_rpc(rng: &mut DetRng) -> (Workload, Vec<Population>, Vec<Event>) {
             3 => EventKind::Depart {
                 population: pops[rng.below(pops.len() as u64) as usize].name.clone(),
             },
-            _ => EventKind::Straggle {
+            4 => EventKind::Straggle {
                 population: pops[rng.below(pops.len() as u64) as usize].name.clone(),
                 num: 2 + rng.below(3) as u32,
                 den: 1,
             },
+            5 => {
+                lifecycle = true;
+                EventKind::ServerCrash {
+                    down_us: 20 + rng.below(60),
+                }
+            }
+            6 => {
+                lifecycle = true;
+                EventKind::ClientReconnect {
+                    population: pops[rng.below(pops.len() as u64) as usize].name.clone(),
+                }
+            }
+            _ => {
+                lifecycle = true;
+                EventKind::ConnChurn {
+                    population: pops[rng.below(pops.len() as u64) as usize].name.clone(),
+                }
+            }
         };
         events.push(Event { at_us, kind });
+    }
+    if lifecycle {
+        // Churn and reconnects do not auto-arm retries the way
+        // server_crash does, but all three drop in-flight packets.
+        w.retry_timeout_us = w.retry_timeout_us.max(300);
     }
     (Workload::Rpc(w), pops, events)
 }
@@ -184,6 +222,66 @@ pub fn gen_scenario(seed: u64) -> Scenario {
     }
 }
 
+/// Runs `sc` twice and checks the four invariants; `who` labels the
+/// provenance (a fuzz seed, a shrink candidate) in error messages.
+pub fn check_scenario(sc: &Scenario, who: &str) -> Result<ScenarioReport, ScenarioError> {
+    let fail = |what: String| ScenarioError {
+        span: None,
+        msg: format!("{who}: {what}"),
+    };
+    let r1 = run_scenario(sc).map_err(|e| fail(e.to_string()))?;
+    let r2 = run_scenario(sc).map_err(|e| fail(format!("replay: {e}")))?;
+
+    // Invariant 4: fingerprint determinism on replay.
+    if r1.fingerprint() != r2.fingerprint()
+        || r1.issued != r2.issued
+        || r1.completed != r2.completed
+        || r1.committed != r2.committed
+        || r1.aborted != r2.aborted
+    {
+        return Err(fail(format!(
+            "replay diverged: {:?}/{}/{} vs {:?}/{}/{}",
+            r1.fingerprint(),
+            r1.issued,
+            r1.committed,
+            r2.fingerprint(),
+            r2.issued,
+            r2.committed
+        )));
+    }
+    match r1.kind {
+        "rpc" => {
+            // Invariant 1: request conservation.
+            if r1.issued != r1.completed + r1.in_flight {
+                return Err(fail(format!(
+                    "conservation broken: issued {} != completed {} + in_flight {}",
+                    r1.issued, r1.completed, r1.in_flight
+                )));
+            }
+            // Invariant 2: no stuck clients after the drain.
+            if r1.in_flight != 0 || r1.stuck != 0 {
+                return Err(fail(format!(
+                    "stuck clients: in_flight {} stuck {}",
+                    r1.in_flight, r1.stuck
+                )));
+            }
+        }
+        "tx" => {
+            // Invariant 2 (tx form): every coordinator slot returned to
+            // idle.
+            if r1.busy_slots != 0 {
+                return Err(fail(format!("busy slots: {}", r1.busy_slots)));
+            }
+            // Invariant 3: all locks freed.
+            if r1.locked_keys != 0 {
+                return Err(fail(format!("locked keys: {}", r1.locked_keys)));
+            }
+        }
+        other => return Err(fail(format!("unexpected kind {other}"))),
+    }
+    Ok(r1)
+}
+
 /// Generates, round-trips, runs and invariant-checks one seed.
 pub fn fuzz_one(seed: u64) -> Result<FuzzOutcome, ScenarioError> {
     let generated = gen_scenario(seed);
@@ -194,72 +292,148 @@ pub fn fuzz_one(seed: u64) -> Result<FuzzOutcome, ScenarioError> {
     let parsed = Scenario::parse(&text)
         .map_err(|e| violated(seed, format!("round-trip parse failed: {e}\n{text}")))?;
     if parsed != generated {
-        return Err(violated(seed, "serialize→parse round trip changed the scenario"));
-    }
-
-    let r1 = run_scenario(&parsed).map_err(|e| violated(seed, e))?;
-    let r2 = run_scenario(&parsed).map_err(|e| violated(seed, format!("replay: {e}")))?;
-
-    // Invariant 4: fingerprint determinism on replay.
-    if r1.fingerprint() != r2.fingerprint()
-        || r1.issued != r2.issued
-        || r1.completed != r2.completed
-        || r1.committed != r2.committed
-        || r1.aborted != r2.aborted
-    {
         return Err(violated(
             seed,
-            format!(
-                "replay diverged: {:?}/{}/{} vs {:?}/{}/{}",
-                r1.fingerprint(),
-                r1.issued,
-                r1.committed,
-                r2.fingerprint(),
-                r2.issued,
-                r2.committed
-            ),
+            "serialize→parse round trip changed the scenario",
         ));
     }
-    match r1.kind {
-        "rpc" => {
-            // Invariant 1: request conservation.
-            if r1.issued != r1.completed + r1.in_flight {
-                return Err(violated(
-                    seed,
-                    format!(
-                        "conservation broken: issued {} != completed {} + in_flight {}",
-                        r1.issued, r1.completed, r1.in_flight
-                    ),
-                ));
-            }
-            // Invariant 2: no stuck clients after the drain.
-            if r1.in_flight != 0 || r1.stuck != 0 {
-                return Err(violated(
-                    seed,
-                    format!(
-                        "stuck clients: in_flight {} stuck {}",
-                        r1.in_flight, r1.stuck
-                    ),
-                ));
-            }
-        }
-        "tx" => {
-            // Invariant 2 (tx form): every coordinator slot returned to
-            // idle.
-            if r1.busy_slots != 0 {
-                return Err(violated(seed, format!("busy slots: {}", r1.busy_slots)));
-            }
-            // Invariant 3: all locks freed.
-            if r1.locked_keys != 0 {
-                return Err(violated(seed, format!("locked keys: {}", r1.locked_keys)));
-            }
-        }
-        other => return Err(violated(seed, format!("unexpected kind {other}"))),
-    }
+
+    let report = check_scenario(&parsed, &format!("fuzz seed {seed}"))?;
     Ok(FuzzOutcome {
         seed,
         scenario: parsed,
-        report: r1,
+        report,
+    })
+}
+
+// ---- shrinking ----------------------------------------------------------
+
+/// One pass of shrink transformations, most aggressive first. Candidates
+/// may be invalid (an event can reference a dropped population); the
+/// shrink loop filters them through the parser.
+fn shrink_candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // Drop each timeline event.
+    for i in 0..sc.events.len() {
+        let mut c = sc.clone();
+        c.events.remove(i);
+        out.push(c);
+    }
+    // Drop each population, along with the events that target it.
+    if sc.populations.len() > 1 {
+        for i in 0..sc.populations.len() {
+            let mut c = sc.clone();
+            let name = c.populations.remove(i).name;
+            c.events.retain(|e| match &e.kind {
+                EventKind::Depart { population }
+                | EventKind::Straggle { population, .. }
+                | EventKind::ClientReconnect { population }
+                | EventKind::ConnChurn { population } => population != &name,
+                _ => true,
+            });
+            out.push(c);
+        }
+    }
+    // Halve each population's client count.
+    for i in 0..sc.populations.len() {
+        if sc.populations[i].clients > 1 {
+            let mut c = sc.clone();
+            c.populations[i].clients /= 2;
+            out.push(c);
+        }
+    }
+    // Shorten the run, then the warmup.
+    if sc.run_us > 200 {
+        let mut c = sc.clone();
+        c.run_us /= 2;
+        out.push(c);
+    }
+    if sc.warmup_us > 0 {
+        let mut c = sc.clone();
+        c.warmup_us /= 2;
+        out.push(c);
+    }
+    // Simplify each population's arrival/think/size models.
+    for i in 0..sc.populations.len() {
+        let p = &sc.populations[i];
+        if p.start != StartModel::Immediate {
+            let mut c = sc.clone();
+            c.populations[i].start = StartModel::Immediate;
+            out.push(c);
+        }
+        if p.think != ThinkModel::None {
+            let mut c = sc.clone();
+            c.populations[i].think = ThinkModel::None;
+            out.push(c);
+        }
+        if p.size != SizeModel::Fixed(32) {
+            let mut c = sc.clone();
+            c.populations[i].size = SizeModel::Fixed(32);
+            out.push(c);
+        }
+    }
+    // Tx workloads: fewer coordinators, smaller key space.
+    if let Workload::Tx(w) = &sc.workload {
+        if w.coordinators > 1 {
+            let mut c = sc.clone();
+            let Workload::Tx(t) = &mut c.workload else {
+                unreachable!()
+            };
+            t.coordinators /= 2;
+            out.push(c);
+        }
+        if w.keys_per_server > 8 {
+            let mut c = sc.clone();
+            let Workload::Tx(t) = &mut c.workload else {
+                unreachable!()
+            };
+            t.keys_per_server /= 2;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Greedily shrinks a failing scenario against an arbitrary predicate:
+/// any candidate that still round-trips through the parser and still
+/// fails replaces the current best, until no transformation keeps the
+/// failure alive. Returns `None` when `sc` itself does not fail.
+pub fn shrink_with(
+    sc: &Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> Option<ScenarioError>,
+) -> Option<(Scenario, ScenarioError)> {
+    let mut best_err = fails(sc)?;
+    let mut best = sc.clone();
+    // Every accepted step strictly simplifies the scenario, so the loop
+    // terminates; the cap is a backstop for pathological predicates.
+    for _ in 0..256 {
+        let mut progressed = false;
+        for cand in shrink_candidates(&best) {
+            if Scenario::parse(&cand.to_toml()).ok().as_ref() != Some(&cand) {
+                continue;
+            }
+            if let Some(e) = fails(&cand) {
+                best = cand;
+                best_err = e;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Some((best, best_err))
+}
+
+/// Shrinks an invariant-violating scenario to a minimal reproduction
+/// using the real invariant checker. Candidates that no longer compile
+/// are skipped (a compile error is not the bug being reproduced).
+/// Returns `None` when `sc` passes all invariants.
+pub fn shrink_failure(sc: &Scenario) -> Option<(Scenario, ScenarioError)> {
+    shrink_with(sc, &mut |cand| {
+        crate::compile::compile(cand).ok()?;
+        check_scenario(cand, "shrink").err()
     })
 }
 
@@ -295,4 +469,57 @@ mod tests {
         let out = fuzz_one(0).expect("seed 0 clean");
         assert!(out.report.events > 0);
     }
+
+    #[test]
+    fn generator_produces_lifecycle_events() {
+        let mut kinds = (false, false, false);
+        for seed in 0..256 {
+            for e in &gen_scenario(seed).events {
+                match e.kind {
+                    EventKind::ServerCrash { .. } => kinds.0 = true,
+                    EventKind::ClientReconnect { .. } => kinds.1 = true,
+                    EventKind::ConnChurn { .. } => kinds.2 = true,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(kinds, (true, true, true), "crash/reconnect/churn all drawn");
+    }
+
+    #[test]
+    fn shrink_finds_minimal_reproduction() {
+        // A deliberately busy scenario shrunk against a synthetic
+        // predicate — "fails whenever a server_crash is on the
+        // timeline" — must collapse to one event, one single-client
+        // population and a short run.
+        let txt = "[scenario]\nname = \"busy\"\nseed = 3\nwarmup_us = 400\nrun_us = 2000\n\n[workload]\nkind = \"rpc\"\ntransport = \"scalerpc\"\nwindow = 4\n\n[[population]]\nname = \"a\"\nclients = 16\nthink = \"fixed\"\nthink_us = 2\n\n[[population]]\nname = \"b\"\nclients = 8\ntenant = 1\n\n[[event]]\nat_us = 200\nkind = \"server_pause\"\ndur_us = 40\n\n[[event]]\nat_us = 500\nkind = \"server_crash\"\ndown_us = 50\n\n[[event]]\nat_us = 900\nkind = \"conn_churn\"\npopulation = \"b\"\n";
+        let sc = Scenario::parse(txt).unwrap();
+        let (min, err) = shrink_with(&sc, &mut |c| {
+            c.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::ServerCrash { .. }))
+                .then(|| ScenarioError {
+                    span: None,
+                    msg: "crash present".into(),
+                })
+        })
+        .expect("original scenario fails the predicate");
+        assert_eq!(err.msg, "crash present");
+        assert_eq!(min.events.len(), 1, "{}", min.to_toml());
+        assert!(matches!(min.events[0].kind, EventKind::ServerCrash { .. }));
+        assert_eq!(min.populations.len(), 1, "{}", min.to_toml());
+        assert_eq!(min.total_clients(), 1, "{}", min.to_toml());
+        assert!(min.run_us < sc.run_us);
+        assert!(matches!(
+            min.populations[0].think,
+            crate::scenario::ThinkModel::None
+        ) || min.populations[0].name == "b");
+    }
+
+    #[test]
+    fn shrink_returns_none_for_passing_scenarios() {
+        let sc = gen_scenario(0);
+        assert!(shrink_failure(&sc).is_none());
+    }
 }
+

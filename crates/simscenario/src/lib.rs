@@ -12,7 +12,9 @@
 //!   Poisson process), their think-time model and their request-size
 //!   distribution (fixed or zipfian);
 //! - a **chaos timeline** — phased events injected mid-run: client
-//!   departures, straggler slowdowns, link degradation, server pauses;
+//!   departures, straggler slowdowns, link degradation, server pauses,
+//!   server crashes, client reconnects and connection churn (the
+//!   elastic control-plane stressors);
 //! - an optional **expected fingerprint** pinning the run's exact
 //!   `(events, ops)` outcome, so a scenario doubles as a determinism
 //!   regression test.
@@ -27,9 +29,10 @@
 //!    (`RawVerbConfig`, `HarnessConfig` + `ScaleRpcConfig` +
 //!    [`rpc_core::inject::ScenarioSpec`], `TxConfig`);
 //! 4. [`run`] — executes a compiled scenario and reports the outcome;
-//! 5. [`fuzz`] — generates valid-by-construction random scenarios and
+//! 5. [`fuzz`] — generates valid-by-construction random scenarios,
 //!    checks the four run invariants (request conservation, no stuck
-//!    clients, all locks freed, fingerprint determinism on replay).
+//!    clients, all locks freed, fingerprint determinism on replay) and
+//!    greedily shrinks any failure to a minimal reproduction.
 //!
 //! The `scenario` binary exposes `run`, `check` and `fuzz` subcommands
 //! over checked-in `scenarios/*.toml` files.
@@ -44,7 +47,7 @@ pub mod scenario;
 pub mod toml;
 
 pub use compile::{compile, Compiled, CompiledRaw, CompiledRpc, CompiledTx};
-pub use fuzz::{fuzz_one, FuzzOutcome};
+pub use fuzz::{check_scenario, fuzz_one, gen_scenario, shrink_failure, shrink_with, FuzzOutcome};
 pub use run::{run_scenario, ScenarioReport};
 pub use scenario::{
     Event, EventKind, Expect, Population, RawVerb, RawWorkload, RpcTransport, RpcWorkload,

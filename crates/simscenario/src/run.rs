@@ -72,7 +72,11 @@ impl ScenarioReport {
         match self.kind {
             "tx" => format!(
                 "{}: events={} committed={} aborted={} busy_slots={} locked={}",
-                self.name, self.events, self.committed, self.aborted, self.busy_slots,
+                self.name,
+                self.events,
+                self.committed,
+                self.aborted,
+                self.busy_slots,
                 self.locked_keys
             ),
             "rpc" => format!(
@@ -147,12 +151,11 @@ fn run_rpc_scenario(sc: &Scenario, c: &CompiledRpc) -> Result<ScenarioReport, Sc
 
     macro_rules! drive {
         ($t:expr) => {{
-            let mut h =
-                Harness::try_with_generator($t, cluster, c.harness.clone(), c.make_gen())
-                    .map_err(|e| ScenarioError {
-                        span: None,
-                        msg: format!("invalid harness config: {e}"),
-                    })?;
+            let mut h = Harness::try_with_generator($t, cluster, c.harness.clone(), c.make_gen())
+                .map_err(|e| ScenarioError {
+                span: None,
+                msg: format!("invalid harness config: {e}"),
+            })?;
             h.set_scenario(c.spec.clone()).map_err(|e| ScenarioError {
                 span: None,
                 msg: format!("invalid scenario spec: {e}"),
@@ -227,10 +230,16 @@ fn run_tx_scenario(sc: &Scenario, c: &CompiledTx) -> ScenarioReport {
     // Lock sweep: every preloaded item must be unlocked after the drain.
     let servers = c.tx.servers;
     let keys: Vec<u64> = match c.tx.workload {
-        TxWorkload::ObjectStore { keys_per_server, servers, .. } => {
-            (0..keys_per_server * servers).collect()
-        }
-        TxWorkload::SmallBank { accounts_per_server, servers, .. } => {
+        TxWorkload::ObjectStore {
+            keys_per_server,
+            servers,
+            ..
+        } => (0..keys_per_server * servers).collect(),
+        TxWorkload::SmallBank {
+            accounts_per_server,
+            servers,
+            ..
+        } => {
             let accounts = accounts_per_server * servers / 2;
             (0..accounts)
                 .flat_map(|a| [checking_key(a), savings_key(a)])
@@ -292,9 +301,8 @@ mod tests {
     #[test]
     fn depart_event_reduces_population_output() {
         let base = "[scenario]\nname = \"d\"\nseed = 5\nwarmup_us = 200\nrun_us = 1500\n\n[workload]\nkind = \"rpc\"\ntransport = \"scalerpc\"\nmachines = 2\ngroup_size = 8\n\n[[population]]\nname = \"a\"\nclients = 8\n\n[[population]]\nname = \"b\"\nclients = 8\ntenant = 1\n";
-        let with_depart = format!(
-            "{base}\n[[event]]\nat_us = 400\nkind = \"depart\"\npopulation = \"b\"\n"
-        );
+        let with_depart =
+            format!("{base}\n[[event]]\nat_us = 400\nkind = \"depart\"\npopulation = \"b\"\n");
         let r0 = run_scenario(&Scenario::parse(base).unwrap()).unwrap();
         let r1 = run_scenario(&Scenario::parse(&with_depart).unwrap()).unwrap();
         let ops_of = |r: &ScenarioReport, t: u32| {

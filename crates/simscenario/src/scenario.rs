@@ -120,6 +120,13 @@ pub struct RpcWorkload {
     pub regroup_rotations: u32,
     /// ScaleRPC: per-tenant group isolation (noisy-neighbor defense).
     pub tenant_isolate: bool,
+    /// ScaleRPC: establish connections lazily on first use instead of
+    /// eagerly at construction.
+    pub lazy_connect: bool,
+    /// Harness retry timeout in microseconds; 0 leaves retries off
+    /// (the compiler arms the default policy anyway when the timeline
+    /// contains `server_crash`).
+    pub retry_timeout_us: u64,
 }
 
 /// Transaction profiles.
@@ -267,6 +274,27 @@ pub enum EventKind {
         num: u32,
         /// Slowdown denominator.
         den: u32,
+    },
+    /// The server process crashes: its QPs are torn down and recovery
+    /// begins after the downtime (the compiler arms a retry policy so
+    /// the closed loop survives the crash window).
+    ServerCrash {
+        /// Downtime before recovery starts, microseconds.
+        down_us: u64,
+    },
+    /// A departed population rejoins the closed loop; connections are
+    /// re-established lazily or eagerly per the workload's
+    /// `lazy_connect`. A no-op for clients that never departed.
+    ClientReconnect {
+        /// Population name.
+        population: String,
+    },
+    /// A population's connections are torn down and immediately
+    /// re-established while it keeps running: each client pays the full
+    /// modelled setup cost before its next request flows.
+    ConnChurn {
+        /// Population name.
+        population: String,
     },
 }
 
@@ -530,13 +558,19 @@ impl Scenario {
             }
             Workload::Rpc(_) => {
                 if self.populations.is_empty() {
-                    return Err(fail(wspan, "rpc workloads need at least one [[population]]"));
+                    return Err(fail(
+                        wspan,
+                        "rpc workloads need at least one [[population]]",
+                    ));
                 }
             }
         }
         for p in &self.populations {
             if p.clients == 0 {
-                return Err(fail(None, format!("population `{}` has zero clients", p.name)));
+                return Err(fail(
+                    None,
+                    format!("population `{}` has zero clients", p.name),
+                ));
             }
         }
         Ok(())
@@ -573,7 +607,9 @@ fn parse_workload(t: &Table) -> Result<Workload, ScenarioError> {
                 other => {
                     return Err(fail(
                         Some(verb_e.span),
-                        format!("unknown verb `{other}` (outbound_write | inbound_write | ud_send)"),
+                        format!(
+                            "unknown verb `{other}` (outbound_write | inbound_write | ud_send)"
+                        ),
                     ))
                 }
             };
@@ -606,6 +642,8 @@ fn parse_workload(t: &Table) -> Result<Workload, ScenarioError> {
                     "dynamic",
                     "regroup_rotations",
                     "tenant_isolate",
+                    "lazy_connect",
+                    "retry_timeout_us",
                 ],
             )?;
             let tr_e = req(t, "transport")?;
@@ -639,6 +677,8 @@ fn parse_workload(t: &Table) -> Result<Workload, ScenarioError> {
                 dynamic: opt_bool(t, "dynamic", true)?,
                 regroup_rotations: opt_u64(t, "regroup_rotations", 4)? as u32,
                 tenant_isolate: opt_bool(t, "tenant_isolate", false)?,
+                lazy_connect: opt_bool(t, "lazy_connect", false)?,
+                retry_timeout_us: opt_u64(t, "retry_timeout_us", 0)?,
             }))
         }
         "tx" => {
@@ -773,7 +813,10 @@ fn parse_population(t: &Table) -> Result<Population, ScenarioError> {
 
     let size = match (t.get("size"), t.get("size_min")) {
         (Some(e), Some(_)) => {
-            return Err(fail(Some(e.span), "give either `size` or `size_min`/`size_max`"))
+            return Err(fail(
+                Some(e.span),
+                "give either `size` or `size_min`/`size_max`",
+            ))
         }
         (Some(e), None) => SizeModel::Fixed(as_usize(e)?),
         (None, Some(_)) => {
@@ -811,6 +854,7 @@ fn parse_event(t: &Table, pops: &[Population]) -> Result<Event, ScenarioError> {
             "den",
             "extra_ns",
             "dur_us",
+            "down_us",
             "population",
         ],
     )?;
@@ -820,10 +864,7 @@ fn parse_event(t: &Table, pops: &[Population]) -> Result<Event, ScenarioError> {
         let e = req(t, "population")?;
         let name = as_str(e)?;
         if !pops.iter().any(|p| p.name == name) {
-            return Err(fail(
-                Some(e.span),
-                format!("unknown population `{name}`"),
-            ));
+            return Err(fail(Some(e.span), format!("unknown population `{name}`")));
         }
         Ok(name.to_string())
     };
@@ -862,11 +903,20 @@ fn parse_event(t: &Table, pops: &[Population]) -> Result<Event, ScenarioError> {
                 den,
             }
         }
+        "server_crash" => EventKind::ServerCrash {
+            down_us: req(t, "down_us").and_then(as_u64)?,
+        },
+        "client_reconnect" => EventKind::ClientReconnect {
+            population: pop_name(t)?,
+        },
+        "conn_churn" => EventKind::ConnChurn {
+            population: pop_name(t)?,
+        },
         other => {
             return Err(fail(
                 Some(kind_e.span),
                 format!(
-                    "unknown event kind `{other}` (link_degrade | link_restore | server_pause | depart | straggle)"
+                    "unknown event kind `{other}` (link_degrade | link_restore | server_pause | depart | straggle | server_crash | client_reconnect | conn_churn)"
                 ),
             ))
         }
@@ -944,6 +994,8 @@ impl Scenario {
                 let _ = writeln!(o, "dynamic = {}", w.dynamic);
                 let _ = writeln!(o, "regroup_rotations = {}", w.regroup_rotations);
                 let _ = writeln!(o, "tenant_isolate = {}", w.tenant_isolate);
+                let _ = writeln!(o, "lazy_connect = {}", w.lazy_connect);
+                let _ = writeln!(o, "retry_timeout_us = {}", w.retry_timeout_us);
             }
             Workload::Tx(w) => {
                 let _ = writeln!(o, "kind = \"tx\"");
@@ -979,7 +1031,10 @@ impl Scenario {
                     let _ = writeln!(o, "arrival = \"at\"");
                     let _ = writeln!(o, "start_us = {at_us}");
                 }
-                StartModel::Poisson { rate_per_ms, from_us } => {
+                StartModel::Poisson {
+                    rate_per_ms,
+                    from_us,
+                } => {
                     let _ = writeln!(o, "arrival = \"poisson\"");
                     let _ = writeln!(o, "rate_per_ms = {rate_per_ms:?}");
                     let _ = writeln!(o, "from_us = {from_us}");
@@ -1032,11 +1087,27 @@ impl Scenario {
                     let _ = writeln!(o, "kind = \"depart\"");
                     let _ = writeln!(o, "population = {}", esc(population));
                 }
-                EventKind::Straggle { population, num, den } => {
+                EventKind::Straggle {
+                    population,
+                    num,
+                    den,
+                } => {
                     let _ = writeln!(o, "kind = \"straggle\"");
                     let _ = writeln!(o, "population = {}", esc(population));
                     let _ = writeln!(o, "num = {num}");
                     let _ = writeln!(o, "den = {den}");
+                }
+                EventKind::ServerCrash { down_us } => {
+                    let _ = writeln!(o, "kind = \"server_crash\"");
+                    let _ = writeln!(o, "down_us = {down_us}");
+                }
+                EventKind::ClientReconnect { population } => {
+                    let _ = writeln!(o, "kind = \"client_reconnect\"");
+                    let _ = writeln!(o, "population = {}", esc(population));
+                }
+                EventKind::ConnChurn { population } => {
+                    let _ = writeln!(o, "kind = \"conn_churn\"");
+                    let _ = writeln!(o, "population = {}", esc(population));
                 }
             }
         }

@@ -309,13 +309,7 @@ impl<'a> Line<'a> {
                     self.bump();
                 }
                 Some(']') => {}
-                _ => {
-                    return Err(err(
-                        self.line,
-                        self.col(),
-                        "expected `,` or `]` in array",
-                    ))
-                }
+                _ => return Err(err(self.line, self.col(), "expected `,` or `]` in array")),
             }
         }
     }
@@ -381,7 +375,11 @@ fn parse_header(ln: &mut Line<'_>, doc: &mut Doc) -> Result<(), ParseError> {
         }
     }
     if !ln.at_end() {
-        return Err(err(ln.line, ln.col(), "trailing characters after table header"));
+        return Err(err(
+            ln.line,
+            ln.col(),
+            "trailing characters after table header",
+        ));
     }
     // `[x]` may appear once; `[[x]]` may repeat but must not clash with
     // a plain `[x]` and vice versa.

@@ -134,7 +134,13 @@ pub fn csv(log: &TraceLog) -> String {
         );
     }
     for c in &log.samples {
-        let _ = writeln!(out, "sample,{},{},{},,", c.counter, c.at.as_nanos(), c.value);
+        let _ = writeln!(
+            out,
+            "sample,{},{},{},,",
+            c.counter,
+            c.at.as_nanos(),
+            c.value
+        );
     }
     out
 }

@@ -120,6 +120,15 @@ pub enum InstantKind {
     /// A DMA write missed the LLC and ran in Write-Allocate mode
     /// (`a` = allocated lines, `b` = destination MR).
     DdioAllocMiss,
+    /// A modelled connection establishment reached RTS on both ends
+    /// (`a` = initiating QP, `b` = target QP).
+    ConnSetup,
+    /// A connection endpoint was torn down or crashed to the error state
+    /// (`a` = QP, `b` = owning node).
+    ConnTeardown,
+    /// A client failover retry fired for a request presumed lost
+    /// (`a` = client, `b` = attempt number).
+    Failover,
 }
 
 impl InstantKind {
@@ -137,6 +146,9 @@ impl InstantKind {
             InstantKind::LegacyDemotion => "legacy_demotion",
             InstantKind::QpCacheEvict => "qp_cache_evict",
             InstantKind::DdioAllocMiss => "ddio_alloc_miss",
+            InstantKind::ConnSetup => "conn_setup",
+            InstantKind::ConnTeardown => "conn_teardown",
+            InstantKind::Failover => "failover",
         }
     }
 }
@@ -329,7 +341,9 @@ mod tracer_impl {
         #[inline]
         pub fn instant(&self, kind: InstantKind, at: SimTime, a: u64, b: u64) {
             if let Some(log) = &self.log {
-                Self::locked_log(log).instants.push(Instant { kind, at, a, b });
+                Self::locked_log(log)
+                    .instants
+                    .push(Instant { kind, at, a, b });
             }
         }
 
@@ -337,7 +351,9 @@ mod tracer_impl {
         #[inline]
         pub fn sample(&self, counter: &'static str, at: SimTime, value: u64) {
             if let Some(log) = &self.log {
-                Self::locked_log(log).samples.push(Sample { counter, at, value });
+                Self::locked_log(log)
+                    .samples
+                    .push(Sample { counter, at, value });
             }
         }
 

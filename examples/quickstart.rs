@@ -60,6 +60,7 @@ fn main() {
             seed: 1,
             window: 1,
             nthreads: 1,
+            retry: None,
         },
     );
 

@@ -38,6 +38,10 @@ fn main() {
             let r = run_raw_verbs(RawVerbConfig {
                 kind,
                 clients,
+                // Message-sized pool blocks, as in the fig01 sweep: the
+                // 4 KB default belongs to the Fig. 3(b) block-size
+                // experiment and would sag the inbound curve.
+                block_size: 64,
                 ..Default::default()
             });
             row.push(format!("{:>12.2}", r.mops));

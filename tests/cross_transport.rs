@@ -33,6 +33,7 @@ fn cfg() -> HarnessConfig {
         seed: 5,
         window: 1,
         nthreads: 1,
+        retry: None,
     }
 }
 
@@ -64,10 +65,14 @@ fn every_transport_serves_the_same_workload() {
             EchoHandler::default(),
         )
     });
-    let raw = echo_ops(24, |f, c| RawWrite::new(f, c, 8, 2048, EchoHandler::default()));
+    let raw = echo_ops(24, |f, c| {
+        RawWrite::new(f, c, 8, 2048, EchoHandler::default())
+    });
     let herd = echo_ops(24, |f, c| Herd::new(f, c, 8, 2048, EchoHandler::default()));
     let fasst = echo_ops(24, |f, c| Fasst::new(f, c, 2048, EchoHandler::default()));
-    let selfr = echo_ops(24, |f, c| SelfRpc::new(f, c, 8, 2048, EchoHandler::default()));
+    let selfr = echo_ops(24, |f, c| {
+        SelfRpc::new(f, c, 8, 2048, EchoHandler::default())
+    });
     for (name, ops) in [
         ("ScaleRPC", scale),
         ("RawWrite", raw),
@@ -83,9 +88,8 @@ fn every_transport_serves_the_same_workload() {
 fn paper_ordering_holds_at_scale() {
     // 240 clients, batch 2: ScaleRPC ≳ FaSST ≳ HERD > RawWrite/SelfRPC.
     let mut results = Vec::new();
-    let scale = echo_at_240(|f, c| {
-        ScaleRpc::new(f, c, ScaleRpcConfig::default(), EchoHandler::default())
-    });
+    let scale =
+        echo_at_240(|f, c| ScaleRpc::new(f, c, ScaleRpcConfig::default(), EchoHandler::default()));
     let fasst = echo_at_240(|f, c| Fasst::new(f, c, 4096, EchoHandler::default()));
     let raw = echo_at_240(|f, c| RawWrite::new(f, c, 8, 4096, EchoHandler::default()));
     results.push(("ScaleRPC", scale));

@@ -7,11 +7,15 @@ use scalerpc_repro::rdma_fabric::{
 };
 use scalerpc_repro::rpc_core::cluster::{Cluster, ClusterSpec};
 use scalerpc_repro::rpc_core::driver::Sim;
-use scalerpc_repro::rpc_core::harness::{Harness, HarnessConfig};
-use scalerpc_repro::rpc_core::transport::ServerHandler;
+use scalerpc_repro::rpc_core::harness::{Harness, HarnessConfig, RetryPolicy};
+use scalerpc_repro::rpc_core::inject::{Injection, ScenarioSpec};
+use scalerpc_repro::rpc_core::sharded::ShardedSim;
+use scalerpc_repro::rpc_core::transport::{EchoHandler, ServerHandler};
 use scalerpc_repro::rpc_core::workload::ThinkTime;
 use scalerpc_repro::scalerpc::{ScaleRpc, ScaleRpcConfig};
 use scalerpc_repro::simcore::{SimDuration, SimTime};
+use scalerpc_repro::simtrace::query::TraceQuery;
+use scalerpc_repro::simtrace::{InstantKind, Tracer};
 use simscenario::{compile, Compiled, Scenario};
 
 /// A handler whose every call is long-running: forces §3.5 legacy mode.
@@ -67,6 +71,7 @@ fn long_running_rpcs_move_to_legacy_mode() {
             seed: 3,
             window: 1,
             nthreads: 1,
+            retry: None,
         }
     );
     assert_eq!(
@@ -225,7 +230,11 @@ fn windowed_lock_storm_converges_without_stuck_slots() {
     // 128 concurrent transactions on 12 keys abort far more often than
     // the synchronous storm; the bar is liveness, not rate.
     assert!(m.committed > 100, "committed {}", m.committed);
-    assert!(m.aborted > 50, "contention must cause aborts: {}", m.aborted);
+    assert!(
+        m.aborted > 50,
+        "contention must cause aborts: {}",
+        m.aborted
+    );
     assert_eq!(
         sim.logic(0).busy_slots(),
         0,
@@ -306,6 +315,284 @@ fn windowed_smallbank_holds_serializability_witnesses() {
     }
 }
 
+/// Fingerprint of one chaos-injected closed-loop run, plus the
+/// conservation invariants every such run must satisfy after the drain.
+struct ChaosRun {
+    events: u64,
+    ops: u64,
+    issued: u64,
+    completed: u64,
+    retries: u64,
+    node_crashes: u64,
+}
+
+/// Runs the standard 8-client ScaleRPC deployment under the given chaos
+/// timeline and asserts the recovery invariants: conservation
+/// (`issued == completed + in_flight`), a fully drained window
+/// (`in_flight == 0`) and no stuck clients. `nthreads` exercises the
+/// config-plumbing parity knob: the harness is a monolithic hub logic,
+/// so every thread count must produce the identical event stream.
+fn run_chaos(
+    nthreads: usize,
+    retry: Option<RetryPolicy>,
+    timeline: Vec<(SimTime, Injection)>,
+    tracer: Option<&Tracer>,
+) -> ChaosRun {
+    let mut fabric = Fabric::new(FabricParams::default());
+    if let Some(t) = tracer {
+        fabric.set_tracer(t.clone());
+    }
+    let cluster = Cluster::build(
+        &mut fabric,
+        ClusterSpec {
+            server_threads: 4,
+            client_machines: 2,
+            threads_per_machine: 4,
+            cores_per_machine: 8,
+            clients: 8,
+        },
+    );
+    let server = cluster.server;
+    // Same adjustments the scenario compiler applies to lifecycle runs:
+    // deep client windows need matching message-slot windows, and chaos
+    // timelines need the response-replay cache (`elastic`) armed.
+    let t = ScaleRpc::new(
+        &mut fabric,
+        &cluster,
+        ScaleRpcConfig {
+            group_size: 4,
+            client_window: 4,
+            elastic: true,
+            ..Default::default()
+        },
+        EchoHandler::default(),
+    );
+    let mut h = Harness::new(
+        t,
+        cluster,
+        HarnessConfig {
+            batch_size: 1,
+            request_size: 32,
+            warmup: SimDuration::millis(1),
+            run: SimDuration::millis(5),
+            think: vec![ThinkTime::None],
+            seed: 7,
+            window: 4,
+            nthreads,
+            retry,
+        },
+    );
+    let mut spec = ScenarioSpec::empty(8);
+    spec.timeline = timeline;
+    h.set_scenario(spec).expect("scenario accepted");
+    let stop = h.stop_at();
+    let mut sim = ShardedSim::new_sequential(fabric, h);
+    let events = sim.run_sequential(stop + SimDuration::millis(3));
+    let h = sim.logic(0);
+    assert_eq!(
+        h.issued(),
+        h.completed() + h.in_flight(),
+        "conservation violated: lost or duplicated RPCs"
+    );
+    assert_eq!(h.in_flight(), 0, "requests still in flight after drain");
+    assert!(
+        h.stuck_clients().is_empty(),
+        "stuck clients after drain: {:?}",
+        h.stuck_clients()
+    );
+    ChaosRun {
+        events,
+        ops: h.metrics.ops,
+        issued: h.issued(),
+        completed: h.completed(),
+        retries: h.retries(),
+        node_crashes: sim.fabric(0).counters(server).unwrap().get("NodeCrashes"),
+    }
+}
+
+#[test]
+fn server_crash_mid_window_conserves_and_replays() {
+    // The server dies at a non-slice-aligned instant while every client
+    // holds a full window of in-flight requests; the retry policy must
+    // carry the lost requests across the 150 µs outage without losing
+    // or double-counting a single RPC, at any requested thread count.
+    let crash_at = SimTime::ZERO + SimDuration::micros(2_347);
+    let timeline = vec![(
+        crash_at,
+        Injection::ServerCrash {
+            down: SimDuration::micros(150),
+        },
+    )];
+    let retry = Some(RetryPolicy::default());
+
+    let base = run_chaos(1, retry, timeline.clone(), None);
+    assert!(base.ops > 0, "closed loop must survive the crash");
+    assert!(
+        base.retries > 0,
+        "requests lost in the crash window must be retransmitted"
+    );
+    assert_eq!(base.node_crashes, 1, "exactly one crash modelled");
+    for nthreads in [2, 4, 8] {
+        let r = run_chaos(nthreads, retry, timeline.clone(), None);
+        assert_eq!(
+            (r.events, r.ops, r.issued, r.completed, r.retries),
+            (base.events, base.ops, base.issued, base.completed, base.retries),
+            "nthreads={nthreads} diverged from the single-thread run"
+        );
+    }
+
+    // Trace-based recovery check (traced runs are single-shard by
+    // construction): the crash tears connections down, failover timers
+    // fire, and recovery pays fresh connection setups.
+    let tracer = Tracer::enabled();
+    assert!(tracer.is_enabled(), "integration tests build with tracing");
+    let traced = run_chaos(1, retry, timeline, Some(&tracer));
+    assert_eq!(
+        (traced.events, traced.ops),
+        (base.events, base.ops),
+        "tracing must observe, never perturb"
+    );
+    let log = tracer.snapshot().expect("tracer enabled");
+    let q = TraceQuery::new(&log);
+    assert!(
+        q.instants(InstantKind::Failover).next().is_some(),
+        "no Failover instants traced"
+    );
+    assert!(
+        q.instants(InstantKind::ConnTeardown).any(|i| i.at >= crash_at),
+        "crash must trace ConnTeardown for the torn QPs"
+    );
+    assert!(
+        q.instants(InstantKind::ConnSetup).any(|i| i.at > crash_at),
+        "recovery must re-establish connections after the crash"
+    );
+}
+
+#[test]
+fn client_reconnect_mid_slice_pays_setup_and_conserves() {
+    // Four clients depart, then rejoin at an instant that falls inside
+    // a running time slice. Each rejoining client must re-establish its
+    // connection (a traced ConnSetup after the rejoin) and the closed
+    // loop must drain to conservation at any requested thread count. No
+    // retry policy: departure/reconnect must never need failover.
+    let rejoin_at = SimTime::ZERO + SimDuration::micros(3_347);
+    let timeline = vec![
+        (
+            SimTime::ZERO + SimDuration::micros(1_900),
+            Injection::Depart { first: 2, last: 5 },
+        ),
+        (rejoin_at, Injection::Reconnect { first: 2, last: 5 }),
+    ];
+
+    let base = run_chaos(1, None, timeline.clone(), None);
+    assert!(base.ops > 0, "closed loop must keep completing");
+    assert_eq!(base.retries, 0, "reconnect must not trigger failover");
+    for nthreads in [2, 4, 8] {
+        let r = run_chaos(nthreads, None, timeline.clone(), None);
+        assert_eq!(
+            (r.events, r.ops, r.issued, r.completed),
+            (base.events, base.ops, base.issued, base.completed),
+            "nthreads={nthreads} diverged from the single-thread run"
+        );
+    }
+
+    let tracer = Tracer::enabled();
+    assert!(tracer.is_enabled(), "integration tests build with tracing");
+    let traced = run_chaos(1, None, timeline, Some(&tracer));
+    assert_eq!(
+        (traced.events, traced.ops),
+        (base.events, base.ops),
+        "tracing must observe, never perturb"
+    );
+    let log = tracer.snapshot().expect("tracer enabled");
+    let q = TraceQuery::new(&log);
+    assert!(
+        q.instants(InstantKind::ConnSetup).any(|i| i.at >= rejoin_at),
+        "rejoining clients must pay fresh connection setup"
+    );
+}
+
+#[test]
+fn lock_holder_crash_frees_locks_and_replays_bit_exactly() {
+    // A participant crashes mid-run while coordinators hold its locks.
+    // The presumed-abort recovery sweep must free every lock the dead
+    // transactions left behind (unlock writes posted during the outage
+    // drop at the errored QPs), the failed phases must abort-and-retry,
+    // and the whole recovery must replay bit-exactly.
+    use scalerpc_repro::scaletx::sim::{run_scalerpc_tx_with, shard_of};
+    use scalerpc_repro::scaletx::workload::TxWorkload;
+    use scalerpc_repro::scaletx::TxConfig;
+
+    let cfg = TxConfig {
+        coordinators: 16,
+        servers: 3,
+        client_machines: 2,
+        workload: TxWorkload::ObjectStore {
+            reads: 1,
+            writes: 2,
+            keys_per_server: 8, // 24 keys: enough contention to hold locks
+            servers: 3,
+        },
+        one_sided: true,
+        value_size: 8,
+        keys_per_server: 8,
+        initial_balance: 0,
+        warmup: SimDuration::millis(1),
+        run: SimDuration::millis(5),
+        coord_cpu_mult: 8,
+        seed: 31,
+        window: 2,
+    };
+    let scale = ScaleRpcConfig {
+        group_size: 16,
+        slots: 8,
+        block_size: 2048,
+        ..Default::default()
+    };
+    let run = || {
+        let sim = run_scalerpc_tx_with(cfg.clone(), scale.clone(), SimDuration::ZERO, |tx| {
+            tx.inject_server_crash(
+                SimTime::ZERO + SimDuration::micros(2_613),
+                1,
+                SimDuration::micros(500),
+            );
+        });
+        let events = sim.events();
+        let l = sim.logic(0);
+        assert_eq!(l.busy_slots(), 0, "slot deadlock after crash recovery");
+        assert!(
+            l.crash_failures > 0,
+            "the crash must fail some in-flight transaction phases"
+        );
+        assert!(
+            l.metrics.committed > 100,
+            "system must keep committing: {}",
+            l.metrics.committed
+        );
+        for s in 0..3 {
+            let part = l.transports[s].handler();
+            for key in 0..24u64 {
+                if shard_of(key, 3) != s {
+                    continue;
+                }
+                if let Some(it) = part.peek(sim.fabric(0), key) {
+                    assert_eq!(it.lock, 0, "key {key} left locked after the crash");
+                }
+            }
+        }
+        (
+            events,
+            l.metrics.committed,
+            l.metrics.aborted,
+            l.crash_failures,
+            l.locks_swept,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "crash recovery must replay bit-exactly");
+}
+
 #[test]
 fn lock_storm_converges() {
     // Every coordinator hammers the same tiny hot set; the system must
@@ -346,7 +633,11 @@ fn lock_storm_converges() {
     );
     let m = &sim.logic(0).metrics;
     assert!(m.committed > 200, "committed {}", m.committed);
-    assert!(m.aborted > 50, "contention must cause aborts: {}", m.aborted);
+    assert!(
+        m.aborted > 50,
+        "contention must cause aborts: {}",
+        m.aborted
+    );
     // All locks eventually released.
     for s in 0..3 {
         let part = sim.logic(0).transports[s].handler();

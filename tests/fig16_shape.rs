@@ -35,14 +35,16 @@ fn r3w1() -> (TxWorkload, u64, usize) {
 }
 
 fn smallbank() -> (TxWorkload, u64, usize) {
-    (
-        TxWorkload::smallbank(20_000, 3),
-        20_000 * 2 * 3 / 3 + 2,
-        8,
-    )
+    (TxWorkload::smallbank(20_000, 3), 20_000 * 2 * 3 / 3 + 2, 8)
 }
 
-fn cfg(workload: TxWorkload, keys: u64, value_size: usize, one_sided: bool, window: usize) -> TxConfig {
+fn cfg(
+    workload: TxWorkload,
+    keys: u64,
+    value_size: usize,
+    one_sided: bool,
+    window: usize,
+) -> TxConfig {
     TxConfig {
         coordinators: COORDINATORS,
         servers: 3,
@@ -62,10 +64,14 @@ fn cfg(workload: TxWorkload, keys: u64, value_size: usize, one_sided: bool, wind
 
 fn scaletx_tps(workload: &(TxWorkload, u64, usize), one_sided: bool, window: usize) -> f64 {
     let (w, keys, vs) = workload.clone();
-    run_scalerpc_tx(cfg(w, keys, vs, one_sided, window), tx_scale_cfg(), SimDuration::ZERO)
-        .logic(0)
-        .metrics
-        .tps()
+    run_scalerpc_tx(
+        cfg(w, keys, vs, one_sided, window),
+        tx_scale_cfg(),
+        SimDuration::ZERO,
+    )
+    .logic(0)
+    .metrics
+    .tps()
 }
 
 fn baseline_tps(workload: &(TxWorkload, u64, usize), transport: &str, window: usize) -> f64 {

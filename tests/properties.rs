@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 use scalerpc_repro::mica_kv::KvTable;
-use scalerpc_repro::scalerpc::client::SubmitAction;
-use scalerpc_repro::scalerpc::{ClientFsm, ClientState};
 use scalerpc_repro::octofs::{FsOp, FsRequest, FsResponse};
 use scalerpc_repro::rpc_core::message::{MsgBuf, RpcHeader};
+use scalerpc_repro::scalerpc::client::SubmitAction;
+use scalerpc_repro::scalerpc::{ClientFsm, ClientState};
 use scalerpc_repro::scaletx::{TxRequest, TxResponse};
 use scalerpc_repro::simcore::stats::Histogram;
 

@@ -88,6 +88,7 @@ fn run_scalerpc_traced_w(
             seed: 1,
             window,
             nthreads: 1,
+            retry: None,
         },
     );
     if sample {
@@ -183,10 +184,7 @@ fn warmup_overlaps_the_previous_slice() {
             continue;
         }
         switches += 1;
-        if handler_starts
-            .iter()
-            .any(|&h| h >= at && h <= at + gap)
-        {
+        if handler_starts.iter().any(|&h| h >= at && h <= at + gap) {
             covered += 1;
         }
     }
@@ -273,6 +271,7 @@ where
             seed: 1,
             window: 1,
             nthreads: 1,
+            retry: None,
         },
     );
     let stop = harness.stop_at();
@@ -351,7 +350,11 @@ fn windowed_pipeline_trace_ids_are_unique_and_stage_ordered() {
     for span in q.spans_of(Stage::ClientPost) {
         *posts_by_id.entry(span.id).or_insert(0u32) += 1;
     }
-    assert!(posts_by_id.len() > 5_000, "too few posts: {}", posts_by_id.len());
+    assert!(
+        posts_by_id.len() > 5_000,
+        "too few posts: {}",
+        posts_by_id.len()
+    );
     let dup = posts_by_id.iter().find(|(_, &n)| n > 1);
     assert!(dup.is_none(), "TraceId {:?} reused across requests", dup);
 
@@ -402,7 +405,10 @@ fn windowed_pipeline_trace_ids_are_unique_and_stage_ordered() {
     let mut by_client: std::collections::HashMap<u64, Vec<(SimTime, u64)>> =
         std::collections::HashMap::new();
     for span in q.spans_of(Stage::ClientPost) {
-        by_client.entry(span.client).or_default().push((span.start, span.id));
+        by_client
+            .entry(span.client)
+            .or_default()
+            .push((span.start, span.id));
     }
     let mut overlapped = false;
     'outer: for posts in by_client.values_mut() {
@@ -420,7 +426,10 @@ fn windowed_pipeline_trace_ids_are_unique_and_stage_ordered() {
             }
         }
     }
-    assert!(overlapped, "no client ever had two requests in flight at W=4");
+    assert!(
+        overlapped,
+        "no client ever had two requests in flight at W=4"
+    );
 }
 
 #[test]
