@@ -33,19 +33,30 @@ echo "== clippy (deny warnings, trace on) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== simlint (deny, trace on) =="
-# Lexer-level workspace lint: determinism + model invariants (R1-R6,
-# `simlint --list-rules` prints the catalog + built-in allowlist).
-# Scans sources, not cfg-expanded builds, so it sees *both* sides of
-# every trace gate; it runs again after the no-trace clippy so a rule
-# violation introduced by feature-config-specific fixes can't slip
-# between the two gates. Full-workspace scan is ~100 ms.
-cargo run -q -p simlint -- --deny
+# Workspace lint: determinism + model invariants (lexer-level R1-R6
+# plus the simsema semantic rules R7-R9; `simlint --list-rules` prints
+# the catalog). Scans sources, not cfg-expanded builds, so it sees
+# *both* sides of every trace gate; it runs again after the no-trace
+# clippy so a rule violation introduced by feature-config-specific
+# fixes can't slip between the two gates. The full scan (lex + parse +
+# semantic passes over every crate) must stay under the 1 s budget.
+rm -rf target/simlint-cache
+cargo run -q -p simlint -- --deny --budget-ms 1000 | tee target/simlint_full.txt
+
+echo "== simlint incremental parity =="
+# The cache is a pure accelerator: a cold incremental scan (populating
+# target/simlint-cache) and a warm one must both report byte-identical
+# findings to the full scan above.
+cargo run -q -p simlint -- --deny --incremental | tee target/simlint_cold.txt
+cargo run -q -p simlint -- --deny --incremental | tee target/simlint_warm.txt
+cmp target/simlint_full.txt target/simlint_cold.txt
+cmp target/simlint_full.txt target/simlint_warm.txt
 
 echo "== clippy (deny warnings, trace off) =="
 cargo clippy -p simtrace -p scalerpc-bench --no-default-features --all-targets -- -D warnings
 
 echo "== simlint (deny, trace off) =="
-cargo run -q -p simlint -- --deny
+cargo run -q -p simlint -- --deny --budget-ms 1000
 
 echo "== scenario check (all checked-in scenarios) =="
 # Parse + compile every scenario file; rejects drift between the

@@ -1,3 +1,5 @@
+// simlint: allow-file(R6): the sequential engine — owns its shard's
+// EventQueue by definition.
 //! The generic simulation driver.
 //!
 //! A [`Sim`] owns the fabric, an application [`Logic`], and one event

@@ -1,3 +1,5 @@
+// simlint: allow-file(R6): the parallel engine — owns every shard queue
+// and the cross-shard merge; seq-level queue access here is the point.
 //! The sharded parallel simulation driver.
 //!
 //! [`ShardedSim`] is the multi-core counterpart of [`Sim`](crate::Sim):

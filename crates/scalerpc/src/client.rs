@@ -30,6 +30,7 @@
 use rpc_core::{Completed, RequestWindow};
 
 /// Client states (Fig. 7 of the paper).
+// simsema: fsm(ClientState): Idle->Warmup->Process, Process->Idle, Warmup->Idle
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ClientState {
     /// Not currently served; requests are staged locally.
@@ -145,6 +146,7 @@ impl ClientFsm {
     /// piggybacked `context_switch_event` flag.
     pub fn on_response(&mut self, ctx_switch: bool) {
         if ctx_switch {
+            // simsema: from(*)
             self.state = ClientState::Idle;
         } else if self.state == ClientState::Warmup {
             // First response: the group is being served now.
@@ -155,6 +157,7 @@ impl ClientFsm {
     /// Handles an explicit context-switch notification (the extra RDMA
     /// write the server issues to clients with no in-flight responses).
     pub fn on_ctx_notify(&mut self) {
+        // simsema: from(*)
         self.state = ClientState::Idle;
     }
 }

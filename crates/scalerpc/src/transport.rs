@@ -89,6 +89,8 @@ pub enum ScaleEv {
 ///
 /// Eager (seed) deployments are `Ready` from construction and never
 /// leave it on the steady-state path, so the variants are free there.
+// simsema: fsm(ConnState): Absent->Pending->Ready, Ready->Pending
+// simsema: fsm(ConnState): Pending->Absent, Ready->Absent
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ConnState {
     /// No connection; the next submit triggers establishment.
@@ -1152,6 +1154,7 @@ impl<H: ServerHandler> ScaleRpc<H> {
     /// stays `Pending` with its requests buffered and `recover`
     /// re-drives the setup.
     fn begin_connect(&mut self, client: ClientId, cx: &mut Cx<'_, ScaleEv>) {
+        // simsema: from(*)
         self.clients[client].conn = ConnState::Pending;
         let (cq, sq) = (
             self.clients[client].client_qp,
@@ -1168,7 +1171,26 @@ impl<H: ServerHandler> ScaleRpc<H> {
         let Some(&client) = self.qp_index.get(&qp) else {
             return;
         };
-        if self.clients[client].conn == ConnState::Ready {
+        if self.clients[client].conn != ConnState::Pending {
+            // Only an establishment this transport is waiting for may
+            // open the data path. A stale `ConnRts` — from a setup that
+            // predates a connection churn — can land while the client
+            // is parked in `Absent` (lazy mode: churn during an earlier
+            // setup, then a second churn with nothing buffered).
+            // Accepting it would transition Absent → Ready with none of
+            // the re-setup cost paid, violating `conn_reset`'s contract
+            // that the full establishment runs before the next request
+            // flows. The fabric did move the QPs to RTS, so put them
+            // back to Reset or the next `begin_connect` would fail and
+            // strand the client in `Pending` forever.
+            if self.clients[client].conn == ConnState::Absent {
+                let (sq, cq) = (
+                    self.clients[client].server_qp,
+                    self.clients[client].client_qp,
+                );
+                let _ = cx.fabric.reset_qp(sq);
+                let _ = cx.fabric.reset_qp(cq);
+            }
             return;
         }
         self.clients[client].conn = ConnState::Ready;
@@ -1218,9 +1240,11 @@ impl<H: ServerHandler> ScaleRpc<H> {
         self.forget_conn_state(client, cx);
         if self.down {
             // Reconnection waits for server recovery.
+            // simsema: from(*)
             self.clients[client].conn = ConnState::Pending;
         } else if self.cfg.lazy_connect && self.clients[client].pending.is_empty() {
             // Lazy clients with nothing buffered reconnect on demand.
+            // simsema: from(*)
             self.clients[client].conn = ConnState::Absent;
         } else {
             self.begin_connect(client, cx);
@@ -1239,8 +1263,10 @@ impl<H: ServerHandler> ScaleRpc<H> {
             let _ = cx.fabric.reset_qp(cq);
             self.forget_conn_state(c, cx);
             if self.cfg.lazy_connect && self.clients[c].pending.is_empty() {
+                // simsema: from(*)
                 self.clients[c].conn = ConnState::Absent;
             } else {
+                // simsema: from(*)
                 self.clients[c].conn = ConnState::Pending;
                 // One connection per setup interval: client c re-admits
                 // after c serial establishments.
@@ -1506,6 +1532,7 @@ impl<H: ServerHandler> RpcTransport for ScaleRpc<H> {
                 for c in 0..self.clients.len() {
                     // Buffer submits until recovery re-establishes the
                     // connection (posting would only drop at the NIC).
+                    // simsema: from(*)
                     self.clients[c].conn = ConnState::Pending;
                     // Cancel requests the crash stranded client-side:
                     // buffered-for-flush and staged-but-unserved ones.

@@ -97,6 +97,7 @@ impl Default for TxConfig {
 }
 
 /// Results of a transaction run.
+// simsema: conserve(TxMetrics: attempts = committed + aborted)
 #[derive(Clone, Debug)]
 pub struct TxMetrics {
     /// Transactions committed inside the window.
@@ -125,6 +126,12 @@ impl TxMetrics {
         } else {
             self.committed as f64 / secs
         }
+    }
+
+    /// Transactions attempted inside the window (commits + aborts; a
+    /// retried transaction counts once per attempt).
+    pub fn attempts(&self) -> u64 {
+        self.committed + self.aborted
     }
 
     /// Abort ratio (aborts / attempts).
@@ -162,6 +169,9 @@ impl TxMetrics {
 }
 
 /// Coordinator protocol phases (per transaction slot).
+// simsema: fsm(Phase): Idle->Starting->Execute->Validate->Log->Commit->Idle
+// simsema: fsm(Phase): Starting->Idle, Execute->Log, Execute->Unlocking, Execute->Idle
+// simsema: fsm(Phase): Validate->Unlocking, Validate->Idle, Log->Idle, Unlocking->Idle
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
     Idle,
@@ -481,6 +491,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
 
     fn begin_tx(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
         if cx.now >= self.stop_at {
+            // simsema: from(Starting)
             self.coords[c].slots[slot].phase = Phase::Idle;
             return;
         }
@@ -488,6 +499,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
         let txid = self.txid(c, slot);
         let sl = &mut self.coords[c].slots[slot];
         sl.spec = spec;
+        // simsema: from(Starting)
         sl.phase = Phase::Execute;
         sl.pending = 0;
         sl.exec.clear();
@@ -567,6 +579,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             self.schedule_retry(c, slot, cx);
         } else {
             let txid = self.txid(c, slot);
+            // simsema: from(Execute, Validate)
             self.coords[c].slots[slot].phase = Phase::Unlocking;
             self.coords[c].slots[slot].pending = 0;
             let spec_writes = self.coords[c].slots[slot].spec.writes.clone();
@@ -584,6 +597,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
     }
 
     fn schedule_retry(&mut self, c: usize, slot: usize, cx: &mut Cx<'_, TxEv<T::Ev>>) {
+        // simsema: from(*)
         self.coords[c].slots[slot].phase = Phase::Idle;
         let backoff = SimDuration::nanos(2_000 + self.coords[c].rng.below(8_000));
         cx.after(backoff, TxEv::Start(c));
@@ -598,6 +612,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             self.metrics.latency.record_duration(latency);
             self.metrics.slot_latency[slot].record_duration(latency);
         }
+        // simsema: from(*)
         self.coords[c].slots[slot].phase = Phase::Idle;
         cx.at(cx.now, TxEv::Start(c));
     }
@@ -608,6 +623,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             self.start_log(c, slot, cx);
             return;
         }
+        // simsema: from(Execute)
         self.coords[c].slots[slot].phase = Phase::Validate;
         self.coords[c].slots[slot].pending = 0;
         self.coords[c].slots[slot].phase_ok = true;
@@ -703,6 +719,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             return;
         }
         let txid = self.txid(c, slot);
+        // simsema: from(Execute, Validate)
         self.coords[c].slots[slot].phase = Phase::Log;
         self.coords[c].slots[slot].pending = 0;
         let values = self.new_values(c, slot);
@@ -752,6 +769,7 @@ impl<T: RpcTransport + OneSidedAccess> TxSim<T> {
             self.commit_done(c, slot, cx);
         } else {
             let txid = self.txid(c, slot);
+            // simsema: from(Log)
             self.coords[c].slots[slot].phase = Phase::Commit;
             self.coords[c].slots[slot].pending = 0;
             let mut per_server: BTreeMap<usize, Vec<(u64, Vec<u8>)>> = BTreeMap::new();

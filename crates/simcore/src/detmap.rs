@@ -1,3 +1,5 @@
+// simlint: allow-file(R1): defines DetHashMap/DetHashSet over std HashMap
+// with a fixed FxHash hasher; the one sanctioned HashMap use.
 //! Deterministic hash maps for sim-path state.
 //!
 //! `std::collections::HashMap`'s default `RandomState` is seeded from OS

@@ -36,6 +36,8 @@ pub struct SourceFile {
     pub has_safety: Vec<bool>,
     /// Suppressed rules per line: `(line, rule)` pairs, sorted.
     allows: Vec<(u32, Rule)>,
+    /// Rules suppressed for the whole file by `// simlint: allow-file(Rn): reason`.
+    allow_file: Vec<Rule>,
 }
 
 impl SourceFile {
@@ -46,6 +48,7 @@ impl SourceFile {
         let mut has_comment = vec![false; max_line + 2];
         let mut has_safety = vec![false; max_line + 2];
         let mut allows = Vec::new();
+        let mut allow_file = Vec::new();
         for t in &tokens {
             if !t.is_comment() {
                 continue;
@@ -62,8 +65,11 @@ impl SourceFile {
                 }
             }
             parse_allow_directive(&t.text, t.line, &mut allows);
+            parse_allow_file_directive(&t.text, &mut allow_file);
         }
         allows.sort_unstable();
+        allow_file.sort_unstable();
+        allow_file.dedup();
         let gates = compute_gates(&tokens);
         SourceFile {
             path: path.to_string(),
@@ -72,6 +78,7 @@ impl SourceFile {
             has_comment,
             has_safety,
             allows,
+            allow_file,
         }
     }
 
@@ -107,6 +114,71 @@ impl SourceFile {
     /// The previous non-comment token before index `i`, if any.
     pub fn prev_code(&self, i: usize) -> Option<&Token> {
         self.tokens[..i].iter().rev().find(|t| !t.is_comment())
+    }
+
+    /// Whether `rule` is suppressed for the entire file by an
+    /// `allow-file` directive.
+    pub fn file_allowed(&self, rule: Rule) -> bool {
+        self.allow_file.contains(&rule)
+    }
+
+    /// The line-level allow directives, for cache serialization.
+    pub fn allow_entries(&self) -> &[(u32, Rule)] {
+        &self.allows
+    }
+
+    /// The file-level allow directives, for cache serialization.
+    pub fn allow_file_entries(&self) -> &[Rule] {
+        &self.allow_file
+    }
+
+    /// Gate flags of the token at (or nearest after) `line:col` —
+    /// lets AST-level rules honor `#[cfg(test)]` regions without
+    /// re-deriving gates.
+    pub fn gate_at(&self, line: u32, col: u32) -> u8 {
+        let i = self
+            .tokens
+            .partition_point(|t| (t.line, t.col) < (line, col));
+        self.gates
+            .get(i)
+            .or_else(|| i.checked_sub(1).and_then(|j| self.gates.get(j)))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Extracts `// simlint: allow-file(R1, R2): reason` from one comment.
+/// Stricter than the line-level form: the trimmed comment must *start*
+/// with the directive (so prose mentioning the syntax cannot trigger
+/// it), and a reason after the closing parenthesis is required.
+fn parse_allow_file_directive(text: &str, out: &mut Vec<Rule>) {
+    let Some(rest) = text.strip_prefix("//") else {
+        return;
+    };
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return; // doc comments document, they don't configure
+    }
+    let Some(rest) = rest.trim_start().strip_prefix("simlint:") else {
+        return;
+    };
+    let Some(args) = rest.trim_start().strip_prefix("allow-file(") else {
+        return;
+    };
+    let Some(close) = args.find(')') else {
+        return;
+    };
+    // A reason is mandatory: `): why` — otherwise the directive is inert.
+    let after = args[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return;
+    };
+    if reason.trim().is_empty() {
+        return;
+    }
+    for part in args[..close].split(',') {
+        if let Some(rule) = Rule::parse(part.trim()) {
+            out.push(rule);
+        }
     }
 }
 

@@ -1,0 +1,1841 @@
+//! simsema's forgiving recursive-descent parser.
+//!
+//! Turns the [`crate::lexer`] token stream into a small AST: items
+//! (enums, structs, impls, fns, mods), blocks/statements, and an
+//! expression tree with enough structure for the semantic rules —
+//! paths, field accesses, calls, binary operators, assignments,
+//! `if`/`match` with arm patterns, struct literals.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, never loop.** Every parse function either consumes
+//!    at least one token or returns; delimiter extents come from a
+//!    precomputed bracket-matching map, so a confused inner parse can
+//!    always resynchronize at the enclosing close delimiter.
+//! 2. **Degrade to `Unknown`, not to garbage.** Constructs outside the
+//!    supported grammar (macro bodies, generic bounds, trait items)
+//!    parse as opaque nodes; the rules treat `Unknown` as
+//!    "no information", which fails safe for every simsema check.
+//! 3. **Small.** This is not a Rust front end. Types are skipped, not
+//!    modeled; patterns are path-sets, not trees; precedence is the
+//!    subset the workspace uses.
+//!
+//! The lexer keeps comments in its stream; the parser filters them out
+//! first (directives are read from comments separately, by
+//! `crate::sema`). Token positions are preserved on the nodes the rules
+//! anchor findings to.
+
+use crate::lexer::{TokKind, Token};
+
+/// A parsed file: the top-level item list.
+#[derive(Debug, Default)]
+pub struct Ast {
+    pub items: Vec<Item>,
+}
+
+/// One item. Unmodeled items (traits, uses, macros…) are dropped.
+#[derive(Debug)]
+pub enum Item {
+    Enum(EnumDef),
+    Struct(StructDef),
+    Impl(ImplDef),
+    Fn(FnDef),
+    Mod { name: String, items: Vec<Item> },
+    /// `const NAME: T = expr;` / `static NAME: T = expr;` — modeled so
+    /// R8 sees unit-suffixed constants' initializers.
+    Const { name: String, init: Option<Expr>, line: u32, col: u32 },
+}
+
+/// `enum Name { V1, V2(..), … }`.
+#[derive(Debug)]
+pub struct EnumDef {
+    pub name: String,
+    /// Variant names with their spans.
+    pub variants: Vec<(String, u32, u32)>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// `struct Name { f1: T, … }` (tuple/unit structs have no named fields).
+#[derive(Debug)]
+pub struct StructDef {
+    pub name: String,
+    /// Named field spans.
+    pub fields: Vec<(String, u32, u32)>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// `impl [Trait for] Type { fns… }` — `name` is the Self type's last
+/// path segment.
+#[derive(Debug)]
+pub struct ImplDef {
+    pub name: String,
+    pub fns: Vec<FnDef>,
+    pub line: u32,
+}
+
+/// A function with its signature names and parsed body.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// Simple (single-identifier) parameter names, in order. Patterns
+    /// and `self` params contribute nothing.
+    pub params: Vec<String>,
+    pub body: Option<Block>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// `{ stmts…; tail }`.
+#[derive(Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    /// Trailing expression without `;` (the block's value).
+    pub tail: Option<Box<Expr>>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let name [: T] = init;` — `name` only for single-ident patterns.
+    Let { name: Option<String>, init: Option<Expr>, line: u32, col: u32 },
+    Expr(Expr),
+    /// A nested item (fn/struct/enum inside a block).
+    Item(Item),
+}
+
+/// Binary operators (multi-character operators are fused by the parser).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add, Sub, Mul, Div, Rem,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or, BitAnd, BitOr, BitXor, Shl, Shr,
+}
+
+impl BinOp {
+    /// Whether the operator is `+`/`-` or a comparison — the class R8
+    /// requires unit agreement for.
+    pub fn wants_same_unit(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// An expression. Every variant the rules anchor findings to carries a
+/// position.
+#[derive(Debug)]
+pub enum Expr {
+    /// `a::b::C` (or a lone identifier). Turbofish segments are skipped.
+    Path { segs: Vec<String>, line: u32, col: u32 },
+    /// `base.name` (field access or `.0` tuple access; the latter keeps
+    /// the digit string as `name`).
+    Field { base: Box<Expr>, name: String, line: u32, col: u32 },
+    /// `callee(args…)`.
+    Call { callee: Box<Expr>, args: Vec<Expr>, line: u32, col: u32 },
+    /// `recv.name(args…)`.
+    MethodCall { recv: Box<Expr>, name: String, args: Vec<Expr>, line: u32, col: u32 },
+    /// Numeric literal (raw text kept for scale-factor detection).
+    Number { text: String, line: u32, col: u32 },
+    /// String/char/byte literal.
+    Lit,
+    /// `lhs op rhs`.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, line: u32, col: u32 },
+    /// Prefix `-`/`!`/`&`/`*` (operator dropped, operand kept).
+    Unary(Box<Expr>),
+    /// `place = value` (or compound `op=`).
+    Assign { place: Box<Expr>, value: Box<Expr>, op: Option<BinOp>, line: u32, col: u32 },
+    /// `expr as T` (type skipped; units flow through casts).
+    Cast(Box<Expr>),
+    /// `if cond { then } [else …]`. For `if let`, `let_pats` holds the
+    /// pattern's paths and `cond` the scrutinee.
+    If {
+        cond: Box<Expr>,
+        let_pats: Vec<Vec<String>>,
+        then: Block,
+        else_: Option<Box<Expr>>,
+    },
+    /// `match scrutinee { arms… }`.
+    Match { scrutinee: Box<Expr>, arms: Vec<Arm> },
+    /// `loop`/`while`/`for` (condition kept for `while`, body always).
+    Loop { cond: Option<Box<Expr>>, body: Block },
+    Block(Block),
+    /// `return [expr]`.
+    Return { value: Option<Box<Expr>>, line: u32 },
+    /// `break`/`continue` (divergence marker for guard inference).
+    Jump,
+    /// `Path { field: expr, … }`.
+    StructLit { segs: Vec<String>, fields: Vec<(String, Expr, u32, u32)>, line: u32, col: u32 },
+    /// `(a, b, …)` — a 1-tuple of a parenthesized group is unwrapped by
+    /// the parser, so this is always a real tuple (or unit `()`).
+    Tuple(Vec<Expr>),
+    /// `base[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// `|…| body` (params dropped, body kept).
+    Closure(Box<Expr>),
+    /// `a..b` (unit-irrelevant bounds kept for traversal).
+    Range { lo: Option<Box<Expr>>, hi: Option<Box<Expr>> },
+    /// `name!(…)` — body opaque.
+    Macro { name: String, line: u32, col: u32 },
+    /// `[a, b]` / `[x; n]` array literal (elements kept for traversal).
+    Array(Vec<Expr>),
+    /// Anything the grammar does not model.
+    Unknown { line: u32, col: u32 },
+}
+
+impl Expr {
+    /// The node's anchor position, when it has one.
+    pub fn pos(&self) -> Option<(u32, u32)> {
+        match self {
+            Expr::Path { line, col, .. }
+            | Expr::Field { line, col, .. }
+            | Expr::Call { line, col, .. }
+            | Expr::MethodCall { line, col, .. }
+            | Expr::Number { line, col, .. }
+            | Expr::Binary { line, col, .. }
+            | Expr::Assign { line, col, .. }
+            | Expr::StructLit { line, col, .. }
+            | Expr::Macro { line, col, .. }
+            | Expr::Unknown { line, col } => Some((*line, *col)),
+            Expr::Return { line, .. } => Some((*line, 1)),
+            Expr::Unary(e) | Expr::Cast(e) | Expr::Closure(e) => e.pos(),
+            _ => None,
+        }
+    }
+}
+
+/// One match arm: the pattern reduced to its path set, plus the body.
+#[derive(Debug)]
+pub struct Arm {
+    /// Every `a::b`-style path (and lone capitalized identifier) the
+    /// pattern mentions.
+    pub pat_paths: Vec<Vec<String>>,
+    pub body: Expr,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Parses a token stream (comments are filtered here).
+pub fn parse(tokens: &[Token]) -> Ast {
+    let toks: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mate = match_delims(&toks);
+    let mut p = Parser { t: toks, mate, pos: 0 };
+    Ast { items: p.items_until(usize::MAX) }
+}
+
+/// Precomputes, for each opening `(`/`[`/`{`, the index of its matching
+/// close delimiter (or the end of input when unbalanced).
+fn match_delims(toks: &[&Token]) -> Vec<usize> {
+    let mut mate = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<(u8, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || t.text.len() != 1 {
+            continue;
+        }
+        match t.text.as_bytes()[0] {
+            b @ (b'(' | b'[' | b'{') => stack.push((b, i)),
+            b')' => pop_mate(&mut stack, b'(', i, &mut mate),
+            b']' => pop_mate(&mut stack, b'[', i, &mut mate),
+            b'}' => pop_mate(&mut stack, b'{', i, &mut mate),
+            _ => {}
+        }
+    }
+    mate
+}
+
+fn pop_mate(stack: &mut Vec<(u8, usize)>, open: u8, close_idx: usize, mate: &mut [usize]) {
+    // Pop until the matching opener kind: mismatched delimiters (broken
+    // source) close every opener in between, which keeps extents finite.
+    while let Some((kind, oi)) = stack.pop() {
+        mate[oi] = close_idx;
+        if kind == open {
+            break;
+        }
+    }
+}
+
+struct Parser<'a> {
+    t: Vec<&'a Token>,
+    mate: Vec<usize>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    // ---- token utilities ---------------------------------------------------
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.t.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&'a Token> {
+        self.t.get(self.pos + ahead).copied()
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek().map(|t| t.is_ident(s)).unwrap_or(false)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek().map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    fn punct_at(&self, ahead: usize, c: char) -> bool {
+        self.peek_at(ahead).map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `::` at the cursor?
+    fn at_path_sep(&self) -> bool {
+        self.at_punct(':') && self.punct_at(1, ':')
+    }
+
+    /// The close index of the delimiter at `open` (end of input if
+    /// unbalanced), for hard resynchronization.
+    fn close_of(&self, open: usize) -> usize {
+        let m = self.mate.get(open).copied().unwrap_or(usize::MAX);
+        m.min(self.t.len())
+    }
+
+    /// Skips one balanced group whose opener is at the cursor; no-op if
+    /// the cursor is not on an opener.
+    fn skip_group(&mut self) {
+        if self.at_punct('(') || self.at_punct('[') || self.at_punct('{') {
+            let close = self.close_of(self.pos);
+            self.pos = (close + 1).min(self.t.len());
+        }
+    }
+
+    /// Skips a balanced `<…>` group (generics/turbofish). `->` inside is
+    /// protected from closing the angle depth. The cursor must be on `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct('<') {
+                depth += 1;
+                self.pos += 1;
+            } else if t.is_punct('-') && self.punct_at(1, '>') {
+                self.pos += 2; // `->` in an Fn(..) -> T bound
+            } else if t.is_punct('>') {
+                depth -= 1;
+                self.pos += 1;
+                if depth <= 0 {
+                    return;
+                }
+            } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                self.skip_group();
+            } else if t.is_punct(';') {
+                return; // never cross a statement boundary
+            } else {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skips `#[…]` / `#![…]` attributes at the cursor.
+    fn skip_attrs(&mut self) {
+        loop {
+            if self.at_punct('#') && (self.punct_at(1, '[') || (self.punct_at(1, '!') && self.punct_at(2, '['))) {
+                self.pos += if self.punct_at(1, '!') { 2 } else { 1 };
+                self.skip_group();
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Skips a type at the cursor, stopping at any token that cannot
+    /// continue one (`=`, `;`, `,`, `{`, closing delimiters, `where`…).
+    fn skip_type(&mut self) {
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct('&')
+                || t.is_punct('*')
+                || t.kind == TokKind::Lifetime
+                || t.is_ident("mut")
+                || t.is_ident("dyn")
+                || t.is_ident("impl")
+                || t.is_ident("const")
+                || t.is_ident("as")
+                || t.is_ident("fn")
+            {
+                self.pos += 1;
+            } else if t.kind == TokKind::Ident {
+                self.pos += 1;
+                while self.at_path_sep() {
+                    self.pos += 2;
+                    if self.at_punct('<') {
+                        self.skip_angles();
+                    }
+                }
+                if self.at_punct('<') {
+                    self.skip_angles();
+                }
+            } else if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+            } else if t.is_punct('<') {
+                self.skip_angles();
+            } else if t.is_punct('-') && self.punct_at(1, '>') {
+                self.pos += 2; // fn(..) -> Ret
+            } else if t.is_punct('+') {
+                self.pos += 1; // bound lists: `dyn A + Send`
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Advances to the first matching punct at the current delimiter
+    /// depth (never entering groups), without consuming it. Returns
+    /// false at end of input.
+    fn sync_to(&mut self, stops: &[char]) -> bool {
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct && t.text.len() == 1 {
+                let c = t.text.as_bytes()[0] as char;
+                if stops.contains(&c) {
+                    return true;
+                }
+                if c == '(' || c == '[' || c == '{' {
+                    self.skip_group();
+                    continue;
+                }
+                if c == ')' || c == ']' || c == '}' {
+                    return false; // enclosing group closed first
+                }
+            }
+            self.pos += 1;
+        }
+        false
+    }
+
+    // ---- items -------------------------------------------------------------
+
+    /// Parses items until `end` (token index) or end of input.
+    fn items_until(&mut self, end: usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        while self.pos < self.t.len().min(end) {
+            let before = self.pos;
+            if let Some(item) = self.item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.pos += 1; // always make progress
+            }
+        }
+        items
+    }
+
+    /// Parses one item if the cursor is on one; otherwise skips what it
+    /// can identify (attributes, visibility, unmodeled items).
+    fn item(&mut self) -> Option<Item> {
+        self.skip_attrs();
+        // Visibility.
+        if self.eat_ident("pub") && self.at_punct('(') {
+            self.skip_group();
+        }
+        // Modifier soup before `fn`.
+        while self.at_ident("unsafe") || self.at_ident("async") || self.at_ident("extern") {
+            self.pos += 1;
+            if self.peek().map(|t| t.kind == TokKind::Literal).unwrap_or(false) {
+                self.pos += 1; // extern "C"
+            }
+        }
+        let t = self.peek()?;
+        match t.text.as_str() {
+            "fn" if t.kind == TokKind::Ident => self.fn_def().map(Item::Fn),
+            "enum" if t.kind == TokKind::Ident => self.enum_def().map(Item::Enum),
+            "struct" if t.kind == TokKind::Ident => self.struct_def().map(Item::Struct),
+            "impl" if t.kind == TokKind::Ident => self.impl_def().map(Item::Impl),
+            "mod" if t.kind == TokKind::Ident => self.mod_def(),
+            "const" | "static" if t.kind == TokKind::Ident => self.const_def(),
+            "use" | "type" | "trait" | "union" | "macro_rules" if t.kind == TokKind::Ident => {
+                self.skip_item();
+                None
+            }
+            _ => {
+                // Item-position macro invocation (`thread_local! { … }`)
+                // or something unmodeled: skip conservatively.
+                self.skip_item();
+                None
+            }
+        }
+    }
+
+    /// Skips one unmodeled item: to past its first top-level braced
+    /// group, or past the terminating `;`.
+    fn skip_item(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') {
+                self.skip_group();
+                return;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+                continue;
+            }
+            if t.is_punct(';') {
+                self.pos += 1;
+                return;
+            }
+            if t.is_punct('}') {
+                return; // enclosing scope closed
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+                continue;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn fn_def(&mut self) -> Option<FnDef> {
+        self.pos += 1; // `fn`
+        let name_tok = self.peek()?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+        self.pos += 1;
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.at_punct('(') {
+            let close = self.close_of(self.pos);
+            self.pos += 1;
+            while self.pos < close {
+                self.skip_attrs();
+                // A simple param is `ident :` (optionally `mut ident :`).
+                self.eat_ident("mut");
+                if let Some(t) = self.peek() {
+                    if t.kind == TokKind::Ident && !t.is_ident("self") && self.punct_at(1, ':') && !self.punct_at(2, ':')
+                    {
+                        params.push(t.text.clone());
+                    }
+                }
+                if !self.sync_to(&[',']) {
+                    break;
+                }
+                self.pos += 1; // `,`
+            }
+            self.pos = (close + 1).min(self.t.len());
+        }
+        // Return type and where clause: skip to the body or `;`.
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') || t.is_punct(';') || t.is_punct('}') {
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+            } else if t.is_punct('<') {
+                self.skip_angles();
+            } else {
+                self.pos += 1;
+            }
+        }
+        let body = if self.at_punct('{') {
+            Some(self.block())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        Some(FnDef { name, params, body, line, col })
+    }
+
+    fn enum_def(&mut self) -> Option<EnumDef> {
+        self.pos += 1; // `enum`
+        let name_tok = self.peek()?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+        self.pos += 1;
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        while !self.at_punct('{') && !self.at_punct(';') && self.peek().is_some() {
+            self.pos += 1; // where clause
+        }
+        let mut variants = Vec::new();
+        if self.at_punct('{') {
+            let close = self.close_of(self.pos);
+            self.pos += 1;
+            while self.pos < close {
+                self.skip_attrs();
+                if let Some(t) = self.peek() {
+                    if t.kind == TokKind::Ident {
+                        variants.push((t.text.clone(), t.line, t.col));
+                        self.pos += 1;
+                        if self.at_punct('(') || self.at_punct('{') {
+                            self.skip_group();
+                        }
+                    }
+                }
+                if !self.sync_to(&[',']) {
+                    break;
+                }
+                self.pos += 1;
+            }
+            self.pos = (close + 1).min(self.t.len());
+        } else {
+            self.eat_punct(';');
+        }
+        Some(EnumDef { name, variants, line, col })
+    }
+
+    fn struct_def(&mut self) -> Option<StructDef> {
+        self.pos += 1; // `struct`
+        let name_tok = self.peek()?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+        self.pos += 1;
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        while !self.at_punct('{') && !self.at_punct('(') && !self.at_punct(';') && self.peek().is_some() {
+            self.pos += 1; // where clause
+        }
+        let mut fields = Vec::new();
+        if self.at_punct('{') {
+            let close = self.close_of(self.pos);
+            self.pos += 1;
+            while self.pos < close {
+                self.skip_attrs();
+                if self.eat_ident("pub") && self.at_punct('(') {
+                    self.skip_group();
+                }
+                if let Some(t) = self.peek() {
+                    if t.kind == TokKind::Ident && self.punct_at(1, ':') && !self.punct_at(2, ':') {
+                        fields.push((t.text.clone(), t.line, t.col));
+                    }
+                }
+                if !self.sync_to(&[',']) {
+                    break;
+                }
+                self.pos += 1;
+            }
+            self.pos = (close + 1).min(self.t.len());
+        } else if self.at_punct('(') {
+            self.skip_group();
+            self.eat_punct(';');
+        } else {
+            self.eat_punct(';');
+        }
+        Some(StructDef { name, fields, line, col })
+    }
+
+    fn impl_def(&mut self) -> Option<ImplDef> {
+        let line = self.peek()?.line;
+        self.pos += 1; // `impl`
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        // First type; if `for` follows, the Self type comes after it.
+        let mut self_name = self.type_head_name();
+        if self.eat_ident("for") {
+            self_name = self.type_head_name();
+        }
+        // Where clause up to the body.
+        while !self.at_punct('{') && !self.at_punct(';') && self.peek().is_some() {
+            if self.at_punct('<') {
+                self.skip_angles();
+            } else if self.at_punct('(') || self.at_punct('[') {
+                self.skip_group();
+            } else {
+                self.pos += 1;
+            }
+        }
+        let name = self_name?;
+        if self.at_punct('{') {
+            let close = self.close_of(self.pos);
+            self.pos += 1;
+            let items = self.items_until(close);
+            self.pos = (close + 1).min(self.t.len());
+            let fns = items
+                .into_iter()
+                .filter_map(|i| match i {
+                    Item::Fn(f) => Some(f),
+                    _ => None,
+                })
+                .collect();
+            Some(ImplDef { name, fns, line })
+        } else {
+            self.eat_punct(';');
+            Some(ImplDef { name, fns: Vec::new(), line })
+        }
+    }
+
+    /// Consumes a type in head position and returns its last meaningful
+    /// path segment (`ScaleRpc` for `ScaleRpc<H>`, `Foo` for `&mut Foo`).
+    fn type_head_name(&mut self) -> Option<String> {
+        let mut last = None;
+        loop {
+            let t = self.peek()?;
+            if t.is_punct('&') || t.is_punct('*') || t.kind == TokKind::Lifetime || t.is_ident("mut") || t.is_ident("dyn")
+            {
+                self.pos += 1;
+            } else if t.kind == TokKind::Ident && !t.is_ident("for") && !t.is_ident("where") {
+                last = Some(t.text.clone());
+                self.pos += 1;
+                if self.at_punct('<') {
+                    self.skip_angles();
+                }
+                if self.at_path_sep() {
+                    self.pos += 2;
+                    continue;
+                }
+                return last;
+            } else if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+                return last;
+            } else {
+                return last;
+            }
+        }
+    }
+
+    fn mod_def(&mut self) -> Option<Item> {
+        self.pos += 1; // `mod`
+        let name = self.peek().filter(|t| t.kind == TokKind::Ident)?.text.clone();
+        self.pos += 1;
+        if self.at_punct('{') {
+            let close = self.close_of(self.pos);
+            self.pos += 1;
+            let items = self.items_until(close);
+            self.pos = (close + 1).min(self.t.len());
+            Some(Item::Mod { name, items })
+        } else {
+            self.eat_punct(';');
+            None
+        }
+    }
+
+    fn const_def(&mut self) -> Option<Item> {
+        self.pos += 1; // `const`/`static`
+        self.eat_ident("mut");
+        let name_tok = self.peek()?;
+        if name_tok.kind != TokKind::Ident || name_tok.is_ident("fn") {
+            // `const fn` modifier — rewind intent: treat as fn.
+            if name_tok.is_ident("fn") {
+                return self.fn_def().map(Item::Fn);
+            }
+            return None;
+        }
+        let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+        self.pos += 1;
+        if self.at_punct(':') {
+            self.pos += 1;
+            self.skip_type();
+        }
+        let init = if self.eat_punct('=') {
+            Some(self.expr(false))
+        } else {
+            None
+        };
+        self.eat_punct(';');
+        Some(Item::Const { name, init, line, col })
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    /// Parses the block whose `{` is at the cursor.
+    fn block(&mut self) -> Block {
+        let close = self.close_of(self.pos);
+        self.pos += 1; // `{`
+        let mut stmts = Vec::new();
+        let mut tail = None;
+        while self.pos < close.min(self.t.len()) {
+            let before = self.pos;
+            self.skip_attrs();
+            if self.eat_punct(';') {
+                continue;
+            }
+            let Some(t) = self.peek() else { break };
+            if self.pos >= close {
+                break;
+            }
+            if t.is_ident("let") {
+                stmts.push(self.let_stmt());
+            } else if t.is_ident("pub")
+                || (t.kind == TokKind::Ident
+                    && matches!(
+                        t.text.as_str(),
+                        "fn" | "struct"
+                            | "enum"
+                            | "impl"
+                            | "mod"
+                            | "use"
+                            | "trait"
+                            | "type"
+                            | "union"
+                    )
+                    && !self.punct_at(1, '!')
+                    && !self.punct_at(1, ':'))
+            {
+                if let Some(item) = self.item() {
+                    stmts.push(Stmt::Item(item));
+                }
+            } else {
+                let e = self.expr(false);
+                if self.eat_punct(';') || self.pos < close {
+                    stmts.push(Stmt::Expr(e));
+                } else {
+                    tail = Some(Box::new(e));
+                }
+            }
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.pos = (close + 1).min(self.t.len());
+        Block { stmts, tail }
+    }
+
+    fn let_stmt(&mut self) -> Stmt {
+        let kw = self.t[self.pos]; // `let` — pos is in bounds (peeked by caller)
+        let (line, col) = (kw.line, kw.col);
+        self.pos += 1;
+        self.eat_ident("mut");
+        // Single-ident pattern → name; anything else → anonymous.
+        let mut name = None;
+        if let Some(t) = self.peek() {
+            if t.kind == TokKind::Ident
+                && (self.punct_at(1, ':') && !self.punct_at(2, ':') || self.punct_at(1, '=') && !self.punct_at(2, '='))
+            {
+                name = Some(t.text.clone());
+                self.pos += 1;
+            }
+        }
+        if name.is_none() {
+            // Skip the pattern: to a top-level `:`, `=` or `;`.
+            while let Some(t) = self.peek() {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    self.skip_group();
+                    continue;
+                }
+                if t.is_punct(';') || t.is_punct('}') {
+                    break;
+                }
+                if t.is_punct(':') && !self.punct_at(1, ':') {
+                    break;
+                }
+                if t.is_punct('=') && !self.punct_at(1, '=') {
+                    break;
+                }
+                if t.is_punct(':') {
+                    self.pos += 2; // `::` inside a pattern path
+                    continue;
+                }
+                self.pos += 1;
+            }
+        }
+        if self.at_punct(':') && !self.punct_at(1, ':') {
+            self.pos += 1;
+            self.skip_type();
+        }
+        let init = if self.at_punct('=') && !self.punct_at(1, '=') {
+            self.pos += 1;
+            Some(self.expr(false))
+        } else {
+            None
+        };
+        // let-else.
+        if self.eat_ident("else") && self.at_punct('{') {
+            self.skip_group();
+        }
+        self.eat_punct(';');
+        Stmt::Let { name, init, line, col }
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    /// Full expression, lowest precedence (assignment).
+    /// `no_struct` suppresses struct-literal parsing (condition and
+    /// scrutinee position, mirroring Rust's restriction).
+    fn expr(&mut self, no_struct: bool) -> Expr {
+        let lhs = self.range_expr(no_struct);
+        // Assignment (right-associative), plain or compound.
+        let (line, col) = self.peek().map(|t| (t.line, t.col)).unwrap_or((0, 0));
+        if self.at_punct('=') && !self.punct_at(1, '=') {
+            // Not `==`; and `=>` never reaches here (arm bodies stop
+            // before their own pattern's `=>`).
+            if self.punct_at(1, '>') {
+                return lhs; // `=>` of an enclosing match arm
+            }
+            self.pos += 1;
+            let value = self.expr(no_struct);
+            return Expr::Assign { place: Box::new(lhs), value: Box::new(value), op: None, line, col };
+        }
+        for (c0, op) in [
+            ('+', BinOp::Add), ('-', BinOp::Sub), ('*', BinOp::Mul), ('/', BinOp::Div), ('%', BinOp::Rem),
+            ('&', BinOp::BitAnd), ('|', BinOp::BitOr), ('^', BinOp::BitXor),
+        ] {
+            if self.at_punct(c0) && self.punct_at(1, '=') && !self.punct_at(2, '=') {
+                self.pos += 2;
+                let value = self.expr(no_struct);
+                return Expr::Assign { place: Box::new(lhs), value: Box::new(value), op: Some(op), line, col };
+            }
+        }
+        // `<<=` / `>>=`.
+        for (c0, op) in [('<', BinOp::Shl), ('>', BinOp::Shr)] {
+            if self.at_punct(c0) && self.punct_at(1, c0) && self.punct_at(2, '=') {
+                self.pos += 3;
+                let value = self.expr(no_struct);
+                return Expr::Assign { place: Box::new(lhs), value: Box::new(value), op: Some(op), line, col };
+            }
+        }
+        lhs
+    }
+
+    fn range_expr(&mut self, no_struct: bool) -> Expr {
+        if self.at_punct('.') && self.punct_at(1, '.') {
+            // Prefix range `..hi` / `..=hi` / bare `..`.
+            self.pos += 2;
+            self.eat_punct('=');
+            if self.range_operand_follows() {
+                let hi = self.or_expr(no_struct);
+                return Expr::Range { lo: None, hi: Some(Box::new(hi)) };
+            }
+            return Expr::Range { lo: None, hi: None };
+        }
+        let lo = self.or_expr(no_struct);
+        if self.at_punct('.') && self.punct_at(1, '.') {
+            self.pos += 2;
+            self.eat_punct('=');
+            if self.range_operand_follows() {
+                let hi = self.or_expr(no_struct);
+                return Expr::Range { lo: Some(Box::new(lo)), hi: Some(Box::new(hi)) };
+            }
+            return Expr::Range { lo: Some(Box::new(lo)), hi: None };
+        }
+        lo
+    }
+
+    /// Whether a token that can start a range bound follows.
+    fn range_operand_follows(&self) -> bool {
+        self.peek()
+            .map(|t| {
+                matches!(t.kind, TokKind::Ident | TokKind::Number | TokKind::Literal)
+                    || t.is_punct('(')
+                    || t.is_punct('-')
+                    || t.is_punct('*')
+                    || t.is_punct('&')
+                    || t.is_punct('!')
+            })
+            .unwrap_or(false)
+    }
+
+    fn or_expr(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.and_expr(no_struct);
+        while self.at_punct('|') && self.punct_at(1, '|') {
+            let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+            self.pos += 2;
+            let rhs = self.and_expr(no_struct);
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col };
+        }
+        lhs
+    }
+
+    fn and_expr(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.cmp_expr(no_struct);
+        while self.at_punct('&') && self.punct_at(1, '&') {
+            let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+            self.pos += 2;
+            let rhs = self.cmp_expr(no_struct);
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col };
+        }
+        lhs
+    }
+
+    fn cmp_expr(&mut self, no_struct: bool) -> Expr {
+        let lhs = self.bitor_expr(no_struct);
+        let Some(t) = self.peek() else { return lhs };
+        let (line, col) = (t.line, t.col);
+        let (op, len) = if t.is_punct('=') && self.punct_at(1, '=') {
+            (BinOp::Eq, 2)
+        } else if t.is_punct('!') && self.punct_at(1, '=') {
+            (BinOp::Ne, 2)
+        } else if t.is_punct('<') && self.punct_at(1, '=') {
+            (BinOp::Le, 2)
+        } else if t.is_punct('>') && self.punct_at(1, '=') {
+            (BinOp::Ge, 2)
+        } else if t.is_punct('<') && !self.punct_at(1, '<') {
+            (BinOp::Lt, 1)
+        } else if t.is_punct('>') && !self.punct_at(1, '>') {
+            (BinOp::Gt, 1)
+        } else {
+            return lhs;
+        };
+        self.pos += len;
+        let rhs = self.bitor_expr(no_struct);
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col }
+    }
+
+    fn bitor_expr(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.bitxor_expr(no_struct);
+        while self.at_punct('|') && !self.punct_at(1, '|') && !self.punct_at(1, '=') {
+            let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+            self.pos += 1;
+            let rhs = self.bitxor_expr(no_struct);
+            lhs = Expr::Binary { op: BinOp::BitOr, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col };
+        }
+        lhs
+    }
+
+    fn bitxor_expr(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.bitand_expr(no_struct);
+        while self.at_punct('^') && !self.punct_at(1, '=') {
+            let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+            self.pos += 1;
+            let rhs = self.bitand_expr(no_struct);
+            lhs = Expr::Binary { op: BinOp::BitXor, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col };
+        }
+        lhs
+    }
+
+    fn bitand_expr(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.shift_expr(no_struct);
+        while self.at_punct('&') && !self.punct_at(1, '&') && !self.punct_at(1, '=') {
+            let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+            self.pos += 1;
+            let rhs = self.shift_expr(no_struct);
+            lhs = Expr::Binary { op: BinOp::BitAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col };
+        }
+        lhs
+    }
+
+    fn shift_expr(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.add_expr(no_struct);
+        loop {
+            let (op, c) = if self.at_punct('<') && self.punct_at(1, '<') && !self.punct_at(2, '=') {
+                (BinOp::Shl, '<')
+            } else if self.at_punct('>') && self.punct_at(1, '>') && !self.punct_at(2, '=') {
+                (BinOp::Shr, '>')
+            } else {
+                return lhs;
+            };
+            let _ = c;
+            let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+            self.pos += 2;
+            let rhs = self.add_expr(no_struct);
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col };
+        }
+    }
+
+    fn add_expr(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.mul_expr(no_struct);
+        loop {
+            let op = if self.at_punct('+') && !self.punct_at(1, '=') {
+                BinOp::Add
+            } else if self.at_punct('-') && !self.punct_at(1, '=') && !self.punct_at(1, '>') {
+                BinOp::Sub
+            } else {
+                return lhs;
+            };
+            let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+            self.pos += 1;
+            let rhs = self.mul_expr(no_struct);
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col };
+        }
+    }
+
+    fn mul_expr(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.cast_expr(no_struct);
+        loop {
+            let op = if self.at_punct('*') && !self.punct_at(1, '=') {
+                BinOp::Mul
+            } else if self.at_punct('/') && !self.punct_at(1, '=') {
+                BinOp::Div
+            } else if self.at_punct('%') && !self.punct_at(1, '=') {
+                BinOp::Rem
+            } else {
+                return lhs;
+            };
+            let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+            self.pos += 1;
+            let rhs = self.cast_expr(no_struct);
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line, col };
+        }
+    }
+
+    fn cast_expr(&mut self, no_struct: bool) -> Expr {
+        let mut e = self.unary_expr(no_struct);
+        while self.eat_ident("as") {
+            self.skip_type();
+            e = Expr::Cast(Box::new(e));
+        }
+        e
+    }
+
+    fn unary_expr(&mut self, no_struct: bool) -> Expr {
+        if self.at_punct('-') || self.at_punct('!') || self.at_punct('*') {
+            self.pos += 1;
+            return Expr::Unary(Box::new(self.unary_expr(no_struct)));
+        }
+        if self.at_punct('&') {
+            self.pos += 1;
+            self.eat_punct('&'); // `&&x` double reference
+            self.eat_ident("mut");
+            return Expr::Unary(Box::new(self.unary_expr(no_struct)));
+        }
+        self.postfix_expr(no_struct)
+    }
+
+    fn postfix_expr(&mut self, no_struct: bool) -> Expr {
+        let mut e = self.primary_expr(no_struct);
+        loop {
+            if self.at_punct('.') && !self.punct_at(1, '.') {
+                let Some(nt) = self.peek_at(1) else { break };
+                if nt.kind == TokKind::Ident || nt.kind == TokKind::Number {
+                    let (name, line, col) = (nt.text.clone(), nt.line, nt.col);
+                    self.pos += 2;
+                    if self.at_path_sep() {
+                        self.pos += 2; // turbofish `.collect::<…>`
+                        if self.at_punct('<') {
+                            self.skip_angles();
+                        }
+                    }
+                    if self.at_punct('(') {
+                        let args = self.call_args();
+                        e = Expr::MethodCall { recv: Box::new(e), name, args, line, col };
+                    } else if name == "await" {
+                        // `.await` — transparent.
+                    } else {
+                        e = Expr::Field { base: Box::new(e), name, line, col };
+                    }
+                    continue;
+                }
+                break;
+            }
+            if self.at_punct('(') {
+                let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+                let args = self.call_args();
+                e = Expr::Call { callee: Box::new(e), args, line, col };
+                continue;
+            }
+            if self.at_punct('[') {
+                let close = self.close_of(self.pos);
+                self.pos += 1;
+                let index = self.expr(false);
+                self.pos = (close + 1).min(self.t.len());
+                e = Expr::Index { base: Box::new(e), index: Box::new(index) };
+                continue;
+            }
+            if self.at_punct('?') {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        e
+    }
+
+    /// Parses a parenthesized, comma-separated argument list whose `(`
+    /// is at the cursor.
+    fn call_args(&mut self) -> Vec<Expr> {
+        let close = self.close_of(self.pos);
+        self.pos += 1;
+        let mut args = Vec::new();
+        while self.pos < close.min(self.t.len()) {
+            let before = self.pos;
+            args.push(self.expr(false));
+            if self.pos >= close {
+                break;
+            }
+            if !self.eat_punct(',') {
+                if !self.sync_to(&[',']) || self.pos >= close {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.pos = (close + 1).min(self.t.len());
+        args
+    }
+
+    fn primary_expr(&mut self, no_struct: bool) -> Expr {
+        let Some(t) = self.peek() else {
+            return Expr::Unknown { line: 0, col: 0 };
+        };
+        let (line, col) = (t.line, t.col);
+        match t.kind {
+            TokKind::Number => {
+                self.pos += 1;
+                Expr::Number { text: t.text.clone(), line, col }
+            }
+            TokKind::Literal => {
+                self.pos += 1;
+                Expr::Lit
+            }
+            TokKind::Lifetime => {
+                // Loop label `'a: loop { … }` or `break 'a`.
+                self.pos += 1;
+                if self.at_punct(':') && !self.punct_at(1, ':') {
+                    self.pos += 1;
+                    return self.primary_expr(no_struct);
+                }
+                Expr::Unknown { line, col }
+            }
+            TokKind::Ident => self.ident_expr(no_struct, line, col),
+            TokKind::Punct => match t.text.as_bytes()[0] {
+                b'(' => {
+                    let close = self.close_of(self.pos);
+                    self.pos += 1;
+                    let mut elems = Vec::new();
+                    let mut tuple = false;
+                    while self.pos < close.min(self.t.len()) {
+                        let before = self.pos;
+                        elems.push(self.expr(false));
+                        if self.eat_punct(',') {
+                            tuple = true;
+                        }
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                    }
+                    self.pos = (close + 1).min(self.t.len());
+                    if !tuple && elems.len() == 1 {
+                        elems.pop().unwrap_or(Expr::Unknown { line, col })
+                    } else {
+                        Expr::Tuple(elems)
+                    }
+                }
+                b'[' => {
+                    let close = self.close_of(self.pos);
+                    self.pos += 1;
+                    let mut elems = Vec::new();
+                    while self.pos < close.min(self.t.len()) {
+                        let before = self.pos;
+                        elems.push(self.expr(false));
+                        if !self.eat_punct(',') && !self.eat_punct(';') && self.pos < close {
+                            if !self.sync_to(&[',', ';']) {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                    }
+                    self.pos = (close + 1).min(self.t.len());
+                    Expr::Array(elems)
+                }
+                b'{' => Expr::Block(self.block()),
+                b'|' => self.closure_expr(),
+                b':' if self.punct_at(1, ':') => {
+                    // Global path `::std::…`.
+                    self.pos += 2;
+                    if self.peek().map(|n| n.kind == TokKind::Ident).unwrap_or(false) {
+                        let (l2, c2) = (self.t[self.pos].line, self.t[self.pos].col);
+                        self.ident_expr(no_struct, l2, c2)
+                    } else {
+                        Expr::Unknown { line, col }
+                    }
+                }
+                _ => {
+                    self.pos += 1;
+                    Expr::Unknown { line, col }
+                }
+            },
+            _ => {
+                self.pos += 1;
+                Expr::Unknown { line, col }
+            }
+        }
+    }
+
+    /// Expression starting with an identifier: keyword forms, paths,
+    /// struct literals, macro calls.
+    fn ident_expr(&mut self, no_struct: bool, line: u32, col: u32) -> Expr {
+        let t = self.t[self.pos]; // caller verified an ident is here
+        match t.text.as_str() {
+            "if" => return self.if_expr(),
+            "match" => return self.match_expr(),
+            "loop" => {
+                self.pos += 1;
+                if self.at_punct('{') {
+                    return Expr::Loop { cond: None, body: self.block() };
+                }
+                return Expr::Unknown { line, col };
+            }
+            "while" => {
+                self.pos += 1;
+                let mut let_pats = Vec::new();
+                if self.eat_ident("let") {
+                    let_pats = self.pattern_paths_until_eq();
+                    self.eat_punct('=');
+                }
+                let _ = let_pats;
+                let cond = self.expr(true);
+                if self.at_punct('{') {
+                    return Expr::Loop { cond: Some(Box::new(cond)), body: self.block() };
+                }
+                return Expr::Unknown { line, col };
+            }
+            "for" => {
+                self.pos += 1;
+                // Pattern to top-level `in`.
+                while let Some(n) = self.peek() {
+                    if n.is_ident("in") {
+                        break;
+                    }
+                    if n.is_punct('(') || n.is_punct('[') || n.is_punct('{') {
+                        self.skip_group();
+                        continue;
+                    }
+                    if n.is_punct(';') || n.is_punct('}') {
+                        return Expr::Unknown { line, col };
+                    }
+                    self.pos += 1;
+                }
+                self.eat_ident("in");
+                let _iter = self.expr(true);
+                if self.at_punct('{') {
+                    return Expr::Loop { cond: None, body: self.block() };
+                }
+                return Expr::Unknown { line, col };
+            }
+            "return" => {
+                self.pos += 1;
+                let value = if self.at_punct(';') || self.at_punct('}') || self.at_punct(',') || self.peek().is_none() {
+                    None
+                } else {
+                    Some(Box::new(self.expr(no_struct)))
+                };
+                return Expr::Return { value, line };
+            }
+            "break" | "continue" => {
+                self.pos += 1;
+                if self.peek().map(|n| n.kind == TokKind::Lifetime).unwrap_or(false) {
+                    self.pos += 1;
+                }
+                if !(self.at_punct(';') || self.at_punct('}') || self.at_punct(',') || self.peek().is_none()) {
+                    let _ = self.expr(no_struct);
+                }
+                return Expr::Jump;
+            }
+            "unsafe" => {
+                self.pos += 1;
+                if self.at_punct('{') {
+                    return Expr::Block(self.block());
+                }
+                return Expr::Unknown { line, col };
+            }
+            "move" => {
+                self.pos += 1;
+                if self.at_punct('|') {
+                    return self.closure_expr();
+                }
+                if self.at_punct('{') {
+                    return Expr::Block(self.block());
+                }
+                return Expr::Unknown { line, col };
+            }
+            _ => {}
+        }
+        // Path: ident (:: ident | ::<turbofish>)*.
+        let mut segs = vec![t.text.clone()];
+        self.pos += 1;
+        while self.at_path_sep() {
+            if self.peek_at(2).map(|n| n.is_punct('<')).unwrap_or(false) {
+                self.pos += 2;
+                self.skip_angles();
+                continue;
+            }
+            match self.peek_at(2) {
+                Some(n) if n.kind == TokKind::Ident => {
+                    segs.push(n.text.clone());
+                    self.pos += 3;
+                }
+                _ => break,
+            }
+        }
+        // Macro call `name!(…)` / `name![…]` / `name!{…}`.
+        if self.at_punct('!') && (self.punct_at(1, '(') || self.punct_at(1, '[') || self.punct_at(1, '{')) {
+            self.pos += 1;
+            self.skip_group();
+            let name = segs.pop().unwrap_or_default();
+            return Expr::Macro { name, line, col };
+        }
+        // Struct literal `Path { … }`.
+        if !no_struct && self.at_punct('{') {
+            let looks_like_struct = self.struct_lit_ahead();
+            if looks_like_struct {
+                let fields = self.struct_lit_fields();
+                return Expr::StructLit { segs, fields, line, col };
+            }
+        }
+        Expr::Path { segs, line, col }
+    }
+
+    /// Distinguishes `Path { field: …, }` struct literals from a path
+    /// followed by a block. Heuristic: `{` directly followed by
+    /// `ident:` (not `::`), `ident,`, `ident}`, or `..`.
+    fn struct_lit_ahead(&self) -> bool {
+        let Some(t1) = self.peek_at(1) else { return false };
+        if t1.is_punct('}') {
+            return true; // `Path {}`
+        }
+        if t1.is_punct('.') {
+            return self.peek_at(2).map(|n| n.is_punct('.')).unwrap_or(false);
+        }
+        if t1.kind != TokKind::Ident {
+            return false;
+        }
+        match self.peek_at(2) {
+            Some(n) if n.is_punct(':') => !self.peek_at(3).map(|m| m.is_punct(':')).unwrap_or(false),
+            Some(n) if n.is_punct(',') || n.is_punct('}') => true,
+            _ => false,
+        }
+    }
+
+    /// Parses `{ field: expr, shorthand, ..rest }`; the cursor is on `{`.
+    fn struct_lit_fields(&mut self) -> Vec<(String, Expr, u32, u32)> {
+        let close = self.close_of(self.pos);
+        self.pos += 1;
+        let mut fields = Vec::new();
+        while self.pos < close.min(self.t.len()) {
+            let before = self.pos;
+            if self.at_punct('.') && self.punct_at(1, '.') {
+                self.pos += 2;
+                if self.pos < close {
+                    let _ = self.expr(false); // ..rest
+                }
+            } else if let Some(t) = self.peek() {
+                if t.kind == TokKind::Ident {
+                    let (fname, fl, fc) = (t.text.clone(), t.line, t.col);
+                    self.pos += 1;
+                    if self.at_punct(':') && !self.punct_at(1, ':') {
+                        self.pos += 1;
+                        let v = self.expr(false);
+                        fields.push((fname, v, fl, fc));
+                    } else {
+                        // Shorthand `field` ≡ `field: field`.
+                        let v = Expr::Path { segs: vec![fname.clone()], line: fl, col: fc };
+                        fields.push((fname, v, fl, fc));
+                    }
+                }
+            }
+            if !self.eat_punct(',') && self.pos < close {
+                if !self.sync_to(&[',']) || self.pos >= close {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.pos = (close + 1).min(self.t.len());
+        fields
+    }
+
+    fn closure_expr(&mut self) -> Expr {
+        // `||` or `|params|`.
+        if self.at_punct('|') && self.punct_at(1, '|') {
+            self.pos += 2;
+        } else {
+            self.pos += 1; // `|`
+            while let Some(t) = self.peek() {
+                if t.is_punct('|') {
+                    self.pos += 1;
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    self.skip_group();
+                    continue;
+                }
+                if t.is_punct(';') || t.is_punct('}') {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        if self.at_punct('-') && self.punct_at(1, '>') {
+            self.pos += 2;
+            self.skip_type();
+        }
+        let body = self.expr(false);
+        Expr::Closure(Box::new(body))
+    }
+
+    fn if_expr(&mut self) -> Expr {
+        let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+        self.pos += 1; // `if`
+        let mut let_pats = Vec::new();
+        if self.eat_ident("let") {
+            let_pats = self.pattern_paths_until_eq();
+            self.eat_punct('=');
+        }
+        let cond = self.expr(true);
+        if !self.at_punct('{') {
+            return Expr::Unknown { line, col };
+        }
+        let then = self.block();
+        let else_ = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                Some(Box::new(self.if_expr()))
+            } else if self.at_punct('{') {
+                Some(Box::new(Expr::Block(self.block())))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Expr::If { cond: Box::new(cond), let_pats, then, else_ }
+    }
+
+    /// Collects the paths of an `if let`/`while let` pattern, consuming
+    /// tokens up to (not including) the top-level `=`.
+    fn pattern_paths_until_eq(&mut self) -> Vec<Vec<String>> {
+        let start = self.pos;
+        while let Some(t) = self.peek() {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                self.skip_group();
+                continue;
+            }
+            if t.is_punct('=') && !self.punct_at(1, '=') {
+                break;
+            }
+            if t.is_punct(';') || t.is_punct('}') {
+                break;
+            }
+            self.pos += 1;
+        }
+        collect_paths(&self.t[start..self.pos])
+    }
+
+    fn match_expr(&mut self) -> Expr {
+        let (line, col) = (self.t[self.pos].line, self.t[self.pos].col);
+        self.pos += 1; // `match`
+        let scrutinee = self.expr(true);
+        if !self.at_punct('{') {
+            return Expr::Unknown { line, col };
+        }
+        let close = self.close_of(self.pos);
+        self.pos += 1;
+        let mut arms = Vec::new();
+        while self.pos < close.min(self.t.len()) {
+            let before = self.pos;
+            self.skip_attrs();
+            let arm_start = self.pos;
+            let (arm_line, arm_col) = self
+                .peek()
+                .map(|t| (t.line, t.col))
+                .unwrap_or((line, col));
+            // Pattern (and optional guard) up to the top-level `=>`.
+            let mut guard_at = None;
+            while self.pos < close.min(self.t.len()) {
+                let Some(t) = self.peek() else { break };
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    self.skip_group();
+                    continue;
+                }
+                if t.is_punct('=') && self.punct_at(1, '>') {
+                    break;
+                }
+                if t.is_ident("if") && guard_at.is_none() {
+                    guard_at = Some(self.pos);
+                }
+                self.pos += 1;
+            }
+            let pat_end = guard_at.unwrap_or(self.pos).min(self.pos);
+            let pat_paths = collect_paths(&self.t[arm_start..pat_end]);
+            if !(self.at_punct('=') && self.punct_at(1, '>')) {
+                break; // malformed arm; resync at the match's close
+            }
+            self.pos += 2;
+            let body = self.expr(false);
+            self.eat_punct(',');
+            arms.push(Arm { pat_paths, body, line: arm_line, col: arm_col });
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.pos = (close + 1).min(self.t.len());
+        Expr::Match { scrutinee: Box::new(scrutinee), arms }
+    }
+}
+
+/// Extracts every maximal `a::b::c` path (including lone identifiers)
+/// from a pattern token slice. Keywords and binding modifiers are
+/// skipped.
+fn collect_paths(toks: &[&Token]) -> Vec<Vec<String>> {
+    const SKIP: &[&str] = &["ref", "mut", "box", "if", "in", "_"];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.kind == TokKind::Ident && !SKIP.contains(&t.text.as_str()) {
+            let mut segs = vec![t.text.clone()];
+            let mut j = i + 1;
+            while j + 1 < toks.len()
+                && toks[j].is_punct(':')
+                && toks[j + 1].is_punct(':')
+                && j + 2 < toks.len()
+                && toks[j + 2].kind == TokKind::Ident
+            {
+                segs.push(toks[j + 2].text.clone());
+                j += 3;
+            }
+            out.push(segs);
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src))
+    }
+
+    fn only_fn(ast: &Ast) -> &FnDef {
+        for it in &ast.items {
+            if let Item::Fn(f) = it {
+                return f;
+            }
+        }
+        panic!("no fn item");
+    }
+
+    #[test]
+    fn enum_and_struct_defs() {
+        let ast = parse_src(
+            "pub enum Phase { Idle, Busy(u8), Done { code: u8 } }\n\
+             struct S { pub a_ns: u64, b: Vec<u8> }",
+        );
+        assert_eq!(ast.items.len(), 2);
+        let Item::Enum(e) = &ast.items[0] else { panic!() };
+        assert_eq!(e.name, "Phase");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.0.as_str()).collect();
+        assert_eq!(names, vec!["Idle", "Busy", "Done"]);
+        let Item::Struct(s) = &ast.items[1] else { panic!() };
+        assert_eq!(s.name, "S");
+        let fields: Vec<&str> = s.fields.iter().map(|f| f.0.as_str()).collect();
+        assert_eq!(fields, vec!["a_ns", "b"]);
+    }
+
+    #[test]
+    fn impl_with_trait_for() {
+        let ast = parse_src(
+            "impl<H: Handler> Transport for Rpc<H> {\n\
+               fn go(&mut self, n_us: u64) { self.x = n_us; }\n\
+               fn peek(&self) -> u64 { self.x }\n\
+             }",
+        );
+        let Item::Impl(i) = &ast.items[0] else { panic!() };
+        assert_eq!(i.name, "Rpc");
+        assert_eq!(i.fns.len(), 2);
+        assert_eq!(i.fns[0].name, "go");
+        assert_eq!(i.fns[0].params, vec!["n_us"]);
+        assert!(i.fns[1].body.as_ref().unwrap().tail.is_some());
+    }
+
+    #[test]
+    fn assignment_with_enum_path() {
+        let ast = parse_src("fn f(&mut self) { self.state = QpState::Error; }");
+        let f = only_fn(&ast);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Expr(Expr::Assign { place, value, .. }) = &body.stmts[0] else {
+            panic!("{:?}", body.stmts)
+        };
+        let Expr::Field { name, .. } = place.as_ref() else { panic!() };
+        assert_eq!(name, "state");
+        let Expr::Path { segs, .. } = value.as_ref() else { panic!() };
+        assert_eq!(segs, &["QpState", "Error"]);
+    }
+
+    #[test]
+    fn if_else_and_comparison() {
+        let ast = parse_src(
+            "fn f(&mut self) { if self.state != QpState::Reset { return; } self.state = QpState::ReadyToSend; }",
+        );
+        let f = only_fn(&ast);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Expr(Expr::If { cond, then, .. }) = &body.stmts[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Ne, rhs, .. } = cond.as_ref() else { panic!() };
+        let Expr::Path { segs, .. } = rhs.as_ref() else { panic!() };
+        assert_eq!(segs, &["QpState", "Reset"]);
+        // `return;` is a semicolon-terminated statement, not the tail.
+        assert!(matches!(&then.stmts[0], Stmt::Expr(Expr::Return { .. })));
+    }
+
+    #[test]
+    fn match_arms_and_patterns() {
+        let ast = parse_src(
+            "fn f(p: Phase) -> u8 { match (p, x) { (Phase::Idle, Some(v)) => 0, (Phase::Busy, _) if q => 1, _ => 2, } }",
+        );
+        let f = only_fn(&ast);
+        let Some(Expr::Match { arms, .. }) = f.body.as_ref().unwrap().tail.as_deref() else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 3);
+        assert!(arms[0].pat_paths.iter().any(|p| p == &["Phase", "Idle"]));
+        assert!(arms[0].pat_paths.iter().any(|p| p == &["Some"]));
+        assert!(arms[1].pat_paths.iter().any(|p| p == &["Phase", "Busy"]));
+        // Guard ident `q` is not part of the pattern.
+        assert!(!arms[1].pat_paths.iter().any(|p| p == &["q"]));
+        assert!(arms[2].pat_paths.is_empty());
+    }
+
+    #[test]
+    fn struct_literal_vs_block() {
+        let ast = parse_src("fn f() -> S { S { a: 1, b } }");
+        let f = only_fn(&ast);
+        let Some(Expr::StructLit { segs, fields, .. }) = f.body.as_ref().unwrap().tail.as_deref() else {
+            panic!()
+        };
+        assert_eq!(segs, &["S"]);
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[1].0, "b");
+    }
+
+    #[test]
+    fn no_struct_literal_in_condition() {
+        let ast = parse_src("fn f() { if x { g(); } for i in 0..n { h(i); } while going { j(); } }");
+        let f = only_fn(&ast);
+        let body = f.body.as_ref().unwrap();
+        assert!(matches!(&body.stmts[0], Stmt::Expr(Expr::If { .. })));
+        assert!(matches!(&body.stmts[1], Stmt::Expr(Expr::Loop { .. })));
+        // The trailing block-expr is the block's tail.
+        assert!(matches!(body.tail.as_deref(), Some(Expr::Loop { cond: Some(_), .. })));
+    }
+
+    #[test]
+    fn method_calls_and_turbofish() {
+        let ast = parse_src("fn f(v: Vec<u64>) -> u64 { v.iter().map(|x| x + 1).collect::<Vec<_>>().len() as u64 }");
+        let f = only_fn(&ast);
+        let Some(Expr::Cast(inner)) = f.body.as_ref().unwrap().tail.as_deref() else { panic!() };
+        let Expr::MethodCall { name, .. } = inner.as_ref() else { panic!() };
+        assert_eq!(name, "len");
+    }
+
+    #[test]
+    fn compound_assign_and_shift() {
+        let ast = parse_src("fn f(&mut self) { self.t_ns += 5; self.mask <<= 1; }");
+        let f = only_fn(&ast);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Expr(Expr::Assign { op: Some(BinOp::Add), .. }) = &body.stmts[0] else { panic!() };
+        let Stmt::Expr(Expr::Assign { op: Some(BinOp::Shl), .. }) = &body.stmts[1] else { panic!() };
+    }
+
+    #[test]
+    fn let_statements() {
+        let ast = parse_src("fn f() { let a_us: u64 = 3; let (x, y) = pair(); let mut z = a_us; }");
+        let f = only_fn(&ast);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Let { name: Some(n), init: Some(_), .. } = &body.stmts[0] else { panic!() };
+        assert_eq!(n, "a_us");
+        let Stmt::Let { name: None, init: Some(_), .. } = &body.stmts[1] else { panic!() };
+        let Stmt::Let { name: Some(z), .. } = &body.stmts[2] else { panic!() };
+        assert_eq!(z, "z");
+    }
+
+    #[test]
+    fn closures_and_macros() {
+        let ast = parse_src("fn f(v: &[u64]) { v.iter().for_each(|s| s.go()); println!(\"{}\", 1); }");
+        let f = only_fn(&ast);
+        let body = f.body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        assert!(matches!(&body.stmts[1], Stmt::Expr(Expr::Macro { name, .. }) if name == "println"));
+    }
+
+    #[test]
+    fn if_let_patterns() {
+        let ast = parse_src("fn f(o: Option<Phase>) { if let Some(Phase::Idle) = o { g(); } }");
+        let f = only_fn(&ast);
+        let Some(Expr::If { let_pats, .. }) = f.body.as_ref().unwrap().tail.as_deref() else {
+            panic!()
+        };
+        assert!(let_pats.iter().any(|p| p == &["Phase", "Idle"]));
+    }
+
+    #[test]
+    fn nested_mods() {
+        let ast = parse_src("mod outer { pub mod inner { pub enum E { A, B } } }");
+        let Item::Mod { name, items } = &ast.items[0] else { panic!() };
+        assert_eq!(name, "outer");
+        let Item::Mod { items: inner, .. } = &items[0] else { panic!() };
+        assert!(matches!(&inner[0], Item::Enum(e) if e.name == "E"));
+    }
+
+    #[test]
+    fn const_items_keep_initializers() {
+        let ast = parse_src("const SLICE_US: u64 = 400;\nstatic LIMIT: usize = 8;");
+        assert_eq!(ast.items.len(), 2);
+        let Item::Const { name, init: Some(Expr::Number { text, .. }), .. } = &ast.items[0] else {
+            panic!()
+        };
+        assert_eq!(name, "SLICE_US");
+        assert_eq!(text, "400");
+    }
+
+    #[test]
+    fn malformed_input_does_not_hang() {
+        // Unbalanced delimiters, stray puncts, half-items.
+        for src in [
+            "fn broken( { ) } enum E {",
+            "impl ) fn {",
+            "fn f() { match x { A => , } }",
+            "fn f() { let = ; }",
+            "}}}}((((",
+            "fn f() { a.b.(; }",
+        ] {
+            let _ = parse_src(src);
+        }
+    }
+
+    #[test]
+    fn range_and_index_exprs() {
+        let ast = parse_src("fn f(v: &[u64], n: usize) { for i in 0..n { let _x = v[i]; } let _r = ..4; }");
+        let _ = only_fn(&ast);
+    }
+
+    #[test]
+    fn struct_update_syntax() {
+        let ast = parse_src("fn f(base: S) -> S { S { a: 1, ..base } }");
+        let f = only_fn(&ast);
+        let Some(Expr::StructLit { fields, .. }) = f.body.as_ref().unwrap().tail.as_deref() else {
+            panic!()
+        };
+        assert_eq!(fields.len(), 1);
+    }
+
+    #[test]
+    fn loop_label_and_break() {
+        let ast = parse_src("fn f() { 'outer: loop { break 'outer; } }");
+        let f = only_fn(&ast);
+        assert!(matches!(f.body.as_ref().unwrap().tail.as_deref(), Some(Expr::Loop { .. })));
+    }
+}

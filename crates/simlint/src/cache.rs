@@ -1,0 +1,558 @@
+//! Incremental lint: a per-file content-hash cache under
+//! `target/simlint-cache`.
+//!
+//! The full scan is already fast, but the edit loop only touches a file
+//! or two; re-lexing and re-parsing the whole workspace per keystroke
+//! is waste. The cache stores, per file:
+//!
+//! * the FNV-1a hash of the file's bytes,
+//! * its **per-file findings** (after that file's own suppression),
+//! * its **contributions** to the cross-file context — trace-gated
+//!   definitions, unsafe/forbid flags, enum definitions, fsm tables,
+//!   performed transitions — plus its allow directives (the global pass
+//!   needs them to honor suppression without re-lexing).
+//!
+//! Soundness rests on one observation: a file's findings depend only on
+//! its own bytes and the cross-file context, and the context is a pure
+//! function of every file's contributions (plus manifests and vendor
+//! stubs). So the cache stores a **context digest** over all
+//! contributions; when the digest matches, unchanged files' findings
+//! are reused verbatim and only changed files are re-analyzed. When it
+//! differs — or the rule version was bumped — the scan falls back to a
+//! full pass and rewrites the cache.
+//!
+//! Global findings (the R5(b) forbid stamp, R7 unused edges, duplicate
+//! tables) are *never* cached: they are recomputed from contributions
+//! on every run, which keeps them correct when a file is deleted.
+//!
+//! Vendor stubs and manifests are always re-read: they are few, small,
+//! and feed `VendorExports`/feature validation, which would be awkward
+//! to serialize and cheap to rebuild.
+
+use crate::analysis::SourceFile;
+use crate::ast::Ast;
+use crate::rules::{
+    crate_key, has_forbid_unsafe, has_unsafe, origin, Finding, Origin, Rule, TraceDefs,
+};
+use crate::sema::{self, FsmTable, PerformedEdges, SemaCollect};
+use crate::{parse_features, run_file_rules, run_global, walk, Ctx, RootInfo};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Bumped whenever any rule's behavior changes; a version mismatch
+/// discards the cache wholesale (the "full-scan fallback").
+pub const RULE_VERSION: u32 = 1;
+
+/// Workspace-relative location of the cache file.
+pub const CACHE_REL_PATH: &str = "target/simlint-cache/cache.txt";
+
+/// FNV-1a 64-bit — dependency-free and plenty for change detection.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One file's contribution to the cross-file context.
+#[derive(Clone, Debug, Default)]
+pub struct Contrib {
+    pub has_unsafe: bool,
+    pub forbid: bool,
+    pub trace_on: BTreeSet<String>,
+    pub trace_off: BTreeSet<String>,
+    pub enum_defs: Vec<String>,
+    pub tables: Vec<FsmTable>,
+    /// Transitions this file's assignments perform (input of the global
+    /// unused-edge pass; not part of the context digest).
+    pub performed: Vec<(String, String, String)>,
+}
+
+/// One cached file entry.
+#[derive(Clone, Debug, Default)]
+pub struct Entry {
+    pub hash: u64,
+    pub findings: Vec<Finding>,
+    pub allows: Vec<(u32, Rule)>,
+    pub allow_file: Vec<Rule>,
+    pub contrib: Contrib,
+}
+
+struct CacheData {
+    digest: u64,
+    entries: BTreeMap<String, Entry>,
+}
+
+/// Derives a file's contribution (minus `performed`, which only
+/// materializes during the rule run).
+fn contrib_of(f: &SourceFile, ast: Option<&Ast>) -> Contrib {
+    let mut td = TraceDefs::default();
+    td.collect(f);
+    let collect: SemaCollect = ast.map(|a| sema::collect_file(f, a)).unwrap_or_default();
+    Contrib {
+        has_unsafe: has_unsafe(f),
+        forbid: has_forbid_unsafe(f),
+        trace_on: td.on_names().clone(),
+        trace_off: td.off_names().clone(),
+        enum_defs: collect.enum_defs,
+        tables: collect.tables,
+        performed: Vec::new(),
+    }
+}
+
+/// Serializes the digest-relevant part of a contribution. `performed`
+/// is deliberately excluded: it feeds the (always recomputed) global
+/// pass, not the per-file rules.
+fn digest_contrib(s: &mut String, c: &Contrib) {
+    if c.has_unsafe {
+        s.push_str(" unsafe");
+    }
+    if c.forbid {
+        s.push_str(" forbid");
+    }
+    for n in &c.trace_on {
+        let _ = write!(s, " ton={n}");
+    }
+    for n in &c.trace_off {
+        let _ = write!(s, " toff={n}");
+    }
+    for n in &c.enum_defs {
+        let _ = write!(s, " enum={n}");
+    }
+    for t in &c.tables {
+        let _ = write!(s, " fsm={}", table_str(t));
+    }
+}
+
+/// Context digest over every input of the per-file rules that crosses
+/// file boundaries.
+fn compute_digest(
+    features: &BTreeMap<String, BTreeSet<String>>,
+    contribs: &BTreeMap<String, Contrib>,
+    vendor_hashes: &BTreeMap<String, u64>,
+) -> u64 {
+    let mut s = format!("v{RULE_VERSION}\n");
+    for (k, fs) in features {
+        let _ = write!(s, "feat {k}=");
+        for f in fs {
+            let _ = write!(s, "{f},");
+        }
+        s.push('\n');
+    }
+    for (p, h) in vendor_hashes {
+        let _ = writeln!(s, "vendor {h:x} {p}");
+    }
+    for (p, c) in contribs {
+        let _ = write!(s, "file {p}");
+        digest_contrib(&mut s, c);
+        s.push('\n');
+    }
+    fnv1a(s.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// (De)serialization — a simple line-oriented text format
+// ---------------------------------------------------------------------------
+
+fn table_str(t: &FsmTable) -> String {
+    let variants = t.variants.join(",");
+    let edges = t
+        .edges
+        .iter()
+        .map(|(f, to, l, c)| format!("{f}:{to}:{l}:{c}"))
+        .collect::<Vec<_>>()
+        .join(";");
+    let terminals = t.terminals.join(",");
+    format!("{}|{}|{variants}|{edges}|{terminals}", t.enum_name, t.path)
+}
+
+fn parse_table(s: &str) -> Option<FsmTable> {
+    let mut parts = s.split('|');
+    let enum_name = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let variants: Vec<String> = split_csv(parts.next()?);
+    let mut edges = Vec::new();
+    for e in parts.next()?.split(';').filter(|e| !e.is_empty()) {
+        let mut f = e.split(':');
+        edges.push((
+            f.next()?.to_string(),
+            f.next()?.to_string(),
+            f.next()?.parse().ok()?,
+            f.next()?.parse().ok()?,
+        ));
+    }
+    let terminals = split_csv(parts.next()?);
+    Some(FsmTable { enum_name, path, variants, edges, terminals })
+}
+
+fn split_csv(s: &str) -> Vec<String> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.to_string())
+        .collect()
+}
+
+fn save(path: &Path, digest: u64, entries: &BTreeMap<String, Entry>) -> io::Result<()> {
+    let mut s = format!("simlint-cache {RULE_VERSION}\ndigest {digest:x}\n");
+    for (p, e) in entries {
+        let _ = writeln!(s, "file {:x} {p}", e.hash);
+        for (line, rule) in &e.allows {
+            let _ = writeln!(s, "A {line} {}", rule.id());
+        }
+        for rule in &e.allow_file {
+            let _ = writeln!(s, "AF {}", rule.id());
+        }
+        let c = &e.contrib;
+        if c.has_unsafe {
+            s.push_str("C unsafe\n");
+        }
+        if c.forbid {
+            s.push_str("C forbid\n");
+        }
+        for n in &c.trace_on {
+            let _ = writeln!(s, "C ton {n}");
+        }
+        for n in &c.trace_off {
+            let _ = writeln!(s, "C toff {n}");
+        }
+        for n in &c.enum_defs {
+            let _ = writeln!(s, "C enum {n}");
+        }
+        for t in &c.tables {
+            let _ = writeln!(s, "C fsm {}", table_str(t));
+        }
+        for (en, f, t) in &c.performed {
+            let _ = writeln!(s, "E {en} {f} {t}");
+        }
+        for fi in &e.findings {
+            let _ = writeln!(s, "F {} {} {} {}", fi.line, fi.col, fi.rule.id(), fi.msg);
+        }
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, s)
+}
+
+fn load(path: &Path) -> Option<CacheData> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    if header != format!("simlint-cache {RULE_VERSION}") {
+        return None; // rule-version bump: full-scan fallback
+    }
+    let digest = u64::from_str_radix(lines.next()?.strip_prefix("digest ")?, 16).ok()?;
+    let mut entries = BTreeMap::new();
+    let mut cur: Option<(String, Entry)> = None;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("file ") {
+            if let Some((p, e)) = cur.take() {
+                entries.insert(p, e);
+            }
+            let (hash, p) = rest.split_once(' ')?;
+            cur = Some((
+                p.to_string(),
+                Entry { hash: u64::from_str_radix(hash, 16).ok()?, ..Entry::default() },
+            ));
+        } else {
+            let (_, e) = cur.as_mut()?;
+            if let Some(rest) = line.strip_prefix("A ") {
+                let (l, r) = rest.split_once(' ')?;
+                e.allows.push((l.parse().ok()?, Rule::parse(r)?));
+            } else if let Some(rest) = line.strip_prefix("AF ") {
+                e.allow_file.push(Rule::parse(rest)?);
+            } else if let Some(rest) = line.strip_prefix("C ") {
+                if rest == "unsafe" {
+                    e.contrib.has_unsafe = true;
+                } else if rest == "forbid" {
+                    e.contrib.forbid = true;
+                } else if let Some(n) = rest.strip_prefix("ton ") {
+                    e.contrib.trace_on.insert(n.to_string());
+                } else if let Some(n) = rest.strip_prefix("toff ") {
+                    e.contrib.trace_off.insert(n.to_string());
+                } else if let Some(n) = rest.strip_prefix("enum ") {
+                    e.contrib.enum_defs.push(n.to_string());
+                } else if let Some(t) = rest.strip_prefix("fsm ") {
+                    e.contrib.tables.push(parse_table(t)?);
+                } else {
+                    return None;
+                }
+            } else if let Some(rest) = line.strip_prefix("E ") {
+                let mut it = rest.splitn(3, ' ');
+                e.contrib.performed.push((
+                    it.next()?.to_string(),
+                    it.next()?.to_string(),
+                    it.next()?.to_string(),
+                ));
+            } else if let Some(rest) = line.strip_prefix("F ") {
+                let mut it = rest.splitn(4, ' ');
+                e.findings.push(Finding {
+                    line: it.next()?.parse().ok()?,
+                    col: it.next()?.parse().ok()?,
+                    rule: Rule::parse(it.next()?)?,
+                    msg: it.next()?.to_string(),
+                    path: String::new(), // patched below
+                });
+            } else if !line.trim().is_empty() {
+                return None;
+            }
+        }
+    }
+    if let Some((p, e)) = cur.take() {
+        entries.insert(p, e);
+    }
+    for (p, e) in entries.iter_mut() {
+        for f in &mut e.findings {
+            f.path = p.clone();
+        }
+    }
+    Some(CacheData { digest, entries })
+}
+
+// ---------------------------------------------------------------------------
+// The incremental scan
+// ---------------------------------------------------------------------------
+
+/// One workspace file mid-scan.
+struct FileState {
+    rel: String,
+    hash: u64,
+    text: String,
+    /// Cache entry whose hash matches the current bytes.
+    cached: Option<Entry>,
+    /// Fresh analysis (populated for changed files, or all files on a
+    /// full rescan).
+    fresh: Option<(SourceFile, Option<Ast>)>,
+    contrib: Contrib,
+}
+
+/// Lints the workspace using the cache; behaviorally identical to
+/// [`crate::lint_workspace`] (ci.sh asserts this), just faster when
+/// most files are unchanged. Returns the findings and whether the run
+/// was served incrementally (false = full rescan).
+pub fn lint_workspace_incremental(root: &Path) -> io::Result<(Vec<Finding>, bool)> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+
+    let cache_path = root.join(CACHE_REL_PATH);
+    let cached = load(&cache_path);
+
+    let mut features: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut vendor_files: Vec<SourceFile> = Vec::new();
+    let mut vendor_hashes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut states: Vec<FileState> = Vec::new();
+
+    for rel in &paths {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        if rel.ends_with("Cargo.toml") {
+            let key = if rel == "Cargo.toml" {
+                "<root>".to_string()
+            } else {
+                crate_key(rel)
+            };
+            features.insert(key, parse_features(&text));
+            continue;
+        }
+        if matches!(origin(rel), Origin::Vendor(_)) {
+            vendor_hashes.insert(rel.clone(), fnv1a(text.as_bytes()));
+            vendor_files.push(SourceFile::analyze(rel, &text));
+            continue;
+        }
+        let hash = fnv1a(text.as_bytes());
+        let cached_entry = cached
+            .as_ref()
+            .and_then(|c| c.entries.get(rel))
+            .filter(|e| e.hash == hash)
+            .cloned();
+        states.push(FileState {
+            rel: rel.clone(),
+            hash,
+            text,
+            cached: cached_entry,
+            fresh: None,
+            contrib: Contrib::default(),
+        });
+    }
+
+    // Phase 1: contributions (cached where possible, fresh otherwise).
+    for st in &mut states {
+        match &st.cached {
+            Some(e) => st.contrib = e.contrib.clone(),
+            None => {
+                let sf = SourceFile::analyze(&st.rel, &st.text);
+                let ast = sema::in_scope(&st.rel).then(|| crate::ast::parse(&sf.tokens));
+                st.contrib = contrib_of(&sf, ast.as_ref());
+                st.fresh = Some((sf, ast));
+            }
+        }
+    }
+
+    let contribs: BTreeMap<String, Contrib> = states
+        .iter()
+        .map(|s| (s.rel.clone(), s.contrib.clone()))
+        .collect();
+    let digest = compute_digest(&features, &contribs, &vendor_hashes);
+    let incremental = cached.as_ref().map(|c| c.digest == digest).unwrap_or(false);
+
+    if !incremental {
+        // Context changed (or no usable cache): full rescan.
+        for st in &mut states {
+            if st.fresh.is_none() {
+                let sf = SourceFile::analyze(&st.rel, &st.text);
+                let ast = sema::in_scope(&st.rel).then(|| crate::ast::parse(&sf.tokens));
+                st.fresh = Some((sf, ast));
+            }
+            st.cached = None;
+        }
+    }
+
+    // Rebuild the cross-file context from contributions + live vendor
+    // files.
+    let mut ctx = Ctx {
+        features,
+        ..Ctx::default()
+    };
+    let mut td = TraceDefs::default();
+    for vf in &vendor_files {
+        ctx.exports.add_vendor_file(&vf.path, vf);
+        if has_unsafe(vf) {
+            ctx.unsafe_crates.insert(crate_key(&vf.path));
+        }
+    }
+    for st in &states {
+        for n in &st.contrib.trace_on {
+            td.insert(n.clone(), true);
+        }
+        for n in &st.contrib.trace_off {
+            td.insert(n.clone(), false);
+        }
+        if st.contrib.has_unsafe {
+            ctx.unsafe_crates.insert(crate_key(&st.rel));
+        }
+    }
+    ctx.trace_only = td.trace_only();
+    let collects: Vec<SemaCollect> = states
+        .iter()
+        .map(|s| SemaCollect {
+            tables: s.contrib.tables.clone(),
+            enum_defs: s.contrib.enum_defs.clone(),
+        })
+        .collect();
+    let mut ctx_findings = Vec::new();
+    ctx.sema = sema::build_ctx(&collects, &mut ctx_findings);
+    ctx.ctx_findings = ctx_findings;
+
+    // Phase 2: per-file findings — cached verbatim or freshly computed.
+    let mut out: Vec<Finding> = Vec::new();
+    let mut performed = PerformedEdges::default();
+    let mut entries: BTreeMap<String, Entry> = BTreeMap::new();
+    for st in &mut states {
+        if let Some(e) = &st.cached {
+            out.extend(e.findings.iter().cloned());
+            for (en, f, t) in &e.contrib.performed {
+                performed.insert((en.clone(), f.clone(), t.clone()));
+            }
+            entries.insert(st.rel.clone(), e.clone());
+            continue;
+        }
+        let (sf, ast) = st.fresh.as_ref().expect("fresh analysis exists");
+        let mut file_performed = PerformedEdges::default();
+        let findings = run_file_rules(sf, ast.as_ref(), &ctx, &mut file_performed);
+        out.extend(findings.iter().cloned());
+        let mut contrib = st.contrib.clone();
+        contrib.performed = file_performed.iter().cloned().collect();
+        performed.extend(file_performed);
+        entries.insert(
+            st.rel.clone(),
+            Entry {
+                hash: st.hash,
+                findings,
+                allows: sf.allow_entries().to_vec(),
+                allow_file: sf.allow_file_entries().to_vec(),
+                contrib,
+            },
+        );
+    }
+
+    // Global pass, recomputed every run; vendor files participate as
+    // target roots.
+    let mut roots: Vec<RootInfo> = states
+        .iter()
+        .map(|s| RootInfo {
+            path: s.rel.clone(),
+            forbid: s.contrib.forbid,
+        })
+        .collect();
+    roots.extend(vendor_files.iter().map(|vf| RootInfo {
+        path: vf.path.clone(),
+        forbid: has_forbid_unsafe(vf),
+    }));
+    let mut global = run_global(&roots, &ctx.unsafe_crates, &ctx.sema, &performed);
+    global.extend(ctx.ctx_findings.iter().cloned());
+    // Suppress globals with whatever allow information we have.
+    let vendor_by_path: BTreeMap<&str, &SourceFile> =
+        vendor_files.iter().map(|f| (f.path.as_str(), f)).collect();
+    out.extend(global.into_iter().filter(|fi| {
+        if let Some(e) = entries.get(fi.path.as_str()) {
+            let inline = e
+                .allows
+                .iter()
+                .any(|&(l, r)| r == fi.rule && (l == fi.line || l + 1 == fi.line));
+            return !inline && !e.allow_file.contains(&fi.rule);
+        }
+        if let Some(sf) = vendor_by_path.get(fi.path.as_str()) {
+            return !sf.allowed(fi.rule, fi.line) && !sf.file_allowed(fi.rule);
+        }
+        true
+    }));
+
+    out.sort();
+    out.dedup();
+    // Best effort: a read-only checkout shouldn't fail the lint.
+    let _ = save(&cache_path, digest, &entries);
+    Ok((out, incremental))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_content() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"same"), fnv1a(b"same"));
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let t = FsmTable {
+            enum_name: "Phase".to_string(),
+            path: "crates/x/src/lib.rs".to_string(),
+            variants: vec!["A".to_string(), "B".to_string()],
+            edges: vec![("A".to_string(), "B".to_string(), 3, 17)],
+            terminals: vec!["B".to_string()],
+        };
+        let s = table_str(&t);
+        let back = parse_table(&s).unwrap();
+        assert_eq!(back.enum_name, t.enum_name);
+        assert_eq!(back.path, t.path);
+        assert_eq!(back.variants, t.variants);
+        assert_eq!(back.edges, t.edges);
+        assert_eq!(back.terminals, t.terminals);
+    }
+
+    #[test]
+    fn version_mismatch_discards_cache() {
+        let dir = std::env::temp_dir().join(format!("simlint-cache-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let p = dir.join("cache.txt");
+        std::fs::write(&p, "simlint-cache 0\ndigest 0\n").unwrap();
+        assert!(load(&p).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

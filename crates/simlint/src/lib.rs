@@ -19,28 +19,46 @@
 //! - **R6 engine-queue-isolation** — model crates never touch a raw
 //!   `EventQueue`; events route through `Cx` / the sharded engine.
 //!
-//! Findings are suppressed by inline `// simlint: allow(R1, …)`
-//! directives (same line or the line above) or by the built-in
-//! [`rules::BUILTIN_ALLOW`] policy table.
+//! On top of the lexer-level rules sits **simsema** ([`sema`], over the
+//! [`ast`] parser), three semantic rules driven by `// simsema:`
+//! comment directives:
 //!
-//! The linter is deliberately a *lexer*-level tool: it tokenizes real
-//! Rust (raw strings, nested block comments, lifetimes vs. chars) but
-//! does not parse or type-check. Each rule is tuned so its false
-//! positives are rare and cheap to suppress — the price of keeping the
+//! - **R7 fsm-transition-audit** — state enums declare their legal
+//!   transition tables; every assignment over them is audited;
+//! - **R8 time-unit-analysis** — dimensional checking over the
+//!   `_ns`/`_us`/`_ms` naming convention;
+//! - **R9 counter-conservation** — issued-type counters declare their
+//!   conservation equation next to the struct.
+//!
+//! Findings are suppressed by inline `// simlint: allow(R1, …)`
+//! directives (same line or the line above) or by whole-file
+//! `// simlint: allow-file(R1): reason` directives at the top of the
+//! excused file.
+//!
+//! The base rules are deliberately *lexer*-level and the semantic rules
+//! sit on a forgiving, dependency-free recursive-descent parser: no
+//! type checking, no resolver — each rule is tuned so its false
+//! positives are rare and cheap to suppress, the price of keeping the
 //! whole pass dependency-free and fast enough to run in CI on every
-//! configuration.
+//! configuration. [`cache`] adds an incremental mode (per-file
+//! content-hash cache under `target/simlint-cache`) for tight edit
+//! loops.
 
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod ast;
+pub mod cache;
 pub mod lexer;
 pub mod rules;
+pub mod sema;
 
 use analysis::SourceFile;
 use rules::{
     crate_key, has_forbid_unsafe, has_unsafe, is_target_root, origin, Finding, Origin, Rule,
     TraceDefs, VendorExports, BUILTIN_ALLOW,
 };
+use sema::PerformedEdges;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
@@ -49,9 +67,92 @@ use std::path::Path;
 /// tests build these by hand; [`lint_workspace`] builds one from disk.
 #[derive(Default)]
 pub struct Analysis {
-    files: Vec<SourceFile>,
+    pub(crate) files: Vec<SourceFile>,
     /// crate_key → declared cargo features.
-    features: BTreeMap<String, BTreeSet<String>>,
+    pub(crate) features: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Cross-file lint context: everything the per-file rules consume that
+/// is derived from *other* files. The incremental cache reconstructs
+/// this from per-file contributions without re-lexing unchanged files.
+#[derive(Default)]
+pub struct Ctx {
+    pub exports: VendorExports,
+    pub trace_only: BTreeSet<String>,
+    pub unsafe_crates: BTreeSet<String>,
+    pub features: BTreeMap<String, BTreeSet<String>>,
+    pub sema: sema::SemaCtx,
+    /// Findings produced while building the context (duplicate fsm
+    /// tables, ambiguity); subject to the same suppression as the rest.
+    pub ctx_findings: Vec<Finding>,
+}
+
+/// Per-target-root facts the global pass needs.
+pub struct RootInfo {
+    pub path: String,
+    pub forbid: bool,
+}
+
+/// Runs every per-file rule on one file, applying that file's own
+/// suppression (inline `allow` and whole-file `allow-file`). Transitions
+/// the file performs are accumulated into `performed` for the global
+/// unused-edge pass.
+pub fn run_file_rules(
+    f: &SourceFile,
+    ast: Option<&ast::Ast>,
+    ctx: &Ctx,
+    performed: &mut PerformedEdges,
+) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    rules::r1(f, &mut raw);
+    rules::r2_features(f, &ctx.features, &mut raw);
+    rules::r2_refs(f, &ctx.trace_only, &mut raw);
+    rules::r2_cfg_attr(f, &mut raw);
+    rules::r3(f, &mut raw);
+    rules::r4(f, &ctx.exports, &mut raw);
+    rules::r5_safety(f, &mut raw);
+    rules::r6(f, &mut raw);
+    if let Some(ast) = ast {
+        sema::check_file(f, ast, &ctx.sema, &mut raw, performed);
+    }
+    raw.retain(|fi| {
+        !f.allowed(fi.rule, fi.line)
+            && !f.file_allowed(fi.rule)
+            && !BUILTIN_ALLOW
+                .iter()
+                .any(|(r, suffix, _)| *r == fi.rule && fi.path.ends_with(suffix))
+    });
+    raw
+}
+
+/// The global pass: R5(b) forbid-stamp on unsafe-free target roots and
+/// the R7 unused-edge audit. Returns *unsuppressed* findings — callers
+/// apply allow/allow-file filtering with whatever allow information
+/// they have (live `SourceFile`s or cached entries).
+pub fn run_global(
+    roots: &[RootInfo],
+    unsafe_crates: &BTreeSet<String>,
+    sema_ctx: &sema::SemaCtx,
+    performed: &PerformedEdges,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for r in roots {
+        if is_target_root(&r.path) && !unsafe_crates.contains(&crate_key(&r.path)) && !r.forbid {
+            out.push(Finding {
+                path: r.path.clone(),
+                line: 1,
+                col: 1,
+                rule: Rule::R5,
+                msg: format!(
+                    "crate `{}` has no unsafe code; stamp #![forbid(unsafe_code)] on \
+                     this target root so it stays that way",
+                    crate_key(&r.path)
+                ),
+            });
+        }
+    }
+    sema::unused_edges(sema_ctx, performed, &mut out);
+    out
 }
 
 impl Analysis {
@@ -76,70 +177,72 @@ impl Analysis {
         self.features.insert(key, parse_features(text));
     }
 
-    /// Runs all rules and returns findings, deterministically sorted,
-    /// with inline-allow and built-in-allowlist suppression applied.
-    pub fn run(&self) -> Vec<Finding> {
-        // Cross-file context.
-        let mut exports = VendorExports::default();
+    /// Parses the AST of every file the semantic rules scope to.
+    pub(crate) fn parse_asts(&self) -> Vec<Option<ast::Ast>> {
+        self.files
+            .iter()
+            .map(|f| sema::in_scope(&f.path).then(|| ast::parse(&f.tokens)))
+            .collect()
+    }
+
+    /// Builds the cross-file context (pass 1 over the batch).
+    pub(crate) fn build_ctx(&self, asts: &[Option<ast::Ast>]) -> Ctx {
+        let mut ctx = Ctx {
+            features: self.features.clone(),
+            ..Ctx::default()
+        };
         let mut trace_defs = TraceDefs::default();
-        let mut unsafe_crates: BTreeSet<String> = BTreeSet::new();
-        for f in &self.files {
+        let mut collects = Vec::new();
+        for (f, ast) in self.files.iter().zip(asts) {
             if matches!(origin(&f.path), Origin::Vendor(_)) {
-                exports.add_vendor_file(&f.path, f);
+                ctx.exports.add_vendor_file(&f.path, f);
             }
             trace_defs.collect(f);
             if has_unsafe(f) {
-                unsafe_crates.insert(crate_key(&f.path));
+                ctx.unsafe_crates.insert(crate_key(&f.path));
+            }
+            if let Some(ast) = ast {
+                collects.push(sema::collect_file(f, ast));
             }
         }
-        let trace_only = trace_defs.trace_only();
+        ctx.trace_only = trace_defs.trace_only();
+        let mut ctx_findings = Vec::new();
+        ctx.sema = sema::build_ctx(&collects, &mut ctx_findings);
+        ctx.ctx_findings = ctx_findings;
+        ctx
+    }
 
-        let mut raw = Vec::new();
-        for f in &self.files {
-            rules::r1(f, &mut raw);
-            rules::r2_features(f, &self.features, &mut raw);
-            rules::r2_refs(f, &trace_only, &mut raw);
-            rules::r2_cfg_attr(f, &mut raw);
-            rules::r3(f, &mut raw);
-            rules::r4(f, &exports, &mut raw);
-            rules::r5_safety(f, &mut raw);
-            rules::r6(f, &mut raw);
-            // R5(b): unsafe-free crates must forbid unsafe_code on every
-            // target root.
-            if is_target_root(&f.path)
-                && !unsafe_crates.contains(&crate_key(&f.path))
-                && !has_forbid_unsafe(f)
-            {
-                raw.push(Finding {
-                    path: f.path.clone(),
-                    line: 1,
-                    col: 1,
-                    rule: Rule::R5,
-                    msg: format!(
-                        "crate `{}` has no unsafe code; stamp #![forbid(unsafe_code)] on \
-                         this target root so it stays that way",
-                        crate_key(&f.path)
-                    ),
-                });
-            }
+    /// Runs all rules and returns findings, deterministically sorted,
+    /// with inline-allow and allow-file suppression applied.
+    pub fn run(&self) -> Vec<Finding> {
+        let asts = self.parse_asts();
+        let ctx = self.build_ctx(&asts);
+
+        let mut performed = PerformedEdges::default();
+        let mut out = Vec::new();
+        for (f, ast) in self.files.iter().zip(&asts) {
+            out.extend(run_file_rules(f, ast.as_ref(), &ctx, &mut performed));
         }
 
-        // Suppression: inline directives, then the built-in policy table.
-        let by_path: BTreeMap<&str, &SourceFile> =
-            self.files.iter().map(|f| (f.path.as_str(), f)).collect();
-        let mut out: Vec<Finding> = raw
-            .into_iter()
-            .filter(|fi| {
-                if let Some(sf) = by_path.get(fi.path.as_str()) {
-                    if sf.allowed(fi.rule, fi.line) {
-                        return false;
-                    }
-                }
-                !BUILTIN_ALLOW
-                    .iter()
-                    .any(|(r, suffix, _)| *r == fi.rule && fi.path.ends_with(suffix))
+        // Global pass + ctx findings, suppressed against the live files.
+        let roots: Vec<RootInfo> = self
+            .files
+            .iter()
+            .map(|f| RootInfo {
+                path: f.path.clone(),
+                forbid: has_forbid_unsafe(f),
             })
             .collect();
+        let mut global = run_global(&roots, &ctx.unsafe_crates, &ctx.sema, &performed);
+        global.extend(ctx.ctx_findings.iter().cloned());
+        let by_path: BTreeMap<&str, &SourceFile> =
+            self.files.iter().map(|f| (f.path.as_str(), f)).collect();
+        out.extend(global.into_iter().filter(|fi| {
+            by_path
+                .get(fi.path.as_str())
+                .map(|sf| !sf.allowed(fi.rule, fi.line) && !sf.file_allowed(fi.rule))
+                .unwrap_or(true)
+        }));
         out.sort();
         out.dedup();
         out
@@ -153,7 +256,7 @@ impl Analysis {
 
 /// Extracts feature names from a Cargo.toml's `[features]` section with
 /// a line-level scan (the workspace's manifests are all simple).
-fn parse_features(toml: &str) -> BTreeSet<String> {
+pub(crate) fn parse_features(toml: &str) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     let mut in_features = false;
     for line in toml.lines() {
@@ -198,7 +301,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
 
 /// Recursively collects workspace-relative `*.rs` and `Cargo.toml`
 /// paths (with `/` separators, sorted by the caller).
-fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+pub(crate) fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();

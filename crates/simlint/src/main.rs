@@ -1,11 +1,13 @@
 //! simlint CLI.
 //!
 //! ```text
-//! cargo run -p simlint --               # report findings, exit 0
-//! cargo run -p simlint -- --deny        # exit 1 if any finding (CI)
-//! cargo run -p simlint -- --list-rules  # print the rule set + allowlist
-//! cargo run -p simlint -- --only R3     # restrict to one rule
-//! cargo run -p simlint -- --root PATH   # lint another workspace root
+//! cargo run -p simlint --                 # report findings, exit 0
+//! cargo run -p simlint -- --deny          # exit 1 if any finding (CI)
+//! cargo run -p simlint -- --list-rules    # print the rule set + allowlist
+//! cargo run -p simlint -- --only R7       # restrict to one rule
+//! cargo run -p simlint -- --root PATH     # lint another workspace root
+//! cargo run -p simlint -- --incremental   # reuse target/simlint-cache
+//! cargo run -p simlint -- --budget-ms 1000  # fail if the scan is slower
 //! ```
 
 #![forbid(unsafe_code)]
@@ -17,6 +19,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut deny = false;
     let mut list_rules = false;
+    let mut incremental = false;
+    let mut budget_ms: Option<u64> = None;
     let mut only: Option<Rule> = None;
     let mut root: Option<PathBuf> = None;
 
@@ -25,10 +29,18 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--deny" => deny = true,
             "--list-rules" => list_rules = true,
+            "--incremental" => incremental = true,
+            "--budget-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => budget_ms = Some(ms),
+                None => {
+                    eprintln!("simlint: --budget-ms expects a millisecond count");
+                    return ExitCode::from(2);
+                }
+            },
             "--only" => match args.next().as_deref().and_then(Rule::parse) {
                 Some(r) => only = Some(r),
                 None => {
-                    eprintln!("simlint: --only expects one of R1..R6");
+                    eprintln!("simlint: --only expects one of R1..R9");
                     return ExitCode::from(2);
                 }
             },
@@ -42,13 +54,18 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "simlint — workspace determinism & model-invariant lint\n\n\
-                     USAGE: simlint [--deny] [--only R#] [--root PATH] [--list-rules]\n\n\
-                     --deny        exit 1 if any finding remains (CI gate)\n\
-                     --only R#     run a single rule (R1..R6)\n\
-                     --root PATH   workspace root (default: nearest ancestor with a\n\
-                                   [workspace] Cargo.toml, else cwd)\n\
-                     --list-rules  print each rule's id, name, summary, and the\n\
-                                   built-in allowlist"
+                     USAGE: simlint [--deny] [--only R#] [--root PATH] [--list-rules]\n\
+                            [--incremental] [--budget-ms N]\n\n\
+                     --deny         exit 1 if any finding remains (CI gate)\n\
+                     --only R#      run a single rule (R1..R9)\n\
+                     --root PATH    workspace root (default: nearest ancestor with a\n\
+                                    [workspace] Cargo.toml, else cwd)\n\
+                     --incremental  reuse target/simlint-cache/cache.txt; unchanged\n\
+                                    files are served from the cache, a context change\n\
+                                    or rule-version bump falls back to a full scan\n\
+                     --budget-ms N  exit 1 if the scan takes longer than N ms\n\
+                     --list-rules   print each rule's id, name, summary, and the\n\
+                                    built-in allowlist"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -74,11 +91,21 @@ fn main() -> ExitCode {
 
     let root = root.unwrap_or_else(find_workspace_root);
     let started = std::time::Instant::now();
-    let findings = match simlint::lint_workspace(&root) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("simlint: failed to scan {}: {e}", root.display());
-            return ExitCode::from(2);
+    let (findings, served_incrementally) = if incremental {
+        match simlint::cache::lint_workspace_incremental(&root) {
+            Ok((f, inc)) => (f, inc),
+            Err(e) => {
+                eprintln!("simlint: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match simlint::lint_workspace(&root) {
+            Ok(f) => (f, false),
+            Err(e) => {
+                eprintln!("simlint: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
         }
     };
     let findings: Vec<_> = findings
@@ -91,12 +118,20 @@ fn main() -> ExitCode {
     }
     let elapsed = started.elapsed();
     eprintln!(
-        "simlint: {} finding{} in {:.0?}{}",
+        "simlint: {} finding{} in {:.0?}{}{}",
         findings.len(),
         if findings.len() == 1 { "" } else { "s" },
         elapsed,
+        if served_incrementally { " (incremental)" } else { "" },
         if deny { " (--deny)" } else { "" },
     );
+    if let Some(budget) = budget_ms {
+        let ms = elapsed.as_millis() as u64;
+        if ms > budget {
+            eprintln!("simlint: scan took {ms}ms, over the {budget}ms budget");
+            return ExitCode::FAILURE;
+        }
+    }
     if deny && !findings.is_empty() {
         ExitCode::FAILURE
     } else {

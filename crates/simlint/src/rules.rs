@@ -24,10 +24,26 @@ pub enum Rule {
     R5,
     /// Engine-queue isolation.
     R6,
+    /// FSM transition audit (simsema).
+    R7,
+    /// Time-unit dimensional analysis (simsema).
+    R8,
+    /// Counter conservation (simsema).
+    R9,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
+    pub const ALL: [Rule; 9] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+        Rule::R9,
+    ];
 
     pub fn id(self) -> &'static str {
         match self {
@@ -37,6 +53,9 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
         }
     }
 
@@ -48,6 +67,9 @@ impl Rule {
             Rule::R4 => "vendored-stub-drift",
             Rule::R5 => "unsafe-audit",
             Rule::R6 => "engine-queue-isolation",
+            Rule::R7 => "fsm-transition-audit",
+            Rule::R8 => "time-unit-analysis",
+            Rule::R9 => "counter-conservation",
         }
     }
 
@@ -87,6 +109,30 @@ impl Rule {
                  through the driver's Cx / the sharded engine's handles so the \
                  deterministic total order (time, shard, seq) cannot be bypassed"
             }
+            Rule::R7 => {
+                "state enums declare their legal transition table with a \
+                 `// simsema: fsm(Name): A->B->C, X->Y, terminal Z` directive next to \
+                 the enum; every assignment producing a variant is audited against the \
+                 table, with the source state inferred from match arms and ==/!= guards \
+                 or pinned via `// simsema: from(A, B)` / `from(*)`; dead-end states, \
+                 undeclared transitions, and declared-but-never-performed edges all fail"
+            }
+            Rule::R8 => {
+                "dimensional analysis over the _ns/_us/_ms naming convention: \
+                 mixed-unit +/-/comparison operands, unit-suffixed bindings, fields, \
+                 consts, and struct fields initialized from another unit, and \
+                 unit-named calls (SimDuration::micros, as_nanos, …) fed a value of a \
+                 different unit; multiplying or dividing by a power-of-1000 literal or \
+                 a *_PER_* constant counts as an explicit conversion"
+            }
+            Rule::R9 => {
+                "issued-type counters declare their conservation equation with \
+                 `// simsema: conserve(Struct: total = part + part)` next to the \
+                 struct; every term must resolve to a field or same-file method, and \
+                 any issued/submitted-named field without a covering equation fails \
+                 (the static form of the invariant the scenario fuzzer checks \
+                 dynamically)"
+            }
         }
     }
 
@@ -98,6 +144,9 @@ impl Rule {
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
+            "R9" => Some(Rule::R9),
             _ => None,
         }
     }
@@ -195,34 +244,12 @@ pub const MODEL_CRATES: &[&str] = &[
 /// the seq-level mutation surface only the engine may use.
 const R6_BANNED: &[&str] = &["EventQueue", "push_with_seq", "pop_with_seq", "set_seq"];
 
-/// Built-in per-rule allowlist: `(rule, path suffix, reason)`. Entries
-/// here are policy decisions; point fixes use inline
-/// `// simlint: allow(..)` directives instead. `--list-rules` prints
-/// this table.
-pub const BUILTIN_ALLOW: &[(Rule, &str, &str)] = &[
-    (
-        Rule::R1,
-        "crates/simcore/src/detmap.rs",
-        "defines DetHashMap/DetHashSet over std HashMap with a fixed FxHash hasher; \
-         the one sanctioned HashMap use",
-    ),
-    (
-        Rule::R4,
-        "crates/simlint/src/rules.rs",
-        "names vendor crates in prose and heuristics, not as imports",
-    ),
-    (
-        Rule::R6,
-        "crates/rpc-core/src/driver.rs",
-        "the sequential engine: owns its shard's EventQueue by definition",
-    ),
-    (
-        Rule::R6,
-        "crates/rpc-core/src/sharded.rs",
-        "the parallel engine: owns every shard queue and the cross-shard \
-         merge, the only place seq-level queue access is the point",
-    ),
-];
+/// Built-in per-rule allowlist: `(rule, path suffix, reason)`. Kept
+/// empty since the allow-file migration: whole-file policy decisions
+/// live in the affected file as `// simlint: allow-file(Rn): reason`
+/// directives, so they move (and die) with the code they excuse. Point
+/// fixes use line-level `// simlint: allow(..)` directives.
+pub const BUILTIN_ALLOW: &[(Rule, &str, &str)] = &[];
 
 /// Macro-name prefixes attributed to a vendor crate for the R4 macro
 /// check (`prop_assert!` can only come from the proptest stub, etc.).
@@ -383,6 +410,32 @@ pub struct TraceDefs {
 }
 
 impl TraceDefs {
+    /// Names defined under `cfg(feature = "trace")`.
+    pub fn on_names(&self) -> &BTreeSet<String> {
+        &self.on
+    }
+
+    /// Names defined ungated or under `cfg(not(feature = "trace"))`.
+    pub fn off_names(&self) -> &BTreeSet<String> {
+        &self.off_or_ungated
+    }
+
+    /// Re-inserts one census entry (used by the incremental cache to
+    /// rebuild the cross-file context from per-file contributions).
+    pub fn insert(&mut self, name: String, trace_on: bool) {
+        if trace_on {
+            self.on.insert(name);
+        } else {
+            self.off_or_ungated.insert(name);
+        }
+    }
+
+    /// Merges another census into this one.
+    pub fn merge(&mut self, other: &TraceDefs) {
+        self.on.extend(other.on.iter().cloned());
+        self.off_or_ungated.extend(other.off_or_ungated.iter().cloned());
+    }
+
     /// Records item definitions from one file into the census.
     /// Test-gated and vendor code is ignored.
     pub fn collect(&mut self, file: &SourceFile) {

@@ -1,0 +1,25 @@
+//! R7 allow escape: the uninferable assignment is excused inline.
+
+// simsema: fsm(Gate): Closed->Open, terminal Open
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    Closed,
+    Open,
+}
+
+pub struct Door {
+    state: Gate,
+}
+
+impl Door {
+    pub fn open(&mut self) {
+        if self.state != Gate::Closed {
+            return;
+        }
+        self.state = Gate::Open;
+    }
+
+    pub fn slam(&mut self) {
+        self.state = Gate::Closed; // simlint: allow(R7)
+    }
+}

@@ -1,0 +1,26 @@
+//! R7 fixture: one small state machine, four audit failures.
+
+// simsema: fsm(Gate): Closed->Open->Closed, Open->Locked
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    Closed,
+    Open,
+    Locked,
+    Jammed,
+}
+
+pub struct Door {
+    state: Gate,
+}
+
+impl Door {
+    pub fn unlock(&mut self) {
+        if self.state == Gate::Locked {
+            self.state = Gate::Open;
+        }
+    }
+
+    pub fn slam(&mut self) {
+        self.state = Gate::Closed;
+    }
+}

@@ -1,0 +1,39 @@
+//! R7 clean twin: every variant covered, every declared edge performed,
+//! every source state inferable or annotated.
+
+// simsema: fsm(Gate): Closed->Open->Closed, Open->Locked
+// simsema: fsm(Gate): terminal Locked, terminal Jammed
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    Closed,
+    Open,
+    Locked,
+    Jammed,
+}
+
+pub struct Door {
+    state: Gate,
+}
+
+impl Door {
+    pub fn open(&mut self) {
+        if self.state != Gate::Closed {
+            return;
+        }
+        self.state = Gate::Open;
+    }
+
+    pub fn close(&mut self) {
+        match self.state {
+            Gate::Open => {
+                self.state = Gate::Closed;
+            }
+            _ => {}
+        }
+    }
+
+    pub fn lock(&mut self) {
+        // simsema: from(Open)
+        self.state = Gate::Locked;
+    }
+}

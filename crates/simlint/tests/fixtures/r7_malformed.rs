@@ -1,0 +1,11 @@
+//! R7 fixture: every malformed-directive diagnostic.
+
+// simsema: fsm(Gate): Closed->Open,
+// simsema: fsm(Gate) Closed->Open
+// simsema: from(Closed
+// simsema: frobnicate(x)
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    Closed,
+    Open,
+}

@@ -1,0 +1,10 @@
+//! R8 allow escape: a deliberate raw-tick reinterpretation, excused.
+
+pub struct Cfg {
+    pub timeout_us: u64,
+}
+
+pub fn reinterpret(cfg: &Cfg) -> u64 {
+    let raw_ns = cfg.timeout_us; // simlint: allow(R8)
+    raw_ns
+}

@@ -1,0 +1,20 @@
+//! R8 fixture: time-unit mismatches in every checked position.
+
+pub struct Cfg {
+    pub timeout_us: u64,
+}
+
+pub fn misuse(cfg: &Cfg) -> u64 {
+    let delay_ns = cfg.timeout_us;
+    let sum = delay_ns + cfg.timeout_us;
+    let d = simcore::SimDuration::micros(delay_ns);
+    let copy = Cfg { timeout_us: delay_ns };
+    if delay_ns > cfg.timeout_us {
+        return sum + copy.timeout_us + d.as_nanos();
+    }
+    0
+}
+
+pub fn window_ms(cfg: &Cfg) -> u64 {
+    cfg.timeout_us
+}

@@ -1,0 +1,22 @@
+//! R8 clean twin: same shapes, units converted or consistent.
+
+pub const NANOS_PER_MICRO: u64 = 1_000;
+
+pub struct Cfg {
+    pub timeout_us: u64,
+}
+
+pub fn consistent(cfg: &Cfg) -> u64 {
+    let delay_ns = cfg.timeout_us * 1_000;
+    let sum_ns = delay_ns + delay_ns;
+    let d = simcore::SimDuration::micros(delay_ns / NANOS_PER_MICRO);
+    let copy = Cfg { timeout_us: cfg.timeout_us };
+    if delay_ns > sum_ns.min(delay_ns) {
+        return copy.timeout_us * NANOS_PER_MICRO + d.as_nanos();
+    }
+    0
+}
+
+pub fn window_ms(cfg: &Cfg) -> u64 {
+    cfg.timeout_us / 1_000
+}

@@ -1,0 +1,5 @@
+//! R9 allow escape: a counter that genuinely has no conservation pair.
+
+pub struct OneShot {
+    pub issued: u64, // simlint: allow(R9)
+}

@@ -1,0 +1,18 @@
+//! R9 fixture: uncovered issued counter, bogus equation terms, a
+//! directive with no struct, and a malformed equation.
+
+pub struct Stats {
+    pub issued: u64,
+    pub completed: u64,
+}
+
+// simsema: conserve(Tally: total_issued = done + gone)
+pub struct Tally {
+    pub total_issued: u64,
+    pub done: u64,
+}
+
+// simsema: conserve(Ghost: issued = completed)
+
+// simsema: conserve(Tally total_issued = done)
+pub fn noop() {}

@@ -1,0 +1,14 @@
+//! R9 clean twin: the conservation equation resolves against fields
+//! and same-file impl methods.
+
+// simsema: conserve(Stats: issued = completed + in_flight)
+pub struct Stats {
+    pub issued: u64,
+    pub completed: u64,
+}
+
+impl Stats {
+    pub fn in_flight(&self) -> u64 {
+        self.issued - self.completed
+    }
+}

@@ -1,0 +1,84 @@
+//! The incremental cache must be a pure accelerator: same findings as
+//! a full scan, cold or warm, and a content change invalidates it.
+
+use simlint::cache::{lint_workspace_incremental, CACHE_REL_PATH};
+use simlint::lint_workspace;
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch workspace under the system temp dir, removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root = std::env::temp_dir().join(format!("simlint-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/simcore/src")).expect("mkdir");
+        Scratch { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        fs::write(self.root.join(rel), text).expect("write");
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const DIRTY: &str = "#![forbid(unsafe_code)]\n\
+    use std::collections::HashMap;\n\
+    pub fn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+
+#[test]
+fn incremental_scan_matches_full_scan_and_tracks_edits() {
+    let ws = Scratch::new("inc");
+    ws.write("crates/simcore/src/lib.rs", DIRTY);
+
+    let full = lint_workspace(&ws.root).expect("full scan");
+    assert!(!full.is_empty(), "fixture workspace should have findings");
+
+    // Cold incremental: no cache yet, falls back to a full scan but
+    // must report the same findings (and writes the cache).
+    let (cold, served_cold) = lint_workspace_incremental(&ws.root).expect("cold scan");
+    assert!(!served_cold, "no cache existed; nothing to serve from");
+    assert_eq!(cold, full, "cold incremental diverged from full scan");
+    assert!(ws.root.join(CACHE_REL_PATH).is_file(), "cache not written");
+
+    // Warm incremental: the digest matches, findings are replayed.
+    let (warm, served_warm) = lint_workspace_incremental(&ws.root).expect("warm scan");
+    assert!(served_warm, "unchanged workspace should be served from cache");
+    assert_eq!(warm, full, "warm incremental diverged from full scan");
+
+    // An edit invalidates the digest; the rescan sees the new finding.
+    ws.write(
+        "crates/simcore/src/lib.rs",
+        &format!("{DIRTY}pub fn now() -> std::time::Instant {{ std::time::Instant::now() }}\n"),
+    );
+    let full2 = lint_workspace(&ws.root).expect("full rescan");
+    assert!(full2.len() > full.len(), "edit should add findings");
+    let (edited, served_edited) = lint_workspace_incremental(&ws.root).expect("edited scan");
+    assert!(!served_edited, "changed content must not be served stale");
+    assert_eq!(edited, full2, "post-edit incremental diverged from full scan");
+
+    // And the cache converges again.
+    let (warm2, served_warm2) = lint_workspace_incremental(&ws.root).expect("re-warm scan");
+    assert!(served_warm2);
+    assert_eq!(warm2, full2);
+}
+
+#[test]
+fn corrupt_cache_is_discarded_not_trusted() {
+    let ws = Scratch::new("corrupt");
+    ws.write("crates/simcore/src/lib.rs", DIRTY);
+    let full = lint_workspace(&ws.root).expect("full scan");
+    let (_, _) = lint_workspace_incremental(&ws.root).expect("seed cache");
+    ws.write(CACHE_REL_PATH, "simlint-cache 999999\ngarbage\n");
+    let (out, served) = lint_workspace_incremental(&ws.root).expect("scan with bad cache");
+    assert!(!served, "a corrupt cache must force a full rescan");
+    assert_eq!(out, full);
+}

@@ -1,0 +1,50 @@
+//! Property tests for the simsema directive grammar.
+
+use proptest::prelude::*;
+use simlint::sema::{format_fsm_spec, parse_fsm_spec, FsmSpec};
+
+const NAMES: [&str; 4] = ["Gate", "Phase", "Conn", "Qp"];
+const STATES: [&str; 5] = ["Idle", "Run", "Stop", "Done", "Wait"];
+
+proptest! {
+    /// Any transition table survives a print/parse round trip: the
+    /// enum name, the edge list (order and duplicates included), and
+    /// the terminal list come back exactly.
+    #[test]
+    fn fsm_tables_round_trip(
+        name_i in 0usize..4,
+        edge_is in proptest::collection::vec((0usize..5, 0usize..5), 0..6),
+        term_is in proptest::collection::vec(0usize..5, 0..3),
+    ) {
+        let mut spec = FsmSpec {
+            name: NAMES[name_i].to_string(),
+            edges: edge_is
+                .iter()
+                .map(|&(f, t)| (STATES[f].to_string(), STATES[t].to_string(), 0))
+                .collect(),
+            terminals: term_is.iter().map(|&t| STATES[t].to_string()).collect(),
+        };
+        if spec.edges.is_empty() && spec.terminals.is_empty() {
+            // An empty table has no directive syntax; the grammar
+            // requires at least one segment.
+            spec.edges.push(("Idle".to_string(), "Run".to_string(), 0));
+        }
+        let body = format_fsm_spec(&spec);
+        let parsed = parse_fsm_spec(&body);
+        prop_assert!(parsed.is_ok(), "`{}` failed to parse: {:?}", body, parsed);
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed.name, &spec.name);
+        let got: Vec<(&str, &str)> = parsed
+            .edges
+            .iter()
+            .map(|(f, t, _)| (f.as_str(), t.as_str()))
+            .collect();
+        let want: Vec<(&str, &str)> = spec
+            .edges
+            .iter()
+            .map(|(f, t, _)| (f.as_str(), t.as_str()))
+            .collect();
+        prop_assert_eq!(got, want, "edges diverged through `{}`", body);
+        prop_assert_eq!(&parsed.terminals, &spec.terminals);
+    }
+}

@@ -27,6 +27,7 @@ use simcore::SimDuration;
 
 /// Outcome of one scenario run. Raw/RPC/TX runs populate the fields
 /// that apply to them and leave the rest at zero.
+// simsema: conserve(ScenarioReport: issued = completed + in_flight)
 #[derive(Clone, Debug, Default)]
 pub struct ScenarioReport {
     /// Scenario name.
